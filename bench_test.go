@@ -1,0 +1,79 @@
+// Root benchmark suite: one testing.B benchmark per table and figure of
+// the paper's evaluation, delegating to the experiment harness at reduced
+// scale. For full-scale runs with the paper's parameters use
+// cmd/kaminobench (see DESIGN.md's experiment index).
+//
+//	go test -bench=. -benchmem
+package main_test
+
+import (
+	"io"
+	"testing"
+
+	"kaminotx/internal/bench"
+)
+
+// benchConfig returns a small configuration so `go test -bench=.` finishes
+// in minutes. b.N is deliberately ignored for the table-generating
+// experiments — each "iteration" is one full experiment — so we pin N=1
+// via b.ReportMetric bookkeeping and run the experiment exactly once.
+func benchConfig() bench.Config {
+	return bench.Config{
+		Keys:         5_000,
+		ValueSize:    1024,
+		OpsPerThread: 2_000,
+		Threads:      2,
+		Out:          io.Discard,
+	}
+}
+
+func runExperiment(b *testing.B, fn func(bench.Config) error) {
+	b.Helper()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := fn(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates Figure 1 (logging overhead, YCSB + TPC-C).
+func BenchmarkFig1(b *testing.B) { runExperiment(b, bench.Fig1) }
+
+// BenchmarkFig12 regenerates Figure 12 (YCSB throughput, Kamino vs undo,
+// 2/4/8 threads).
+func BenchmarkFig12(b *testing.B) { runExperiment(b, bench.Fig12) }
+
+// BenchmarkFig13 regenerates Figure 13 (YCSB + TPC-C latency).
+func BenchmarkFig13(b *testing.B) { runExperiment(b, bench.Fig13) }
+
+// BenchmarkFig14 regenerates Figure 14 (latency vs backup size α).
+func BenchmarkFig14(b *testing.B) { runExperiment(b, bench.Fig14) }
+
+// BenchmarkFig15 regenerates Figure 15 (throughput vs backup size α).
+func BenchmarkFig15(b *testing.B) { runExperiment(b, bench.Fig15) }
+
+// BenchmarkFig16 regenerates Figure 16 (normalized ops/sec per dollar).
+func BenchmarkFig16(b *testing.B) { runExperiment(b, bench.Fig16) }
+
+// BenchmarkFig17 regenerates Figure 17 (chain latency, f=2).
+func BenchmarkFig17(b *testing.B) { runExperiment(b, bench.Fig17) }
+
+// BenchmarkFig18 regenerates Figure 18 (chain throughput, f=2).
+func BenchmarkFig18(b *testing.B) { runExperiment(b, bench.Fig18) }
+
+// BenchmarkTable1 regenerates Table 1 (replication schemes: servers,
+// storage, latency formulas with measured components).
+func BenchmarkTable1(b *testing.B) { runExperiment(b, bench.Table1) }
+
+// BenchmarkDependent regenerates the §7.1 dependent-transaction
+// experiment.
+func BenchmarkDependent(b *testing.B) { runExperiment(b, bench.Dependent) }
+
+// BenchmarkWorstCase regenerates the §7.1 worst-case same-object-update
+// experiment.
+func BenchmarkWorstCase(b *testing.B) { runExperiment(b, bench.WorstCase) }
+
+// BenchmarkAblation runs the design-choice ablations (critical-path copy
+// accounting, dynamic-backup miss behaviour, dependent-transaction rates).
+func BenchmarkAblation(b *testing.B) { runExperiment(b, bench.Ablation) }

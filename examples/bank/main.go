@@ -1,0 +1,206 @@
+// A toy bank on the persistent hash table: multi-object transfer
+// transactions whose invariant (total balance is constant) must hold
+// through aborts, concurrency, and power failures. This is the classic
+// atomicity smoke test for a transactional persistent heap.
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"kaminotx/internal/phash"
+	"kaminotx/kamino"
+)
+
+const (
+	accounts       = 64
+	initialBalance = 1000
+)
+
+func main() {
+	pool, err := kamino.Create(kamino.Options{
+		Mode:     kamino.ModeSimple,
+		HeapSize: 8 << 20,
+		Strict:   true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+
+	m, err := phash.Create(pool, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Open accounts in small batches (each transaction's write-set is
+	// bounded by the intent log's per-slot capacity).
+	for start := uint64(0); start < accounts; start += 8 {
+		if err := pool.Update(func(tx *kamino.Tx) error {
+			for a := start; a < start+8 && a < accounts; a++ {
+				if err := m.Put(tx, a, encode(initialBalance)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("opened %d accounts with %d each (total %d)\n",
+		accounts, initialBalance, accounts*initialBalance)
+
+	// Concurrent random transfers; insufficient funds abort the whole
+	// transaction.
+	var wg sync.WaitGroup
+	var aborted int64
+	var abortMu sync.Mutex
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				from := uint64(rng.Intn(accounts))
+				to := uint64(rng.Intn(accounts))
+				if from == to {
+					continue
+				}
+				amount := int64(rng.Intn(300))
+				err := transfer(pool, m, from, to, amount)
+				if errors.Is(err, errInsufficient) {
+					abortMu.Lock()
+					aborted++
+					abortMu.Unlock()
+					continue
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+	fmt.Printf("ran 2000 transfers across 4 goroutines (%d aborted for insufficient funds)\n", aborted)
+
+	if total := totalBalance(pool, m); total != accounts*initialBalance {
+		log.Fatalf("INVARIANT VIOLATED: total = %d", total)
+	}
+	fmt.Println("invariant holds: total balance unchanged")
+
+	// Power failure in the middle of a transfer.
+	tx, err := pool.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Withdraw without depositing, then the power fails.
+	if err := withdraw(tx, m, 0, 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := pool.Crash(); err != nil {
+		log.Fatal(err)
+	}
+	m2, err := phash.Attach(pool, m.Dir())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if total := totalBalance(pool, m2); total != accounts*initialBalance {
+		log.Fatalf("INVARIANT VIOLATED after crash: total = %d", total)
+	}
+	fmt.Println("after mid-transfer power failure and recovery: invariant still holds")
+}
+
+var errInsufficient = errors.New("insufficient funds")
+
+// transfer moves amount between accounts in one transaction, touching the
+// accounts in canonical bucket order so concurrent opposite-direction
+// transfers cannot deadlock. A deposit applied before a failing withdrawal
+// is rolled back with the rest of the transaction.
+func transfer(pool *kamino.Pool, m *phash.Map, from, to uint64, amount int64) error {
+	return pool.Update(func(tx *kamino.Tx) error {
+		first, second := from, to
+		if bi, bj := m.BucketIndex(from), m.BucketIndex(to); bi > bj || (bi == bj && from > to) {
+			first, second = to, from
+		}
+		for _, acct := range []uint64{first, second} {
+			if acct == from {
+				if err := withdraw(tx, m, from, amount); err != nil {
+					return err
+				}
+			} else if err := deposit(tx, m, to, amount); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func deposit(tx *kamino.Tx, m *phash.Map, acct uint64, amount int64) error {
+	return m.Update(tx, acct, func(old []byte, found bool) ([]byte, error) {
+		if !found {
+			return nil, fmt.Errorf("no account %d", acct)
+		}
+		return encode(decode(old) + amount), nil
+	})
+}
+
+func withdraw(tx *kamino.Tx, m *phash.Map, acct uint64, amount int64) error {
+	return m.Update(tx, acct, func(old []byte, found bool) ([]byte, error) {
+		if !found {
+			return nil, fmt.Errorf("no account %d", acct)
+		}
+		bal := decode(old)
+		if bal < amount {
+			return nil, errInsufficient
+		}
+		return encode(bal - amount), nil
+	})
+}
+
+func balance(tx *kamino.Tx, m *phash.Map, acct uint64) (int64, error) {
+	v, ok, err := m.Get(tx, acct)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("no account %d", acct)
+	}
+	return decode(v), nil
+}
+
+func totalBalance(pool *kamino.Pool, m *phash.Map) int64 {
+	var total int64
+	if err := pool.View(func(tx *kamino.Tx) error {
+		for a := uint64(0); a < accounts; a++ {
+			b, err := balance(tx, m, a)
+			if err != nil {
+				return err
+			}
+			total += b
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	return total
+}
+
+func encode(v int64) []byte {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b[:]
+}
+
+func decode(b []byte) int64 {
+	var v int64
+	for i := 0; i < 8 && i < len(b); i++ {
+		v |= int64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,3 @@
+module kaminotx
+
+go 1.22

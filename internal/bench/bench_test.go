@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"kaminotx/kamino"
+)
+
+// tiny returns the smallest configuration that exercises the harness.
+func tiny(out *bytes.Buffer) Config {
+	return Config{
+		Keys:         500,
+		ValueSize:    128,
+		OpsPerThread: 200,
+		Threads:      2,
+		FlushLatency: time.Nanosecond,
+		FenceLatency: time.Nanosecond,
+		Out:          out,
+	}
+}
+
+func TestMeasureYCSBAllModes(t *testing.T) {
+	var out bytes.Buffer
+	cfg := tiny(&out).WithDefaults()
+	for _, mode := range []kamino.Mode{kamino.ModeSimple, kamino.ModeDynamic, kamino.ModeUndo, kamino.ModeNoLog} {
+		r, err := cfg.measureYCSB(mode, 0.5, 'A', 1)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if r.OpsPerSec <= 0 || r.Mean <= 0 {
+			t.Errorf("%s: degenerate result %+v", mode, r)
+		}
+	}
+}
+
+func TestWorstCaseRun(t *testing.T) {
+	var out bytes.Buffer
+	cfg := tiny(&out).WithDefaults()
+	d, err := cfg.worstCaseRun(kamino.ModeSimple, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Errorf("latency = %v", d)
+	}
+}
+
+func TestDependentRunBothSpacings(t *testing.T) {
+	var out bytes.Buffer
+	cfg := tiny(&out).WithDefaults()
+	for _, bursty := range []bool{false, true} {
+		avg, ins, err := cfg.dependentRun(kamino.ModeSimple, bursty)
+		if err != nil {
+			t.Fatalf("bursty=%v: %v", bursty, err)
+		}
+		if avg <= 0 || ins <= 0 {
+			t.Errorf("bursty=%v: degenerate %v/%v", bursty, avg, ins)
+		}
+	}
+}
+
+func TestTable1Prints(t *testing.T) {
+	var out bytes.Buffer
+	cfg := tiny(&out)
+	if err := Table1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Traditional Chain", "Kamino-Tx-Amortized Chain", "f+2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+}
+
+func TestCostModelOrdering(t *testing.T) {
+	undo := costFor(kamino.ModeUndo, 0, 50)
+	dyn := costFor(kamino.ModeDynamic, 0.5, 50)
+	full := costFor(kamino.ModeSimple, 1, 50)
+	if !(undo < dyn && dyn < full) {
+		t.Errorf("cost ordering broken: undo=%v dyn=%v full=%v", undo, dyn, full)
+	}
+}

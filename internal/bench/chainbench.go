@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"kaminotx/internal/stats"
+	"kaminotx/internal/workload"
+	chainpkg "kaminotx/kamino/chain"
+)
+
+// Chain experiment parameters: tolerate f=2 failures, as in the paper.
+// Kamino-Tx-Chain needs f+2 = 4 replicas; traditional chain f+1 = 3.
+const (
+	chainF = 2
+	// chainHopLatency models one RDMA hop on the paper's 32 Gbps
+	// InfiniBand fabric (~2-3µs). The chain comparison is sensitive to
+	// the lc:ln ratio (Table 1): with copies costing a few µs per
+	// replica, a much slower network would hide them entirely.
+	chainHopLatency = 3 * time.Microsecond
+)
+
+// chainKeys uses a smaller key count: chain throughput is network-bound,
+// so the working set size barely matters.
+func (c Config) chainKeys() int {
+	k := c.Keys / 10
+	if k < 1000 {
+		k = 1000
+	}
+	return k
+}
+
+func (c Config) chainOps() int {
+	n := c.OpsPerThread / 10
+	if n < 200 {
+		n = 200
+	}
+	return n
+}
+
+// newCluster builds a chain cluster preloaded with chainKeys records.
+func (c Config) newCluster(mode chainpkg.Mode) (*chainpkg.Cluster, error) {
+	replicas := chainF + 2
+	if mode == chainpkg.ModeTraditional {
+		replicas = chainF + 1
+	}
+	keys := c.chainKeys()
+	cl, err := chainpkg.New(chainpkg.Options{
+		Mode:       mode,
+		Replicas:   replicas,
+		HeapSize:   keys*(c.ValueSize+256)*2 + (32 << 20),
+		Alpha:      0.5,
+		HopLatency: chainHopLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	val := make([]byte, c.ValueSize)
+	for i := 0; i < keys; i++ {
+		workload.Value(uint64(i), val)
+		if err := cl.Put(uint64(i), val); err != nil {
+			cl.Close()
+			return nil, err
+		}
+	}
+	return cl, nil
+}
+
+// runChainYCSB drives a YCSB mix against a cluster. Reads go to the tail;
+// updates/inserts are chain puts; RMW is a tail read followed by a chain
+// put from the head's client.
+func (c Config) runChainYCSB(cl *chainpkg.Cluster, mix workload.Mix, threads int) (Result, error) {
+	ks := workload.NewKeyState(uint64(c.chainKeys()))
+	ops := c.chainOps()
+	var col stats.Collector
+	var wg sync.WaitGroup
+	errCh := make(chan error, threads)
+	start := time.Now()
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			gen := workload.NewGenerator(mix, ks, seed)
+			var hist stats.Histogram
+			val := make([]byte, c.ValueSize)
+			for i := 0; i < ops; i++ {
+				op := gen.Next()
+				t0 := time.Now()
+				var err error
+				switch op.Kind {
+				case workload.OpRead:
+					_, _, err = cl.Get(op.Key)
+				case workload.OpUpdate, workload.OpInsert:
+					workload.Value(op.Key+1, val)
+					err = cl.Put(op.Key, val)
+				case workload.OpRMW:
+					if _, _, err = cl.Get(op.Key); err == nil {
+						workload.Value(op.Key+2, val)
+						err = cl.Put(op.Key, val)
+					}
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("chain op %v key %d: %w", op.Kind, op.Key, err)
+					return
+				}
+				hist.Record(time.Since(t0))
+			}
+			col.Report(&hist, uint64(ops))
+		}(int64(th + 1))
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return Result{}, err
+	}
+	elapsed := time.Since(start).Seconds()
+	h := col.Histogram()
+	return Result{OpsPerSec: float64(col.Ops()) / elapsed, Mean: h.Mean(), P99: h.Percentile(99)}, nil
+}
+
+func (c Config) measureChain(mode chainpkg.Mode, w byte, threads int) (Result, error) {
+	mix, err := workload.MixFor(w)
+	if err != nil {
+		return Result{}, err
+	}
+	cl, err := c.newCluster(mode)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cl.Close()
+	r, err := c.runChainYCSB(cl, mix, threads)
+	if err != nil {
+		return Result{}, err
+	}
+	if cerr := cl.Err(); cerr != nil {
+		return Result{}, cerr
+	}
+	return r, nil
+}
+
+// Fig17 reproduces Figure 17: replicated YCSB latency, Kamino-Tx-Chain vs
+// traditional chain replication, each tolerating two failures. Expected
+// shape: Kamino-Tx-Chain up to ~2.2x lower latency on write-heavy
+// workloads because no replica copies data in the critical path.
+func Fig17(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	header(cfg.Out, "Figure 17: chain latency (µs), Kamino-Tx-Chain vs traditional (f=2)",
+		"paper shape: Kamino-Tx-Chain up to 2.2x faster on write-heavy workloads")
+	fmt.Fprintf(cfg.Out, "%-8s %14s %14s %10s\n", "workload", "kamino-chain", "traditional", "ratio")
+	for _, w := range []byte{'A', 'B', 'D', 'F'} {
+		ka, err := cfg.measureChain(chainpkg.ModeKamino, w, 1)
+		if err != nil {
+			return err
+		}
+		tr, err := cfg.measureChain(chainpkg.ModeTraditional, w, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "YCSB-%c   %14.1f %14.1f %9.2fx\n",
+			w, us(ka.Mean), us(tr.Mean), float64(tr.Mean)/float64(ka.Mean))
+	}
+	return nil
+}
+
+// Fig18 reproduces Figure 18: replicated YCSB throughput for the same
+// setups. Expected shape: Kamino-Tx-Chain up to ~2.2x higher throughput on
+// write-heavy workloads for 33% extra storage.
+func Fig18(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	header(cfg.Out, "Figure 18: chain throughput (K ops/sec), Kamino-Tx-Chain vs traditional (f=2)",
+		"paper shape: Kamino-Tx-Chain up to 2.2x on write-heavy workloads")
+	fmt.Fprintf(cfg.Out, "%-8s %14s %14s %10s\n", "workload", "kamino-chain", "traditional", "speedup")
+	for _, w := range []byte{'A', 'B', 'D', 'F'} {
+		ka, err := cfg.measureChain(chainpkg.ModeKamino, w, cfg.Threads)
+		if err != nil {
+			return err
+		}
+		tr, err := cfg.measureChain(chainpkg.ModeTraditional, w, cfg.Threads)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "YCSB-%c   %14.2f %14.2f %9.2fx\n",
+			w, ka.OpsPerSec/1000, tr.OpsPerSec/1000, ka.OpsPerSec/tr.OpsPerSec)
+	}
+	return nil
+}

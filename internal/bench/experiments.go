@@ -1,0 +1,407 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"kaminotx/internal/tpcc"
+	"kaminotx/internal/workload"
+	"kaminotx/kamino"
+)
+
+// Fig1 reproduces Figure 1: the cost of logging. The paper ran MySQL with
+// InnoDB logging on and off; here the same comparison runs on our KV store
+// — the unsafe no-logging engine against NVML-style undo logging — for the
+// YCSB workloads and TPC-C, 4 client threads. Expected shape: 50–250%
+// overhead on write-heavy workloads, little on read-mostly B–D.
+func Fig1(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	header(cfg.Out, "Figure 1: throughput with and without logging (K ops/sec)",
+		"paper shape: undo logging costs 50-250% on write-heavy workloads, ~0% on read-heavy")
+	fmt.Fprintf(cfg.Out, "%-10s %14s %14s %10s\n", "workload", "no-logging", "undo-logging", "overhead")
+	for _, w := range workload.Workloads {
+		no, err := cfg.measureYCSB(kamino.ModeNoLog, 0, w, cfg.Threads)
+		if err != nil {
+			return err
+		}
+		un, err := cfg.measureYCSB(kamino.ModeUndo, 0, w, cfg.Threads)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "YCSB-%c     %14.1f %14.1f %9.0f%%\n",
+			w, no.OpsPerSec/1000, un.OpsPerSec/1000, overheadPct(no.OpsPerSec, un.OpsPerSec))
+	}
+	no, err := cfg.measureTPCC(kamino.ModeNoLog)
+	if err != nil {
+		return err
+	}
+	un, err := cfg.measureTPCC(kamino.ModeUndo)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "TPC-C      %14.1f %14.1f %9.0f%%\n",
+		no.OpsPerSec/1000, un.OpsPerSec/1000, overheadPct(no.OpsPerSec, un.OpsPerSec))
+	return nil
+}
+
+func overheadPct(fast, slow float64) float64 {
+	if slow <= 0 {
+		return 0
+	}
+	return (fast/slow - 1) * 100
+}
+
+// measureTPCC runs the TPC-C-lite mix with c.Threads workers.
+func (c Config) measureTPCC(mode kamino.Mode) (Result, error) {
+	pool, err := kamino.Create(kamino.Options{
+		Mode:                mode,
+		HeapSize:            256 << 20,
+		LogSlots:            256,
+		LogEntriesPerSlot:   128,
+		LogDataBytesPerSlot: 1 << 20,
+		ApplierWorkers:      2,
+		FlushLatency:        c.FlushLatency,
+		FenceLatency:        c.FenceLatency,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer pool.Close()
+	// Paper-like scale: enough warehouses/items that dependent
+	// transactions stay rare, as on the full TPC-C schema.
+	db, err := tpcc.Load(pool, tpcc.Config{Warehouses: 4, Items: 5000, CustomersPerD: 200})
+	if err != nil {
+		return Result{}, err
+	}
+	type out struct {
+		n   uint64
+		el  time.Duration
+		sum time.Duration
+		err error
+	}
+	ch := make(chan out, c.Threads)
+	for th := 0; th < c.Threads; th++ {
+		go func(seed int64) {
+			w := tpcc.NewWorker(db, seed)
+			n := c.OpsPerThread / 10 // TPC-C transactions are heavier
+			if n == 0 {
+				n = 100
+			}
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				if err := w.RunOne(); err != nil {
+					ch <- out{err: err}
+					return
+				}
+			}
+			el := time.Since(start)
+			ch <- out{n: uint64(n), el: el, sum: el}
+		}(int64(th + 1))
+	}
+	var total uint64
+	var maxEl time.Duration
+	var sum time.Duration
+	for th := 0; th < c.Threads; th++ {
+		o := <-ch
+		if o.err != nil {
+			return Result{}, o.err
+		}
+		total += o.n
+		sum += o.sum
+		if o.el > maxEl {
+			maxEl = o.el
+		}
+	}
+	return Result{
+		OpsPerSec: float64(total) / maxEl.Seconds(),
+		Mean:      time.Duration(uint64(sum) / total),
+	}, nil
+}
+
+// Fig12 reproduces Figure 12: YCSB throughput, Kamino-Tx-Simple vs
+// undo-logging, 2/4/8 threads. Expected shape: Kamino-Tx wins on every
+// workload with writes (up to ~9.5x in the paper), ties on read-only C.
+func Fig12(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	header(cfg.Out, "Figure 12: YCSB throughput, Kamino-Tx-Simple vs undo-logging (M ops/sec)",
+		"paper shape: Kamino-Tx up to 9.5x on write-heavy workloads; parity on read-only C")
+	threadsList := []int{2, 4, 8}
+	fmt.Fprintf(cfg.Out, "%-8s", "workload")
+	for _, th := range threadsList {
+		fmt.Fprintf(cfg.Out, " %13s %13s %8s", fmt.Sprintf("kamino(%d)", th), fmt.Sprintf("undo(%d)", th), "speedup")
+	}
+	fmt.Fprintln(cfg.Out)
+	for _, w := range workload.Workloads {
+		fmt.Fprintf(cfg.Out, "YCSB-%c  ", w)
+		for _, th := range threadsList {
+			ka, err := cfg.measureYCSB(kamino.ModeSimple, 1, w, th)
+			if err != nil {
+				return err
+			}
+			un, err := cfg.measureYCSB(kamino.ModeUndo, 0, w, th)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.Out, " %13.3f %13.3f %7.2fx",
+				ka.OpsPerSec/1e6, un.OpsPerSec/1e6, ka.OpsPerSec/un.OpsPerSec)
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	return nil
+}
+
+// Fig13 reproduces Figure 13: YCSB and TPC-C average latency, Kamino-Tx
+// vs undo-logging. Expected shape: Kamino-Tx up to 2.33x lower latency on
+// write-heavy workloads, parity on read-only C.
+func Fig13(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	header(cfg.Out, "Figure 13: average operation latency (µs), Kamino-Tx vs undo-logging",
+		"paper shape: Kamino-Tx up to 2.33x faster on writes; identical on read-only C")
+	fmt.Fprintf(cfg.Out, "%-10s %12s %12s %10s\n", "workload", "kamino", "undo", "ratio")
+	for _, w := range workload.Workloads {
+		ka, err := cfg.measureYCSB(kamino.ModeSimple, 1, w, 1)
+		if err != nil {
+			return err
+		}
+		un, err := cfg.measureYCSB(kamino.ModeUndo, 0, w, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "YCSB-%c     %12.2f %12.2f %9.2fx\n",
+			w, us(ka.Mean), us(un.Mean), float64(un.Mean)/float64(ka.Mean))
+	}
+	// Latency rows are single-threaded, TPC-C included.
+	lcfg := cfg
+	lcfg.Threads = 1
+	ka, err := lcfg.measureTPCC(kamino.ModeSimple)
+	if err != nil {
+		return err
+	}
+	un, err := lcfg.measureTPCC(kamino.ModeUndo)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "TPC-C      %12.2f %12.2f %9.2fx\n",
+		us(ka.Mean), us(un.Mean), float64(un.Mean)/float64(ka.Mean))
+	return nil
+}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// Fig14 and Fig15 reproduce the dynamic-backup sweep (Figures 14/15):
+// latency and throughput with partial backups of 10%..90% of the data size
+// against the full copy. Expected shape: smaller α costs latency on
+// write-heavy workloads (more backup misses); ~50% storage costs only a
+// few percent throughput on read-heavy workloads.
+func Fig14(cfg Config) error { return dynamicSweep(cfg, true) }
+
+// Fig15 is the throughput half of the sweep.
+func Fig15(cfg Config) error { return dynamicSweep(cfg, false) }
+
+func dynamicSweep(cfg Config, latency bool) error {
+	cfg = cfg.WithDefaults()
+	if latency {
+		header(cfg.Out, "Figure 14: YCSB latency with partial backups (µs)",
+			"paper shape: latency rises as alpha shrinks on write-heavy workloads; full copy is the floor")
+	} else {
+		header(cfg.Out, "Figure 15: YCSB throughput with partial backups (M ops/sec)",
+			"paper shape: alpha=0.5 within ~5% of full copy on read-heavy workloads")
+	}
+	alphas := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	fmt.Fprintf(cfg.Out, "%-8s", "workload")
+	for _, a := range alphas {
+		fmt.Fprintf(cfg.Out, " %9.0f%%", a*100)
+	}
+	fmt.Fprintf(cfg.Out, " %10s\n", "full-copy")
+	sweep := []byte{'A', 'B', 'D', 'F'}
+	for _, w := range sweep {
+		fmt.Fprintf(cfg.Out, "YCSB-%c  ", w)
+		for _, a := range alphas {
+			r, err := cfg.measureYCSB(kamino.ModeDynamic, a, w, cfg.Threads)
+			if err != nil {
+				return err
+			}
+			if latency {
+				fmt.Fprintf(cfg.Out, " %10.2f", us(r.Mean))
+			} else {
+				fmt.Fprintf(cfg.Out, " %10.3f", r.OpsPerSec/1e6)
+			}
+		}
+		r, err := cfg.measureYCSB(kamino.ModeSimple, 1, w, cfg.Threads)
+		if err != nil {
+			return err
+		}
+		if latency {
+			fmt.Fprintf(cfg.Out, " %10.2f\n", us(r.Mean))
+		} else {
+			fmt.Fprintf(cfg.Out, " %10.3f\n", r.OpsPerSec/1e6)
+		}
+	}
+	return nil
+}
+
+// Dependent reproduces the §7.1 dependent-transaction experiment: 80%
+// lookups, 20% inserts where every insert hits the same key, spaced
+// uniformly or in bursts. Expected shape: undo-logging is unaffected by
+// burstiness; Kamino-Tx's average latency rises a few percent and the
+// insert latency substantially (the paper saw +8% / +30%) because bursty
+// dependent inserts wait for the backup sync.
+func Dependent(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	header(cfg.Out, "Section 7.1: dependent transactions (same-key inserts, uniform vs bursty)",
+		"paper shape: undo unaffected; Kamino-Tx avg +8%, insert latency +30% under bursts")
+	fmt.Fprintf(cfg.Out, "%-22s %12s %14s\n", "config", "avg (µs)", "insert avg (µs)")
+	for _, mode := range []kamino.Mode{kamino.ModeSimple, kamino.ModeUndo} {
+		for _, bursty := range []bool{false, true} {
+			avg, ins, err := cfg.dependentRun(mode, bursty)
+			if err != nil {
+				return err
+			}
+			label := fmt.Sprintf("%s/%s", modeLabel(mode), spacing(bursty))
+			fmt.Fprintf(cfg.Out, "%-22s %12.2f %14.2f\n", label, us(avg), us(ins))
+		}
+	}
+	return nil
+}
+
+func modeLabel(m kamino.Mode) string {
+	if m == kamino.ModeSimple {
+		return "kamino"
+	}
+	return string(m)
+}
+
+func spacing(b bool) string {
+	if b {
+		return "bursty"
+	}
+	return "uniform"
+}
+
+// dependentRun performs 80% lookups / 20% same-key updates. In uniform
+// mode updates are spread across the stream; in bursty mode they arrive
+// back-to-back, so each depends on the previous one's pending backup sync.
+func (c Config) dependentRun(mode kamino.Mode, bursty bool) (avg, insertAvg time.Duration, err error) {
+	pool, store, err := c.loadStore(mode, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer pool.Close()
+	const hotKey = 1
+	total := c.OpsPerThread
+	inserts := total / 5
+	val := make([]byte, c.ValueSize)
+	var sum, insSum time.Duration
+	var insN int
+	run := func(isInsert bool, k uint64) error {
+		t0 := time.Now()
+		var err error
+		if isInsert {
+			workload.Value(k, val)
+			err = store.Update(hotKey, val)
+		} else {
+			// Lookups cycle over a small warm set of keys far from
+			// the hot key (disjoint B+Tree leaves), so neither cache
+			// effects nor read-set intersection with the pending hot
+			// object differ between the phases; the experiment
+			// isolates the same-key dependent-wait cost, as in the
+			// paper.
+			_, _, err = store.Read(uint64(c.Keys/2) + k%128)
+		}
+		d := time.Since(t0)
+		sum += d
+		if isInsert {
+			insSum += d
+			insN++
+		}
+		return err
+	}
+	if bursty {
+		// All same-key updates back-to-back, then the lookups.
+		for i := 0; i < inserts; i++ {
+			if err := run(true, uint64(i)); err != nil {
+				return 0, 0, err
+			}
+		}
+		for i := inserts; i < total; i++ {
+			if err := run(false, uint64(i%c.Keys)); err != nil {
+				return 0, 0, err
+			}
+		}
+	} else {
+		for i := 0; i < total; i++ {
+			if err := run(i%5 == 0 && i/5 < inserts, uint64(i%c.Keys)); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	if insN == 0 {
+		insN = 1
+	}
+	return sum / time.Duration(total), insSum / time.Duration(insN), nil
+}
+
+// WorstCase reproduces the §7.1 worst-case microbenchmark: threads
+// repeatedly update the same object, for object sizes 64 B – 4 KiB.
+// Expected shape: Kamino-Tx wins below ~1 KiB (no log allocation); the two
+// converge for larger objects where copying dominates either way.
+func WorstCase(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	header(cfg.Out, "Section 7.1: worst case — repeated same-object updates (µs/update)",
+		"paper shape: Kamino-Tx lower latency below 1 KiB; convergence at larger objects")
+	sizes := []int{64, 256, 1024, 4096}
+	fmt.Fprintf(cfg.Out, "%-8s %12s %12s %10s\n", "size", "kamino", "undo", "ratio")
+	for _, size := range sizes {
+		ka, err := cfg.worstCaseRun(kamino.ModeSimple, size)
+		if err != nil {
+			return err
+		}
+		un, err := cfg.worstCaseRun(kamino.ModeUndo, size)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "%-8d %12.2f %12.2f %9.2fx\n",
+			size, us(ka), us(un), float64(un)/float64(ka))
+	}
+	return nil
+}
+
+func (c Config) worstCaseRun(mode kamino.Mode, size int) (time.Duration, error) {
+	pool, err := kamino.Create(kamino.Options{
+		Mode:         mode,
+		HeapSize:     16 << 20,
+		LogSlots:     64,
+		FlushLatency: c.FlushLatency,
+		FenceLatency: c.FenceLatency,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer pool.Close()
+	var obj kamino.ObjID
+	if err := pool.Update(func(tx *kamino.Tx) error {
+		var e error
+		obj, e = tx.Alloc(size)
+		return e
+	}); err != nil {
+		return 0, err
+	}
+	pool.Drain()
+	val := make([]byte, size)
+	n := c.OpsPerThread
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		val[0] = byte(i)
+		if err := pool.Update(func(tx *kamino.Tx) error {
+			if err := tx.Add(obj); err != nil {
+				return err
+			}
+			return tx.Write(obj, 0, val)
+		}); err != nil {
+			return 0, err
+		}
+	}
+	el := time.Since(start)
+	pool.Drain()
+	return el / time.Duration(n), nil
+}

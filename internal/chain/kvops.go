@@ -1,0 +1,172 @@
+package chain
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"kaminotx/internal/phash"
+	"kaminotx/kamino"
+)
+
+// The replicated key-value store: deterministic, idempotent put/delete plus
+// a tail-side get, over the persistent hash table. One operation is exactly
+// one transaction on each replica, so recovery replay is exactly-once by
+// idempotence.
+
+const kvBuckets = 1024
+
+// KVSetup initializes the hash table identically on every replica and
+// links it to the pool root.
+func KVSetup(pool *kamino.Pool) error {
+	m, err := phash.Create(pool, kvBuckets)
+	if err != nil {
+		return err
+	}
+	return pool.Update(func(tx *kamino.Tx) error {
+		if err := tx.Add(pool.Root()); err != nil {
+			return err
+		}
+		return tx.SetPtr(pool.Root(), 0, m.Dir())
+	})
+}
+
+// kvMaps caches the attached Map per pool (replicas reuse across ops).
+var kvMaps sync.Map // *kamino.Pool -> *phash.Map
+
+func kvMap(pool *kamino.Pool) (*phash.Map, error) {
+	if m, ok := kvMaps.Load(pool); ok {
+		return m.(*phash.Map), nil
+	}
+	var dir kamino.ObjID
+	if err := pool.View(func(tx *kamino.Tx) error {
+		var err error
+		dir, err = tx.Ptr(pool.Root(), 0)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if dir == kamino.Nil {
+		return nil, errors.New("chain: pool has no KV map (KVSetup not run?)")
+	}
+	m, err := phash.Attach(pool, dir)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := kvMaps.LoadOrStore(pool, m)
+	return actual.(*phash.Map), nil
+}
+
+// kvBucketKey maps a KV key to its abstract admission-lock key: the hash
+// bucket, since operations in the same bucket can touch shared chain
+// objects.
+func kvBucketKey(key uint64) uint64 {
+	return (key * 0x9e3779b97f4a7c15) % kvBuckets
+}
+
+// kvLockKeys extracts the admission-lock keys of a put/delete. Malformed
+// args lock nothing; the operation itself rejects them at execution.
+func kvLockKeys(args []byte) []uint64 {
+	if len(args) < 8 {
+		return nil
+	}
+	return []uint64{kvBucketKey(binary.LittleEndian.Uint64(args))}
+}
+
+// EncodeKV packs a put's key and value.
+func EncodeKV(key uint64, val []byte) []byte {
+	out := make([]byte, 8+len(val))
+	binary.LittleEndian.PutUint64(out, key)
+	copy(out[8:], val)
+	return out
+}
+
+// EncodeKey packs a bare key.
+func EncodeKey(key uint64) []byte {
+	var out [8]byte
+	binary.LittleEndian.PutUint64(out[:], key)
+	return out[:]
+}
+
+// NewKVRegistry builds the registry all replicas of a KV chain share.
+func NewKVRegistry() *Registry {
+	reg := NewRegistry()
+	reg.RegisterWrite("put", func(tx *kamino.Tx, pool *kamino.Pool, args []byte) error {
+		if len(args) < 8 {
+			return fmt.Errorf("chain: short put args")
+		}
+		m, err := kvMap(pool)
+		if err != nil {
+			return err
+		}
+		return m.Put(tx, binary.LittleEndian.Uint64(args), args[8:])
+	}, kvLockKeys)
+	reg.RegisterWrite("delete", func(tx *kamino.Tx, pool *kamino.Pool, args []byte) error {
+		if len(args) < 8 {
+			return fmt.Errorf("chain: short delete args")
+		}
+		m, err := kvMap(pool)
+		if err != nil {
+			return err
+		}
+		_, err = m.Delete(tx, binary.LittleEndian.Uint64(args))
+		return err
+	}, kvLockKeys)
+	reg.RegisterRead("get", func(pool *kamino.Pool, args []byte) ([]byte, error) {
+		if len(args) < 8 {
+			return nil, fmt.Errorf("chain: short get args")
+		}
+		m, err := kvMap(pool)
+		if err != nil {
+			return nil, err
+		}
+		var out []byte
+		err = pool.View(func(tx *kamino.Tx) error {
+			v, ok, err := m.Get(tx, binary.LittleEndian.Uint64(args))
+			if err != nil {
+				return err
+			}
+			if ok {
+				out = append([]byte{1}, v...)
+			} else {
+				out = []byte{0}
+			}
+			return nil
+		})
+		return out, err
+	})
+	return reg
+}
+
+// KVClient runs KV operations against a chain's head.
+type KVClient struct {
+	head func() *Replica
+}
+
+// NewKVClient builds a client resolving the head dynamically.
+func NewKVClient(head func() *Replica) *KVClient {
+	return &KVClient{head: head}
+}
+
+// Put stores key=val through the chain.
+func (c *KVClient) Put(key uint64, val []byte) error {
+	return c.head().Submit("put", EncodeKV(key, val))
+}
+
+// Delete removes key through the chain.
+func (c *KVClient) Delete(key uint64) error {
+	return c.head().Submit("delete", EncodeKey(key))
+}
+
+// Get reads key at the tail.
+func (c *KVClient) Get(key uint64) ([]byte, bool, error) {
+	payload, err := c.head().Read("get", EncodeKey(key))
+	if err != nil {
+		return nil, false, err
+	}
+	if len(payload) == 0 || payload[0] == 0 {
+		return nil, false, nil
+	}
+	return payload[1:], true, nil
+}

@@ -1,0 +1,276 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+
+	"kaminotx/internal/heap"
+	"kaminotx/internal/membership"
+	"kaminotx/internal/pqueue"
+	"kaminotx/internal/transport"
+	"kaminotx/kamino"
+)
+
+// onViewChange reacts to membership changes (fail-stop repairs, §5.2).
+func (r *Replica) onViewChange(v membership.View) {
+	r.mu.Lock()
+	old := r.view
+	if v.ID <= old.ID {
+		r.mu.Unlock()
+		return
+	}
+	r.view = v
+	stillMember := v.Index(r.id) >= 0
+	r.mu.Unlock()
+	if !stillMember {
+		return
+	}
+
+	wasHead := old.Head() == r.id
+	isHead := v.Head() == r.id
+	wasTail := old.Tail() == r.id
+	isTail := v.Tail() == r.id
+
+	if isHead && !wasHead {
+		if err := r.promoteToHead(); err != nil {
+			r.fatal(fmt.Errorf("chain: head promotion: %w", err))
+			return
+		}
+	}
+	if isTail && !wasTail {
+		// New tail (§5.2): acknowledge every in-flight transaction to
+		// the head — they were forwarded but the old tail's
+		// completion may have been lost.
+		r.ackAllInflight(v)
+	}
+	// Resend in-flight transactions downstream on every view change:
+	// deliveries in flight during the repair may have been dropped, and
+	// receivers deduplicate by sequence number, so resending is always
+	// safe. (A newly promoted head already re-drives its in-flight set.)
+	if newSucc, hasSucc := v.Successor(r.id); hasSucc && !(isHead && !wasHead) {
+		r.resendInflight(v, newSucc)
+	}
+	r.kick()
+}
+
+// promoteToHead converts an in-place replica into the chain's new head: it
+// builds a local backup, recovers the admission-lock set from the in-flight
+// queue, and resumes sequence numbering (§5.2).
+func (r *Replica) promoteToHead() error {
+	r.mu.Lock()
+	promoted := r.promoted
+	r.mu.Unlock()
+	if !promoted && r.cfg.Mode == ModeKamino {
+		if err := r.pool.Promote(r.cfg.Alpha); err != nil {
+			return err
+		}
+	}
+	r.mu.Lock()
+	r.promoted = true
+	lastExec := r.lastExec
+	r.mu.Unlock()
+
+	// Rebuild the lock set conservatively from in-flight transactions,
+	// resume numbering after them, and re-drive them down the chain
+	// (replicas deduplicate, so this is safe even if they already saw
+	// them). The old head's clients are gone; completions are dropped.
+	recs, err := r.getInflight().All()
+	if err != nil {
+		return err
+	}
+	r.headMu.Lock()
+	maxSeq := lastExec
+	for _, rec := range recs {
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
+		_, keysFn, err := r.cfg.Registry.write(rec.Name)
+		if err != nil {
+			r.headMu.Unlock()
+			return err
+		}
+		keys := keysFn(rec.Args)
+		for _, k := range keys {
+			r.lockedBy[k] = struct{}{}
+		}
+		r.seqLocks[rec.Seq] = keys
+	}
+	if r.nextSeq < maxSeq {
+		r.nextSeq = maxSeq
+	}
+	r.headMu.Unlock()
+
+	view := r.currentView()
+	if succ, ok := view.Successor(r.id); ok {
+		for _, rec := range recs {
+			_ = r.cfg.Transport.Send(succ, &transport.Message{
+				Kind: transport.KindOp, From: r.id, ViewID: view.ID,
+				Seq: rec.Seq, Name: rec.Name, Args: rec.Args,
+			})
+		}
+	} else {
+		// Single-node chain: everything in flight is trivially
+		// complete.
+		for _, rec := range recs {
+			r.releaseLocks(rec.Seq)
+		}
+		if err := r.getInflight().DropThrough(maxSeq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ackAllInflight lets a newly promoted tail acknowledge all forwarded
+// transactions to the head.
+func (r *Replica) ackAllInflight(v membership.View) {
+	recs, err := r.getInflight().All()
+	if err != nil {
+		r.fatal(err)
+		return
+	}
+	for _, rec := range recs {
+		_ = r.cfg.Transport.Send(v.Head(), &transport.Message{
+			Kind: transport.KindTailAck, From: r.id, ViewID: v.ID, Seq: rec.Seq,
+		})
+	}
+	if len(recs) > 0 {
+		if err := r.getInflight().DropThrough(recs[len(recs)-1].Seq); err != nil {
+			r.fatal(err)
+		}
+	}
+}
+
+// resendInflight re-forwards in-flight transactions to a new successor.
+func (r *Replica) resendInflight(v membership.View, succ transport.NodeID) {
+	recs, err := r.getInflight().All()
+	if err != nil {
+		r.fatal(err)
+		return
+	}
+	for _, rec := range recs {
+		_ = r.cfg.Transport.Send(succ, &transport.Message{
+			Kind: transport.KindOp, From: r.id, ViewID: v.ID,
+			Seq: rec.Seq, Name: rec.Name, Args: rec.Args,
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Quick reboots (§5.3)
+
+// Reboot simulates a power failure and recovery of this replica: regions
+// crash, the pool reopens, the replica validates its view with the
+// membership manager, and incomplete transactions are resolved — from the
+// local backup if it is (still) the head, by rolling forward from the
+// predecessor if it is a non-head, or by rolling back from the successor if
+// it finds itself newly promoted (Figure 9). The executor then resumes the
+// input queue; re-execution is safe because replicated operations are
+// idempotent.
+func (r *Replica) Reboot() error {
+	if !r.cfg.Strict {
+		return errors.New("chain: Reboot requires Strict replicas")
+	}
+	r.mu.Lock()
+	believed := r.view.ID
+	r.mu.Unlock()
+
+	// The crashed process stops serving and executing.
+	r.stopExecutor()
+	r.cfg.Transport.Unregister(r.id)
+
+	// Power failure: heap/log regions and both queues lose volatile
+	// state. Pool.Crash also reopens the engine, which for in-place
+	// replicas surfaces pending transactions.
+	if err := r.pool.Crash(); err != nil {
+		return err
+	}
+	if err := r.inputReg.Crash(); err != nil {
+		return err
+	}
+	if err := r.inflightReg.Crash(); err != nil {
+		return err
+	}
+	inputQ, err := pqueue.Attach(r.inputReg)
+	if err != nil {
+		return err
+	}
+	inflightQ, err := pqueue.Attach(r.inflightReg)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.inputQ, r.inflightQ = inputQ, inflightQ
+	r.mu.Unlock()
+
+	// Revalidate membership (§5.3: all messages carry a viewID; the
+	// manager tells us the current one or that we were removed).
+	view, err := r.cfg.Manager.Rejoin(r.id, believed)
+	if err != nil {
+		return fmt.Errorf("chain: rejoin: %w", err)
+	}
+	r.mu.Lock()
+	r.view = view
+	r.lastExec = 0
+	r.mu.Unlock()
+
+	// Resolve incomplete transactions.
+	if ie := r.pool.InPlaceEngine(); ie != nil && len(ie.PendingRecovery()) > 0 {
+		var neighbour transport.NodeID
+		if view.Head() == r.id {
+			// New head: roll back from the successor.
+			succ, ok := view.Successor(r.id)
+			if !ok {
+				return errors.New("chain: new head has no successor to roll back from")
+			}
+			neighbour = succ
+		} else {
+			// Non-head: roll forward from the predecessor.
+			pred, ok := view.Predecessor(r.id)
+			if !ok {
+				return errors.New("chain: no predecessor to roll forward from")
+			}
+			neighbour = pred
+		}
+		fetch := func(obj heap.ObjID, class int) ([]byte, error) {
+			reply, err := r.cfg.Transport.Call(neighbour, &transport.Message{
+				Kind: transport.KindFetch, From: r.id, ViewID: view.ID,
+				Objs: []uint64{uint64(obj)}, Classes: []uint32{uint32(class)},
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := reply.Error(); err != nil {
+				return nil, err
+			}
+			if len(reply.Blocks) != 1 {
+				return nil, fmt.Errorf("chain: fetch returned %d blocks", len(reply.Blocks))
+			}
+			return reply.Blocks[0], nil
+		}
+		if err := ie.ResolvePending(fetch); err != nil {
+			return err
+		}
+	}
+
+	// A replica that finds itself head after reboot promotes now that
+	// pending state is resolved.
+	if view.Head() == r.id {
+		r.mu.Lock()
+		// Promotion state does not survive the crash for an in-place
+		// replica; recompute from the reopened pool's mode.
+		r.promoted = r.pool.Mode() != kamino.ModeInPlace
+		r.mu.Unlock()
+		if err := r.promoteToHead(); err != nil {
+			return err
+		}
+	}
+
+	// Back online: serve messages and resume the input queue.
+	if err := r.cfg.Transport.Register(r.id, r.handle); err != nil {
+		return err
+	}
+	r.startExecutor()
+	r.kick()
+	return nil
+}

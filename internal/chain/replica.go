@@ -1,0 +1,605 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"kaminotx/internal/heap"
+	"kaminotx/internal/membership"
+	"kaminotx/internal/nvm"
+	"kaminotx/internal/pqueue"
+	"kaminotx/internal/transport"
+	"kaminotx/kamino"
+)
+
+// Mode selects the replication scheme.
+type Mode int
+
+// Replication modes.
+const (
+	// ModeKamino is Kamino-Tx-Chain: head runs Kamino-Tx (backup),
+	// other replicas update in place with no local copies.
+	ModeKamino Mode = iota
+	// ModeTraditional is classic chain replication where every replica
+	// uses undo logging (copies in the critical path at each node).
+	ModeTraditional
+)
+
+// Config builds a replica.
+type Config struct {
+	Mode Mode
+	// HeapSize is each replica's heap region size.
+	HeapSize int
+	// Alpha sizes the head's backup: >= 1 full mirror (Kamino-Tx-Simple
+	// head), < 1 dynamic (Kamino-Tx-Dynamic head, the paper's
+	// Kamino-Tx-Amortized chain when combined with in-place replicas).
+	Alpha float64
+	// QueueBytes sizes the persistent input and in-flight queues.
+	QueueBytes int
+	// LogSlots / LogEntriesPerSlot size each replica's intent log.
+	LogSlots          int
+	LogEntriesPerSlot int
+	// Strict enables crash simulation (required by Reboot).
+	Strict bool
+
+	Registry  *Registry
+	Transport transport.Transport
+	Manager   *membership.Manager
+
+	// Setup initializes application state identically on every replica
+	// (e.g. creating the hash table); it runs once at replica creation
+	// and must be deterministic.
+	Setup func(pool *kamino.Pool) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeapSize == 0 {
+		c.HeapSize = 64 << 20
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1
+	}
+	if c.QueueBytes == 0 {
+		c.QueueBytes = 4 << 20
+	}
+	if c.LogSlots == 0 {
+		c.LogSlots = 128
+	}
+	if c.LogEntriesPerSlot == 0 {
+		c.LogEntriesPerSlot = 64
+	}
+	return c
+}
+
+// Replica is one chain member.
+type Replica struct {
+	id  transport.NodeID
+	cfg Config
+
+	pool        *kamino.Pool
+	inputQ      *pqueue.Queue
+	inflightQ   *pqueue.Queue
+	inputReg    *nvm.Region
+	inflightReg *nvm.Region
+
+	mu       sync.Mutex
+	view     membership.View
+	lastExec uint64
+	promoted bool // head engine active (initial head or promoted later)
+
+	notify chan struct{}
+	stopMu sync.Mutex
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	// Head state.
+	headMu   sync.Mutex
+	execMu   sync.Mutex // serializes execute+forward so chain order == head order
+	nextSeq  uint64
+	lockCond *sync.Cond
+	lockedBy map[uint64]struct{}   // held abstract lock keys
+	seqLocks map[uint64][]uint64   // in-flight seq -> its lock keys
+	waiters  map[uint64]chan error // seq -> client completion
+	execErr  error                 // fatal replica error
+}
+
+// NewReplica builds one replica and registers its transport handler. The
+// initial view decides its role; the head gets a backup per cfg.Alpha.
+func NewReplica(id transport.NodeID, cfg Config) (*Replica, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Registry == nil || cfg.Transport == nil || cfg.Manager == nil {
+		return nil, errors.New("chain: Registry, Transport and Manager are required")
+	}
+	view := cfg.Manager.View()
+	if view.Index(id) < 0 {
+		return nil, fmt.Errorf("chain: %s is not in the initial view", id)
+	}
+	isHead := view.Head() == id
+
+	var mode kamino.Mode
+	switch cfg.Mode {
+	case ModeKamino:
+		if isHead {
+			if cfg.Alpha >= 1 {
+				mode = kamino.ModeSimple
+			} else {
+				mode = kamino.ModeDynamic
+			}
+		} else {
+			mode = kamino.ModeInPlace
+		}
+	case ModeTraditional:
+		mode = kamino.ModeUndo
+	default:
+		return nil, fmt.Errorf("chain: unknown mode %d", cfg.Mode)
+	}
+	pool, err := kamino.Create(kamino.Options{
+		Mode:              mode,
+		HeapSize:          cfg.HeapSize,
+		Alpha:             cfg.Alpha,
+		LogSlots:          cfg.LogSlots,
+		LogEntriesPerSlot: cfg.LogEntriesPerSlot,
+		Strict:            cfg.Strict,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Setup != nil {
+		if err := cfg.Setup(pool); err != nil {
+			return nil, err
+		}
+	}
+	ropts := nvm.Options{Mode: nvm.ModeFast}
+	if cfg.Strict {
+		ropts.Mode = nvm.ModeStrict
+	}
+	inputReg, err := nvm.New(cfg.QueueBytes, ropts)
+	if err != nil {
+		return nil, err
+	}
+	inputQ, err := pqueue.Format(inputReg)
+	if err != nil {
+		return nil, err
+	}
+	inflightReg, err := nvm.New(cfg.QueueBytes, ropts)
+	if err != nil {
+		return nil, err
+	}
+	inflightQ, err := pqueue.Format(inflightReg)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Replica{
+		id:          id,
+		cfg:         cfg,
+		pool:        pool,
+		inputQ:      inputQ,
+		inflightQ:   inflightQ,
+		inputReg:    inputReg,
+		inflightReg: inflightReg,
+		view:        view,
+		promoted:    isHead,
+		notify:      make(chan struct{}, 1),
+		stop:        make(chan struct{}),
+		lockedBy:    make(map[uint64]struct{}),
+		seqLocks:    make(map[uint64][]uint64),
+		waiters:     make(map[uint64]chan error),
+	}
+	r.lockCond = sync.NewCond(&r.headMu)
+	if err := cfg.Transport.Register(id, r.handle); err != nil {
+		return nil, err
+	}
+	cfg.Manager.Watch(r.onViewChange)
+	r.wg.Add(1)
+	go r.executor()
+	return r, nil
+}
+
+// ID returns the replica's node id.
+func (r *Replica) ID() transport.NodeID { return r.id }
+
+// Pool exposes the replica's pool (tests and tools).
+func (r *Replica) Pool() *kamino.Pool { return r.pool }
+
+// IsHead reports whether this replica currently heads the chain.
+func (r *Replica) IsHead() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.view.Head() == r.id
+}
+
+// getInput and getInflight guard the queue pointers, which Reboot swaps.
+func (r *Replica) getInput() *pqueue.Queue {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inputQ
+}
+
+func (r *Replica) getInflight() *pqueue.Queue {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inflightQ
+}
+
+// stopExecutor halts the executor goroutine; startExecutor restarts it.
+func (r *Replica) stopExecutor() {
+	r.stopMu.Lock()
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	r.stopMu.Unlock()
+	r.wg.Wait()
+}
+
+func (r *Replica) startExecutor() {
+	r.stopMu.Lock()
+	r.stop = make(chan struct{})
+	r.stopMu.Unlock()
+	r.wg.Add(1)
+	go r.executor()
+}
+
+func (r *Replica) stopped() <-chan struct{} {
+	r.stopMu.Lock()
+	defer r.stopMu.Unlock()
+	return r.stop
+}
+
+func (r *Replica) currentView() membership.View {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.view
+}
+
+// Close stops the replica.
+func (r *Replica) Close() error {
+	r.stopExecutor()
+	r.cfg.Transport.Unregister(r.id)
+	return r.pool.Close()
+}
+
+func (r *Replica) kick() {
+	select {
+	case r.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (r *Replica) fatal(err error) {
+	r.headMu.Lock()
+	if r.execErr == nil {
+		r.execErr = err
+	}
+	r.headMu.Unlock()
+}
+
+// Err returns the replica's fatal error, if any.
+func (r *Replica) Err() error {
+	r.headMu.Lock()
+	defer r.headMu.Unlock()
+	return r.execErr
+}
+
+// ---------------------------------------------------------------------------
+// Head API
+
+// ErrNotHead reports a Submit on a non-head replica.
+var ErrNotHead = errors.New("chain: not the head")
+
+// Submit executes a registered write operation through the chain and waits
+// until the tail acknowledges it. Only the head accepts submissions.
+func (r *Replica) Submit(name string, args []byte) error {
+	if err := r.Err(); err != nil {
+		return err
+	}
+	view := r.currentView()
+	if view.Head() != r.id {
+		return ErrNotHead
+	}
+	fn, keysFn, err := r.cfg.Registry.write(name)
+	if err != nil {
+		return err
+	}
+	keys := keysFn(args)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	// Admission control (paper §5.1): a transaction whose lock keys
+	// intersect an in-flight transaction's waits here until the tail
+	// acknowledgment releases them.
+	r.admit(keys)
+
+	// Execute locally and forward under execMu so that downstream
+	// execution order equals head execution order. The sequence number
+	// is assigned here, so numbers are monotone in forwarding order and
+	// replicas can deduplicate resends by their highest seen sequence.
+	r.execMu.Lock()
+	err = r.pool.Update(func(tx *kamino.Tx) error { return fn(tx, r.pool, args) })
+	if err != nil {
+		// Aborted at the head: never admitted downstream (Figure 8
+		// abort case), and no sequence number is consumed.
+		r.execMu.Unlock()
+		r.releaseKeys(keys)
+		return err
+	}
+	done := make(chan error, 1)
+	r.headMu.Lock()
+	r.nextSeq++
+	seq := r.nextSeq
+	r.seqLocks[seq] = keys
+	r.waiters[seq] = done
+	r.headMu.Unlock()
+	r.mu.Lock()
+	r.lastExec = seq
+	r.mu.Unlock()
+	rec := pqueue.Record{Seq: seq, Name: name, Args: args}
+	if len(view.Members) == 1 {
+		// Degenerate single-node chain: complete immediately.
+		r.execMu.Unlock()
+		r.releaseLocks(seq)
+		r.dropWaiter(seq)
+		return nil
+	}
+	if err := r.getInflight().Enqueue(rec); err != nil {
+		r.execMu.Unlock()
+		r.releaseLocks(seq)
+		r.dropWaiter(seq)
+		return err
+	}
+	succ, _ := view.Successor(r.id)
+	// A failed send means the successor just died; repair resends from
+	// the in-flight queue, so the error is intentionally dropped and the
+	// client keeps waiting for the tail acknowledgment.
+	_ = r.cfg.Transport.Send(succ, &transport.Message{
+		Kind: transport.KindOp, From: r.id, ViewID: view.ID,
+		Seq: seq, Name: name, Args: args,
+	})
+	r.execMu.Unlock()
+	return <-done
+}
+
+// Read executes a registered read operation at the tail and returns its
+// payload.
+func (r *Replica) Read(name string, args []byte) ([]byte, error) {
+	view := r.currentView()
+	if view.Head() != r.id {
+		return nil, ErrNotHead
+	}
+	if view.Tail() == r.id {
+		fn, err := r.cfg.Registry.read(name)
+		if err != nil {
+			return nil, err
+		}
+		return fn(r.pool, args)
+	}
+	reply, err := r.cfg.Transport.Call(view.Tail(), &transport.Message{
+		Kind: transport.KindRead, From: r.id, ViewID: view.ID,
+		Name: name, Args: args,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := reply.Error(); err != nil {
+		return nil, err
+	}
+	return reply.Payload, nil
+}
+
+// admit acquires the abstract locks, blocking while any key is held by an
+// in-flight transaction (a dependent transaction, in the paper's terms).
+func (r *Replica) admit(keys []uint64) {
+	r.headMu.Lock()
+	defer r.headMu.Unlock()
+	for {
+		free := true
+		for _, k := range keys {
+			if _, held := r.lockedBy[k]; held {
+				free = false
+				break
+			}
+		}
+		if free {
+			break
+		}
+		r.lockCond.Wait()
+	}
+	for _, k := range keys {
+		r.lockedBy[k] = struct{}{}
+	}
+}
+
+// releaseKeys frees admission locks directly (abort path: no seq assigned).
+func (r *Replica) releaseKeys(keys []uint64) {
+	r.headMu.Lock()
+	for _, k := range keys {
+		delete(r.lockedBy, k)
+	}
+	r.lockCond.Broadcast()
+	r.headMu.Unlock()
+}
+
+// releaseLocks frees the admission locks of an in-flight transaction.
+func (r *Replica) releaseLocks(seq uint64) {
+	r.headMu.Lock()
+	for _, k := range r.seqLocks[seq] {
+		delete(r.lockedBy, k)
+	}
+	delete(r.seqLocks, seq)
+	r.lockCond.Broadcast()
+	r.headMu.Unlock()
+}
+
+func (r *Replica) dropWaiter(seq uint64) {
+	r.headMu.Lock()
+	if ch := r.waiters[seq]; ch != nil {
+		select {
+		case ch <- nil:
+		default:
+		}
+		delete(r.waiters, seq)
+	}
+	r.headMu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Message handling
+
+func (r *Replica) handle(msg *transport.Message) *transport.Message {
+	// Fencing (§5.3): protocol messages from nodes that are no longer
+	// chain members are rejected — a zombie ex-head must not inject
+	// transactions. Slightly stale view stamps from live members are
+	// tolerated; every view change triggers an in-flight resend, and
+	// receivers deduplicate by sequence number. Recovery fetches and
+	// tail reads carry no chain-ordering obligations.
+	switch msg.Kind {
+	case transport.KindOp, transport.KindTailAck, transport.KindCleanup:
+		if msg.From != "" && r.currentView().Index(msg.From) < 0 {
+			return nil
+		}
+	}
+	switch msg.Kind {
+	case transport.KindOp:
+		if msg.Seq <= r.getInput().LastSeq() {
+			return nil // duplicate delivery after repair/resend
+		}
+		if err := r.getInput().Enqueue(pqueue.Record{Seq: msg.Seq, Name: msg.Name, Args: msg.Args}); err != nil {
+			r.fatal(err)
+			return nil
+		}
+		r.kick()
+	case transport.KindTailAck:
+		// Head: the transaction is complete; release the client and
+		// the admission locks, and clean the in-flight entry.
+		if err := r.getInflight().DropThrough(msg.Seq); err != nil {
+			r.fatal(err)
+		}
+		r.headMu.Lock()
+		ch := r.waiters[msg.Seq]
+		delete(r.waiters, msg.Seq)
+		r.headMu.Unlock()
+		r.releaseLocks(msg.Seq)
+		if ch != nil {
+			ch <- nil
+		}
+	case transport.KindCleanup:
+		if err := r.getInflight().DropThrough(msg.Seq); err != nil {
+			r.fatal(err)
+		}
+		view := r.currentView()
+		if pred, ok := view.Predecessor(r.id); ok && pred != view.Head() {
+			_ = r.cfg.Transport.Send(pred, &transport.Message{
+				Kind: transport.KindCleanup, From: r.id, ViewID: view.ID, Seq: msg.Seq,
+			})
+		}
+	case transport.KindFetch:
+		return r.serveFetch(msg)
+	case transport.KindRead:
+		fn, err := r.cfg.Registry.read(msg.Name)
+		if err != nil {
+			return &transport.Message{Kind: transport.KindReadReply, Err: err.Error()}
+		}
+		payload, err := fn(r.pool, msg.Args)
+		if err != nil {
+			return &transport.Message{Kind: transport.KindReadReply, Err: err.Error()}
+		}
+		return &transport.Message{Kind: transport.KindReadReply, Payload: payload}
+	}
+	return nil
+}
+
+// serveFetch returns block images for a recovering neighbour (§5.3).
+func (r *Replica) serveFetch(msg *transport.Message) *transport.Message {
+	reply := &transport.Message{Kind: transport.KindFetchReply}
+	hp := r.pool.Engine().Heap()
+	for i, obj := range msg.Objs {
+		class := int(msg.Classes[i])
+		n := heap.BlockHeaderSize + class
+		b, err := hp.Region().ReadSlice(int(obj)-heap.BlockHeaderSize, n)
+		if err != nil {
+			return &transport.Message{Kind: transport.KindFetchReply, Err: err.Error()}
+		}
+		img := make([]byte, n)
+		copy(img, b)
+		reply.Blocks = append(reply.Blocks, img)
+	}
+	return reply
+}
+
+// ---------------------------------------------------------------------------
+// Executor (non-head replicas; the head executes in Submit)
+
+func (r *Replica) executor() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stopped():
+			return
+		case <-r.notify:
+		}
+		for {
+			select {
+			case <-r.stopped():
+				return
+			default:
+			}
+			rec, err := r.getInput().Peek()
+			if errors.Is(err, pqueue.ErrEmpty) {
+				break
+			}
+			if err != nil {
+				r.fatal(err)
+				return
+			}
+			if err := r.apply(rec); err != nil {
+				r.fatal(fmt.Errorf("chain: applying seq %d (%s): %w", rec.Seq, rec.Name, err))
+				return
+			}
+			if _, err := r.getInput().Dequeue(); err != nil {
+				r.fatal(err)
+				return
+			}
+		}
+	}
+}
+
+// apply executes one replicated operation locally and moves it along the
+// chain.
+func (r *Replica) apply(rec pqueue.Record) error {
+	fn, _, err := r.cfg.Registry.write(rec.Name)
+	if err != nil {
+		return err
+	}
+	if err := r.pool.Update(func(tx *kamino.Tx) error { return fn(tx, r.pool, rec.Args) }); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.lastExec = rec.Seq
+	view := r.view
+	r.mu.Unlock()
+
+	if succ, ok := view.Successor(r.id); ok {
+		// Middle: forward downstream and remember in flight.
+		if err := r.getInflight().Enqueue(rec); err != nil {
+			return err
+		}
+		_ = r.cfg.Transport.Send(succ, &transport.Message{
+			Kind: transport.KindOp, From: r.id, ViewID: view.ID,
+			Seq: rec.Seq, Name: rec.Name, Args: rec.Args,
+		})
+		return nil
+	}
+	// Tail: acknowledge to the head and start clean-up upstream.
+	_ = r.cfg.Transport.Send(view.Head(), &transport.Message{
+		Kind: transport.KindTailAck, From: r.id, ViewID: view.ID, Seq: rec.Seq,
+	})
+	if pred, ok := view.Predecessor(r.id); ok && pred != view.Head() {
+		_ = r.cfg.Transport.Send(pred, &transport.Message{
+			Kind: transport.KindCleanup, From: r.id, ViewID: view.ID, Seq: rec.Seq,
+		})
+	}
+	return nil
+}

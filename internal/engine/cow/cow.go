@@ -1,0 +1,432 @@
+// Package cow implements the copy-on-write baseline (paper Figure 2,
+// middle): TX_ADD copies the object into a persistent shadow area and the
+// transaction edits the shadow; at commit the shadow is applied back to the
+// original. Both the initial copy and the copy-back happen around the
+// critical path, which is the overhead profile of NVM-CoW-style systems
+// (Mnemosyne, CDDS).
+package cow
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"kaminotx/internal/engine"
+	"kaminotx/internal/heap"
+	"kaminotx/internal/intentlog"
+	"kaminotx/internal/locktable"
+	"kaminotx/internal/nvm"
+)
+
+// Engine is the copy-on-write engine.
+type Engine struct {
+	heap  *heap.Heap
+	log   *intentlog.Log
+	locks *locktable.Table
+
+	commits  atomic.Uint64
+	aborts   atomic.Uint64
+	critCopy atomic.Uint64
+	depWaits atomic.Uint64
+}
+
+// New formats a fresh heap and log and returns an engine over them.
+func New(heapReg, logReg *nvm.Region, logCfg intentlog.Config) (*Engine, error) {
+	h, err := heap.Format(heapReg)
+	if err != nil {
+		return nil, err
+	}
+	l, err := intentlog.Format(logReg, logCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{heap: h, log: l, locks: locktable.New()}, nil
+}
+
+// Open attaches to existing regions, runs crash recovery, and rebuilds the
+// heap free lists.
+func Open(heapReg, logReg *nvm.Region) (*Engine, error) {
+	h, err := heap.Attach(heapReg)
+	if err != nil {
+		return nil, err
+	}
+	l, err := intentlog.Attach(logReg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{heap: h, log: l, locks: locktable.New()}
+	if err := e.Recover(); err != nil {
+		return nil, err
+	}
+	if err := h.Rescan(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "cow" }
+
+// Heap implements engine.Engine.
+func (e *Engine) Heap() *heap.Heap { return e.heap }
+
+// Drain implements engine.Engine; CoW is fully synchronous.
+func (e *Engine) Drain() {}
+
+// Close implements engine.Engine.
+func (e *Engine) Close() error { return nil }
+
+// Stats implements engine.Engine.
+func (e *Engine) Stats() engine.Stats {
+	return engine.Stats{
+		Commits:             e.commits.Load(),
+		Aborts:              e.aborts.Load(),
+		BytesCopiedCritical: e.critCopy.Load(),
+		DependentWaits:      e.depWaits.Load(),
+	}
+}
+
+// Recover finishes committed transactions (shadow copy-back and deferred
+// frees — both idempotent) and unwinds the allocations of incomplete ones.
+// Originals are untouched until commit, so incomplete transactions need no
+// data restoration.
+func (e *Engine) Recover() error {
+	return e.log.Recover(func(v intentlog.SlotView) error {
+		switch v.State {
+		case intentlog.StateCommitted:
+			if err := e.applyShadows(v.Entries, func(dataOff uint32, n int) ([]byte, error) {
+				return v.Data(dataOff, n)
+			}); err != nil {
+				return err
+			}
+			for _, ent := range v.Entries {
+				if ent.Op == intentlog.OpFree {
+					if err := e.heap.ApplyFree(heap.ObjID(ent.Obj)); err != nil {
+						return err
+					}
+				}
+			}
+		case intentlog.StateRunning, intentlog.StateAborted:
+			for i := len(v.Entries) - 1; i >= 0; i-- {
+				ent := v.Entries[i]
+				if ent.Op == intentlog.OpAlloc {
+					if err := e.heap.RollbackAlloc(heap.ObjID(ent.Obj), int(ent.Class)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return v.Free()
+	})
+}
+
+// applyShadows copies every shadow back onto its original and persists it.
+func (e *Engine) applyShadows(entries []intentlog.Entry, data func(uint32, int) ([]byte, error)) error {
+	reg := e.heap.Region()
+	for _, ent := range entries {
+		if ent.Op != intentlog.OpWrite {
+			continue
+		}
+		shadow, err := data(ent.DataOff, int(ent.DataLen))
+		if err != nil {
+			return err
+		}
+		blockOff := int(ent.Obj) - heap.BlockHeaderSize
+		if err := reg.Write(blockOff, shadow); err != nil {
+			return err
+		}
+		if err := reg.Flush(blockOff, len(shadow)); err != nil {
+			return err
+		}
+	}
+	reg.Fence()
+	return nil
+}
+
+// Begin implements engine.Engine.
+func (e *Engine) Begin() (engine.Tx, error) {
+	tl, err := e.log.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return &tx{e: e, tl: tl, shadows: make(map[heap.ObjID]shadow), allocs: make(map[heap.ObjID]bool)}, nil
+}
+
+// shadow locates an object's editable copy in the log's data area.
+type shadow struct {
+	regionOff int // offset of the block copy in the log region
+	dataOff   uint32
+	blockLen  int
+}
+
+type tx struct {
+	e       *Engine
+	tl      *intentlog.TxLog
+	done    bool
+	shadows map[heap.ObjID]shadow
+	allocs  map[heap.ObjID]bool
+	reads   []heap.ObjID
+	frees   []heap.ObjID
+}
+
+func (t *tx) ID() uint64             { return t.tl.TxID() }
+func (t *tx) owner() locktable.Owner { return locktable.Owner(t.tl.TxID()) }
+
+func (t *tx) inWriteSet(obj heap.ObjID) bool {
+	if _, ok := t.shadows[obj]; ok {
+		return true
+	}
+	return t.allocs[obj]
+}
+
+// Add creates the object's persistent shadow copy in the critical path.
+func (t *tx) Add(obj heap.ObjID) error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	locked := false
+	if sh, ok := t.shadows[obj]; ok {
+		if sh.blockLen >= 0 {
+			return nil
+		}
+		// Lock-only marker from a prior Free: upgrade to a real
+		// shadow without re-locking.
+		locked = true
+	} else if t.allocs[obj] {
+		return nil
+	}
+	cls, err := t.e.heap.ClassOf(obj)
+	if err != nil {
+		return err
+	}
+	if !locked && !t.e.locks.TryLock(uint64(obj), t.owner()) {
+		t.e.depWaits.Add(1)
+		t.e.locks.Lock(uint64(obj), t.owner())
+	}
+	fail := func(err error) error {
+		if !locked {
+			t.e.locks.Unlock(uint64(obj), t.owner())
+		}
+		return err
+	}
+	blockOff, blockLen, err := t.e.heap.Range(obj)
+	if err != nil {
+		return fail(err)
+	}
+	regionOff, dataOff, err := t.tl.ReserveData(blockLen)
+	if err != nil {
+		return fail(err)
+	}
+	logReg := t.e.log.Region()
+	if err := nvm.Copy(logReg, regionOff, t.e.heap.Region(), blockOff, blockLen); err != nil {
+		return fail(err)
+	}
+	if err := logReg.Persist(regionOff, blockLen); err != nil {
+		return fail(err)
+	}
+	if err := t.tl.Append(intentlog.Entry{
+		Op:      intentlog.OpWrite,
+		Class:   uint32(cls),
+		Obj:     uint64(obj),
+		DataOff: dataOff,
+		DataLen: uint32(blockLen),
+	}); err != nil {
+		return fail(err)
+	}
+	t.e.critCopy.Add(uint64(blockLen))
+	t.shadows[obj] = shadow{regionOff: regionOff, dataOff: dataOff, blockLen: blockLen}
+	return nil
+}
+
+// Write edits the shadow, not the original. Objects allocated by this
+// transaction are written directly: they are invisible until commit and an
+// abort unwinds the whole allocation.
+func (t *tx) Write(obj heap.ObjID, off int, data []byte) error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	if t.allocs[obj] {
+		return t.e.heap.Write(obj, off, data)
+	}
+	sh, ok := t.shadows[obj]
+	if !ok {
+		return fmt.Errorf("%w: %d", engine.ErrNotInTx, obj)
+	}
+	cls := sh.blockLen - heap.BlockHeaderSize
+	if off < 0 || off+len(data) > cls {
+		return fmt.Errorf("%w: write [%d,%d) in object of %d bytes",
+			heap.ErrOutOfObject, off, off+len(data), cls)
+	}
+	return t.e.log.Region().Write(sh.regionOff+heap.BlockHeaderSize+off, data)
+}
+
+// Read returns the transaction's view: the shadow if obj is in the write
+// set, else the original under a read lock.
+func (t *tx) Read(obj heap.ObjID) ([]byte, error) {
+	if t.done {
+		return nil, engine.ErrTxDone
+	}
+	if sh, ok := t.shadows[obj]; ok && sh.blockLen >= 0 {
+		return t.e.log.Region().ReadSlice(sh.regionOff+heap.BlockHeaderSize, sh.blockLen-heap.BlockHeaderSize)
+	} else if !ok && !t.allocs[obj] {
+		t.e.locks.RLock(uint64(obj), t.owner())
+		t.reads = append(t.reads, obj)
+	}
+	return t.e.heap.Bytes(obj)
+}
+
+func (t *tx) Alloc(size int) (heap.ObjID, error) {
+	if t.done {
+		return heap.Nil, engine.ErrTxDone
+	}
+	obj, err := t.e.heap.Reserve(size)
+	if err != nil {
+		return heap.Nil, err
+	}
+	cls, err := t.e.heap.ClassOf(obj)
+	if err != nil {
+		return heap.Nil, err
+	}
+	if err := t.tl.Append(intentlog.Entry{
+		Op:    intentlog.OpAlloc,
+		Class: uint32(cls),
+		Obj:   uint64(obj),
+	}); err != nil {
+		relErr := t.e.heap.ReleaseReservation(obj)
+		if relErr != nil {
+			return heap.Nil, fmt.Errorf("%w (and release failed: %v)", err, relErr)
+		}
+		return heap.Nil, err
+	}
+	if err := t.e.heap.CommitAlloc(obj); err != nil {
+		return heap.Nil, err
+	}
+	t.e.locks.Lock(uint64(obj), t.owner())
+	t.allocs[obj] = true
+	return obj, nil
+}
+
+func (t *tx) Free(obj heap.ObjID) error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	if !t.inWriteSet(obj) {
+		// Lock without shadowing: the free only takes effect at
+		// commit, and the original is never edited.
+		if !t.e.locks.TryLock(uint64(obj), t.owner()) {
+			t.e.depWaits.Add(1)
+			t.e.locks.Lock(uint64(obj), t.owner())
+		}
+		t.shadows[obj] = shadow{blockLen: -1} // lock-only marker
+	}
+	cls, err := t.e.heap.ClassOf(obj)
+	if err != nil {
+		return err
+	}
+	if err := t.tl.Append(intentlog.Entry{
+		Op:    intentlog.OpFree,
+		Class: uint32(cls),
+		Obj:   uint64(obj),
+	}); err != nil {
+		return err
+	}
+	t.frees = append(t.frees, obj)
+	return nil
+}
+
+func (t *tx) finish() {
+	// Reads release before writes: an upgraded object's read holds are
+	// absorbed by its write lock and must not outlive it.
+	for _, obj := range t.reads {
+		t.e.locks.RUnlock(uint64(obj), t.owner())
+	}
+	for obj := range t.shadows {
+		t.e.locks.Unlock(uint64(obj), t.owner())
+	}
+	for obj := range t.allocs {
+		t.e.locks.Unlock(uint64(obj), t.owner())
+	}
+	t.done = true
+}
+
+func (t *tx) Commit() error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	logReg := t.e.log.Region()
+	heapReg := t.e.heap.Region()
+	// Make the shadows and fresh allocations durable before the commit
+	// record; recovery replays the copy-back from them.
+	for _, sh := range t.shadows {
+		if sh.blockLen < 0 {
+			continue
+		}
+		if err := logReg.Flush(sh.regionOff, sh.blockLen); err != nil {
+			return err
+		}
+	}
+	logReg.Fence()
+	for obj := range t.allocs {
+		off, n, err := t.e.heap.Range(obj)
+		if err != nil {
+			return err
+		}
+		if err := heapReg.Flush(off, n); err != nil {
+			return err
+		}
+	}
+	heapReg.Fence()
+	if err := t.tl.SetState(intentlog.StateCommitted); err != nil {
+		return err
+	}
+	// Apply the shadows to the originals (the paper's "copy to
+	// original"), then the deferred frees.
+	entries, err := t.tl.Entries()
+	if err != nil {
+		return err
+	}
+	if err := t.e.applyShadows(entries, func(dataOff uint32, n int) ([]byte, error) {
+		return t.tl.Data(dataOff, n)
+	}); err != nil {
+		return err
+	}
+	for _, sh := range t.shadows {
+		if sh.blockLen > 0 {
+			t.e.critCopy.Add(uint64(sh.blockLen))
+		}
+	}
+	for _, obj := range t.frees {
+		if err := t.e.heap.ApplyFree(obj); err != nil {
+			return err
+		}
+	}
+	if err := t.tl.Release(); err != nil {
+		return err
+	}
+	t.finish()
+	t.e.commits.Add(1)
+	return nil
+}
+
+func (t *tx) Abort() error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	if err := t.tl.SetState(intentlog.StateAborted); err != nil {
+		return err
+	}
+	for obj := range t.allocs {
+		cls, err := t.e.heap.ClassOf(obj)
+		if err != nil {
+			return err
+		}
+		if err := t.e.heap.RollbackAlloc(obj, cls); err != nil {
+			return err
+		}
+	}
+	if err := t.tl.Release(); err != nil {
+		return err
+	}
+	t.finish()
+	t.e.aborts.Add(1)
+	return nil
+}

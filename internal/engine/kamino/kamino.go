@@ -1,0 +1,591 @@
+// Package kamino implements the paper's contribution: atomic in-place
+// transactional updates with no data copying in the critical path.
+//
+// Transactions edit the main heap in place after durably recording only the
+// addresses of the objects they will touch (the intent log). A second copy
+// of the data — the backup — is brought up to date asynchronously after
+// commit by the applier; aborts and crash recovery restore the main heap
+// from it. Object write locks are held from the write-intent declaration
+// until the backup has absorbed the committed values, so a dependent
+// transaction (read- or write-set intersecting a prior write-set) blocks
+// exactly until main and backup agree on the pending objects — the paper's
+// Safety 1 and Safety 2.
+//
+// With a full-size backup region this is Kamino-Tx-Simple; with a smaller
+// one (α < 1) the dynamic backend keeps copies of only the hottest objects
+// and the engine is Kamino-Tx-Dynamic.
+package kamino
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"kaminotx/internal/engine"
+	"kaminotx/internal/heap"
+	"kaminotx/internal/intentlog"
+	"kaminotx/internal/locktable"
+	"kaminotx/internal/nvm"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Log sizes the intent log. Zero values take intentlog.DefaultConfig
+	// with DataBytesPerSlot forced to 0 — Kamino-Tx never logs data.
+	Log intentlog.Config
+
+	// ApplierWorkers is the number of background backup-sync goroutines.
+	// Defaults to 1; committed transactions never overlap on objects, so
+	// any worker count is safe.
+	ApplierWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Log.Slots == 0 {
+		c.Log = intentlog.Config{
+			Slots:            intentlog.DefaultConfig.Slots,
+			EntriesPerSlot:   intentlog.DefaultConfig.EntriesPerSlot,
+			DataBytesPerSlot: 0,
+		}
+	}
+	if c.ApplierWorkers <= 0 {
+		c.ApplierWorkers = 1
+	}
+	return c
+}
+
+// Engine is the Kamino-Tx transaction engine (the paper's Transaction
+// Coordinator plus Log Manager plus backup maintenance).
+type Engine struct {
+	heap    *heap.Heap
+	log     *intentlog.Log
+	locks   *locktable.Table
+	backend backend
+	dynamic bool
+
+	applyCh chan applyReq
+	wg      sync.WaitGroup // applier goroutines
+	inFlt   sync.WaitGroup // outstanding post-commit syncs
+	closed  atomic.Bool
+
+	applyErr atomic.Value // error
+
+	commits  atomic.Uint64
+	aborts   atomic.Uint64
+	depWaits atomic.Uint64
+}
+
+type applyReq struct {
+	tl    *intentlog.TxLog
+	owner locktable.Owner
+	objs  []lockedObj
+}
+
+type lockedObj struct {
+	obj   heap.ObjID
+	class int
+}
+
+// New formats fresh regions and returns a running engine. If backupReg is
+// at least as large as mainReg the engine runs Kamino-Tx-Simple; otherwise
+// the backup region is formatted as a dynamic partial backup
+// (Kamino-Tx-Dynamic) and its usable fraction of the main heap is the
+// paper's α.
+func New(mainReg, backupReg, logReg *nvm.Region, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	h, err := heap.Format(mainReg)
+	if err != nil {
+		return nil, err
+	}
+	l, err := intentlog.Format(logReg, cfg.Log)
+	if err != nil {
+		return nil, err
+	}
+	locks := locktable.New()
+	var be backend
+	dynamic := backupReg.Size() < mainReg.Size()
+	if dynamic {
+		bh, err := heap.Format(backupReg)
+		if err != nil {
+			return nil, err
+		}
+		be = newDynamicBackend(mainReg, bh, locks)
+	} else {
+		be, err = newSimpleBackend(mainReg, backupReg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	e := &Engine{heap: h, log: l, locks: locks, backend: be, dynamic: dynamic}
+	e.start(cfg.ApplierWorkers)
+	return e, nil
+}
+
+// Open attaches to existing regions, runs crash recovery (rolling committed
+// transactions forward into the backup and incomplete ones back from it),
+// and returns a running engine.
+func Open(mainReg, backupReg, logReg *nvm.Region, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	h, err := heap.Attach(mainReg)
+	if err != nil {
+		return nil, err
+	}
+	l, err := intentlog.Attach(logReg)
+	if err != nil {
+		return nil, err
+	}
+	locks := locktable.New()
+	var be backend
+	dynamic := backupReg.Size() < mainReg.Size()
+	if dynamic {
+		bh, err := heap.Attach(backupReg)
+		if err != nil {
+			return nil, err
+		}
+		if err := bh.Rescan(); err != nil {
+			return nil, err
+		}
+		db := newDynamicBackend(mainReg, bh, locks)
+		if err := db.rebuild(); err != nil {
+			return nil, err
+		}
+		be = db
+	} else {
+		be, err = newSimpleBackend(mainReg, backupReg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	e := &Engine{heap: h, log: l, locks: locks, backend: be, dynamic: dynamic}
+	if err := e.Recover(); err != nil {
+		return nil, err
+	}
+	if err := h.Rescan(); err != nil {
+		return nil, err
+	}
+	e.start(cfg.ApplierWorkers)
+	return e, nil
+}
+
+func (e *Engine) start(workers int) {
+	e.applyCh = make(chan applyReq, e.log.Config().Slots)
+	for i := 0; i < workers; i++ {
+		e.wg.Add(1)
+		go e.applier()
+	}
+}
+
+// applier is the paper's background Transaction Coordinator thread: it
+// rolls the backup forward for committed transactions and only then
+// releases the transaction's locks and intent-log slot.
+//
+// The receive spins briefly before parking: a parked goroutine costs
+// microseconds to wake, which would be charged to every dependent
+// transaction's critical path — on real hardware the backup writer is a
+// polling thread for exactly this reason.
+func (e *Engine) applier() {
+	defer e.wg.Done()
+	for {
+		req, ok := e.nextReq()
+		if !ok {
+			return
+		}
+		if err := e.applyOne(req); err != nil {
+			e.applyErr.CompareAndSwap(nil, err)
+		}
+		e.inFlt.Done()
+	}
+}
+
+// applierSpins tunes the pre-park spin: worthwhile only when a spare core
+// can absorb it. On a single-core host spinning just steals time from the
+// transaction threads.
+var applierSpins = func() int {
+	if runtime.NumCPU() <= 1 {
+		return 0
+	}
+	return 2000
+}()
+
+func (e *Engine) nextReq() (applyReq, bool) {
+	for i := 0; i < applierSpins; i++ {
+		select {
+		case req, ok := <-e.applyCh:
+			return req, ok
+		default:
+			runtime.Gosched()
+		}
+	}
+	req, ok := <-e.applyCh
+	return req, ok
+}
+
+func (e *Engine) applyOne(req applyReq) error {
+	for _, lo := range req.objs {
+		if err := e.backend.syncToBackup(lo.obj, lo.class); err != nil {
+			return err
+		}
+	}
+	if err := req.tl.Release(); err != nil {
+		return err
+	}
+	// Backup now matches main for the whole write-set: dependent
+	// transactions may proceed.
+	for _, lo := range req.objs {
+		e.locks.Unlock(uint64(lo.obj), req.owner)
+	}
+	return nil
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string {
+	if e.dynamic {
+		return "kamino-dynamic"
+	}
+	return "kamino"
+}
+
+// Heap implements engine.Engine.
+func (e *Engine) Heap() *heap.Heap { return e.heap }
+
+// Drain implements engine.Engine: blocks until every committed
+// transaction's backup sync has completed.
+func (e *Engine) Drain() { e.inFlt.Wait() }
+
+// Close implements engine.Engine.
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	e.inFlt.Wait()
+	close(e.applyCh)
+	e.wg.Wait()
+	return e.err()
+}
+
+func (e *Engine) err() error {
+	if v := e.applyErr.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// Stats implements engine.Engine.
+func (e *Engine) Stats() engine.Stats {
+	s := engine.Stats{
+		Commits:          e.commits.Load(),
+		Aborts:           e.aborts.Load(),
+		BytesCopiedAsync: e.backend.bytesSynced(),
+		DependentWaits:   e.depWaits.Load(),
+	}
+	if db, ok := e.backend.(*dynamicBackend); ok {
+		s.BackupMisses = db.misses.Load()
+		s.BackupEvictions = db.evictions.Load()
+		// A dynamic backup miss copies one block in the critical path.
+		s.BytesCopiedCritical = db.missBytes.Load()
+	}
+	return s
+}
+
+// Recover implements the paper's recovery procedure: committed transactions
+// are rolled forward into the backup (after re-applying their deferred
+// frees); running or aborted transactions are rolled back from the backup.
+// Incomplete transactions are treated the same as aborted ones.
+func (e *Engine) Recover() error {
+	return e.log.Recover(func(v intentlog.SlotView) error {
+		switch v.State {
+		case intentlog.StateCommitted:
+			for _, ent := range v.Entries {
+				if ent.Op == intentlog.OpFree {
+					if err := e.heap.ApplyFree(heap.ObjID(ent.Obj)); err != nil {
+						return err
+					}
+				}
+			}
+			for _, ent := range v.Entries {
+				if err := e.backend.syncToBackup(heap.ObjID(ent.Obj), int(ent.Class)); err != nil {
+					return err
+				}
+			}
+		case intentlog.StateRunning, intentlog.StateAborted:
+			for i := len(v.Entries) - 1; i >= 0; i-- {
+				ent := v.Entries[i]
+				switch ent.Op {
+				case intentlog.OpWrite:
+					if err := e.backend.restoreFromBackup(heap.ObjID(ent.Obj), int(ent.Class)); err != nil {
+						return err
+					}
+				case intentlog.OpAlloc:
+					if err := e.heap.RollbackAlloc(heap.ObjID(ent.Obj), int(ent.Class)); err != nil {
+						return err
+					}
+				case intentlog.OpFree:
+					// Deferred free never happened.
+				}
+			}
+		}
+		return v.Free()
+	})
+}
+
+// Begin implements engine.Engine.
+func (e *Engine) Begin() (engine.Tx, error) {
+	if err := e.err(); err != nil {
+		return nil, fmt.Errorf("kamino: engine failed: %w", err)
+	}
+	tl, err := e.log.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return &tx{e: e, tl: tl, writeSet: make(map[heap.ObjID]wsEntry)}, nil
+}
+
+// wsEntry tracks one write-set member. writable is false for objects that
+// were only Free'd: they are locked and logged, but in-place writes require
+// a prior Add (which installs the backup copy aborts restore from).
+type wsEntry struct {
+	class    int
+	writable bool
+}
+
+type tx struct {
+	e        *Engine
+	tl       *intentlog.TxLog
+	done     bool
+	writeSet map[heap.ObjID]wsEntry
+	reads    []heap.ObjID
+	frees    []heap.ObjID
+}
+
+func (t *tx) ID() uint64             { return t.tl.TxID() }
+func (t *tx) owner() locktable.Owner { return locktable.Owner(t.tl.TxID()) }
+
+// Add declares the write intent: lock (blocking on pending objects), make
+// sure a consistent backup copy exists, and durably log the object address.
+// No data is copied (the dynamic backend copies only on a backup miss).
+func (t *tx) Add(obj heap.ObjID) error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	if ws, ok := t.writeSet[obj]; ok {
+		if ws.writable {
+			return nil
+		}
+		// Already locked by a Free; upgrade to writable by installing
+		// the backup copy and the write intent.
+		if err := t.e.backend.ensure(obj, ws.class); err != nil {
+			return err
+		}
+		if err := t.tl.Append(intentlog.Entry{
+			Op:    intentlog.OpWrite,
+			Class: uint32(ws.class),
+			Obj:   uint64(obj),
+		}); err != nil {
+			return err
+		}
+		t.writeSet[obj] = wsEntry{class: ws.class, writable: true}
+		return nil
+	}
+	cls, err := t.e.heap.ClassOf(obj)
+	if err != nil {
+		return err
+	}
+	if !t.e.locks.TryLock(uint64(obj), t.owner()) {
+		t.e.depWaits.Add(1)
+		t.e.locks.Lock(uint64(obj), t.owner())
+	}
+	// Backup-exists-before-modify (paper §3): holding the lock, the
+	// backup copy of obj is in sync; for the dynamic backend this may
+	// create it on demand.
+	if err := t.e.backend.ensure(obj, cls); err != nil {
+		t.e.locks.Unlock(uint64(obj), t.owner())
+		return err
+	}
+	if err := t.tl.Append(intentlog.Entry{
+		Op:    intentlog.OpWrite,
+		Class: uint32(cls),
+		Obj:   uint64(obj),
+	}); err != nil {
+		t.e.locks.Unlock(uint64(obj), t.owner())
+		return err
+	}
+	t.writeSet[obj] = wsEntry{class: cls, writable: true}
+	return nil
+}
+
+func (t *tx) Write(obj heap.ObjID, off int, data []byte) error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	ws, ok := t.writeSet[obj]
+	if !ok || !ws.writable {
+		return fmt.Errorf("%w: %d", engine.ErrNotInTx, obj)
+	}
+	return t.e.heap.Write(obj, off, data)
+}
+
+func (t *tx) Read(obj heap.ObjID) ([]byte, error) {
+	if t.done {
+		return nil, engine.ErrTxDone
+	}
+	if _, ok := t.writeSet[obj]; !ok {
+		t.e.locks.RLock(uint64(obj), t.owner())
+		t.reads = append(t.reads, obj)
+	}
+	return t.e.heap.Bytes(obj)
+}
+
+func (t *tx) Alloc(size int) (heap.ObjID, error) {
+	if t.done {
+		return heap.Nil, engine.ErrTxDone
+	}
+	obj, err := t.e.heap.Reserve(size)
+	if err != nil {
+		return heap.Nil, err
+	}
+	cls, err := t.e.heap.ClassOf(obj)
+	if err != nil {
+		return heap.Nil, err
+	}
+	t.e.locks.Lock(uint64(obj), t.owner())
+	if err := t.tl.Append(intentlog.Entry{
+		Op:    intentlog.OpAlloc,
+		Class: uint32(cls),
+		Obj:   uint64(obj),
+	}); err != nil {
+		t.e.locks.Unlock(uint64(obj), t.owner())
+		relErr := t.e.heap.ReleaseReservation(obj)
+		if relErr != nil {
+			return heap.Nil, fmt.Errorf("%w (and release failed: %v)", err, relErr)
+		}
+		return heap.Nil, err
+	}
+	if err := t.e.heap.CommitAlloc(obj); err != nil {
+		return heap.Nil, err
+	}
+	t.writeSet[obj] = wsEntry{class: cls, writable: true}
+	return obj, nil
+}
+
+func (t *tx) Free(obj heap.ObjID) error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	// Lock and record intent; the free itself is deferred to commit, so
+	// an abort has nothing to undo and no backup copy is required.
+	if ws, ok := t.writeSet[obj]; ok {
+		if err := t.tl.Append(intentlog.Entry{
+			Op:    intentlog.OpFree,
+			Class: uint32(ws.class),
+			Obj:   uint64(obj),
+		}); err != nil {
+			return err
+		}
+	} else {
+		cls, err := t.e.heap.ClassOf(obj)
+		if err != nil {
+			return err
+		}
+		if !t.e.locks.TryLock(uint64(obj), t.owner()) {
+			t.e.depWaits.Add(1)
+			t.e.locks.Lock(uint64(obj), t.owner())
+		}
+		if err := t.tl.Append(intentlog.Entry{
+			Op:    intentlog.OpFree,
+			Class: uint32(cls),
+			Obj:   uint64(obj),
+		}); err != nil {
+			t.e.locks.Unlock(uint64(obj), t.owner())
+			return err
+		}
+		t.writeSet[obj] = wsEntry{class: cls, writable: false}
+	}
+	t.frees = append(t.frees, obj)
+	return nil
+}
+
+// Commit makes the transaction durable and returns without copying any
+// data: the backup sync happens asynchronously, and the write locks are
+// released by the applier once main and backup agree.
+func (t *tx) Commit() error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	if t.e.closed.Load() {
+		return fmt.Errorf("kamino: engine closed")
+	}
+	reg := t.e.heap.Region()
+	for obj, ws := range t.writeSet {
+		if err := reg.Flush(int(obj)-heap.BlockHeaderSize, heap.BlockHeaderSize+ws.class); err != nil {
+			return err
+		}
+	}
+	reg.Fence()
+	// Commit point.
+	if err := t.tl.SetState(intentlog.StateCommitted); err != nil {
+		return err
+	}
+	for _, obj := range t.frees {
+		if err := t.e.heap.ApplyFree(obj); err != nil {
+			return err
+		}
+	}
+	// Read locks impose no pending window.
+	for _, obj := range t.reads {
+		t.e.locks.RUnlock(uint64(obj), t.owner())
+	}
+	objs := make([]lockedObj, 0, len(t.writeSet))
+	for obj, ws := range t.writeSet {
+		objs = append(objs, lockedObj{obj: obj, class: ws.class})
+	}
+	t.done = true
+	t.e.commits.Add(1)
+	t.e.inFlt.Add(1)
+	t.e.applyCh <- applyReq{tl: t.tl, owner: t.owner(), objs: objs}
+	return nil
+}
+
+// Abort restores every modified object from the backup — the only moment
+// Kamino-Tx copies data synchronously for a non-dependent workload.
+func (t *tx) Abort() error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	if err := t.tl.SetState(intentlog.StateAborted); err != nil {
+		return err
+	}
+	entries, err := t.tl.Entries()
+	if err != nil {
+		return err
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		ent := entries[i]
+		switch ent.Op {
+		case intentlog.OpWrite:
+			if err := t.e.backend.restoreFromBackup(heap.ObjID(ent.Obj), int(ent.Class)); err != nil {
+				return err
+			}
+		case intentlog.OpAlloc:
+			if err := t.e.heap.RollbackAlloc(heap.ObjID(ent.Obj), int(ent.Class)); err != nil {
+				return err
+			}
+		case intentlog.OpFree:
+			// Deferred free never happened.
+		}
+	}
+	if err := t.tl.Release(); err != nil {
+		return err
+	}
+	// Reads release before writes: an upgraded object's read holds are
+	// absorbed by its write lock and must not outlive it.
+	for _, obj := range t.reads {
+		t.e.locks.RUnlock(uint64(obj), t.owner())
+	}
+	for obj := range t.writeSet {
+		t.e.locks.Unlock(uint64(obj), t.owner())
+	}
+	t.done = true
+	t.e.aborts.Add(1)
+	return nil
+}

@@ -1,0 +1,194 @@
+// Package nolog implements the unsafe "No Logging" baseline from the
+// paper's Figure 1: transactions edit objects in place with isolation
+// (object locks) and durability (flushes at commit) but no atomicity — a
+// crash or abort mid-transaction leaves torn state. It exists purely to
+// measure the cost that logging mechanisms add on top.
+package nolog
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"kaminotx/internal/engine"
+	"kaminotx/internal/heap"
+	"kaminotx/internal/locktable"
+	"kaminotx/internal/nvm"
+)
+
+// Engine is the no-logging baseline engine.
+type Engine struct {
+	heap   *heap.Heap
+	locks  *locktable.Table
+	nextID atomic.Uint64
+
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+}
+
+// New creates an engine over a freshly formatted heap region.
+func New(reg *nvm.Region) (*Engine, error) {
+	h, err := heap.Format(reg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{heap: h, locks: locktable.New()}, nil
+}
+
+// Open attaches to an existing heap region. There is nothing to recover —
+// that is the point of this baseline.
+func Open(reg *nvm.Region) (*Engine, error) {
+	h, err := heap.Open(reg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{heap: h, locks: locktable.New()}, nil
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "nolog" }
+
+// Heap implements engine.Engine.
+func (e *Engine) Heap() *heap.Heap { return e.heap }
+
+// Recover implements engine.Engine; no-op.
+func (e *Engine) Recover() error { return nil }
+
+// Drain implements engine.Engine; no-op.
+func (e *Engine) Drain() {}
+
+// Close implements engine.Engine; no-op.
+func (e *Engine) Close() error { return nil }
+
+// Stats implements engine.Engine.
+func (e *Engine) Stats() engine.Stats {
+	return engine.Stats{Commits: e.commits.Load(), Aborts: e.aborts.Load()}
+}
+
+// Begin implements engine.Engine.
+func (e *Engine) Begin() (engine.Tx, error) {
+	return &tx{e: e, id: e.nextID.Add(1), writeSet: make(map[heap.ObjID]bool)}, nil
+}
+
+type tx struct {
+	e        *Engine
+	id       uint64
+	done     bool
+	writeSet map[heap.ObjID]bool // true if allocated by this tx
+	reads    []heap.ObjID
+	frees    []heap.ObjID
+}
+
+func (t *tx) ID() uint64 { return t.id }
+
+func (t *tx) owner() locktable.Owner { return locktable.Owner(t.id) }
+
+func (t *tx) Add(obj heap.ObjID) error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	if _, ok := t.writeSet[obj]; ok {
+		return nil
+	}
+	if _, err := t.e.heap.ClassOf(obj); err != nil {
+		return err
+	}
+	t.e.locks.Lock(uint64(obj), t.owner())
+	t.writeSet[obj] = false
+	return nil
+}
+
+func (t *tx) Write(obj heap.ObjID, off int, data []byte) error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	if _, ok := t.writeSet[obj]; !ok {
+		return fmt.Errorf("%w: %d", engine.ErrNotInTx, obj)
+	}
+	return t.e.heap.Write(obj, off, data)
+}
+
+func (t *tx) Read(obj heap.ObjID) ([]byte, error) {
+	if t.done {
+		return nil, engine.ErrTxDone
+	}
+	if _, ok := t.writeSet[obj]; !ok {
+		t.e.locks.RLock(uint64(obj), t.owner())
+		t.reads = append(t.reads, obj)
+	}
+	return t.e.heap.Bytes(obj)
+}
+
+func (t *tx) Alloc(size int) (heap.ObjID, error) {
+	if t.done {
+		return heap.Nil, engine.ErrTxDone
+	}
+	obj, err := t.e.heap.Reserve(size)
+	if err != nil {
+		return heap.Nil, err
+	}
+	if err := t.e.heap.CommitAlloc(obj); err != nil {
+		return heap.Nil, err
+	}
+	t.e.locks.Lock(uint64(obj), t.owner())
+	t.writeSet[obj] = true
+	return obj, nil
+}
+
+func (t *tx) Free(obj heap.ObjID) error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	if err := t.Add(obj); err != nil {
+		return err
+	}
+	t.frees = append(t.frees, obj)
+	return nil
+}
+
+func (t *tx) finish() {
+	// Reads release before writes: an upgraded object's read holds are
+	// absorbed by its write lock and must not outlive it.
+	for _, obj := range t.reads {
+		t.e.locks.RUnlock(uint64(obj), t.owner())
+	}
+	for obj := range t.writeSet {
+		t.e.locks.Unlock(uint64(obj), t.owner())
+	}
+	t.done = true
+}
+
+func (t *tx) Commit() error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	reg := t.e.heap.Region()
+	for obj := range t.writeSet {
+		off, n, err := t.e.heap.Range(obj)
+		if err != nil {
+			return err
+		}
+		if err := reg.Flush(off, n); err != nil {
+			return err
+		}
+	}
+	reg.Fence()
+	for _, obj := range t.frees {
+		if err := t.e.heap.ApplyFree(obj); err != nil {
+			return err
+		}
+	}
+	t.finish()
+	t.e.commits.Add(1)
+	return nil
+}
+
+// Abort releases locks but cannot restore anything: this baseline has no
+// copy of the old data. Modified objects keep their torn contents.
+func (t *tx) Abort() error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	t.finish()
+	t.e.aborts.Add(1)
+	return nil
+}

@@ -1,0 +1,348 @@
+// Package undo implements the undo-logging baseline: the atomicity
+// mechanism of Intel's NVML/libpmemobj that the paper measures Kamino-Tx
+// against. Before an object may be modified, its entire old contents are
+// copied into the persistent undo log *in the critical path* (TX_ADD); the
+// transaction then edits the original in place. Aborts and crash recovery
+// restore objects from the logged copies; commit discards them.
+package undo
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"kaminotx/internal/engine"
+	"kaminotx/internal/heap"
+	"kaminotx/internal/intentlog"
+	"kaminotx/internal/locktable"
+	"kaminotx/internal/nvm"
+)
+
+// Engine is the undo-logging engine.
+type Engine struct {
+	heap  *heap.Heap
+	log   *intentlog.Log
+	locks *locktable.Table
+
+	commits  atomic.Uint64
+	aborts   atomic.Uint64
+	critCopy atomic.Uint64
+	depWaits atomic.Uint64
+}
+
+// New formats a fresh heap and log and returns an engine over them.
+func New(heapReg, logReg *nvm.Region, logCfg intentlog.Config) (*Engine, error) {
+	h, err := heap.Format(heapReg)
+	if err != nil {
+		return nil, err
+	}
+	l, err := intentlog.Format(logReg, logCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{heap: h, log: l, locks: locktable.New()}, nil
+}
+
+// Open attaches to existing regions, runs crash recovery, and rebuilds the
+// heap free lists.
+func Open(heapReg, logReg *nvm.Region) (*Engine, error) {
+	h, err := heap.Attach(heapReg)
+	if err != nil {
+		return nil, err
+	}
+	l, err := intentlog.Attach(logReg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{heap: h, log: l, locks: locktable.New()}
+	if err := e.Recover(); err != nil {
+		return nil, err
+	}
+	if err := h.Rescan(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "undo" }
+
+// Heap implements engine.Engine.
+func (e *Engine) Heap() *heap.Heap { return e.heap }
+
+// Drain implements engine.Engine; undo logging is fully synchronous.
+func (e *Engine) Drain() {}
+
+// Close implements engine.Engine.
+func (e *Engine) Close() error { return nil }
+
+// Stats implements engine.Engine.
+func (e *Engine) Stats() engine.Stats {
+	return engine.Stats{
+		Commits:             e.commits.Load(),
+		Aborts:              e.aborts.Load(),
+		BytesCopiedCritical: e.critCopy.Load(),
+		DependentWaits:      e.depWaits.Load(),
+	}
+}
+
+// Recover rolls incomplete and aborted transactions back from their undo
+// copies and completes the deferred frees of committed transactions.
+func (e *Engine) Recover() error {
+	return e.log.Recover(func(v intentlog.SlotView) error {
+		switch v.State {
+		case intentlog.StateCommitted:
+			for _, ent := range v.Entries {
+				if ent.Op == intentlog.OpFree {
+					if err := e.heap.ApplyFree(heap.ObjID(ent.Obj)); err != nil {
+						return err
+					}
+				}
+			}
+		case intentlog.StateRunning, intentlog.StateAborted:
+			if err := e.rollback(v.Entries, func(dataOff uint32, n int) ([]byte, error) {
+				return v.Data(dataOff, n)
+			}); err != nil {
+				return err
+			}
+		}
+		return v.Free()
+	})
+}
+
+// rollback restores objects from undo copies and unwinds allocations.
+// Entries are processed newest-first so an alloc-then-write sequence undoes
+// cleanly. Object-granularity copies make this idempotent.
+func (e *Engine) rollback(entries []intentlog.Entry, data func(uint32, int) ([]byte, error)) error {
+	reg := e.heap.Region()
+	for i := len(entries) - 1; i >= 0; i-- {
+		ent := entries[i]
+		switch ent.Op {
+		case intentlog.OpWrite:
+			old, err := data(ent.DataOff, int(ent.DataLen))
+			if err != nil {
+				return err
+			}
+			blockOff := int(ent.Obj) - heap.BlockHeaderSize
+			if err := reg.Write(blockOff, old); err != nil {
+				return err
+			}
+			if err := reg.Persist(blockOff, len(old)); err != nil {
+				return err
+			}
+		case intentlog.OpAlloc:
+			if err := e.heap.RollbackAlloc(heap.ObjID(ent.Obj), int(ent.Class)); err != nil {
+				return err
+			}
+		case intentlog.OpFree:
+			// Deferred free never happened; nothing to undo.
+		}
+	}
+	return nil
+}
+
+// Begin implements engine.Engine.
+func (e *Engine) Begin() (engine.Tx, error) {
+	tl, err := e.log.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return &tx{e: e, tl: tl, writeSet: make(map[heap.ObjID]bool)}, nil
+}
+
+type tx struct {
+	e        *Engine
+	tl       *intentlog.TxLog
+	done     bool
+	writeSet map[heap.ObjID]bool // true if allocated by this tx
+	reads    []heap.ObjID
+	frees    []heap.ObjID
+}
+
+func (t *tx) ID() uint64             { return t.tl.TxID() }
+func (t *tx) owner() locktable.Owner { return locktable.Owner(t.tl.TxID()) }
+
+// Add copies obj's old contents into the undo log before admitting writes.
+// This copy is the critical-path cost Kamino-Tx eliminates.
+func (t *tx) Add(obj heap.ObjID) error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	if _, ok := t.writeSet[obj]; ok {
+		return nil
+	}
+	cls, err := t.e.heap.ClassOf(obj)
+	if err != nil {
+		return err
+	}
+	if !t.e.locks.TryLock(uint64(obj), t.owner()) {
+		t.e.depWaits.Add(1)
+		t.e.locks.Lock(uint64(obj), t.owner())
+	}
+	blockOff, blockLen, err := t.e.heap.Range(obj)
+	if err != nil {
+		t.e.locks.Unlock(uint64(obj), t.owner())
+		return err
+	}
+	old, err := t.e.heap.Region().ReadSlice(blockOff, blockLen)
+	if err != nil {
+		t.e.locks.Unlock(uint64(obj), t.owner())
+		return err
+	}
+	if _, err := t.tl.AppendWithData(intentlog.Entry{
+		Op:    intentlog.OpWrite,
+		Class: uint32(cls),
+		Obj:   uint64(obj),
+	}, old); err != nil {
+		t.e.locks.Unlock(uint64(obj), t.owner())
+		return err
+	}
+	t.e.critCopy.Add(uint64(blockLen))
+	t.writeSet[obj] = false
+	return nil
+}
+
+func (t *tx) Write(obj heap.ObjID, off int, data []byte) error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	if _, ok := t.writeSet[obj]; !ok {
+		return fmt.Errorf("%w: %d", engine.ErrNotInTx, obj)
+	}
+	return t.e.heap.Write(obj, off, data)
+}
+
+func (t *tx) Read(obj heap.ObjID) ([]byte, error) {
+	if t.done {
+		return nil, engine.ErrTxDone
+	}
+	if _, ok := t.writeSet[obj]; !ok {
+		t.e.locks.RLock(uint64(obj), t.owner())
+		t.reads = append(t.reads, obj)
+	}
+	return t.e.heap.Bytes(obj)
+}
+
+func (t *tx) Alloc(size int) (heap.ObjID, error) {
+	if t.done {
+		return heap.Nil, engine.ErrTxDone
+	}
+	obj, err := t.e.heap.Reserve(size)
+	if err != nil {
+		return heap.Nil, err
+	}
+	cls, err := t.e.heap.ClassOf(obj)
+	if err != nil {
+		return heap.Nil, err
+	}
+	// Intent first, then the durable header write: a crash in between
+	// rolls the allocation back.
+	if err := t.tl.Append(intentlog.Entry{
+		Op:    intentlog.OpAlloc,
+		Class: uint32(cls),
+		Obj:   uint64(obj),
+	}); err != nil {
+		relErr := t.e.heap.ReleaseReservation(obj)
+		if relErr != nil {
+			return heap.Nil, fmt.Errorf("%w (and release failed: %v)", err, relErr)
+		}
+		return heap.Nil, err
+	}
+	if err := t.e.heap.CommitAlloc(obj); err != nil {
+		return heap.Nil, err
+	}
+	t.e.locks.Lock(uint64(obj), t.owner())
+	t.writeSet[obj] = true
+	return obj, nil
+}
+
+func (t *tx) Free(obj heap.ObjID) error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	// Capture the old contents (via Add) so an abort can restore them
+	// even if the caller also wrote to the object.
+	if err := t.Add(obj); err != nil {
+		return err
+	}
+	cls, err := t.e.heap.ClassOf(obj)
+	if err != nil {
+		return err
+	}
+	if err := t.tl.Append(intentlog.Entry{
+		Op:    intentlog.OpFree,
+		Class: uint32(cls),
+		Obj:   uint64(obj),
+	}); err != nil {
+		return err
+	}
+	t.frees = append(t.frees, obj)
+	return nil
+}
+
+func (t *tx) finish() {
+	// Reads release before writes: an upgraded object's read holds are
+	// absorbed by its write lock and must not outlive it.
+	for _, obj := range t.reads {
+		t.e.locks.RUnlock(uint64(obj), t.owner())
+	}
+	for obj := range t.writeSet {
+		t.e.locks.Unlock(uint64(obj), t.owner())
+	}
+	t.done = true
+}
+
+func (t *tx) Commit() error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	reg := t.e.heap.Region()
+	for obj := range t.writeSet {
+		off, n, err := t.e.heap.Range(obj)
+		if err != nil {
+			return err
+		}
+		if err := reg.Flush(off, n); err != nil {
+			return err
+		}
+	}
+	reg.Fence()
+	// Commit point: the one-line state store.
+	if err := t.tl.SetState(intentlog.StateCommitted); err != nil {
+		return err
+	}
+	for _, obj := range t.frees {
+		if err := t.e.heap.ApplyFree(obj); err != nil {
+			return err
+		}
+	}
+	if err := t.tl.Release(); err != nil {
+		return err
+	}
+	t.finish()
+	t.e.commits.Add(1)
+	return nil
+}
+
+func (t *tx) Abort() error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	if err := t.tl.SetState(intentlog.StateAborted); err != nil {
+		return err
+	}
+	entries, err := t.tl.Entries()
+	if err != nil {
+		return err
+	}
+	if err := t.e.rollback(entries, func(dataOff uint32, n int) ([]byte, error) {
+		return t.tl.Data(dataOff, n)
+	}); err != nil {
+		return err
+	}
+	if err := t.tl.Release(); err != nil {
+		return err
+	}
+	t.finish()
+	t.e.aborts.Add(1)
+	return nil
+}

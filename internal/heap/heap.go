@@ -1,0 +1,467 @@
+// Package heap implements a persistent object heap over a simulated NVM
+// region, mirroring the object model of Intel NVML's libpmemobj that
+// Kamino-Tx plugs into: applications allocate and free fixed-location
+// persistent objects, identified by ObjIDs (region offsets) that double as
+// persistent pointers between objects.
+//
+// Persistent state is deliberately minimal — a 64-byte heap header plus a
+// 16-byte header in front of every block. Free lists are volatile and are
+// rebuilt by scanning block headers at open, so no multi-word free-list
+// surgery ever needs to be crash-consistent.
+//
+// Crash consistency of allocation itself is the transaction engine's job
+// (the paper treats alloc/free as transactional metadata updates). The heap
+// therefore exposes a two-phase allocation protocol:
+//
+//	obj, _ := h.Reserve(size)   // volatile: pick a block, touch nothing persistent
+//	...                         // engine logs the ALLOC intent durably
+//	h.CommitAlloc(obj)          // write + persist the block header, zero payload
+//
+// If the machine crashes between the intent and CommitAlloc, recovery calls
+// RollbackAlloc(obj, size), which (re)writes a free header — idempotent no
+// matter how far CommitAlloc got. Frees are deferred: the engine logs a FREE
+// intent and calls ApplyFree(obj) only after the transaction commits.
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"kaminotx/internal/nvm"
+)
+
+// ObjID identifies a persistent object: the region offset of its payload.
+// The zero ObjID is the nil persistent pointer.
+type ObjID uint64
+
+// Nil is the nil persistent pointer.
+const Nil ObjID = 0
+
+const (
+	headerSize = 64         // persistent heap header
+	hdrMagic   = 0x4b484541 // "KHEA"
+
+	// BlockHeaderSize is the per-object header preceding every payload.
+	BlockHeaderSize = 16
+
+	blockAlign = 16
+
+	// header field offsets
+	offMagic = 0  // u32
+	offVer   = 4  // u32
+	offSize  = 8  // u64 region size at format time
+	offBump  = 16 // u64 first never-allocated offset
+	offRoot  = 24 // u64 root ObjID
+
+	// block header field offsets (relative to block start)
+	bhSize  = 0 // u32 payload capacity (class size)
+	bhState = 4 // u8
+	// bytes 5..15 reserved
+
+	stateFree  = 0
+	stateAlloc = 1
+)
+
+// MaxAlloc is the largest supported single allocation.
+const MaxAlloc = 16 << 20
+
+// classes are the segregated payload size classes. Larger requests round up
+// to a multiple of blockAlign and are served from the bump pointer with
+// exact-size volatile free lists.
+var classes = []int{16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024,
+	1536, 2048, 3072, 4096, 6144, 8192, 12288, 16384, 24576, 32768, 49152, 65536}
+
+// classFor returns the payload capacity for a requested size.
+func classFor(size int) int {
+	for _, c := range classes {
+		if size <= c {
+			return c
+		}
+	}
+	return (size + blockAlign - 1) / blockAlign * blockAlign
+}
+
+// Heap is a persistent object heap bound to one NVM region.
+type Heap struct {
+	reg *nvm.Region
+
+	mu   sync.Mutex
+	bump uint64 // volatile mirror of the persistent bump pointer
+	free map[int][]ObjID
+}
+
+// Errors returned by heap operations.
+var (
+	ErrBadMagic    = errors.New("heap: region is not a formatted heap")
+	ErrBadObject   = errors.New("heap: invalid object id")
+	ErrHeapFull    = errors.New("heap: out of space")
+	ErrSizeRange   = errors.New("heap: allocation size out of range")
+	ErrCorruptScan = errors.New("heap: corrupt block header during rescan")
+)
+
+// Format initializes a fresh heap in reg, destroying any previous contents
+// of the header area. The resulting heap is empty and durable.
+func Format(reg *nvm.Region) (*Heap, error) {
+	if reg.Size() < headerSize+BlockHeaderSize+blockAlign {
+		return nil, fmt.Errorf("heap: region too small (%d bytes)", reg.Size())
+	}
+	if err := reg.Zero(0, headerSize); err != nil {
+		return nil, err
+	}
+	if err := reg.Store32(offMagic, hdrMagic); err != nil {
+		return nil, err
+	}
+	if err := reg.Store32(offVer, 1); err != nil {
+		return nil, err
+	}
+	if err := reg.Store64(offSize, uint64(reg.Size())); err != nil {
+		return nil, err
+	}
+	if err := reg.Store64(offBump, headerSize); err != nil {
+		return nil, err
+	}
+	if err := reg.Store64(offRoot, 0); err != nil {
+		return nil, err
+	}
+	if err := reg.Persist(0, headerSize); err != nil {
+		return nil, err
+	}
+	return &Heap{reg: reg, bump: headerSize, free: make(map[int][]ObjID)}, nil
+}
+
+// Attach binds to an already formatted heap without scanning it. The caller
+// must run transaction recovery (which may rewrite block headers) and then
+// Rescan before allocating.
+func Attach(reg *nvm.Region) (*Heap, error) {
+	magic, err := reg.Load32(offMagic)
+	if err != nil {
+		return nil, err
+	}
+	if magic != hdrMagic {
+		return nil, ErrBadMagic
+	}
+	size, err := reg.Load64(offSize)
+	if err != nil {
+		return nil, err
+	}
+	if size != uint64(reg.Size()) {
+		return nil, fmt.Errorf("heap: region size %d does not match formatted size %d", reg.Size(), size)
+	}
+	bump, err := reg.Load64(offBump)
+	if err != nil {
+		return nil, err
+	}
+	return &Heap{reg: reg, bump: bump, free: make(map[int][]ObjID)}, nil
+}
+
+// Open attaches to a formatted heap and rebuilds the free lists. Use when
+// no transaction recovery is required (or after it has run).
+func Open(reg *nvm.Region) (*Heap, error) {
+	h, err := Attach(reg)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Rescan(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Region returns the underlying NVM region. Engines use it for flushing and
+// for copying block ranges between main and backup heaps.
+func (h *Heap) Region() *nvm.Region { return h.reg }
+
+// Rescan walks all block headers and rebuilds the volatile free lists.
+func (h *Heap) Rescan() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.free = make(map[int][]ObjID)
+	off := uint64(headerSize)
+	for off < h.bump {
+		size, err := h.reg.Load32(int(off) + bhSize)
+		if err != nil {
+			return err
+		}
+		state, err := h.loadState(int(off))
+		if err != nil {
+			return err
+		}
+		if size == 0 || size%blockAlign != 0 || int(size) > MaxAlloc ||
+			off+BlockHeaderSize+uint64(size) > h.bump ||
+			(state != stateFree && state != stateAlloc) {
+			return fmt.Errorf("%w: block at %d size=%d state=%d bump=%d",
+				ErrCorruptScan, off, size, state, h.bump)
+		}
+		if state == stateFree {
+			h.free[int(size)] = append(h.free[int(size)], ObjID(off+BlockHeaderSize))
+		}
+		off += BlockHeaderSize + uint64(size)
+	}
+	if off != h.bump {
+		return fmt.Errorf("%w: scan ended at %d, bump is %d", ErrCorruptScan, off, h.bump)
+	}
+	return nil
+}
+
+func (h *Heap) loadState(blockOff int) (byte, error) {
+	b, err := h.reg.ReadSlice(blockOff+bhState, 1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// Reserve picks a block able to hold size payload bytes without touching
+// persistent state. The block is removed from the volatile free lists (or
+// carved from the bump pointer, persisting only the bump), so concurrent
+// reservations never alias. Pair with CommitAlloc or ReleaseReservation.
+func (h *Heap) Reserve(size int) (ObjID, error) {
+	if size <= 0 || size > MaxAlloc {
+		return Nil, fmt.Errorf("%w: %d", ErrSizeRange, size)
+	}
+	cls := classFor(size)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if list := h.free[cls]; len(list) > 0 {
+		obj := list[len(list)-1]
+		h.free[cls] = list[:len(list)-1]
+		return obj, nil
+	}
+	need := uint64(BlockHeaderSize + cls)
+	if h.bump+need > uint64(h.reg.Size()) {
+		return Nil, fmt.Errorf("%w: need %d bytes, %d available",
+			ErrHeapFull, need, uint64(h.reg.Size())-h.bump)
+	}
+	blockOff := h.bump
+	h.bump += need
+	// Persist the bump pointer before the block is handed out so that a
+	// committed transaction can never reference space beyond the durable
+	// bump (Rescan would not find it after a crash).
+	if err := h.reg.Store64(offBump, h.bump); err != nil {
+		h.bump = blockOff
+		return Nil, err
+	}
+	if err := h.reg.Persist(offBump, 8); err != nil {
+		return Nil, err
+	}
+	// Write the class size now (it is stable across alloc/free cycles of
+	// this block and is needed by Rescan); state remains free until
+	// CommitAlloc.
+	if err := h.reg.Store32(int(blockOff)+bhSize, uint32(cls)); err != nil {
+		return Nil, err
+	}
+	if err := h.reg.Write(int(blockOff)+bhState, []byte{stateFree}); err != nil {
+		return Nil, err
+	}
+	if err := h.reg.Persist(int(blockOff), BlockHeaderSize); err != nil {
+		return Nil, err
+	}
+	return ObjID(blockOff + BlockHeaderSize), nil
+}
+
+// ReleaseReservation returns a reserved-but-never-committed block to the
+// volatile free list (e.g. when intent logging failed).
+func (h *Heap) ReleaseReservation(obj ObjID) error {
+	cls, err := h.ClassOf(obj)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	h.free[cls] = append(h.free[cls], obj)
+	h.mu.Unlock()
+	return nil
+}
+
+// CommitAlloc marks a reserved block allocated and zeroes its payload,
+// persisting both. The caller must already have made the ALLOC intent
+// durable.
+func (h *Heap) CommitAlloc(obj ObjID) error {
+	cls, err := h.ClassOf(obj)
+	if err != nil {
+		return err
+	}
+	blockOff := int(obj) - BlockHeaderSize
+	if err := h.reg.Write(blockOff+bhState, []byte{stateAlloc}); err != nil {
+		return err
+	}
+	if err := h.reg.Zero(int(obj), cls); err != nil {
+		return err
+	}
+	if err := h.reg.Persist(blockOff, BlockHeaderSize+cls); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RollbackAlloc undoes an allocation after an abort or a crash: it rewrites
+// a free block header for a block of the given payload class and returns
+// the block to the volatile free list. Idempotent.
+func (h *Heap) RollbackAlloc(obj ObjID, cls int) error {
+	blockOff := int(obj) - BlockHeaderSize
+	if blockOff < headerSize || uint64(int(obj)+cls) > h.bumpSnapshot() {
+		return fmt.Errorf("%w: %d (class %d)", ErrBadObject, obj, cls)
+	}
+	if err := h.reg.Store32(blockOff+bhSize, uint32(cls)); err != nil {
+		return err
+	}
+	if err := h.reg.Write(blockOff+bhState, []byte{stateFree}); err != nil {
+		return err
+	}
+	if err := h.reg.Persist(blockOff, BlockHeaderSize); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	// Guard against double insertion when recovery retries.
+	for _, o := range h.free[cls] {
+		if o == obj {
+			h.mu.Unlock()
+			return nil
+		}
+	}
+	h.free[cls] = append(h.free[cls], obj)
+	h.mu.Unlock()
+	return nil
+}
+
+// ApplyFree marks an allocated block free and persists the header. Called
+// by engines when a transaction that freed the object commits. Idempotent.
+func (h *Heap) ApplyFree(obj ObjID) error {
+	cls, err := h.ClassOf(obj)
+	if err != nil {
+		return err
+	}
+	blockOff := int(obj) - BlockHeaderSize
+	if err := h.reg.Write(blockOff+bhState, []byte{stateFree}); err != nil {
+		return err
+	}
+	if err := h.reg.Persist(blockOff, BlockHeaderSize); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	for _, o := range h.free[cls] {
+		if o == obj {
+			h.mu.Unlock()
+			return nil
+		}
+	}
+	h.free[cls] = append(h.free[cls], obj)
+	h.mu.Unlock()
+	return nil
+}
+
+func (h *Heap) bumpSnapshot() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bump
+}
+
+// validate checks that obj points at a plausible block payload.
+func (h *Heap) validate(obj ObjID) error {
+	if obj < headerSize+BlockHeaderSize || uint64(obj) >= h.bumpSnapshot() {
+		return fmt.Errorf("%w: %d", ErrBadObject, obj)
+	}
+	return nil
+}
+
+// ClassOf returns the payload capacity of obj's block.
+func (h *Heap) ClassOf(obj ObjID) (int, error) {
+	if err := h.validate(obj); err != nil {
+		return 0, err
+	}
+	size, err := h.reg.Load32(int(obj) - BlockHeaderSize + bhSize)
+	if err != nil {
+		return 0, err
+	}
+	if size == 0 || size%blockAlign != 0 || int(size) > MaxAlloc {
+		return 0, fmt.Errorf("%w: %d has class %d", ErrBadObject, obj, size)
+	}
+	return int(size), nil
+}
+
+// IsAllocated reports whether obj's block header says allocated.
+func (h *Heap) IsAllocated(obj ObjID) (bool, error) {
+	if err := h.validate(obj); err != nil {
+		return false, err
+	}
+	state, err := h.loadState(int(obj) - BlockHeaderSize)
+	if err != nil {
+		return false, err
+	}
+	return state == stateAlloc, nil
+}
+
+// Range returns the region offset and length of obj's whole block,
+// including its header. Engines copy this range between main and backup so
+// that allocator state travels with object contents.
+func (h *Heap) Range(obj ObjID) (off, n int, err error) {
+	cls, err := h.ClassOf(obj)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(obj) - BlockHeaderSize, BlockHeaderSize + cls, nil
+}
+
+// Bytes returns the payload of obj as a slice aliasing the volatile view.
+// Callers must not write through it; use Write.
+func (h *Heap) Bytes(obj ObjID) ([]byte, error) {
+	cls, err := h.ClassOf(obj)
+	if err != nil {
+		return nil, err
+	}
+	return h.reg.ReadSlice(int(obj), cls)
+}
+
+// Write stores data into obj's payload at the given payload offset. The
+// write is volatile until the engine persists it at commit.
+func (h *Heap) Write(obj ObjID, off int, data []byte) error {
+	cls, err := h.ClassOf(obj)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+len(data) > cls {
+		return fmt.Errorf("%w: write [%d,%d) in object of %d bytes",
+			ErrOutOfObject, off, off+len(data), cls)
+	}
+	return h.reg.Write(int(obj)+off, data)
+}
+
+// ErrOutOfObject reports a payload access beyond the object's capacity.
+var ErrOutOfObject = errors.New("heap: access beyond object bounds")
+
+// Root returns the heap's root object pointer (Nil if unset).
+func (h *Heap) Root() (ObjID, error) {
+	v, err := h.reg.Load64(offRoot)
+	return ObjID(v), err
+}
+
+// SetRoot durably stores the root object pointer. Typically called once at
+// pool creation; an 8-byte store is failure-atomic.
+func (h *Heap) SetRoot(obj ObjID) error {
+	if obj != Nil {
+		if err := h.validate(obj); err != nil {
+			return err
+		}
+	}
+	if err := h.reg.Store64(offRoot, uint64(obj)); err != nil {
+		return err
+	}
+	return h.reg.Persist(offRoot, 8)
+}
+
+// FreeCount returns the number of free blocks of the given payload class.
+// Test hook.
+func (h *Heap) FreeCount(cls int) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.free[cls])
+}
+
+// Bump returns the current bump offset. Test hook.
+func (h *Heap) Bump() uint64 { return h.bumpSnapshot() }
+
+// DataStart is the offset of the first block in any heap.
+const DataStart = headerSize
+
+// ClassForSize exposes the class rounding for tests and sizing tools.
+func ClassForSize(size int) int { return classFor(size) }

@@ -1,0 +1,425 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kaminotx/internal/nvm"
+)
+
+func newHeap(t *testing.T, size int) *Heap {
+	t.Helper()
+	reg, err := nvm.New(size, nvm.Options{Mode: nvm.ModeStrict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Format(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// alloc reserves and commits in one step, as the nolog engine would.
+func alloc(t *testing.T, h *Heap, size int) ObjID {
+	t.Helper()
+	obj, err := h.Reserve(size)
+	if err != nil {
+		t.Fatalf("Reserve(%d): %v", size, err)
+	}
+	if err := h.CommitAlloc(obj); err != nil {
+		t.Fatalf("CommitAlloc: %v", err)
+	}
+	return obj
+}
+
+func TestFormatAndAttach(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	if got, _ := h.Root(); got != Nil {
+		t.Errorf("fresh root = %d, want Nil", got)
+	}
+	h2, err := Open(h.Region())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if h2.Bump() != h.Bump() {
+		t.Errorf("bump mismatch after reopen: %d vs %d", h2.Bump(), h.Bump())
+	}
+}
+
+func TestAttachRejectsUnformatted(t *testing.T) {
+	reg, _ := nvm.New(1<<16, nvm.Options{Mode: nvm.ModeStrict})
+	if _, err := Attach(reg); err == nil {
+		t.Error("Attach on unformatted region did not error")
+	}
+}
+
+func TestAllocWriteRead(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	obj := alloc(t, h, 100)
+	if err := h.Write(obj, 0, []byte("persistent object")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Bytes(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b[:17]) != "persistent object" {
+		t.Errorf("payload = %q", b[:17])
+	}
+	cls, err := h.ClassOf(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls != 128 {
+		t.Errorf("ClassOf(100-byte alloc) = %d, want 128", cls)
+	}
+}
+
+func TestAllocZeroesPayload(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	obj := alloc(t, h, 64)
+	if err := h.Write(obj, 0, []byte{0xAA, 0xBB, 0xCC}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ApplyFree(obj); err != nil {
+		t.Fatal(err)
+	}
+	obj2 := alloc(t, h, 64)
+	if obj2 != obj {
+		t.Fatalf("expected block reuse, got %d and %d", obj, obj2)
+	}
+	b, _ := h.Bytes(obj2)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("byte %d of recycled alloc = %#x, want 0", i, v)
+		}
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	a := alloc(t, h, 40) // class 48
+	bumpAfterA := h.Bump()
+	if err := h.ApplyFree(a); err != nil {
+		t.Fatal(err)
+	}
+	if h.FreeCount(48) != 1 {
+		t.Fatalf("free count = %d, want 1", h.FreeCount(48))
+	}
+	b := alloc(t, h, 33) // also class 48
+	if b != a {
+		t.Errorf("free block not reused: %d vs %d", b, a)
+	}
+	if h.Bump() != bumpAfterA {
+		t.Errorf("bump advanced on reuse: %d vs %d", h.Bump(), bumpAfterA)
+	}
+}
+
+func TestApplyFreeIdempotent(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	a := alloc(t, h, 16)
+	if err := h.ApplyFree(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ApplyFree(a); err != nil {
+		t.Fatal(err)
+	}
+	if h.FreeCount(16) != 1 {
+		t.Errorf("double ApplyFree duplicated free-list entry: %d", h.FreeCount(16))
+	}
+}
+
+func TestRollbackAllocIdempotent(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	obj, err := h.Reserve(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := ClassForSize(100)
+	// Crash could happen before or after CommitAlloc; rollback must work
+	// in both cases and be repeatable.
+	if err := h.CommitAlloc(obj); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RollbackAlloc(obj, cls); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RollbackAlloc(obj, cls); err != nil {
+		t.Fatal(err)
+	}
+	if h.FreeCount(cls) != 1 {
+		t.Errorf("free count after double rollback = %d, want 1", h.FreeCount(cls))
+	}
+	alloc2, err := h.Reserve(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc2 != obj {
+		t.Errorf("rolled-back block not reusable")
+	}
+}
+
+func TestRescanRebuildsFreeLists(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	var objs []ObjID
+	for i := 0; i < 10; i++ {
+		objs = append(objs, alloc(t, h, 64))
+	}
+	for i := 0; i < 10; i += 2 {
+		if err := h.ApplyFree(objs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h2, err := Open(h.Region())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.FreeCount(64) != 5 {
+		t.Errorf("rescan found %d free 64-byte blocks, want 5", h2.FreeCount(64))
+	}
+	// Allocations from the reopened heap must come from the free list.
+	got := alloc(t, h2, 64)
+	found := false
+	for i := 0; i < 10; i += 2 {
+		if got == objs[i] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reopened heap did not reuse a freed block")
+	}
+}
+
+func TestPersistedAllocSurvivesCrash(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	obj := alloc(t, h, 80)
+	if err := h.Write(obj, 0, []byte("keepme")); err != nil {
+		t.Fatal(err)
+	}
+	off, n, err := h.Range(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Region().Persist(off, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Open(h.Region())
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	ok, err := h2.IsAllocated(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("persisted allocation lost after crash")
+	}
+	b, _ := h2.Bytes(obj)
+	if string(b[:6]) != "keepme" {
+		t.Errorf("payload after crash = %q", b[:6])
+	}
+}
+
+func TestReserveBumpPersistedBeforeReturn(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	if _, err := h.Reserve(64); err != nil {
+		t.Fatal(err)
+	}
+	// Crash immediately: the bump (and the block's class header) must be
+	// durable so a post-crash rescan still parses the heap.
+	if err := h.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Open(h.Region())
+	if err != nil {
+		t.Fatalf("rescan after crash mid-alloc: %v", err)
+	}
+	// The reserved block was never committed, so it must be free.
+	if h2.FreeCount(64) != 1 {
+		t.Errorf("reserved-uncommitted block not free after crash: %d", h2.FreeCount(64))
+	}
+}
+
+func TestHeapFull(t *testing.T) {
+	h := newHeap(t, 4096)
+	var err error
+	for i := 0; i < 1000; i++ {
+		_, err = h.Reserve(256)
+		if err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("never got ErrHeapFull")
+	}
+}
+
+func TestSizeValidation(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	if _, err := h.Reserve(0); err == nil {
+		t.Error("Reserve(0) did not error")
+	}
+	if _, err := h.Reserve(-5); err == nil {
+		t.Error("Reserve(-5) did not error")
+	}
+	if _, err := h.Reserve(MaxAlloc + 1); err == nil {
+		t.Error("Reserve(MaxAlloc+1) did not error")
+	}
+}
+
+func TestBadObjectIDs(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	alloc(t, h, 64)
+	bad := []ObjID{0, 1, ObjID(h.Bump()), ObjID(h.Bump()) + 100, 17}
+	for _, obj := range bad {
+		if _, err := h.Bytes(obj); err == nil {
+			t.Errorf("Bytes(%d) did not error", obj)
+		}
+	}
+}
+
+func TestWriteBounds(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	obj := alloc(t, h, 64)
+	if err := h.Write(obj, 60, []byte("12345")); err == nil {
+		t.Error("out-of-object write did not error")
+	}
+	if err := h.Write(obj, -1, []byte("x")); err == nil {
+		t.Error("negative-offset write did not error")
+	}
+}
+
+func TestRootRoundTrip(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	obj := alloc(t, h, 32)
+	if err := h.SetRoot(obj); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Open(h.Region())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h2.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != obj {
+		t.Errorf("root after crash = %d, want %d", got, obj)
+	}
+}
+
+func TestClassForSize(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{1, 16}, {16, 16}, {17, 32}, {100, 128}, {1024, 1024},
+		{1025, 1536}, {65536, 65536}, {65537, 65552},
+		{100000, 100000}, {100001, 100016},
+	}
+	for _, c := range cases {
+		if got := classFor(c.in); got != c.want {
+			t.Errorf("classFor(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHugeAllocation(t *testing.T) {
+	h := newHeap(t, 1<<21)
+	obj := alloc(t, h, 100000)
+	cls, err := h.ClassOf(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls != 100000 {
+		t.Errorf("huge class = %d", cls)
+	}
+	if err := h.ApplyFree(obj); err != nil {
+		t.Fatal(err)
+	}
+	obj2 := alloc(t, h, 100000)
+	if obj2 != obj {
+		t.Error("huge block not reused")
+	}
+}
+
+// PROPERTY: any interleaving of allocs and frees yields non-overlapping live
+// blocks, all within [DataStart, bump), and rescan agrees with the live set.
+func TestPropertyNoOverlapAndRescanAgrees(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reg, err := nvm.New(1<<18, nvm.Options{Mode: nvm.ModeStrict})
+		if err != nil {
+			return false
+		}
+		h, err := Format(reg)
+		if err != nil {
+			return false
+		}
+		live := make(map[ObjID]int) // obj -> class
+		for i := 0; i < 200; i++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				// free a random live object
+				var victim ObjID
+				k := rng.Intn(len(live))
+				for o := range live {
+					if k == 0 {
+						victim = o
+						break
+					}
+					k--
+				}
+				if err := h.ApplyFree(victim); err != nil {
+					return false
+				}
+				delete(live, victim)
+				continue
+			}
+			size := 1 + rng.Intn(500)
+			obj, err := h.Reserve(size)
+			if err != nil {
+				return false
+			}
+			if err := h.CommitAlloc(obj); err != nil {
+				return false
+			}
+			live[obj] = classFor(size)
+		}
+		// no overlap
+		type span struct{ lo, hi uint64 }
+		var spans []span
+		for o, cls := range live {
+			spans = append(spans, span{uint64(o) - BlockHeaderSize, uint64(o) + uint64(cls)})
+		}
+		for i := range spans {
+			if spans[i].lo < DataStart || spans[i].hi > h.Bump() {
+				return false
+			}
+			for j := i + 1; j < len(spans); j++ {
+				if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+					return false
+				}
+			}
+		}
+		// rescan agreement: every live object must still read allocated
+		h2, err := Open(reg)
+		if err != nil {
+			return false
+		}
+		for o := range live {
+			ok, err := h2.IsAllocated(o)
+			if err != nil || !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,346 @@
+package intentlog
+
+import (
+	"testing"
+	"time"
+
+	"kaminotx/internal/nvm"
+)
+
+func newLog(t *testing.T, cfg Config) *Log {
+	t.Helper()
+	reg, err := nvm.New(cfg.RegionSize(), nvm.Options{Mode: nvm.ModeStrict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Format(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+var smallCfg = Config{Slots: 4, EntriesPerSlot: 8, DataBytesPerSlot: 256}
+
+func TestBeginAppendReadBack(t *testing.T) {
+	l := newLog(t, smallCfg)
+	tx, err := l.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{
+		{Op: OpWrite, Class: 64, Obj: 1000},
+		{Op: OpAlloc, Class: 128, Obj: 2000},
+		{Op: OpFree, Class: 256, Obj: 3000},
+	}
+	for _, e := range want {
+		if err := tx.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := tx.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSlotExhaustion(t *testing.T) {
+	l := newLog(t, smallCfg)
+	var txs []*TxLog
+	for i := 0; i < smallCfg.Slots; i++ {
+		tx, err := l.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs = append(txs, tx)
+	}
+	if _, err := l.TryBegin(); err != ErrLogFull {
+		t.Errorf("TryBegin with full log = %v, want ErrLogFull", err)
+	}
+	// Blocking Begin must wake when a slot frees.
+	got := make(chan error, 1)
+	go func() {
+		_, err := l.Begin()
+		got <- err
+	}()
+	if err := txs[0].Release(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Errorf("Begin after release: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocking Begin never woke after slot release")
+	}
+}
+
+func TestEntryExhaustion(t *testing.T) {
+	l := newLog(t, smallCfg)
+	tx, _ := l.Begin()
+	for i := 0; i < smallCfg.EntriesPerSlot; i++ {
+		if err := tx.Append(Entry{Op: OpWrite, Obj: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Append(Entry{Op: OpWrite, Obj: 99}); err != ErrEntriesFull {
+		t.Errorf("overflow append = %v, want ErrEntriesFull", err)
+	}
+}
+
+func TestAppendWithData(t *testing.T) {
+	l := newLog(t, smallCfg)
+	tx, _ := l.Begin()
+	data := []byte("old object contents")
+	e, err := tx.AppendWithData(Entry{Op: OpWrite, Class: 32, Obj: 500}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(e.DataLen) != len(data) {
+		t.Errorf("DataLen = %d", e.DataLen)
+	}
+	got, err := tx.Data(e.DataOff, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Errorf("Data = %q", got)
+	}
+}
+
+func TestDataExhaustion(t *testing.T) {
+	l := newLog(t, smallCfg)
+	tx, _ := l.Begin()
+	big := make([]byte, smallCfg.DataBytesPerSlot+1)
+	if _, err := tx.AppendWithData(Entry{Op: OpWrite}, big); err != ErrDataFull {
+		t.Errorf("oversized data = %v, want ErrDataFull", err)
+	}
+}
+
+func TestStatePersistsAcrossCrash(t *testing.T) {
+	l := newLog(t, smallCfg)
+	tx, _ := l.Begin()
+	if err := tx.Append(Entry{Op: OpWrite, Class: 64, Obj: 777}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetState(StateCommitted); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Attach(l.Region())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []SlotView
+	if err := l2.Recover(func(v SlotView) error {
+		seen = append(seen, v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 {
+		t.Fatalf("recovered %d slots, want 1", len(seen))
+	}
+	if seen[0].State != StateCommitted {
+		t.Errorf("state = %v, want committed", seen[0].State)
+	}
+	if len(seen[0].Entries) != 1 || seen[0].Entries[0].Obj != 777 {
+		t.Errorf("entries = %+v", seen[0].Entries)
+	}
+}
+
+func TestRunningSlotSurvivesCrashWithEntries(t *testing.T) {
+	l := newLog(t, smallCfg)
+	tx, _ := l.Begin()
+	for i := 0; i < 3; i++ {
+		if err := tx.Append(Entry{Op: OpWrite, Class: 16, Obj: uint64(100 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No commit: simulates a crash mid-transaction.
+	if err := l.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Attach(l.Region())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := l2.Recover(func(v SlotView) error {
+		count++
+		if v.State != StateRunning {
+			t.Errorf("state = %v, want running", v.State)
+		}
+		if len(v.Entries) != 3 {
+			t.Errorf("entries = %d, want 3", len(v.Entries))
+		}
+		return v.Free()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("recovered %d slots", count)
+	}
+	// After Free, a fresh Attach sees nothing pending.
+	l3, err := Attach(l.Region())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := l3.PendingSlots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("pending after recovery = %d", n)
+	}
+}
+
+func TestStaleEntriesFromPreviousTxIgnored(t *testing.T) {
+	l := newLog(t, smallCfg)
+	// First transaction fills entries, commits, releases.
+	tx1, _ := l.Begin()
+	for i := 0; i < 5; i++ {
+		if err := tx1.Append(Entry{Op: OpWrite, Class: 16, Obj: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx1.SetState(StateCommitted); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	// Second transaction reuses the slot with fewer entries. Recovery
+	// must see only the new entries even though stale bytes follow.
+	tx2, _ := l.Begin()
+	if tx2.Slot() != tx1.Slot() {
+		t.Skip("slot not reused; free-list order changed")
+	}
+	if err := tx2.Append(Entry{Op: OpAlloc, Class: 32, Obj: 42}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tx2.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Obj != 42 {
+		t.Errorf("entries = %+v, want single obj 42", got)
+	}
+}
+
+// A torn final append (entry line lost, count line persisted) must be
+// detected via the txid tag and ignored.
+func TestTornFinalAppendIgnored(t *testing.T) {
+	l := newLog(t, smallCfg)
+
+	// Transaction A: one committed entry, then release so the slot's
+	// entry bytes contain A's txid.
+	txA, _ := l.Begin()
+	if err := txA.Append(Entry{Op: OpWrite, Class: 16, Obj: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := txA.SetState(StateCommitted); err != nil {
+		t.Fatal(err)
+	}
+	if err := txA.Release(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Transaction B reuses the slot. Simulate the torn case by manually
+	// bumping the persisted entry count without writing a valid entry:
+	// equivalent to "count line persisted, entry line lost".
+	txB, _ := l.Begin()
+	if txB.Slot() != txA.Slot() {
+		t.Skip("slot not reused")
+	}
+	hdr := l.slotOff(txB.Slot())
+	if err := l.Region().Store32(hdr+sOffNEnt, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Region().Persist(hdr+sOffNEnt, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Attach(l.Region())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Recover(func(v SlotView) error {
+		if len(v.Entries) != 0 {
+			t.Errorf("torn entry surfaced in recovery: %+v", v.Entries)
+		}
+		return v.Free()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxIDsMonotonicAcrossReattach(t *testing.T) {
+	l := newLog(t, smallCfg)
+	tx, _ := l.Begin()
+	id1 := tx.TxID()
+	if err := tx.SetState(StateCommitted); err != nil {
+		t.Fatal(err)
+	}
+	// Do NOT release: the txid stays visible in the slot header.
+	l2, err := Attach(l.Region())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Recover(func(v SlotView) error { return v.Free() }); err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := l2.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx2.TxID() <= id1 {
+		t.Errorf("txid not monotonic: %d then %d", id1, tx2.TxID())
+	}
+}
+
+func TestReserveData(t *testing.T) {
+	l := newLog(t, smallCfg)
+	tx, _ := l.Begin()
+	regOff, dataOff, err := tx.ReserveData(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regOff != tx.DataRegionOff(dataOff) {
+		t.Errorf("DataRegionOff mismatch: %d vs %d", regOff, tx.DataRegionOff(dataOff))
+	}
+	if _, _, err := tx.ReserveData(smallCfg.DataBytesPerSlot); err != ErrDataFull {
+		t.Errorf("over-reserve = %v, want ErrDataFull", err)
+	}
+}
+
+func TestAttachRejectsGarbage(t *testing.T) {
+	reg, _ := nvm.New(4096, nvm.Options{Mode: nvm.ModeStrict})
+	if _, err := Attach(reg); err == nil {
+		t.Error("Attach on unformatted region did not error")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	reg, _ := nvm.New(1<<20, nvm.Options{Mode: nvm.ModeStrict})
+	if _, err := Format(reg, Config{Slots: 0, EntriesPerSlot: 4}); err == nil {
+		t.Error("zero-slot config accepted")
+	}
+	if _, err := Format(reg, Config{Slots: 1 << 20, EntriesPerSlot: 1 << 20, DataBytesPerSlot: 0}); err == nil {
+		t.Error("config larger than region accepted")
+	}
+}

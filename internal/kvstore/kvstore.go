@@ -1,0 +1,90 @@
+// Package kvstore is the key-value store used by the paper's evaluation: a
+// thin layer over the persistent B+Tree exposing the five YCSB operations
+// (read, update, insert, read-modify-write, scan). One store instance is
+// bound to one pool, so the same store code runs over Kamino-Tx and every
+// baseline engine.
+package kvstore
+
+import (
+	"fmt"
+
+	"kaminotx/internal/pbtree"
+	"kaminotx/kamino"
+)
+
+// Store is a transactional persistent key-value store.
+type Store struct {
+	pool *kamino.Pool
+	tree *pbtree.Tree
+}
+
+// Create builds a fresh store in pool and links its tree meta to the pool
+// root (offset 0), so Open can find it after a restart.
+func Create(pool *kamino.Pool, order int) (*Store, error) {
+	tree, err := pbtree.Create(pool, order)
+	if err != nil {
+		return nil, err
+	}
+	err = pool.Update(func(tx *kamino.Tx) error {
+		if err := tx.Add(pool.Root()); err != nil {
+			return err
+		}
+		return tx.SetPtr(pool.Root(), 0, tree.Meta())
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Store{pool: pool, tree: tree}, nil
+}
+
+// Open reattaches to the store previously created in pool.
+func Open(pool *kamino.Pool) (*Store, error) {
+	var meta kamino.ObjID
+	err := pool.View(func(tx *kamino.Tx) error {
+		var err error
+		meta, err = tx.Ptr(pool.Root(), 0)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if meta == kamino.Nil {
+		return nil, fmt.Errorf("kvstore: pool has no store (root pointer is nil)")
+	}
+	tree, err := pbtree.Attach(pool, meta)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{pool: pool, tree: tree}, nil
+}
+
+// Pool returns the underlying pool.
+func (s *Store) Pool() *kamino.Pool { return s.pool }
+
+// Read returns the value for key (YCSB READ).
+func (s *Store) Read(key uint64) ([]byte, bool, error) { return s.tree.Get(key) }
+
+// Insert stores a new or existing key (YCSB INSERT).
+func (s *Store) Insert(key uint64, value []byte) error { return s.tree.Put(key, value) }
+
+// Update overwrites key's value (YCSB UPDATE). Like YCSB, an update of an
+// absent key inserts it.
+func (s *Store) Update(key uint64, value []byte) error { return s.tree.Put(key, value) }
+
+// ReadModifyWrite atomically applies fn to key's current value (YCSB RMW,
+// workload F).
+func (s *Store) ReadModifyWrite(key uint64, fn func(old []byte, found bool) ([]byte, error)) error {
+	return s.tree.Modify(key, fn)
+}
+
+// Delete removes key.
+func (s *Store) Delete(key uint64) (bool, error) { return s.tree.Delete(key) }
+
+// Scan returns up to max pairs starting at key (YCSB SCAN).
+func (s *Store) Scan(start uint64, max int) ([]pbtree.KV, error) { return s.tree.Scan(start, max) }
+
+// Count returns the number of keys (O(n)).
+func (s *Store) Count() (int, error) { return s.tree.Count() }
+
+// Tree exposes the underlying B+Tree for invariant checks in tests.
+func (s *Store) Tree() *pbtree.Tree { return s.tree }

@@ -1,0 +1,445 @@
+// Package nvm simulates byte-addressable non-volatile main memory (NVMM).
+//
+// Go offers no control over CPU caches, so durability is modeled explicitly:
+// a Region keeps a volatile view (what the CPU sees: caches plus memory that
+// is not yet guaranteed durable) and, in strict mode, a separate durable
+// image (what survives a power failure). Writes land in the volatile view
+// and become durable only after Flush of the covering cache lines followed
+// by a Fence, mirroring the CLWB/CLFLUSHOPT + SFENCE protocol on real
+// persistent-memory hardware.
+//
+// Crash simulates a power failure: the volatile view is replaced by the
+// durable image, losing every write that was not flushed and fenced.
+// CrashPartial additionally lets flushed-but-unfenced lines persist
+// nondeterministically (seeded), which is exactly the uncertainty a missing
+// fence leaves on real hardware. Recovery code is tested against both.
+//
+// Two modes trade fidelity for speed:
+//
+//   - ModeStrict tracks dirty and flush-pending cache lines and maintains
+//     the durable image. Used by correctness and crash-consistency tests.
+//   - ModeFast skips the shadow image and line tracking; Flush and Fence
+//     only update counters and apply the configured latency model. Used by
+//     benchmarks, where the durable image would double memory traffic.
+//
+// All mutation must go through Region methods (Write, Store64, Zero, Copy,
+// ...) so that strict mode observes every write. Reads may use ReadSlice for
+// zero-copy access.
+package nvm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// LineSize is the simulated cache-line size in bytes. Flush granularity and
+// torn-write granularity are both one line, as on current x86 hardware.
+const LineSize = 64
+
+// Mode selects the fidelity/speed trade-off for a Region.
+type Mode int
+
+const (
+	// ModeStrict maintains a durable image and per-line dirty/pending
+	// state so crashes can be simulated faithfully.
+	ModeStrict Mode = iota
+	// ModeFast maintains only statistics and latency; Crash is not
+	// supported.
+	ModeFast
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeStrict:
+		return "strict"
+	case ModeFast:
+		return "fast"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// LatencyModel injects artificial device latency so slower NVM technologies
+// (3D-XPoint, memristor) can be approximated on DRAM. Zero values add no
+// delay, modeling battery-backed DRAM / NVDIMM as in the paper's testbed.
+type LatencyModel struct {
+	// FlushPerLine is charged for each cache line flushed.
+	FlushPerLine time.Duration
+	// Fence is charged for each Fence call.
+	Fence time.Duration
+	// ReadPerLine is charged for each line read via Read/ReadSlice.
+	ReadPerLine time.Duration
+}
+
+func (l LatencyModel) zero() bool {
+	return l.FlushPerLine == 0 && l.Fence == 0 && l.ReadPerLine == 0
+}
+
+// Stats counts device-level events on a Region. Counters are cumulative
+// since the Region was created; callers snapshot and subtract.
+type Stats struct {
+	Writes       uint64 // Write/Store/Zero/Copy calls
+	BytesWritten uint64
+	Flushes      uint64 // Flush calls
+	LinesFlushed uint64
+	Fences       uint64
+	BytesRead    uint64
+}
+
+// Options configures a Region.
+type Options struct {
+	Mode    Mode
+	Latency LatencyModel
+}
+
+// Region is a contiguous span of simulated NVM.
+type Region struct {
+	mode    Mode
+	latency LatencyModel
+	size    int
+
+	mem []byte // volatile view (CPU caches + memory)
+
+	mu      sync.Mutex // guards durable, dirty, pending (strict mode)
+	durable []byte     // durable image (strict mode only)
+	dirty   map[int]struct{}
+	pending map[int]struct{}
+
+	statMu sync.Mutex
+	stats  Stats
+}
+
+// New creates a Region of the given size, zero-filled and fully durable.
+func New(size int, opts Options) (*Region, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("nvm: region size %d must be positive", size)
+	}
+	r := &Region{
+		mode:    opts.Mode,
+		latency: opts.Latency,
+		size:    size,
+		mem:     make([]byte, size),
+	}
+	if opts.Mode == ModeStrict {
+		r.durable = make([]byte, size)
+		r.dirty = make(map[int]struct{})
+		r.pending = make(map[int]struct{})
+	}
+	return r, nil
+}
+
+// Size returns the region size in bytes.
+func (r *Region) Size() int { return r.size }
+
+// Mode returns the region's fidelity mode.
+func (r *Region) Mode() Mode { return r.mode }
+
+// Stats returns a snapshot of the region's event counters.
+func (r *Region) Stats() Stats {
+	r.statMu.Lock()
+	defer r.statMu.Unlock()
+	return r.stats
+}
+
+// ErrOutOfRange reports an access outside the region.
+var ErrOutOfRange = errors.New("nvm: access out of range")
+
+func (r *Region) check(off, n int) error {
+	if off < 0 || n < 0 || off+n > r.size {
+		return fmt.Errorf("%w: [%d, %d) in region of %d bytes", ErrOutOfRange, off, off+n, r.size)
+	}
+	return nil
+}
+
+func (r *Region) markDirty(off, n int) {
+	if r.mode != ModeStrict || n == 0 {
+		return
+	}
+	r.mu.Lock()
+	for line := off / LineSize; line <= (off+n-1)/LineSize; line++ {
+		r.dirty[line] = struct{}{}
+		// A line can be re-dirtied after Flush but before Fence; the
+		// fence must not persist the new contents of a re-dirtied
+		// line as if it had been flushed.
+		delete(r.pending, line)
+	}
+	r.mu.Unlock()
+}
+
+func (r *Region) countWrite(n int) {
+	r.statMu.Lock()
+	r.stats.Writes++
+	r.stats.BytesWritten += uint64(n)
+	r.statMu.Unlock()
+}
+
+// Write copies p into the region at off. The data is volatile until flushed
+// and fenced.
+func (r *Region) Write(off int, p []byte) error {
+	if err := r.check(off, len(p)); err != nil {
+		return err
+	}
+	copy(r.mem[off:], p)
+	r.markDirty(off, len(p))
+	r.countWrite(len(p))
+	return nil
+}
+
+// Zero fills [off, off+n) with zero bytes.
+func (r *Region) Zero(off, n int) error {
+	if err := r.check(off, n); err != nil {
+		return err
+	}
+	clear(r.mem[off : off+n])
+	r.markDirty(off, n)
+	r.countWrite(n)
+	return nil
+}
+
+// Store64 writes an 8-byte little-endian value. On real hardware an aligned
+// 8-byte store is atomic with respect to power failure; callers rely on this
+// for log records and pointers.
+func (r *Region) Store64(off int, v uint64) error {
+	if err := r.check(off, 8); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(r.mem[off:], v)
+	r.markDirty(off, 8)
+	r.countWrite(8)
+	return nil
+}
+
+// Store32 writes a 4-byte little-endian value.
+func (r *Region) Store32(off int, v uint32) error {
+	if err := r.check(off, 4); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(r.mem[off:], v)
+	r.markDirty(off, 4)
+	r.countWrite(4)
+	return nil
+}
+
+// Load64 reads an 8-byte little-endian value from the volatile view.
+func (r *Region) Load64(off int) (uint64, error) {
+	if err := r.check(off, 8); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(r.mem[off:]), nil
+}
+
+// Load32 reads a 4-byte little-endian value from the volatile view.
+func (r *Region) Load32(off int) (uint32, error) {
+	if err := r.check(off, 4); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(r.mem[off:]), nil
+}
+
+// Read copies [off, off+len(p)) into p from the volatile view.
+func (r *Region) Read(off int, p []byte) error {
+	if err := r.check(off, len(p)); err != nil {
+		return err
+	}
+	copy(p, r.mem[off:])
+	r.statMu.Lock()
+	r.stats.BytesRead += uint64(len(p))
+	r.statMu.Unlock()
+	if r.latency.ReadPerLine > 0 {
+		spin(time.Duration(lines(off, len(p))) * r.latency.ReadPerLine)
+	}
+	return nil
+}
+
+// ReadSlice returns a zero-copy view of [off, off+n). The slice aliases the
+// volatile view; callers must not write through it (use Write and friends so
+// strict mode can track dirty lines).
+func (r *Region) ReadSlice(off, n int) ([]byte, error) {
+	if err := r.check(off, n); err != nil {
+		return nil, err
+	}
+	return r.mem[off : off+n : off+n], nil
+}
+
+// Copy copies n bytes from src at soff into dst at doff, as a single
+// device-level write on dst. src and dst may be the same region only for
+// non-overlapping ranges.
+func Copy(dst *Region, doff int, src *Region, soff, n int) error {
+	if err := src.check(soff, n); err != nil {
+		return err
+	}
+	if err := dst.check(doff, n); err != nil {
+		return err
+	}
+	copy(dst.mem[doff:doff+n], src.mem[soff:soff+n])
+	dst.markDirty(doff, n)
+	dst.countWrite(n)
+	src.statMu.Lock()
+	src.stats.BytesRead += uint64(n)
+	src.statMu.Unlock()
+	return nil
+}
+
+func lines(off, n int) int {
+	if n == 0 {
+		return 0
+	}
+	return (off+n-1)/LineSize - off/LineSize + 1
+}
+
+// Flush initiates write-back of every cache line overlapping [off, off+n),
+// like CLWB. The lines are not durable until the next Fence.
+func (r *Region) Flush(off, n int) error {
+	if err := r.check(off, n); err != nil {
+		return err
+	}
+	nl := lines(off, n)
+	r.statMu.Lock()
+	r.stats.Flushes++
+	r.stats.LinesFlushed += uint64(nl)
+	r.statMu.Unlock()
+	if r.mode == ModeStrict && n > 0 {
+		r.mu.Lock()
+		for line := off / LineSize; line <= (off+n-1)/LineSize; line++ {
+			if _, ok := r.dirty[line]; ok {
+				delete(r.dirty, line)
+				r.pending[line] = struct{}{}
+			}
+		}
+		r.mu.Unlock()
+	}
+	if r.latency.FlushPerLine > 0 {
+		spin(time.Duration(nl) * r.latency.FlushPerLine)
+	}
+	return nil
+}
+
+// Fence orders and completes all previously flushed lines, like SFENCE.
+// After Fence returns, every line flushed before the call is durable.
+func (r *Region) Fence() {
+	r.statMu.Lock()
+	r.stats.Fences++
+	r.statMu.Unlock()
+	if r.mode == ModeStrict {
+		r.mu.Lock()
+		for line := range r.pending {
+			r.persistLine(line)
+			delete(r.pending, line)
+		}
+		r.mu.Unlock()
+	}
+	if r.latency.Fence > 0 {
+		spin(r.latency.Fence)
+	}
+}
+
+// persistLine copies one line from the volatile view to the durable image.
+// Caller holds r.mu.
+func (r *Region) persistLine(line int) {
+	start := line * LineSize
+	end := start + LineSize
+	if end > r.size {
+		end = r.size
+	}
+	copy(r.durable[start:end], r.mem[start:end])
+}
+
+// Persist is the common flush-then-fence sequence for a single range.
+func (r *Region) Persist(off, n int) error {
+	if err := r.Flush(off, n); err != nil {
+		return err
+	}
+	r.Fence()
+	return nil
+}
+
+// ErrFastMode reports a strict-mode-only operation on a fast-mode region.
+var ErrFastMode = errors.New("nvm: operation requires ModeStrict")
+
+// Crash simulates a power failure: the volatile view is replaced by the
+// durable image. Writes that were flushed but not fenced are lost, matching
+// the most pessimistic hardware outcome. Strict mode only.
+func (r *Region) Crash() error {
+	return r.crash(nil)
+}
+
+// CrashPartial simulates a power failure where each flushed-but-unfenced
+// line independently persists iff keep(line) returns true. This models the
+// real uncertainty of CLWB without a completing SFENCE. Strict mode only.
+func (r *Region) CrashPartial(keep func(line int) bool) error {
+	if keep == nil {
+		keep = func(int) bool { return false }
+	}
+	return r.crash(keep)
+}
+
+func (r *Region) crash(keep func(line int) bool) error {
+	if r.mode != ModeStrict {
+		return ErrFastMode
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for line := range r.pending {
+		if keep != nil && keep(line) {
+			r.persistLine(line)
+		}
+		delete(r.pending, line)
+	}
+	clear(r.dirty)
+	copy(r.mem, r.durable)
+	return nil
+}
+
+// IsPersisted reports whether every byte of [off, off+n) in the volatile
+// view matches the durable image, i.e. whether the range would survive a
+// crash right now. Strict mode only; used by invariant tests.
+func (r *Region) IsPersisted(off, n int) (bool, error) {
+	if r.mode != ModeStrict {
+		return false, ErrFastMode
+	}
+	if err := r.check(off, n); err != nil {
+		return false, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := off; i < off+n; i++ {
+		if r.mem[i] != r.durable[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// DirtyLines reports how many lines are dirty or flush-pending. Strict mode
+// returns the tracked count; fast mode returns 0.
+func (r *Region) DirtyLines() int {
+	if r.mode != ModeStrict {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.dirty) + len(r.pending)
+}
+
+// spin waits at least d, modeling a thread stalled on the persistence
+// domain. time.Sleep's granularity (tens of microseconds) is too coarse for
+// per-line device latencies, so short waits poll — yielding each iteration,
+// because during a real CLWB/SFENCE drain the core is free for other
+// threads (notably Kamino's backup applier).
+func spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d > 100*time.Microsecond {
+		time.Sleep(d)
+		return
+	}
+	start := time.Now()
+	for time.Since(start) < d {
+		runtime.Gosched()
+	}
+}

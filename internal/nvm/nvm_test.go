@@ -1,0 +1,455 @@
+package nvm
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func newStrict(t *testing.T, size int) *Region {
+	t.Helper()
+	r, err := New(size, Options{Mode: ModeStrict})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return r
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	r := newStrict(t, 1024)
+	want := []byte("hello, persistent world")
+	if err := r.Write(100, want); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got := make([]byte, len(want))
+	if err := r.Read(100, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("Read = %q, want %q", got, want)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	r := newStrict(t, 128)
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"write past end", r.Write(120, make([]byte, 16))},
+		{"negative offset", r.Write(-1, []byte{1})},
+		{"read past end", r.Read(128, make([]byte, 1))},
+		{"zero past end", r.Zero(100, 100)},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: got nil error", c.name)
+		}
+	}
+}
+
+func TestUnflushedWriteLostOnCrash(t *testing.T) {
+	r := newStrict(t, 256)
+	if err := r.Write(0, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if err := r.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0, 0, 0, 0}) {
+		t.Errorf("unflushed write survived crash: %v", got)
+	}
+}
+
+func TestFlushWithoutFenceLostOnCrash(t *testing.T) {
+	r := newStrict(t, 256)
+	if err := r.Write(0, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Flush(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// No fence: pessimistic crash loses the line.
+	if err := r.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1)
+	if err := r.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Errorf("flushed-unfenced write survived pessimistic crash")
+	}
+}
+
+func TestPersistSurvivesCrash(t *testing.T) {
+	r := newStrict(t, 256)
+	want := []byte{7, 7, 7}
+	if err := r.Write(64, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Persist(64, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	if err := r.Read(64, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("persisted write lost on crash: %v", got)
+	}
+}
+
+func TestRedirtyAfterFlushNotPersistedByFence(t *testing.T) {
+	r := newStrict(t, 256)
+	if err := r.Write(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Flush(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the same line after the flush but before the fence. The
+	// fence must not persist the *new* value, because the new store was
+	// never flushed.
+	if err := r.Write(0, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	r.Fence()
+	if err := r.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1)
+	if err := r.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] == 2 {
+		t.Errorf("unflushed overwrite survived crash via stale pending state")
+	}
+}
+
+func TestCrashPartialKeepsSelectedLines(t *testing.T) {
+	r := newStrict(t, 4*LineSize)
+	for line := 0; line < 4; line++ {
+		if err := r.Write(line*LineSize, []byte{byte(line + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Flush(0, 4*LineSize); err != nil {
+		t.Fatal(err)
+	}
+	// Keep even lines only.
+	if err := r.CrashPartial(func(line int) bool { return line%2 == 0 }); err != nil {
+		t.Fatal(err)
+	}
+	for line := 0; line < 4; line++ {
+		got := make([]byte, 1)
+		if err := r.Read(line*LineSize, got); err != nil {
+			t.Fatal(err)
+		}
+		want := byte(0)
+		if line%2 == 0 {
+			want = byte(line + 1)
+		}
+		if got[0] != want {
+			t.Errorf("line %d after partial crash = %d, want %d", line, got[0], want)
+		}
+	}
+}
+
+func TestIsPersisted(t *testing.T) {
+	r := newStrict(t, 256)
+	if err := r.Write(0, []byte{5}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := r.IsPersisted(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("dirty write reported as persisted")
+	}
+	if err := r.Persist(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = r.IsPersisted(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("persisted write reported as not persisted")
+	}
+}
+
+func TestStore64Load64(t *testing.T) {
+	r := newStrict(t, 128)
+	if err := r.Store64(8, 0xdeadbeefcafef00d); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Load64(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xdeadbeefcafef00d {
+		t.Errorf("Load64 = %#x", v)
+	}
+}
+
+func TestStore32Load32(t *testing.T) {
+	r := newStrict(t, 128)
+	if err := r.Store32(4, 0xfeedface); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Load32(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xfeedface {
+		t.Errorf("Load32 = %#x", v)
+	}
+}
+
+func TestCopyBetweenRegions(t *testing.T) {
+	src := newStrict(t, 256)
+	dst := newStrict(t, 256)
+	want := []byte("copy me")
+	if err := src.Write(10, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := Copy(dst, 20, src, 10, len(want)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if err := dst.Read(20, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("Copy result = %q, want %q", got, want)
+	}
+	// Copy is a write on dst: must be lost if not persisted.
+	if err := dst.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Read(20, got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, want) {
+		t.Error("unpersisted Copy survived crash")
+	}
+}
+
+func TestZero(t *testing.T) {
+	r := newStrict(t, 256)
+	if err := r.Write(0, bytes.Repeat([]byte{0xff}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Zero(16, 32); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	if err := r.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		want := byte(0xff)
+		if i >= 16 && i < 48 {
+			want = 0
+		}
+		if got[i] != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, got[i], want)
+		}
+	}
+}
+
+func TestReadSliceAliasesVolatileView(t *testing.T) {
+	r := newStrict(t, 128)
+	if err := r.Write(0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.ReadSlice(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Write(1, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	if s[1] != 42 {
+		t.Error("ReadSlice does not alias volatile view")
+	}
+}
+
+func TestFastModeCrashUnsupported(t *testing.T) {
+	r, err := New(128, Options{Mode: ModeFast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Crash(); err == nil {
+		t.Error("Crash on fast-mode region did not error")
+	}
+	if _, err := r.IsPersisted(0, 1); err == nil {
+		t.Error("IsPersisted on fast-mode region did not error")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	r := newStrict(t, 1024)
+	if err := r.Write(0, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Flush(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	r.Fence()
+	s := r.Stats()
+	if s.Writes != 1 || s.BytesWritten != 100 {
+		t.Errorf("writes=%d bytes=%d, want 1/100", s.Writes, s.BytesWritten)
+	}
+	if s.Flushes != 1 || s.LinesFlushed != 2 {
+		t.Errorf("flushes=%d lines=%d, want 1/2", s.Flushes, s.LinesFlushed)
+	}
+	if s.Fences != 1 {
+		t.Errorf("fences=%d, want 1", s.Fences)
+	}
+}
+
+func TestLinesHelper(t *testing.T) {
+	cases := []struct {
+		off, n, want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 64, 1},
+		{0, 65, 2},
+		{63, 2, 2},
+		{64, 64, 1},
+		{10, 200, 4},
+	}
+	for _, c := range cases {
+		if got := lines(c.off, c.n); got != c.want {
+			t.Errorf("lines(%d, %d) = %d, want %d", c.off, c.n, got, c.want)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "region.img")
+	r := newStrict(t, 512)
+	if err := r.Write(7, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Persist(7, 7); err != nil {
+		t.Fatal(err)
+	}
+	// Also write something unpersisted: it must NOT be in the checkpoint.
+	if err := r.Write(200, []byte("volatile")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Load(path, Options{Mode: ModeStrict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 7)
+	if err := r2.Read(7, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "durable" {
+		t.Errorf("loaded data = %q", got)
+	}
+	got8 := make([]byte, 8)
+	if err := r2.Read(200, got8); err != nil {
+		t.Fatal(err)
+	}
+	if string(got8) == "volatile" {
+		t.Error("unpersisted data leaked into checkpoint")
+	}
+}
+
+func TestLoadDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "region.img")
+	r := newStrict(t, 128)
+	if err := r.Write(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Persist(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one byte of the image.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[fileHdrSize+5] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, Options{Mode: ModeStrict}); err == nil {
+		t.Error("Load of corrupted image did not error")
+	}
+}
+
+// PROPERTY: for any sequence of writes and persists, the post-crash state
+// equals a model where Persist(off, n) makes every cache line overlapping
+// [off, off+n) durable with its then-current volatile contents.
+func TestPropertyPersistedWritesSurviveCrash(t *testing.T) {
+	const size = 4096
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, err := New(size, Options{Mode: ModeStrict})
+		if err != nil {
+			return false
+		}
+		cur := make([]byte, size)   // mirror of the volatile view
+		model := make([]byte, size) // expected durable image
+		for i := 0; i < 60; i++ {
+			off := rng.Intn(size - 100)
+			n := 1 + rng.Intn(90)
+			data := make([]byte, n)
+			rng.Read(data)
+			if err := r.Write(off, data); err != nil {
+				return false
+			}
+			copy(cur[off:], data)
+			if rng.Intn(2) == 0 {
+				if err := r.Persist(off, n); err != nil {
+					return false
+				}
+				// Persistence is line-granular: the whole
+				// covering lines become durable.
+				start := off / LineSize * LineSize
+				end := (off + n + LineSize - 1) / LineSize * LineSize
+				if end > size {
+					end = size
+				}
+				copy(model[start:end], cur[start:end])
+			}
+		}
+		if err := r.Crash(); err != nil {
+			return false
+		}
+		got := make([]byte, size)
+		if err := r.Read(0, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,699 @@
+// Package pbtree implements the persistent B+Tree the paper's key-value
+// store evaluation is built on: an NVML-style transactional B+Tree over the
+// kamino object heap.
+//
+// Concurrency design: navigation uses volatile per-node latches with
+// top-down latch coupling and proactive splitting (full children split on
+// the way down, so a parent is never modified after its latch is
+// released). Internal nodes are read physically under latches; engine-level
+// transaction locks are taken only on leaves and value objects, which
+// preserves the paper's dependent-transaction semantics at the data level
+// while keeping navigation deadlock-free. Node latches are held until the
+// transaction commits so that engines which publish changes at commit time
+// (copy-on-write) never expose a half-written node to a navigating reader.
+//
+// Each public operation (Get, Put, Delete, Scan) is one transaction.
+// Deletes are lazy: keys are removed from leaves without rebalancing, which
+// keeps the structure correct (possibly under-full) and is sufficient for
+// the paper's workloads.
+package pbtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"kaminotx/kamino"
+)
+
+// MinOrder is the smallest supported node fan-out.
+const MinOrder = 4
+
+// DefaultOrder gives ~1 KiB nodes, matching the paper's object scale.
+const DefaultOrder = 60
+
+// Tree meta object layout.
+const (
+	metaOffOrder = 0 // u32
+	metaOffRoot  = 8 // u64
+	metaSize     = 16
+)
+
+// Tree is a persistent B+Tree bound to a pool.
+type Tree struct {
+	pool  *kamino.Pool
+	meta  kamino.ObjID
+	order int
+
+	// rootLatch guards the root pointer swap (root splits).
+	rootLatch sync.RWMutex
+	// latches holds one RWMutex per node, created on demand.
+	latches sync.Map // kamino.ObjID -> *sync.RWMutex
+}
+
+// Create allocates a new empty tree (meta object plus one empty leaf) and
+// returns it. Persist the returned Meta() somewhere reachable from the pool
+// root to reattach later.
+func Create(pool *kamino.Pool, order int) (*Tree, error) {
+	if order == 0 {
+		order = DefaultOrder
+	}
+	if order < MinOrder {
+		return nil, fmt.Errorf("pbtree: order %d below minimum %d", order, MinOrder)
+	}
+	t := &Tree{pool: pool, order: order}
+	err := pool.Update(func(tx *kamino.Tx) error {
+		rootObj, err := t.allocNode(tx, &node{leaf: true})
+		if err != nil {
+			return err
+		}
+		meta, err := tx.Alloc(metaSize)
+		if err != nil {
+			return err
+		}
+		if err := tx.SetUint32(meta, metaOffOrder, uint32(order)); err != nil {
+			return err
+		}
+		if err := tx.SetPtr(meta, metaOffRoot, rootObj); err != nil {
+			return err
+		}
+		t.meta = meta
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Attach binds to an existing tree by its meta object.
+func Attach(pool *kamino.Pool, meta kamino.ObjID) (*Tree, error) {
+	t := &Tree{pool: pool, meta: meta}
+	err := pool.View(func(tx *kamino.Tx) error {
+		order, err := tx.Uint32(meta, metaOffOrder)
+		if err != nil {
+			return err
+		}
+		if order < MinOrder {
+			return fmt.Errorf("pbtree: meta object %d has order %d; not a tree?", meta, order)
+		}
+		t.order = int(order)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Meta returns the tree's persistent meta object id.
+func (t *Tree) Meta() kamino.ObjID { return t.meta }
+
+// Order returns the node fan-out.
+func (t *Tree) Order() int { return t.order }
+
+func (t *Tree) latch(obj kamino.ObjID) *sync.RWMutex {
+	if m, ok := t.latches.Load(obj); ok {
+		return m.(*sync.RWMutex)
+	}
+	m, _ := t.latches.LoadOrStore(obj, &sync.RWMutex{})
+	return m.(*sync.RWMutex)
+}
+
+// unlockers collects latch releases to run after the transaction finishes.
+type unlockers []func()
+
+func (u *unlockers) add(f func()) { *u = append(*u, f) }
+func (u *unlockers) runAll() {
+	// Release in reverse acquisition order.
+	for i := len(*u) - 1; i >= 0; i-- {
+		(*u)[i]()
+	}
+	*u = nil
+}
+
+// rootPtr reads the current root under the root latch (physically — the
+// meta object is only written during root splits, which hold rootLatch
+// exclusively through commit).
+func (t *Tree) rootPtr() (kamino.ObjID, error) {
+	b, err := t.pool.Engine().Heap().Bytes(t.meta)
+	if err != nil {
+		return kamino.Nil, err
+	}
+	if len(b) < metaSize {
+		return kamino.Nil, fmt.Errorf("pbtree: meta object too small")
+	}
+	return kamino.ObjID(binary.LittleEndian.Uint64(b[metaOffRoot:])), nil
+}
+
+// Get returns the value stored for key.
+func (t *Tree) Get(key uint64) ([]byte, bool, error) {
+	var val []byte
+	var found bool
+	var un unlockers
+	defer un.runAll()
+	err := t.pool.View(func(tx *kamino.Tx) error {
+		t.rootLatch.RLock()
+		un.add(t.rootLatch.RUnlock)
+		cur, err := t.rootPtr()
+		if err != nil {
+			return err
+		}
+		l := t.latch(cur)
+		l.RLock()
+		un.add(l.RUnlock)
+		for {
+			nd, err := t.readNode(cur)
+			if err != nil {
+				return err
+			}
+			if nd.leaf {
+				// Leaf reads go through the transaction: the
+				// read lock makes dependent reads wait for
+				// pending objects.
+				lnd, err := t.readNodeTx(tx, cur)
+				if err != nil {
+					return err
+				}
+				i, ok := search(lnd.keys, key)
+				if !ok {
+					return nil
+				}
+				vb, err := tx.Read(lnd.ptrs[i])
+				if err != nil {
+					return err
+				}
+				val, err = decodeValue(vb)
+				if err != nil {
+					return err
+				}
+				found = true
+				return nil
+			}
+			child := nd.ptrs[upperBound(nd.keys, key)]
+			cl := t.latch(child)
+			cl.RLock()
+			un.add(cl.RUnlock)
+			cur = child
+		}
+	})
+	return val, found, err
+}
+
+// Put inserts or updates key with val.
+func (t *Tree) Put(key uint64, val []byte) error {
+	return t.Modify(key, func([]byte, bool) ([]byte, error) { return val, nil })
+}
+
+// Modify atomically installs fn(currentValue, found) as key's new value in
+// a single transaction — the read-modify-write primitive YCSB workload F
+// exercises. fn returning an error aborts the transaction.
+func (t *Tree) Modify(key uint64, fn func(old []byte, found bool) ([]byte, error)) error {
+	for {
+		retry, err := t.tryPut(key, fn)
+		if err != nil {
+			return err
+		}
+		if !retry {
+			return nil
+		}
+	}
+}
+
+// tryPut performs one insert attempt; it reports retry=true when the root
+// was full and had to be split (the operation restarts afterwards).
+func (t *Tree) tryPut(key uint64, fn func([]byte, bool) ([]byte, error)) (retry bool, err error) {
+	var un unlockers
+	defer un.runAll()
+	err = t.pool.Update(func(tx *kamino.Tx) error {
+		t.rootLatch.RLock()
+		rootObj, err := t.rootPtr()
+		if err != nil {
+			t.rootLatch.RUnlock()
+			return err
+		}
+		rl := t.latch(rootObj)
+		rl.Lock()
+		root, err := t.readNode(rootObj)
+		if err != nil {
+			rl.Unlock()
+			t.rootLatch.RUnlock()
+			return err
+		}
+		if len(root.keys) == t.order {
+			// Root is full: upgrade to the exclusive root latch and
+			// split, then retry the whole operation.
+			rl.Unlock()
+			t.rootLatch.RUnlock()
+			if err := t.splitRoot(rootObj); err != nil {
+				return err
+			}
+			retry = true
+			return nil
+		}
+		un.add(t.rootLatch.RUnlock)
+		un.add(rl.Unlock)
+		return t.descendPut(tx, &un, rootObj, root, key, fn)
+	})
+	return retry, err
+}
+
+// splitRoot splits a full root in its own transaction under the exclusive
+// root latch.
+func (t *Tree) splitRoot(oldRoot kamino.ObjID) error {
+	t.rootLatch.Lock()
+	defer t.rootLatch.Unlock()
+	cur, err := t.rootPtr()
+	if err != nil {
+		return err
+	}
+	if cur != oldRoot {
+		return nil // someone else already split it
+	}
+	l := t.latch(oldRoot)
+	l.Lock()
+	defer l.Unlock()
+	return t.pool.Update(func(tx *kamino.Tx) error {
+		nd, err := t.readNode(oldRoot)
+		if err != nil {
+			return err
+		}
+		if len(nd.keys) < t.order {
+			return nil // shrank in the meantime (update path)
+		}
+		sep, rightObj, err := t.splitChild(tx, oldRoot, nd)
+		if err != nil {
+			return err
+		}
+		newRoot, err := t.allocNode(tx, &node{
+			leaf: false,
+			keys: []uint64{sep},
+			ptrs: []kamino.ObjID{oldRoot, rightObj},
+		})
+		if err != nil {
+			return err
+		}
+		if err := tx.Add(t.meta); err != nil {
+			return err
+		}
+		return tx.SetPtr(t.meta, metaOffRoot, newRoot)
+	})
+}
+
+// splitChild splits the full node nd (already latched and loaded, object id
+// obj) in half, writing both halves inside tx, and returns the separator
+// key and the new right sibling. The caller inserts the separator into the
+// parent.
+func (t *Tree) splitChild(tx *kamino.Tx, obj kamino.ObjID, nd *node) (uint64, kamino.ObjID, error) {
+	if nd.leaf {
+		mid := (len(nd.keys) + 1) / 2
+		right := &node{
+			leaf: true,
+			keys: append([]uint64(nil), nd.keys[mid:]...),
+			ptrs: append([]kamino.ObjID(nil), nd.ptrs[mid:]...),
+			next: nd.next,
+		}
+		rightObj, err := t.allocNode(tx, right)
+		if err != nil {
+			return 0, kamino.Nil, err
+		}
+		left := &node{
+			leaf: true,
+			keys: nd.keys[:mid],
+			ptrs: nd.ptrs[:mid],
+			next: rightObj,
+		}
+		if err := tx.Add(obj); err != nil {
+			return 0, kamino.Nil, err
+		}
+		if err := t.writeNode(tx, obj, left); err != nil {
+			return 0, kamino.Nil, err
+		}
+		return right.keys[0], rightObj, nil
+	}
+	mid := len(nd.keys) / 2
+	sep := nd.keys[mid]
+	right := &node{
+		leaf: false,
+		keys: append([]uint64(nil), nd.keys[mid+1:]...),
+		ptrs: append([]kamino.ObjID(nil), nd.ptrs[mid+1:]...),
+	}
+	rightObj, err := t.allocNode(tx, right)
+	if err != nil {
+		return 0, kamino.Nil, err
+	}
+	left := &node{
+		leaf: false,
+		keys: nd.keys[:mid],
+		ptrs: nd.ptrs[:mid+1],
+	}
+	if err := tx.Add(obj); err != nil {
+		return 0, kamino.Nil, err
+	}
+	if err := t.writeNode(tx, obj, left); err != nil {
+		return 0, kamino.Nil, err
+	}
+	return sep, rightObj, nil
+}
+
+// descendPut walks from a latched non-full node down to the leaf,
+// proactively splitting full children, then performs the leaf update.
+// cur is latched (exclusively) and not full.
+func (t *Tree) descendPut(tx *kamino.Tx, un *unlockers, curObj kamino.ObjID, cur *node, key uint64, fn func([]byte, bool) ([]byte, error)) error {
+	for !cur.leaf {
+		childObj := cur.ptrs[upperBound(cur.keys, key)]
+		cl := t.latch(childObj)
+		cl.Lock()
+		child, err := t.readNode(childObj)
+		if err != nil {
+			cl.Unlock()
+			return err
+		}
+		if len(child.keys) == t.order {
+			// Proactive split: parent (cur) is latched and not
+			// full, so the separator insertion is safe.
+			sep, rightObj, err := t.splitChild(tx, childObj, child)
+			if err != nil {
+				cl.Unlock()
+				return err
+			}
+			i, _ := search(cur.keys, sep)
+			cur.keys = append(cur.keys[:i], append([]uint64{sep}, cur.keys[i:]...)...)
+			cur.ptrs = append(cur.ptrs[:i+1], append([]kamino.ObjID{rightObj}, cur.ptrs[i+1:]...)...)
+			if err := tx.Add(curObj); err != nil {
+				cl.Unlock()
+				return err
+			}
+			if err := t.writeNode(tx, curObj, cur); err != nil {
+				cl.Unlock()
+				return err
+			}
+			if key >= sep {
+				// Continue into the new right sibling.
+				cl.Unlock()
+				childObj = rightObj
+				cl = t.latch(childObj)
+				cl.Lock()
+			}
+			// Both halves were written by this transaction, so the
+			// re-read must go through it (copy-on-write keeps the
+			// new contents in the shadow until commit).
+			child, err = t.readNodeTx(tx, childObj)
+			if err != nil {
+				cl.Unlock()
+				return err
+			}
+		}
+		un.add(cl.Unlock)
+		curObj, cur = childObj, child
+	}
+	return t.putInLeaf(tx, curObj, key, fn)
+}
+
+// putInLeaf inserts or updates key in the latched, non-full leaf, storing
+// fn(oldValue, found).
+func (t *Tree) putInLeaf(tx *kamino.Tx, leafObj kamino.ObjID, key uint64, fn func([]byte, bool) ([]byte, error)) error {
+	if err := tx.Add(leafObj); err != nil {
+		return err
+	}
+	leaf, err := t.readNodeTx(tx, leafObj)
+	if err != nil {
+		return err
+	}
+	i, found := search(leaf.keys, key)
+	if found {
+		// Update in place if the value object can hold it; otherwise
+		// replace the value object.
+		valObj := leaf.ptrs[i]
+		if err := tx.Add(valObj); err != nil {
+			return err
+		}
+		old, err := tx.Read(valObj)
+		if err != nil {
+			return err
+		}
+		oldVal, err := decodeValue(old)
+		if err != nil {
+			return err
+		}
+		val, err := fn(oldVal, true)
+		if err != nil {
+			return err
+		}
+		if valueSize(len(val)) <= len(old) {
+			return t.writeValue(tx, valObj, val)
+		}
+		newVal, err := tx.Alloc(valueSize(len(val)))
+		if err != nil {
+			return err
+		}
+		if err := t.writeValue(tx, newVal, val); err != nil {
+			return err
+		}
+		if err := tx.Free(valObj); err != nil {
+			return err
+		}
+		leaf.ptrs[i] = newVal
+		return t.writeNode(tx, leafObj, leaf)
+	}
+	val, err := fn(nil, false)
+	if err != nil {
+		return err
+	}
+	valObj, err := tx.Alloc(valueSize(len(val)))
+	if err != nil {
+		return err
+	}
+	if err := t.writeValue(tx, valObj, val); err != nil {
+		return err
+	}
+	leaf.keys = append(leaf.keys[:i], append([]uint64{key}, leaf.keys[i:]...)...)
+	leaf.ptrs = append(leaf.ptrs[:i], append([]kamino.ObjID{valObj}, leaf.ptrs[i:]...)...)
+	return t.writeNode(tx, leafObj, leaf)
+}
+
+// Delete removes key, reporting whether it was present. Deletion is lazy
+// (no rebalancing). The descent uses exclusive latch coupling (releasing
+// each parent as soon as the child is latched) so the target leaf cannot be
+// split out from under the operation.
+func (t *Tree) Delete(key uint64) (bool, error) {
+	var deleted bool
+	var un unlockers
+	defer un.runAll()
+	err := t.pool.Update(func(tx *kamino.Tx) error {
+		t.rootLatch.RLock()
+		cur, err := t.rootPtr()
+		if err != nil {
+			t.rootLatch.RUnlock()
+			return err
+		}
+		l := t.latch(cur)
+		l.Lock()
+		un.add(t.rootLatch.RUnlock)
+		un.add(l.Unlock)
+		for {
+			nd, err := t.readNode(cur)
+			if err != nil {
+				return err
+			}
+			if nd.leaf {
+				break
+			}
+			child := nd.ptrs[upperBound(nd.keys, key)]
+			cl := t.latch(child)
+			cl.Lock()
+			// Delete never modifies internal nodes: release the
+			// parent immediately.
+			last := len(un) - 1
+			un[last]()
+			un[last] = cl.Unlock
+			cur = child
+		}
+		if err := tx.Add(cur); err != nil {
+			return err
+		}
+		leaf, err := t.readNodeTx(tx, cur)
+		if err != nil {
+			return err
+		}
+		i, found := search(leaf.keys, key)
+		if !found {
+			return nil
+		}
+		if err := tx.Free(leaf.ptrs[i]); err != nil {
+			return err
+		}
+		leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+		leaf.ptrs = append(leaf.ptrs[:i], leaf.ptrs[i+1:]...)
+		if err := t.writeNode(tx, cur, leaf); err != nil {
+			return err
+		}
+		deleted = true
+		return nil
+	})
+	return deleted, err
+}
+
+// KV is one key-value pair returned by Scan.
+type KV struct {
+	Key   uint64
+	Value []byte
+}
+
+// Scan returns up to max pairs with keys >= start, in ascending order,
+// walking the leaf chain.
+func (t *Tree) Scan(start uint64, max int) ([]KV, error) {
+	var out []KV
+	var un unlockers
+	defer un.runAll()
+	err := t.pool.View(func(tx *kamino.Tx) error {
+		t.rootLatch.RLock()
+		un.add(t.rootLatch.RUnlock)
+		cur, err := t.rootPtr()
+		if err != nil {
+			return err
+		}
+		l := t.latch(cur)
+		l.RLock()
+		un.add(l.RUnlock)
+		for {
+			nd, err := t.readNode(cur)
+			if err != nil {
+				return err
+			}
+			if nd.leaf {
+				break
+			}
+			child := nd.ptrs[upperBound(nd.keys, start)]
+			cl := t.latch(child)
+			cl.RLock()
+			un.add(cl.RUnlock)
+			cur = child
+		}
+		for cur != kamino.Nil && len(out) < max {
+			leaf, err := t.readNodeTx(tx, cur)
+			if err != nil {
+				return err
+			}
+			for i, k := range leaf.keys {
+				if k < start || len(out) >= max {
+					continue
+				}
+				vb, err := tx.Read(leaf.ptrs[i])
+				if err != nil {
+					return err
+				}
+				val, err := decodeValue(vb)
+				if err != nil {
+					return err
+				}
+				out = append(out, KV{Key: k, Value: val})
+			}
+			next := leaf.next
+			if next != kamino.Nil && len(out) < max {
+				nl := t.latch(next)
+				nl.RLock()
+				un.add(nl.RUnlock)
+			}
+			cur = next
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Count walks the leaf chain and returns the number of keys. O(n); intended
+// for tests and tools.
+func (t *Tree) Count() (int, error) {
+	n := 0
+	var un unlockers
+	defer un.runAll()
+	err := t.pool.View(func(tx *kamino.Tx) error {
+		t.rootLatch.RLock()
+		un.add(t.rootLatch.RUnlock)
+		cur, err := t.rootPtr()
+		if err != nil {
+			return err
+		}
+		for {
+			l := t.latch(cur)
+			l.RLock()
+			un.add(l.RUnlock)
+			nd, err := t.readNode(cur)
+			if err != nil {
+				return err
+			}
+			if nd.leaf {
+				break
+			}
+			cur = nd.ptrs[0]
+		}
+		for cur != kamino.Nil {
+			leaf, err := t.readNode(cur)
+			if err != nil {
+				return err
+			}
+			n += len(leaf.keys)
+			if leaf.next != kamino.Nil {
+				nl := t.latch(leaf.next)
+				nl.RLock()
+				un.add(nl.RUnlock)
+			}
+			cur = leaf.next
+		}
+		return nil
+	})
+	return n, err
+}
+
+// CheckInvariants validates structural invariants (sorted keys, separator
+// bounds, leaf-chain ordering). Test helper; not concurrency-safe with
+// writers.
+func (t *Tree) CheckInvariants() error {
+	root, err := t.rootPtr()
+	if err != nil {
+		return err
+	}
+	_, _, err = t.check(root, 0, ^uint64(0), true)
+	return err
+}
+
+func (t *Tree) check(obj kamino.ObjID, lo, hi uint64, loOpen bool) (min, max uint64, err error) {
+	nd, err := t.readNode(obj)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := 1; i < len(nd.keys); i++ {
+		if nd.keys[i-1] >= nd.keys[i] {
+			return 0, 0, fmt.Errorf("pbtree: node %d keys not strictly sorted", obj)
+		}
+	}
+	for _, k := range nd.keys {
+		if (!loOpen && k < lo) || k > hi {
+			return 0, 0, fmt.Errorf("pbtree: node %d key %d outside [%d, %d]", obj, k, lo, hi)
+		}
+	}
+	if nd.leaf {
+		if len(nd.keys) == 0 {
+			return lo, lo, nil
+		}
+		return nd.keys[0], nd.keys[len(nd.keys)-1], nil
+	}
+	if len(nd.ptrs) != len(nd.keys)+1 {
+		return 0, 0, fmt.Errorf("pbtree: internal node %d has %d keys, %d children", obj, len(nd.keys), len(nd.ptrs))
+	}
+	curLo, curOpen := lo, loOpen
+	for i, child := range nd.ptrs {
+		curHi := hi
+		if i < len(nd.keys) {
+			curHi = nd.keys[i] - 1
+		}
+		if _, _, err := t.check(child, curLo, curHi, curOpen); err != nil {
+			return 0, 0, err
+		}
+		if i < len(nd.keys) {
+			curLo, curOpen = nd.keys[i], false
+		}
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,315 @@
+// Package plist implements the persistent sorted doubly linked list from
+// the paper's Figure 4 — the running example of a transactional persistent
+// data structure. Each node holds a key, a float64 value, and persistent
+// next/prev pointers; every mutation is a multi-object transaction.
+package plist
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"kaminotx/kamino"
+)
+
+// Node layout (Figure 4's struct):
+//
+//	off 0:  key   i64
+//	off 8:  value f64 bits
+//	off 16: next  ObjID
+//	off 24: prev  ObjID
+const (
+	nOffKey   = 0
+	nOffValue = 8
+	nOffNext  = 16
+	nOffPrev  = 24
+	nodeSize  = 32
+)
+
+// Anchor object layout:
+//
+//	off 0: head ObjID
+//	off 8: tail ObjID
+//	off 16: length u64
+const (
+	aOffHead = 0
+	aOffTail = 8
+	aOffLen  = 16
+	anchSize = 24
+)
+
+// List is a persistent sorted doubly linked list. Operations are
+// individually transactional; a volatile mutex serializes structural
+// changes (the paper's example locks the affected objects — here the
+// coarse lock keeps the example simple).
+type List struct {
+	pool   *kamino.Pool
+	anchor kamino.ObjID
+	mu     sync.Mutex
+}
+
+// Create allocates a new empty list anchor.
+func Create(pool *kamino.Pool) (*List, error) {
+	l := &List{pool: pool}
+	err := pool.Update(func(tx *kamino.Tx) error {
+		anchor, err := tx.Alloc(anchSize)
+		if err != nil {
+			return err
+		}
+		l.anchor = anchor
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Attach binds to an existing list by its anchor object.
+func Attach(pool *kamino.Pool, anchor kamino.ObjID) *List {
+	return &List{pool: pool, anchor: anchor}
+}
+
+// Anchor returns the persistent anchor object id.
+func (l *List) Anchor() kamino.ObjID { return l.anchor }
+
+// Insert adds key with value, keeping the list sorted by key. Duplicate
+// keys are rejected (use Update). This is the paper's TxInsert.
+func (l *List) Insert(key int64, value float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pool.Update(func(tx *kamino.Tx) error {
+		prev, next, found, err := l.locate(tx, key)
+		if err != nil {
+			return err
+		}
+		if found != kamino.Nil {
+			return fmt.Errorf("plist: key %d already present", key)
+		}
+		nodeObj, err := tx.Alloc(nodeSize)
+		if err != nil {
+			return err
+		}
+		if err := tx.SetUint64(nodeObj, nOffKey, uint64(key)); err != nil {
+			return err
+		}
+		if err := tx.SetUint64(nodeObj, nOffValue, f64bits(value)); err != nil {
+			return err
+		}
+		if err := tx.SetPtr(nodeObj, nOffNext, next); err != nil {
+			return err
+		}
+		if err := tx.SetPtr(nodeObj, nOffPrev, prev); err != nil {
+			return err
+		}
+		// Splice: new->prev->next = new; new->next->prev = new
+		// (Figure 4's TxInsert body).
+		if prev != kamino.Nil {
+			if err := tx.Add(prev); err != nil {
+				return err
+			}
+			if err := tx.SetPtr(prev, nOffNext, nodeObj); err != nil {
+				return err
+			}
+		}
+		if next != kamino.Nil {
+			if err := tx.Add(next); err != nil {
+				return err
+			}
+			if err := tx.SetPtr(next, nOffPrev, nodeObj); err != nil {
+				return err
+			}
+		}
+		if err := tx.Add(l.anchor); err != nil {
+			return err
+		}
+		if prev == kamino.Nil {
+			if err := tx.SetPtr(l.anchor, aOffHead, nodeObj); err != nil {
+				return err
+			}
+		}
+		if next == kamino.Nil {
+			if err := tx.SetPtr(l.anchor, aOffTail, nodeObj); err != nil {
+				return err
+			}
+		}
+		n, err := tx.Uint64(l.anchor, aOffLen)
+		if err != nil {
+			return err
+		}
+		return tx.SetUint64(l.anchor, aOffLen, n+1)
+	})
+}
+
+// Delete removes key, reporting whether it was present (TxDelete).
+func (l *List) Delete(key int64) (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var deleted bool
+	err := l.pool.Update(func(tx *kamino.Tx) error {
+		_, _, node, err := l.locate(tx, key)
+		if err != nil {
+			return err
+		}
+		if node == kamino.Nil {
+			return nil
+		}
+		prev, err := tx.Ptr(node, nOffPrev)
+		if err != nil {
+			return err
+		}
+		next, err := tx.Ptr(node, nOffNext)
+		if err != nil {
+			return err
+		}
+		if err := tx.Add(l.anchor); err != nil {
+			return err
+		}
+		if prev != kamino.Nil {
+			if err := tx.Add(prev); err != nil {
+				return err
+			}
+			if err := tx.SetPtr(prev, nOffNext, next); err != nil {
+				return err
+			}
+		} else if err := tx.SetPtr(l.anchor, aOffHead, next); err != nil {
+			return err
+		}
+		if next != kamino.Nil {
+			if err := tx.Add(next); err != nil {
+				return err
+			}
+			if err := tx.SetPtr(next, nOffPrev, prev); err != nil {
+				return err
+			}
+		} else if err := tx.SetPtr(l.anchor, aOffTail, prev); err != nil {
+			return err
+		}
+		if err := tx.Free(node); err != nil {
+			return err
+		}
+		n, err := tx.Uint64(l.anchor, aOffLen)
+		if err != nil {
+			return err
+		}
+		if err := tx.SetUint64(l.anchor, aOffLen, n-1); err != nil {
+			return err
+		}
+		deleted = true
+		return nil
+	})
+	return deleted, err
+}
+
+// Lookup returns the value for key (TxLookup).
+func (l *List) Lookup(key int64) (float64, bool, error) {
+	var value float64
+	var found bool
+	err := l.pool.View(func(tx *kamino.Tx) error {
+		_, _, node, err := l.locate(tx, key)
+		if err != nil {
+			return err
+		}
+		if node == kamino.Nil {
+			return nil
+		}
+		bits, err := tx.Uint64(node, nOffValue)
+		if err != nil {
+			return err
+		}
+		value, found = f64frombits(bits), true
+		return nil
+	})
+	return value, found, err
+}
+
+// Update changes the value of an existing key (TxUpdate).
+func (l *List) Update(key int64, value float64) (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var updated bool
+	err := l.pool.Update(func(tx *kamino.Tx) error {
+		_, _, node, err := l.locate(tx, key)
+		if err != nil {
+			return err
+		}
+		if node == kamino.Nil {
+			return nil
+		}
+		if err := tx.Add(node); err != nil {
+			return err
+		}
+		if err := tx.SetUint64(node, nOffValue, f64bits(value)); err != nil {
+			return err
+		}
+		updated = true
+		return nil
+	})
+	return updated, err
+}
+
+// Len returns the persistent element count.
+func (l *List) Len() (uint64, error) {
+	var n uint64
+	err := l.pool.View(func(tx *kamino.Tx) error {
+		var err error
+		n, err = tx.Uint64(l.anchor, aOffLen)
+		return err
+	})
+	return n, err
+}
+
+// Keys returns all keys in order. Test and tooling helper.
+func (l *List) Keys() ([]int64, error) {
+	var keys []int64
+	err := l.pool.View(func(tx *kamino.Tx) error {
+		cur, err := tx.Ptr(l.anchor, aOffHead)
+		if err != nil {
+			return err
+		}
+		for cur != kamino.Nil {
+			k, err := tx.Uint64(cur, nOffKey)
+			if err != nil {
+				return err
+			}
+			keys = append(keys, int64(k))
+			cur, err = tx.Ptr(cur, nOffNext)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return keys, err
+}
+
+// locate walks the list and returns the nodes around key: the last node
+// with a smaller key (prev), the first with a larger key (next), and the
+// node holding key itself (found, or Nil).
+func (l *List) locate(tx *kamino.Tx, key int64) (prev, next, found kamino.ObjID, err error) {
+	cur, err := tx.Ptr(l.anchor, aOffHead)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for cur != kamino.Nil {
+		k, err := tx.Uint64(cur, nOffKey)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		switch {
+		case int64(k) == key:
+			return prev, next, cur, nil
+		case int64(k) > key:
+			return prev, cur, kamino.Nil, nil
+		}
+		prev = cur
+		cur, err = tx.Ptr(cur, nOffNext)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	return prev, kamino.Nil, kamino.Nil, nil
+}
+
+func f64bits(f float64) uint64     { return math.Float64bits(f) }
+func f64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,205 @@
+package plist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"kaminotx/kamino"
+)
+
+func newList(t *testing.T, mode kamino.Mode) (*kamino.Pool, *List) {
+	t.Helper()
+	p, err := kamino.Create(kamino.Options{Mode: mode, HeapSize: 4 << 20, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	l, err := Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, l
+}
+
+func TestInsertLookupSorted(t *testing.T) {
+	_, l := newList(t, kamino.ModeSimple)
+	for _, k := range []int64{30, 10, 20, 5, 25} {
+		if err := l.Insert(k, float64(k)*1.5); err != nil {
+			t.Fatalf("Insert(%d): %v", k, err)
+		}
+	}
+	keys, err := l.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Errorf("keys not sorted: %v", keys)
+	}
+	if len(keys) != 5 {
+		t.Errorf("len = %d", len(keys))
+	}
+	v, ok, err := l.Lookup(20)
+	if err != nil || !ok || v != 30.0 {
+		t.Errorf("Lookup(20) = %v %v %v", v, ok, err)
+	}
+	if _, ok, _ := l.Lookup(99); ok {
+		t.Error("absent key found")
+	}
+}
+
+func TestInsertDuplicateRejected(t *testing.T) {
+	_, l := newList(t, kamino.ModeSimple)
+	if err := l.Insert(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Insert(1, 2); err == nil {
+		t.Error("duplicate insert accepted")
+	}
+	// The failed transaction must have been aborted cleanly.
+	if n, _ := l.Len(); n != 1 {
+		t.Errorf("len after failed insert = %d", n)
+	}
+	v, _, _ := l.Lookup(1)
+	if v != 1 {
+		t.Errorf("value after failed insert = %v", v)
+	}
+}
+
+func TestDeleteRelinksAndFrees(t *testing.T) {
+	_, l := newList(t, kamino.ModeSimple)
+	for k := int64(1); k <= 5; k++ {
+		if err := l.Insert(k, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := l.Delete(3)
+	if err != nil || !ok {
+		t.Fatalf("Delete(3) = %v %v", ok, err)
+	}
+	keys, _ := l.Keys()
+	want := []int64{1, 2, 4, 5}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Errorf("keys = %v, want %v", keys, want)
+		}
+	}
+	// Delete head and tail.
+	if ok, _ := l.Delete(1); !ok {
+		t.Error("delete head failed")
+	}
+	if ok, _ := l.Delete(5); !ok {
+		t.Error("delete tail failed")
+	}
+	keys, _ = l.Keys()
+	if len(keys) != 2 || keys[0] != 2 || keys[1] != 4 {
+		t.Errorf("keys = %v", keys)
+	}
+	if ok, _ := l.Delete(99); ok {
+		t.Error("delete of absent key reported success")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	_, l := newList(t, kamino.ModeSimple)
+	if err := l.Insert(7, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := l.Update(7, 2.5)
+	if err != nil || !ok {
+		t.Fatalf("Update = %v %v", ok, err)
+	}
+	v, _, _ := l.Lookup(7)
+	if v != 2.5 {
+		t.Errorf("value = %v", v)
+	}
+	if ok, _ := l.Update(8, 1); ok {
+		t.Error("update of absent key reported success")
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	for _, mode := range []kamino.Mode{kamino.ModeSimple, kamino.ModeDynamic, kamino.ModeUndo, kamino.ModeCoW} {
+		t.Run(string(mode), func(t *testing.T) {
+			p, l := newList(t, mode)
+			for k := int64(0); k < 20; k++ {
+				if err := l.Insert(k, float64(k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := p.Crash(); err != nil {
+				t.Fatal(err)
+			}
+			l2 := Attach(p, l.Anchor())
+			keys, err := l2.Keys()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(keys) != 20 {
+				t.Errorf("keys after crash = %d, want 20", len(keys))
+			}
+			n, err := l2.Len()
+			if err != nil || n != 20 {
+				t.Errorf("Len after crash = %d %v", n, err)
+			}
+		})
+	}
+}
+
+func TestRandomOpsAgainstModel(t *testing.T) {
+	_, l := newList(t, kamino.ModeSimple)
+	rng := rand.New(rand.NewSource(7))
+	model := make(map[int64]float64)
+	for i := 0; i < 500; i++ {
+		k := int64(rng.Intn(50))
+		switch rng.Intn(4) {
+		case 0:
+			err := l.Insert(k, float64(i))
+			if _, exists := model[k]; exists {
+				if err == nil {
+					t.Fatalf("duplicate insert of %d accepted", k)
+				}
+			} else if err != nil {
+				t.Fatalf("Insert(%d): %v", k, err)
+			} else {
+				model[k] = float64(i)
+			}
+		case 1:
+			ok, err := l.Delete(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, exists := model[k]; exists != ok {
+				t.Fatalf("Delete(%d) = %v, model says %v", k, ok, exists)
+			}
+			delete(model, k)
+		case 2:
+			ok, err := l.Update(k, float64(-i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, exists := model[k]; exists != ok {
+				t.Fatalf("Update(%d) mismatch", k)
+			}
+			if ok {
+				model[k] = float64(-i)
+			}
+		case 3:
+			v, ok, err := l.Lookup(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, exists := model[k]
+			if exists != ok || (ok && v != want) {
+				t.Fatalf("Lookup(%d) = %v %v, model %v %v", k, v, ok, want, exists)
+			}
+		}
+	}
+	n, _ := l.Len()
+	if int(n) != len(model) {
+		t.Errorf("Len = %d, model %d", n, len(model))
+	}
+}

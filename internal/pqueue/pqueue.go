@@ -1,0 +1,321 @@
+// Package pqueue implements the persistent operation queues chain replicas
+// keep in NVM (paper §5.1): the input queue of received-but-unexecuted
+// transactions and the in-flight queue of forwarded transactions awaiting
+// clean-up acknowledgments.
+//
+// The queue is a byte ring over an NVM region with persistent head/tail
+// cursors. A record becomes durable before Enqueue returns; Dequeue only
+// advances the persistent head cursor, so a crash re-presents any records
+// whose processing did not complete (consumers deduplicate by sequence
+// number).
+package pqueue
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"kaminotx/internal/nvm"
+)
+
+const (
+	hdrSize  = 64
+	qMagic   = 0x4b515545 // "KQUE"
+	recAlign = 8
+
+	hOffMagic = 0
+	hOffCap   = 8  // u64 data capacity
+	hOffHead  = 16 // u64 logical byte offset of oldest record
+	hOffTail  = 24 // u64 logical byte offset past newest record
+	hOffSeq   = 32 // u64 highest sequence number ever enqueued
+
+	// record header: total u32 (aligned length incl. header), seq u64,
+	// nameLen u16, argsLen u32
+	recHdr = 4 + 8 + 2 + 4 + 6 // padded to 24
+)
+
+// Record is one queued operation.
+type Record struct {
+	Seq  uint64
+	Name string
+	Args []byte
+}
+
+// Queue is a persistent FIFO of records.
+type Queue struct {
+	reg *nvm.Region
+
+	mu      sync.Mutex
+	cap     uint64
+	head    uint64 // logical offsets; physical = offset % cap + hdrSize
+	tail    uint64
+	lastSeq uint64 // highest seq ever enqueued (duplicate-delivery filter)
+}
+
+// Errors.
+var (
+	ErrFull     = errors.New("pqueue: queue full")
+	ErrEmpty    = errors.New("pqueue: queue empty")
+	ErrBadMagic = errors.New("pqueue: region is not a formatted queue")
+)
+
+// Format initializes a queue using all of reg beyond the header.
+func Format(reg *nvm.Region) (*Queue, error) {
+	capacity := uint64(reg.Size() - hdrSize)
+	if capacity < 1024 {
+		return nil, fmt.Errorf("pqueue: region too small (%d bytes)", reg.Size())
+	}
+	capacity = capacity / recAlign * recAlign
+	if err := reg.Zero(0, hdrSize); err != nil {
+		return nil, err
+	}
+	if err := reg.Store64(hOffMagic, qMagic); err != nil {
+		return nil, err
+	}
+	if err := reg.Store64(hOffCap, capacity); err != nil {
+		return nil, err
+	}
+	if err := reg.Persist(0, hdrSize); err != nil {
+		return nil, err
+	}
+	return &Queue{reg: reg, cap: capacity}, nil
+}
+
+// Attach reopens a formatted queue, restoring the persistent cursors.
+func Attach(reg *nvm.Region) (*Queue, error) {
+	magic, err := reg.Load64(hOffMagic)
+	if err != nil {
+		return nil, err
+	}
+	if magic != qMagic {
+		return nil, ErrBadMagic
+	}
+	capacity, err := reg.Load64(hOffCap)
+	if err != nil {
+		return nil, err
+	}
+	head, err := reg.Load64(hOffHead)
+	if err != nil {
+		return nil, err
+	}
+	tail, err := reg.Load64(hOffTail)
+	if err != nil {
+		return nil, err
+	}
+	if capacity == 0 || head > tail || tail-head > capacity {
+		return nil, fmt.Errorf("pqueue: corrupt cursors head=%d tail=%d cap=%d", head, tail, capacity)
+	}
+	lastSeq, err := reg.Load64(hOffSeq)
+	if err != nil {
+		return nil, err
+	}
+	return &Queue{reg: reg, cap: capacity, head: head, tail: tail, lastSeq: lastSeq}, nil
+}
+
+// LastSeq returns the highest sequence number ever enqueued (persistent).
+// Chain replicas drop re-delivered records with Seq <= LastSeq.
+func (q *Queue) LastSeq() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.lastSeq
+}
+
+func recSize(r Record) uint64 {
+	n := uint64(recHdr + len(r.Name) + len(r.Args))
+	return (n + recAlign - 1) / recAlign * recAlign
+}
+
+// write copies p at logical offset off, handling ring wrap-around.
+func (q *Queue) write(off uint64, p []byte) error {
+	phys := int(off%q.cap) + hdrSize
+	first := int(q.cap) + hdrSize - phys
+	if first >= len(p) {
+		return q.reg.Write(phys, p)
+	}
+	if err := q.reg.Write(phys, p[:first]); err != nil {
+		return err
+	}
+	return q.reg.Write(hdrSize, p[first:])
+}
+
+func (q *Queue) persist(off uint64, n int) error {
+	phys := int(off%q.cap) + hdrSize
+	first := int(q.cap) + hdrSize - phys
+	if first >= n {
+		return q.reg.Persist(phys, n)
+	}
+	if err := q.reg.Flush(phys, first); err != nil {
+		return err
+	}
+	if err := q.reg.Flush(hdrSize, n-first); err != nil {
+		return err
+	}
+	q.reg.Fence()
+	return nil
+}
+
+// read copies n bytes at logical offset off into a fresh slice.
+func (q *Queue) read(off uint64, n int) ([]byte, error) {
+	out := make([]byte, n)
+	phys := int(off%q.cap) + hdrSize
+	first := int(q.cap) + hdrSize - phys
+	if first >= n {
+		if err := q.reg.Read(phys, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	if err := q.reg.Read(phys, out[:first]); err != nil {
+		return nil, err
+	}
+	if err := q.reg.Read(hdrSize, out[first:]); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Enqueue durably appends r. On return the record and the tail cursor are
+// persisted.
+func (q *Queue) Enqueue(r Record) error {
+	if len(r.Name) > 1<<15 {
+		return fmt.Errorf("pqueue: name too long (%d bytes)", len(r.Name))
+	}
+	sz := recSize(r)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if sz > q.cap-(q.tail-q.head) {
+		return fmt.Errorf("%w: need %d bytes, %d free", ErrFull, sz, q.cap-(q.tail-q.head))
+	}
+	buf := make([]byte, sz)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(sz))
+	binary.LittleEndian.PutUint64(buf[4:], r.Seq)
+	binary.LittleEndian.PutUint16(buf[12:], uint16(len(r.Name)))
+	binary.LittleEndian.PutUint32(buf[14:], uint32(len(r.Args)))
+	copy(buf[recHdr:], r.Name)
+	copy(buf[recHdr+len(r.Name):], r.Args)
+	if err := q.write(q.tail, buf); err != nil {
+		return err
+	}
+	if err := q.persist(q.tail, len(buf)); err != nil {
+		return err
+	}
+	q.tail += sz
+	if err := q.reg.Store64(hOffTail, q.tail); err != nil {
+		return err
+	}
+	if r.Seq > q.lastSeq {
+		q.lastSeq = r.Seq
+		if err := q.reg.Store64(hOffSeq, q.lastSeq); err != nil {
+			return err
+		}
+	}
+	// Tail cursor and lastSeq share the header line: one persist.
+	return q.reg.Persist(hOffTail, 24)
+}
+
+func (q *Queue) decodeAt(off uint64) (Record, uint64, error) {
+	hdr, err := q.read(off, recHdr)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	sz := uint64(binary.LittleEndian.Uint32(hdr[0:]))
+	seq := binary.LittleEndian.Uint64(hdr[4:])
+	nameLen := int(binary.LittleEndian.Uint16(hdr[12:]))
+	argsLen := int(binary.LittleEndian.Uint32(hdr[14:]))
+	if sz < recHdr || sz > q.cap || uint64(recHdr+nameLen+argsLen) > sz {
+		return Record{}, 0, fmt.Errorf("pqueue: corrupt record at %d (size %d)", off, sz)
+	}
+	body, err := q.read(off+recHdr, nameLen+argsLen)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return Record{
+		Seq:  seq,
+		Name: string(body[:nameLen]),
+		Args: append([]byte(nil), body[nameLen:]...),
+	}, sz, nil
+}
+
+// Peek returns the oldest record without removing it.
+func (q *Queue) Peek() (Record, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head == q.tail {
+		return Record{}, ErrEmpty
+	}
+	r, _, err := q.decodeAt(q.head)
+	return r, err
+}
+
+// Dequeue durably removes and returns the oldest record.
+func (q *Queue) Dequeue() (Record, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head == q.tail {
+		return Record{}, ErrEmpty
+	}
+	r, sz, err := q.decodeAt(q.head)
+	if err != nil {
+		return Record{}, err
+	}
+	q.head += sz
+	if err := q.reg.Store64(hOffHead, q.head); err != nil {
+		return Record{}, err
+	}
+	if err := q.reg.Persist(hOffHead, 8); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+// DropThrough durably removes all records with Seq <= seq from the front
+// (clean-up acknowledgments traveling up the chain).
+func (q *Queue) DropThrough(seq uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head != q.tail {
+		r, sz, err := q.decodeAt(q.head)
+		if err != nil {
+			return err
+		}
+		if r.Seq > seq {
+			break
+		}
+		q.head += sz
+	}
+	if err := q.reg.Store64(hOffHead, q.head); err != nil {
+		return err
+	}
+	return q.reg.Persist(hOffHead, 8)
+}
+
+// All returns every queued record oldest-first without removing them
+// (recovery and resend).
+func (q *Queue) All() ([]Record, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []Record
+	for off := q.head; off != q.tail; {
+		r, sz, err := q.decodeAt(off)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		off += sz
+	}
+	return out, nil
+}
+
+// Len returns the number of queued records.
+func (q *Queue) Len() (int, error) {
+	rs, err := q.All()
+	return len(rs), err
+}
+
+// Empty reports whether the queue has no records.
+func (q *Queue) Empty() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.head == q.tail
+}

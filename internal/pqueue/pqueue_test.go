@@ -1,0 +1,175 @@
+package pqueue
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"kaminotx/internal/nvm"
+)
+
+func newQueue(t *testing.T, size int) *Queue {
+	t.Helper()
+	reg, err := nvm.New(size, nvm.Options{Mode: nvm.ModeStrict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Format(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := newQueue(t, 8192)
+	for i := uint64(1); i <= 10; i++ {
+		if err := q.Enqueue(Record{Seq: i, Name: "op", Args: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= 10; i++ {
+		r, err := q.Dequeue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Seq != i || r.Args[0] != byte(i) {
+			t.Errorf("dequeued %+v, want seq %d", r, i)
+		}
+	}
+	if _, err := q.Dequeue(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty dequeue = %v", err)
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	q := newQueue(t, 4096)
+	if err := q.Enqueue(Record{Seq: 5, Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := q.Peek()
+	if err != nil || r.Seq != 5 {
+		t.Fatalf("Peek = %+v %v", r, err)
+	}
+	if n, _ := q.Len(); n != 1 {
+		t.Errorf("Len after Peek = %d", n)
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := newQueue(t, 2048)
+	args := make([]byte, 100)
+	// Push/pop more total bytes than the capacity to force wrapping.
+	seq := uint64(0)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 5; i++ {
+			seq++
+			args[0] = byte(seq)
+			if err := q.Enqueue(Record{Seq: seq, Name: fmt.Sprintf("op%d", seq), Args: args}); err != nil {
+				t.Fatalf("enqueue %d: %v", seq, err)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			r, err := q.Dequeue()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Args[0] != byte(r.Seq) {
+				t.Fatalf("record %d corrupted across wrap", r.Seq)
+			}
+			if r.Name != fmt.Sprintf("op%d", r.Seq) {
+				t.Fatalf("name corrupted: %q", r.Name)
+			}
+		}
+	}
+}
+
+func TestFull(t *testing.T) {
+	q := newQueue(t, 2048)
+	big := make([]byte, 300)
+	var err error
+	for i := 0; i < 100; i++ {
+		err = q.Enqueue(Record{Seq: uint64(i), Name: "op", Args: big})
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrFull) {
+		t.Fatalf("never filled: %v", err)
+	}
+	// Draining frees space.
+	if _, err := q.Dequeue(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(Record{Seq: 999, Name: "op", Args: big}); err != nil {
+		t.Fatalf("enqueue after drain: %v", err)
+	}
+}
+
+func TestDropThrough(t *testing.T) {
+	q := newQueue(t, 8192)
+	for i := uint64(1); i <= 10; i++ {
+		if err := q.Enqueue(Record{Seq: i, Name: "op"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.DropThrough(7); err != nil {
+		t.Fatal(err)
+	}
+	r, err := q.Peek()
+	if err != nil || r.Seq != 8 {
+		t.Fatalf("after DropThrough(7): %+v %v", r, err)
+	}
+	if n, _ := q.Len(); n != 3 {
+		t.Errorf("Len = %d, want 3", n)
+	}
+}
+
+func TestCrashDurability(t *testing.T) {
+	q := newQueue(t, 8192)
+	for i := uint64(1); i <= 5; i++ {
+		if err := q.Enqueue(Record{Seq: i, Name: "persist", Args: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Dequeue two (persisted head advance), then crash.
+	for i := 0; i < 2; i++ {
+		if _, err := q.Dequeue(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.reg.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Attach(q.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := q2.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 || all[0].Seq != 3 || all[2].Seq != 5 {
+		t.Errorf("after crash: %+v", all)
+	}
+}
+
+func TestAttachRejectsGarbage(t *testing.T) {
+	reg, _ := nvm.New(4096, nvm.Options{Mode: nvm.ModeStrict})
+	if _, err := Attach(reg); err == nil {
+		t.Error("Attach on unformatted region accepted")
+	}
+}
+
+func TestEmptyAndLen(t *testing.T) {
+	q := newQueue(t, 4096)
+	if !q.Empty() {
+		t.Error("fresh queue not empty")
+	}
+	if err := q.Enqueue(Record{Seq: 1, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if q.Empty() {
+		t.Error("queue with record reports empty")
+	}
+}

@@ -1,0 +1,189 @@
+// Package stats provides the latency histograms and throughput counters
+// the benchmark harness uses to report the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram records latencies in logarithmic buckets (~4% relative error)
+// and exact min/max/sum. Safe for concurrent use via Merge: each worker
+// keeps its own Histogram and merges at the end.
+type Histogram struct {
+	buckets [256]uint64
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// bucketFor maps a duration to a logarithmic bucket index.
+func bucketFor(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	// 16 buckets per octave over nanoseconds.
+	b := int(math.Log2(float64(d)) * 4)
+	if b < 0 {
+		b = 0
+	}
+	if b > 255 {
+		b = 255
+	}
+	return b
+}
+
+// bucketMid returns a representative duration for a bucket.
+func bucketMid(b int) time.Duration {
+	return time.Duration(math.Exp2((float64(b) + 0.5) / 4))
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.buckets[bucketFor(d)]++
+	h.count++
+	h.sum += d
+	if h.min == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Merge adds other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.min != 0 && (h.min == 0 || other.min < h.min) {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the average latency.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min and Max return the extreme samples.
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Percentile returns the approximate p-th percentile (0 < p <= 100).
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return bucketMid(i)
+		}
+	}
+	return h.max
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.count, h.Mean(), h.Percentile(50), h.Percentile(99), h.max)
+}
+
+// Timer measures throughput over a run.
+type Timer struct {
+	start time.Time
+	ops   uint64
+}
+
+// StartTimer begins a throughput measurement.
+func StartTimer() *Timer { return &Timer{start: time.Now()} }
+
+// Add counts n completed operations.
+func (t *Timer) Add(n uint64) { t.ops += n }
+
+// OpsPerSec returns the throughput so far.
+func (t *Timer) OpsPerSec() float64 {
+	el := time.Since(t.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(t.ops) / el
+}
+
+// Collector aggregates per-worker histograms thread-safely.
+type Collector struct {
+	mu   sync.Mutex
+	hist Histogram
+	ops  uint64
+}
+
+// Report merges a worker's histogram and op count.
+func (c *Collector) Report(h *Histogram, ops uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hist.Merge(h)
+	c.ops += ops
+}
+
+// Histogram returns the merged histogram.
+func (c *Collector) Histogram() *Histogram {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.hist
+	return &h
+}
+
+// Ops returns the total operation count.
+func (c *Collector) Ops() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
+
+// Series formats a row of numbers for table output.
+func Series(vals []float64) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%10.1f", v)
+	}
+	return join(parts, " ")
+}
+
+func join(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}
+
+// SortDurations sorts a slice of durations ascending (tool helper).
+func SortDurations(ds []time.Duration) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+}

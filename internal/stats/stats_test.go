@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Min() != time.Microsecond {
+		t.Errorf("Min = %v", h.Min())
+	}
+	if h.Max() != 100*time.Microsecond {
+		t.Errorf("Max = %v", h.Max())
+	}
+	mean := h.Mean()
+	if mean < 48*time.Microsecond || mean > 53*time.Microsecond {
+		t.Errorf("Mean = %v, want ~50.5µs", mean)
+	}
+}
+
+func TestPercentileApproximation(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Record(time.Duration(rng.Intn(1000)+1) * time.Microsecond)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 400*time.Microsecond || p50 > 620*time.Microsecond {
+		t.Errorf("p50 = %v, want ~500µs ±%d%%", p50, 20)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 850*time.Microsecond {
+		t.Errorf("p99 = %v, want >= 850µs", p99)
+	}
+	if h.Percentile(100) < p99 {
+		t.Error("p100 < p99")
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram returned nonzero stats")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(10 * time.Microsecond)
+	b.Record(30 * time.Microsecond)
+	a.Merge(&b)
+	if a.Count() != 2 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+	if a.Min() != 10*time.Microsecond || a.Max() != 30*time.Microsecond {
+		t.Errorf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	if a.Mean() != 20*time.Microsecond {
+		t.Errorf("merged mean = %v", a.Mean())
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	var c Collector
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			var h Histogram
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Microsecond)
+			}
+			c.Report(&h, 1000)
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if c.Ops() != 8000 {
+		t.Errorf("ops = %d", c.Ops())
+	}
+	if c.Histogram().Count() != 8000 {
+		t.Errorf("hist count = %d", c.Histogram().Count())
+	}
+}
+
+func TestTimer(t *testing.T) {
+	tm := StartTimer()
+	tm.Add(100)
+	if tm.OpsPerSec() <= 0 {
+		t.Error("OpsPerSec not positive")
+	}
+}

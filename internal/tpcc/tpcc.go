@@ -1,0 +1,699 @@
+// Package tpcc implements a scaled-down TPC-C ("TPC-C lite") over the
+// kamino persistent heap, used to reproduce the paper's TPC-C results
+// (Figures 1 and 13). The five transaction profiles (NewOrder, Payment,
+// OrderStatus, Delivery, StockLevel) run with the standard mix and touch
+// multiple persistent objects per transaction; ~1% of NewOrders abort, as
+// in the TPC-C specification, exercising each engine's rollback path.
+//
+// Rows are fixed-layout persistent objects reached through per-table
+// directory arrays (TPC-C keys are dense integers), so transactions lock
+// exactly the rows they touch. All row accesses follow the canonical order
+// warehouse → district → customer → stock (ascending item id) → orders,
+// which keeps the workload deadlock-free.
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"kaminotx/kamino"
+)
+
+// Config scales the database.
+type Config struct {
+	Warehouses    int // default 2
+	DistrictsPerW int // default 10
+	CustomersPerD int // default 100 (spec: 3000)
+	Items         int // default 1000 (spec: 100000)
+	OrderCap      int // per-district order ring capacity, default 256
+}
+
+func (c Config) withDefaults() Config {
+	if c.Warehouses == 0 {
+		c.Warehouses = 2
+	}
+	if c.DistrictsPerW == 0 {
+		c.DistrictsPerW = 10
+	}
+	if c.CustomersPerD == 0 {
+		c.CustomersPerD = 100
+	}
+	if c.Items == 0 {
+		c.Items = 1000
+	}
+	if c.OrderCap == 0 {
+		c.OrderCap = 256
+	}
+	return c
+}
+
+// Row layouts. All money amounts are cents (u64), avoiding float drift.
+const (
+	// warehouse: ytd u64, tax u64 (basis points)
+	whSize   = 16
+	whOffYTD = 0
+	whOffTax = 8
+
+	// district: ytd u64, tax u64, nextOID u64, oldestUndelivered u64
+	distSize      = 32
+	distOffYTD    = 0
+	distOffTax    = 8
+	distOffNext   = 16
+	distOffOldest = 24
+
+	// customer: balance i64, ytdPayment u64, paymentCnt u64, deliveryCnt u64
+	custSize       = 32
+	custOffBalance = 0
+	custOffYTD     = 8
+	custOffPayCnt  = 16
+	custOffDelCnt  = 24
+
+	// stock: quantity u64, ytd u64, orderCnt u64
+	stockSize   = 24
+	stockOffQty = 0
+	stockOffYTD = 8
+	stockOffCnt = 16
+
+	// item: price u64 (cents)
+	itemSize     = 8
+	itemOffPrice = 0
+
+	// order header: customer u64, carrier u64, olCnt u64, lines ObjID
+	orderSize     = 32
+	orderOffCust  = 0
+	orderOffCarr  = 8
+	orderOffCnt   = 16
+	orderOffLines = 24
+
+	// order line: item u64, qty u64, amount u64 → 24 bytes each
+	lineSize = 24
+
+	maxLines = 15
+	minLines = 5
+)
+
+// DB is a loaded TPC-C-lite database.
+type DB struct {
+	pool *kamino.Pool
+	cfg  Config
+
+	// Directory objects: arrays of ObjIDs.
+	warehouses kamino.ObjID // [W]
+	districts  kamino.ObjID // [W*D]
+	customers  kamino.ObjID // [W*D*C]
+	stocks     kamino.ObjID // [W*I]
+	items      kamino.ObjID // [I]
+	orderDirs  kamino.ObjID // [W*D] -> per-district ring object
+
+	// Volatile caches of the directories (ObjIDs never move).
+	wh, dist, cust, stock, item, odirs []kamino.ObjID
+}
+
+// Stats counts executed transactions.
+type Stats struct {
+	NewOrders, Payments, OrderStatuses, Deliveries, StockLevels uint64
+	Aborts                                                      uint64
+}
+
+// Total returns all committed transactions.
+func (s Stats) Total() uint64 {
+	return s.NewOrders + s.Payments + s.OrderStatuses + s.Deliveries + s.StockLevels
+}
+
+// Load populates a fresh database in pool. Each table loads in chunked
+// transactions so the intent-log write-set bound is never exceeded.
+func Load(pool *kamino.Pool, cfg Config) (*DB, error) {
+	cfg = cfg.withDefaults()
+	db := &DB{pool: pool, cfg: cfg}
+	rng := rand.New(rand.NewSource(12345))
+
+	// allocTable allocates a directory plus n row objects, committing in
+	// chunks of at most 24 rows per transaction.
+	allocTable := func(n, size int, init func(tx *kamino.Tx, obj kamino.ObjID) error) (kamino.ObjID, []kamino.ObjID, error) {
+		var dir kamino.ObjID
+		if err := pool.Update(func(tx *kamino.Tx) error {
+			var err error
+			dir, err = tx.Alloc(n * 8)
+			return err
+		}); err != nil {
+			return kamino.Nil, nil, err
+		}
+		ids := make([]kamino.ObjID, n)
+		const chunk = 24
+		for start := 0; start < n; start += chunk {
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			if err := pool.Update(func(tx *kamino.Tx) error {
+				if err := tx.Add(dir); err != nil {
+					return err
+				}
+				for i := start; i < end; i++ {
+					obj, err := tx.Alloc(size)
+					if err != nil {
+						return err
+					}
+					if err := tx.SetPtr(dir, i*8, obj); err != nil {
+						return err
+					}
+					if init != nil {
+						if err := init(tx, obj); err != nil {
+							return err
+						}
+					}
+					ids[i] = obj
+				}
+				return nil
+			}); err != nil {
+				return kamino.Nil, nil, err
+			}
+		}
+		return dir, ids, nil
+	}
+
+	var err error
+	db.warehouses, db.wh, err = allocTable(cfg.Warehouses, whSize, func(tx *kamino.Tx, obj kamino.ObjID) error {
+		return tx.SetUint64(obj, whOffTax, uint64(rng.Intn(2000))) // 0-20% tax in bp
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.districts, db.dist, err = allocTable(cfg.Warehouses*cfg.DistrictsPerW, distSize, func(tx *kamino.Tx, obj kamino.ObjID) error {
+		return tx.SetUint64(obj, distOffTax, uint64(rng.Intn(2000)))
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.customers, db.cust, err = allocTable(cfg.Warehouses*cfg.DistrictsPerW*cfg.CustomersPerD, custSize, nil)
+	if err != nil {
+		return nil, err
+	}
+	db.stocks, db.stock, err = allocTable(cfg.Warehouses*cfg.Items, stockSize, func(tx *kamino.Tx, obj kamino.ObjID) error {
+		return tx.SetUint64(obj, stockOffQty, uint64(10+rng.Intn(90)))
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.items, db.item, err = allocTable(cfg.Items, itemSize, func(tx *kamino.Tx, obj kamino.ObjID) error {
+		return tx.SetUint64(obj, itemOffPrice, uint64(100+rng.Intn(9900)))
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.orderDirs, db.odirs, err = allocTable(cfg.Warehouses*cfg.DistrictsPerW, cfg.OrderCap*8, nil)
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *DB) district(w, d int) kamino.ObjID {
+	return db.dist[w*db.cfg.DistrictsPerW+d]
+}
+func (db *DB) customer(w, d, c int) kamino.ObjID {
+	return db.cust[(w*db.cfg.DistrictsPerW+d)*db.cfg.CustomersPerD+c]
+}
+func (db *DB) stockObj(w, i int) kamino.ObjID { return db.stock[w*db.cfg.Items+i] }
+func (db *DB) orderRing(w, d int) kamino.ObjID {
+	return db.odirs[w*db.cfg.DistrictsPerW+d]
+}
+
+// ErrSimulatedAbort marks the TPC-C 1% intentionally aborted NewOrders.
+var ErrSimulatedAbort = errors.New("tpcc: simulated invalid item (1% NewOrder abort)")
+
+// Worker runs the TPC-C transaction mix against db.
+type Worker struct {
+	db    *DB
+	rng   *rand.Rand
+	stats Stats
+}
+
+// NewWorker creates a worker with its own RNG.
+func NewWorker(db *DB, seed int64) *Worker {
+	return &Worker{db: db, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Stats returns the worker's transaction counts.
+func (w *Worker) Stats() Stats { return w.stats }
+
+// RunOne executes one transaction drawn from the standard TPC-C mix
+// (45/43/4/4/4).
+func (w *Worker) RunOne() error {
+	r := w.rng.Intn(100)
+	switch {
+	case r < 45:
+		err := w.NewOrder()
+		if errors.Is(err, ErrSimulatedAbort) {
+			w.stats.Aborts++
+			return nil
+		}
+		if err == nil {
+			w.stats.NewOrders++
+		}
+		return err
+	case r < 88:
+		if err := w.Payment(); err != nil {
+			return err
+		}
+		w.stats.Payments++
+	case r < 92:
+		if err := w.OrderStatus(); err != nil {
+			return err
+		}
+		w.stats.OrderStatuses++
+	case r < 96:
+		if err := w.Delivery(); err != nil {
+			return err
+		}
+		w.stats.Deliveries++
+	default:
+		if err := w.StockLevel(); err != nil {
+			return err
+		}
+		w.stats.StockLevels++
+	}
+	return nil
+}
+
+// NewOrder creates an order with 5–15 lines, updating district, stock and
+// allocating the order and its lines. ~1% abort after doing work.
+func (w *Worker) NewOrder() error {
+	cfg := w.db.cfg
+	wid := w.rng.Intn(cfg.Warehouses)
+	did := w.rng.Intn(cfg.DistrictsPerW)
+	cid := w.rng.Intn(cfg.CustomersPerD)
+	nLines := minLines + w.rng.Intn(maxLines-minLines+1)
+	itemIDs := make([]int, 0, nLines)
+	seen := make(map[int]bool, nLines)
+	for len(itemIDs) < nLines {
+		it := w.rng.Intn(cfg.Items)
+		if !seen[it] {
+			seen[it] = true
+			itemIDs = append(itemIDs, it)
+		}
+	}
+	// Canonical lock order: ascending item id.
+	sortInts(itemIDs)
+	simAbort := w.rng.Intn(100) == 0
+
+	return w.db.pool.Update(func(tx *kamino.Tx) error {
+		dobj := w.db.district(wid, did)
+		if err := tx.Add(dobj); err != nil {
+			return err
+		}
+		oid, err := tx.Uint64(dobj, distOffNext)
+		if err != nil {
+			return err
+		}
+		if err := tx.SetUint64(dobj, distOffNext, oid+1); err != nil {
+			return err
+		}
+		lines, err := tx.Alloc(nLines * lineSize)
+		if err != nil {
+			return err
+		}
+		var total uint64
+		for i, it := range itemIDs {
+			price, err := tx.Uint64(w.db.item[it], itemOffPrice)
+			if err != nil {
+				return err
+			}
+			qty := uint64(1 + w.rng.Intn(10))
+			sobj := w.db.stockObj(wid, it)
+			if err := tx.Add(sobj); err != nil {
+				return err
+			}
+			sq, err := tx.Uint64(sobj, stockOffQty)
+			if err != nil {
+				return err
+			}
+			if sq >= qty+10 {
+				sq -= qty
+			} else {
+				sq = sq + 91 - qty
+			}
+			if err := tx.SetUint64(sobj, stockOffQty, sq); err != nil {
+				return err
+			}
+			cnt, err := tx.Uint64(sobj, stockOffCnt)
+			if err != nil {
+				return err
+			}
+			if err := tx.SetUint64(sobj, stockOffCnt, cnt+1); err != nil {
+				return err
+			}
+			amount := price * qty
+			total += amount
+			base := i * lineSize
+			if err := tx.SetUint64(lines, base, uint64(it)); err != nil {
+				return err
+			}
+			if err := tx.SetUint64(lines, base+8, qty); err != nil {
+				return err
+			}
+			if err := tx.SetUint64(lines, base+16, amount); err != nil {
+				return err
+			}
+		}
+		order, err := tx.Alloc(orderSize)
+		if err != nil {
+			return err
+		}
+		if err := tx.SetUint64(order, orderOffCust, uint64(cid)); err != nil {
+			return err
+		}
+		if err := tx.SetUint64(order, orderOffCnt, uint64(nLines)); err != nil {
+			return err
+		}
+		if err := tx.SetPtr(order, orderOffLines, lines); err != nil {
+			return err
+		}
+		// Publish into the district's order ring, freeing the evicted
+		// order (and its lines) when the ring wraps.
+		ring := w.db.orderRing(wid, did)
+		if err := tx.Add(ring); err != nil {
+			return err
+		}
+		slot := int(oid) % cfg.OrderCap
+		old, err := tx.Ptr(ring, slot*8)
+		if err != nil {
+			return err
+		}
+		if old != kamino.Nil {
+			oldLines, err := tx.Ptr(old, orderOffLines)
+			if err != nil {
+				return err
+			}
+			if oldLines != kamino.Nil {
+				if err := tx.Free(oldLines); err != nil {
+					return err
+				}
+			}
+			if err := tx.Free(old); err != nil {
+				return err
+			}
+		}
+		if err := tx.SetPtr(ring, slot*8, order); err != nil {
+			return err
+		}
+		_ = total
+		if simAbort {
+			return ErrSimulatedAbort
+		}
+		return nil
+	})
+}
+
+// Payment pays a customer: warehouse and district YTD grow, the customer's
+// balance drops.
+func (w *Worker) Payment() error {
+	cfg := w.db.cfg
+	wid := w.rng.Intn(cfg.Warehouses)
+	did := w.rng.Intn(cfg.DistrictsPerW)
+	cid := w.rng.Intn(cfg.CustomersPerD)
+	amount := uint64(100 + w.rng.Intn(500000))
+
+	return w.db.pool.Update(func(tx *kamino.Tx) error {
+		wobj := w.db.wh[wid]
+		if err := tx.Add(wobj); err != nil {
+			return err
+		}
+		ytd, err := tx.Uint64(wobj, whOffYTD)
+		if err != nil {
+			return err
+		}
+		if err := tx.SetUint64(wobj, whOffYTD, ytd+amount); err != nil {
+			return err
+		}
+		dobj := w.db.district(wid, did)
+		if err := tx.Add(dobj); err != nil {
+			return err
+		}
+		dytd, err := tx.Uint64(dobj, distOffYTD)
+		if err != nil {
+			return err
+		}
+		if err := tx.SetUint64(dobj, distOffYTD, dytd+amount); err != nil {
+			return err
+		}
+		cobj := w.db.customer(wid, did, cid)
+		if err := tx.Add(cobj); err != nil {
+			return err
+		}
+		bal, err := tx.Uint64(cobj, custOffBalance)
+		if err != nil {
+			return err
+		}
+		if err := tx.SetUint64(cobj, custOffBalance, bal-amount); err != nil {
+			return err
+		}
+		cytd, err := tx.Uint64(cobj, custOffYTD)
+		if err != nil {
+			return err
+		}
+		if err := tx.SetUint64(cobj, custOffYTD, cytd+amount); err != nil {
+			return err
+		}
+		pc, err := tx.Uint64(cobj, custOffPayCnt)
+		if err != nil {
+			return err
+		}
+		return tx.SetUint64(cobj, custOffPayCnt, pc+1)
+	})
+}
+
+// OrderStatus reads a customer's balance and their district's most recent
+// order with its lines (read-only).
+func (w *Worker) OrderStatus() error {
+	cfg := w.db.cfg
+	wid := w.rng.Intn(cfg.Warehouses)
+	did := w.rng.Intn(cfg.DistrictsPerW)
+	cid := w.rng.Intn(cfg.CustomersPerD)
+
+	return w.db.pool.View(func(tx *kamino.Tx) error {
+		// Canonical lock order (district → ring → order → lines →
+		// customer), matching Delivery; reading the customer first
+		// can deadlock against a Delivery holding the district.
+		dobj := w.db.district(wid, did)
+		next, err := tx.Uint64(dobj, distOffNext)
+		if err != nil {
+			return err
+		}
+		if next > 0 {
+			ring := w.db.orderRing(wid, did)
+			slot := int(next-1) % cfg.OrderCap
+			order, err := tx.Ptr(ring, slot*8)
+			if err != nil {
+				return err
+			}
+			if order != kamino.Nil {
+				nLines, err := tx.Uint64(order, orderOffCnt)
+				if err != nil {
+					return err
+				}
+				lines, err := tx.Ptr(order, orderOffLines)
+				if err != nil {
+					return err
+				}
+				for i := 0; lines != kamino.Nil && i < int(nLines); i++ {
+					if _, err := tx.Uint64(lines, i*lineSize+16); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		_, err = tx.Uint64(w.db.customer(wid, did, cid), custOffBalance)
+		return err
+	})
+}
+
+// Delivery delivers the oldest undelivered order in every district of one
+// warehouse: sets the carrier and credits the customer.
+func (w *Worker) Delivery() error {
+	cfg := w.db.cfg
+	wid := w.rng.Intn(cfg.Warehouses)
+	carrier := uint64(1 + w.rng.Intn(10))
+
+	for did := 0; did < cfg.DistrictsPerW; did++ {
+		err := w.db.pool.Update(func(tx *kamino.Tx) error {
+			dobj := w.db.district(wid, did)
+			if err := tx.Add(dobj); err != nil {
+				return err
+			}
+			oldest, err := tx.Uint64(dobj, distOffOldest)
+			if err != nil {
+				return err
+			}
+			next, err := tx.Uint64(dobj, distOffNext)
+			if err != nil {
+				return err
+			}
+			if oldest >= next || next-oldest > uint64(cfg.OrderCap) {
+				// Nothing undelivered (or it wrapped away).
+				if next > uint64(cfg.OrderCap) && oldest < next-uint64(cfg.OrderCap) {
+					return tx.SetUint64(dobj, distOffOldest, next-uint64(cfg.OrderCap))
+				}
+				return nil
+			}
+			ring := w.db.orderRing(wid, did)
+			order, err := tx.Ptr(ring, int(oldest)%cfg.OrderCap*8)
+			if err != nil {
+				return err
+			}
+			if err := tx.SetUint64(dobj, distOffOldest, oldest+1); err != nil {
+				return err
+			}
+			if order == kamino.Nil {
+				return nil
+			}
+			if err := tx.Add(order); err != nil {
+				return err
+			}
+			if err := tx.SetUint64(order, orderOffCarr, carrier); err != nil {
+				return err
+			}
+			cid, err := tx.Uint64(order, orderOffCust)
+			if err != nil {
+				return err
+			}
+			nLines, err := tx.Uint64(order, orderOffCnt)
+			if err != nil {
+				return err
+			}
+			lines, err := tx.Ptr(order, orderOffLines)
+			if err != nil {
+				return err
+			}
+			var total uint64
+			for i := 0; i < int(nLines); i++ {
+				amt, err := tx.Uint64(lines, i*lineSize+16)
+				if err != nil {
+					return err
+				}
+				total += amt
+			}
+			cobj := w.db.customer(wid, did, int(cid))
+			if err := tx.Add(cobj); err != nil {
+				return err
+			}
+			bal, err := tx.Uint64(cobj, custOffBalance)
+			if err != nil {
+				return err
+			}
+			if err := tx.SetUint64(cobj, custOffBalance, bal+total); err != nil {
+				return err
+			}
+			dc, err := tx.Uint64(cobj, custOffDelCnt)
+			if err != nil {
+				return err
+			}
+			return tx.SetUint64(cobj, custOffDelCnt, dc+1)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StockLevel counts recently-ordered items with low stock (read-only).
+func (w *Worker) StockLevel() error {
+	cfg := w.db.cfg
+	wid := w.rng.Intn(cfg.Warehouses)
+	did := w.rng.Intn(cfg.DistrictsPerW)
+	threshold := uint64(10 + w.rng.Intn(10))
+
+	return w.db.pool.View(func(tx *kamino.Tx) error {
+		dobj := w.db.district(wid, did)
+		next, err := tx.Uint64(dobj, distOffNext)
+		if err != nil {
+			return err
+		}
+		ring := w.db.orderRing(wid, did)
+		scan := uint64(20)
+		if next < scan {
+			scan = next
+		}
+		// First pass: collect the recent orders' item ids.
+		items := make(map[int]bool)
+		for o := next - scan; o < next; o++ {
+			order, err := tx.Ptr(ring, int(o)%cfg.OrderCap*8)
+			if err != nil {
+				return err
+			}
+			if order == kamino.Nil {
+				continue
+			}
+			nLines, err := tx.Uint64(order, orderOffCnt)
+			if err != nil {
+				return err
+			}
+			lines, err := tx.Ptr(order, orderOffLines)
+			if err != nil || lines == kamino.Nil {
+				return err
+			}
+			for i := 0; i < int(nLines); i++ {
+				it, err := tx.Uint64(lines, i*lineSize)
+				if err != nil {
+					return err
+				}
+				items[int(it)] = true
+			}
+		}
+		// Second pass: read stocks in ascending item order — the same
+		// order NewOrder write-locks them, so reader/writer lock
+		// acquisition cannot cycle.
+		ids := make([]int, 0, len(items))
+		for it := range items {
+			ids = append(ids, it)
+		}
+		sortInts(ids)
+		low := 0
+		for _, it := range ids {
+			qty, err := tx.Uint64(w.db.stockObj(wid, it), stockOffQty)
+			if err != nil {
+				return err
+			}
+			if qty < threshold {
+				low++
+			}
+		}
+		_ = low
+		return nil
+	})
+}
+
+// ConsistencyCheck verifies TPC-C invariants: warehouse YTD equals the sum
+// of its districts' YTDs. Single-threaded test helper.
+func (db *DB) ConsistencyCheck() error {
+	return db.pool.View(func(tx *kamino.Tx) error {
+		for wID := 0; wID < db.cfg.Warehouses; wID++ {
+			wy, err := tx.Uint64(db.wh[wID], whOffYTD)
+			if err != nil {
+				return err
+			}
+			var sum uint64
+			for d := 0; d < db.cfg.DistrictsPerW; d++ {
+				dy, err := tx.Uint64(db.district(wID, d), distOffYTD)
+				if err != nil {
+					return err
+				}
+				sum += dy
+			}
+			if wy != sum {
+				return fmt.Errorf("tpcc: warehouse %d YTD %d != district sum %d", wID, wy, sum)
+			}
+		}
+		return nil
+	})
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package tpcc
+
+import (
+	"sync"
+	"testing"
+
+	"kaminotx/kamino"
+)
+
+func newDB(t *testing.T, mode kamino.Mode) (*kamino.Pool, *DB) {
+	t.Helper()
+	p, err := kamino.Create(kamino.Options{Mode: mode, HeapSize: 64 << 20, LogSlots: 64, LogEntriesPerSlot: 128, LogDataBytesPerSlot: 128 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	db, err := Load(p, Config{Warehouses: 1, DistrictsPerW: 2, CustomersPerD: 20, Items: 100, OrderCap: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, db
+}
+
+func TestLoadAndSingleTransactions(t *testing.T) {
+	_, db := newDB(t, kamino.ModeSimple)
+	w := NewWorker(db, 1)
+	if err := w.NewOrder(); err != nil && err != ErrSimulatedAbort {
+		t.Fatalf("NewOrder: %v", err)
+	}
+	if err := w.Payment(); err != nil {
+		t.Fatalf("Payment: %v", err)
+	}
+	if err := w.OrderStatus(); err != nil {
+		t.Fatalf("OrderStatus: %v", err)
+	}
+	if err := w.Delivery(); err != nil {
+		t.Fatalf("Delivery: %v", err)
+	}
+	if err := w.StockLevel(); err != nil {
+		t.Fatalf("StockLevel: %v", err)
+	}
+	if err := db.ConsistencyCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixSequential(t *testing.T) {
+	for _, mode := range []kamino.Mode{kamino.ModeSimple, kamino.ModeUndo, kamino.ModeCoW} {
+		t.Run(string(mode), func(t *testing.T) {
+			_, db := newDB(t, mode)
+			w := NewWorker(db, 42)
+			for i := 0; i < 500; i++ {
+				if err := w.RunOne(); err != nil {
+					t.Fatalf("tx %d: %v", i, err)
+				}
+			}
+			s := w.Stats()
+			if s.NewOrders == 0 || s.Payments == 0 {
+				t.Errorf("mix did not run all types: %+v", s)
+			}
+			// The 1% NewOrder abort must actually fire over 500 txs
+			// often enough to see occasionally; just require the
+			// database stays consistent either way.
+			if err := db.ConsistencyCheck(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestConcurrentWorkers(t *testing.T) {
+	_, db := newDB(t, kamino.ModeSimple)
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			w := NewWorker(db, seed)
+			for i := 0; i < 200; i++ {
+				if err := w.RunOne(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := db.ConsistencyCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortedNewOrderLeavesNoTrace(t *testing.T) {
+	p, db := newDB(t, kamino.ModeSimple)
+	// Snapshot district nextOID values.
+	before := make([]uint64, db.cfg.DistrictsPerW)
+	if err := p.View(func(tx *kamino.Tx) error {
+		for d := range before {
+			v, err := tx.Uint64(db.district(0, d), distOffNext)
+			if err != nil {
+				return err
+			}
+			before[d] = v
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Drive NewOrders until a simulated abort fires.
+	w := NewWorker(db, 99)
+	aborted := false
+	for i := 0; i < 2000 && !aborted; i++ {
+		err := w.NewOrder()
+		switch {
+		case err == nil:
+		case err == ErrSimulatedAbort:
+			aborted = true
+		default:
+			t.Fatal(err)
+		}
+	}
+	if !aborted {
+		t.Skip("no simulated abort in 2000 NewOrders (p ≈ 1-0.99^2000)")
+	}
+	if err := db.ConsistencyCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderRingWrapFreesOldOrders(t *testing.T) {
+	_, db := newDB(t, kamino.ModeSimple)
+	w := NewWorker(db, 5)
+	// Push far more orders than the ring capacity (32 per district).
+	for i := 0; i < 300; i++ {
+		if err := w.NewOrder(); err != nil && err != ErrSimulatedAbort {
+			t.Fatal(err)
+		}
+	}
+	// Heap must not have grown unboundedly: old orders were freed. Just
+	// verify transactions still work and reads are sane.
+	if err := w.OrderStatus(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.StockLevel(); err != nil {
+		t.Fatal(err)
+	}
+}

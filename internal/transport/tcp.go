@@ -1,0 +1,200 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCP is a transport over real TCP connections with gob encoding. NodeIDs
+// are listen addresses ("host:port"). Each Register starts a listener;
+// Send/Call open (and cache) client connections.
+//
+// Wire format: a stream of gob-encoded tcpFrame values per connection.
+// One-way frames have Reply == false; Call frames expect exactly one
+// response frame with the same Corr id.
+type TCP struct {
+	mu        sync.Mutex
+	listeners map[NodeID]net.Listener
+	conns     map[NodeID]*clientConn
+	closed    bool
+}
+
+type tcpFrame struct {
+	Corr  uint64
+	Reply bool
+	Want  bool // caller expects a reply
+	Msg   Message
+}
+
+type clientConn struct {
+	mu      sync.Mutex
+	enc     *gob.Encoder
+	conn    net.Conn
+	nextID  uint64
+	pending map[uint64]chan *Message
+}
+
+// NewTCP creates a TCP transport.
+func NewTCP() *TCP {
+	return &TCP{listeners: make(map[NodeID]net.Listener), conns: make(map[NodeID]*clientConn)}
+}
+
+// Register implements Transport: it listens on id (a TCP address).
+func (t *TCP) Register(id NodeID, h Handler) error {
+	ln, err := net.Listen("tcp", string(id))
+	if err != nil {
+		return fmt.Errorf("transport: listen %s: %w", id, err)
+	}
+	t.mu.Lock()
+	t.listeners[id] = ln
+	t.mu.Unlock()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go t.serveConn(conn, h)
+		}
+	}()
+	return nil
+}
+
+func (t *TCP) serveConn(conn net.Conn, h Handler) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var encMu sync.Mutex
+	for {
+		var f tcpFrame
+		if err := dec.Decode(&f); err != nil {
+			return
+		}
+		go func(f tcpFrame) {
+			reply := h(&f.Msg)
+			if !f.Want {
+				return
+			}
+			if reply == nil {
+				reply = &Message{}
+			}
+			encMu.Lock()
+			defer encMu.Unlock()
+			_ = enc.Encode(tcpFrame{Corr: f.Corr, Reply: true, Msg: *reply})
+		}(f)
+	}
+}
+
+func (t *TCP) client(to NodeID) (*clientConn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, unknown(to)
+	}
+	if c, ok := t.conns[to]; ok {
+		return c, nil
+	}
+	conn, err := net.Dial("tcp", string(to))
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", to, err)
+	}
+	c := &clientConn{
+		enc:     gob.NewEncoder(conn),
+		conn:    conn,
+		pending: make(map[uint64]chan *Message),
+	}
+	t.conns[to] = c
+	go func() {
+		dec := gob.NewDecoder(conn)
+		for {
+			var f tcpFrame
+			if err := dec.Decode(&f); err != nil {
+				// Fail all outstanding calls.
+				c.mu.Lock()
+				for id, ch := range c.pending {
+					close(ch)
+					delete(c.pending, id)
+				}
+				c.mu.Unlock()
+				t.mu.Lock()
+				if t.conns[to] == c {
+					delete(t.conns, to)
+				}
+				t.mu.Unlock()
+				return
+			}
+			if f.Reply {
+				c.mu.Lock()
+				ch := c.pending[f.Corr]
+				delete(c.pending, f.Corr)
+				c.mu.Unlock()
+				if ch != nil {
+					msg := f.Msg
+					ch <- &msg
+				}
+			}
+		}
+	}()
+	return c, nil
+}
+
+// Send implements Transport.
+func (t *TCP) Send(to NodeID, msg *Message) error {
+	c, err := t.client(to)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(tcpFrame{Msg: *msg})
+}
+
+// Call implements Transport.
+func (t *TCP) Call(to NodeID, msg *Message) (*Message, error) {
+	c, err := t.client(to)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan *Message, 1)
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	err = c.enc.Encode(tcpFrame{Corr: id, Want: true, Msg: *msg})
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	reply, ok := <-ch
+	if !ok {
+		return nil, fmt.Errorf("transport: connection to %s lost", to)
+	}
+	return reply, nil
+}
+
+// Unregister implements Transport: closes the node's listener.
+func (t *TCP) Unregister(id NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ln, ok := t.listeners[id]; ok {
+		ln.Close()
+		delete(t.listeners, id)
+	}
+}
+
+// Close implements Transport.
+func (t *TCP) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	for id, ln := range t.listeners {
+		ln.Close()
+		delete(t.listeners, id)
+	}
+	for id, c := range t.conns {
+		c.conn.Close()
+		delete(t.conns, id)
+	}
+}

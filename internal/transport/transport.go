@@ -1,0 +1,97 @@
+// Package transport carries chain-replication messages between replicas.
+// Two implementations share one interface: an in-process transport with
+// configurable per-hop latency (the benchmark substrate standing in for the
+// paper's RDMA network — what matters to the results is the ratio of
+// network hop latency to copy latency, which the knob preserves), and a
+// TCP/gob transport for running a chain across real processes.
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID names a replica endpoint. For the TCP transport it is the listen
+// address.
+type NodeID string
+
+// Kind discriminates chain protocol messages.
+type Kind int
+
+// Message kinds.
+const (
+	// KindOp carries one transaction down the chain.
+	KindOp Kind = iota
+	// KindTailAck is the tail's completion notice to the head.
+	KindTailAck
+	// KindCleanup propagates clean-up acknowledgments up the chain.
+	KindCleanup
+	// KindFetch requests object block images (recovery).
+	KindFetch
+	// KindFetchReply returns them.
+	KindFetchReply
+	// KindRead asks the tail to execute a read-only operation.
+	KindRead
+	// KindReadReply returns its result.
+	KindReadReply
+	// KindResend asks a new successor for nothing; reserved.
+	KindResend
+	// KindError reports a remote failure.
+	KindError
+)
+
+// Message is the single wire format for all chain traffic (gob-friendly).
+type Message struct {
+	Kind   Kind
+	From   NodeID
+	ViewID uint64
+
+	// Op fields.
+	Seq  uint64
+	Name string
+	Args []byte
+
+	// Fetch fields: parallel slices describing object blocks.
+	Objs    []uint64
+	Classes []uint32
+	Blocks  [][]byte
+
+	// Read / generic reply payload.
+	Payload []byte
+	Err     string
+}
+
+// Error converts a reply's Err field to an error.
+func (m *Message) Error() error {
+	if m.Err == "" {
+		return nil
+	}
+	return errors.New(m.Err)
+}
+
+// Handler processes an incoming message. For Call requests it returns the
+// reply; for one-way sends the return value is discarded.
+type Handler func(msg *Message) *Message
+
+// Transport moves messages.
+type Transport interface {
+	// Register installs the handler for a local node. Must be called
+	// before messages are sent to it.
+	Register(id NodeID, h Handler) error
+	// Send delivers msg to `to` asynchronously (one-way). Delivery is
+	// reliable while the destination is registered; sends to removed
+	// nodes are dropped.
+	Send(to NodeID, msg *Message) error
+	// Call delivers msg and waits for the handler's reply.
+	Call(to NodeID, msg *Message) (*Message, error)
+	// Unregister removes a node (simulating its failure); queued and
+	// future messages to it are dropped.
+	Unregister(id NodeID)
+	// Close shuts the transport down.
+	Close()
+}
+
+// ErrUnknownNode reports a send to an unregistered node.
+var ErrUnknownNode = errors.New("transport: unknown node")
+
+func unknown(id NodeID) error { return fmt.Errorf("%w: %s", ErrUnknownNode, id) }

@@ -1,0 +1,193 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testTransportSendAndCall(t *testing.T, tr Transport, a, b NodeID) {
+	t.Helper()
+	var got atomic.Uint64
+	if err := tr.Register(a, func(m *Message) *Message {
+		got.Store(m.Seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register(b, func(m *Message) *Message {
+		return &Message{Kind: KindReadReply, Seq: m.Seq + 1, Payload: []byte("pong")}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := tr.Send(a, &Message{Kind: KindOp, Seq: 42}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for got.Load() != 42 {
+		if time.Now().After(deadline) {
+			t.Fatal("one-way send never delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	reply, err := tr.Call(b, &Message{Kind: KindRead, Seq: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Seq != 8 || string(reply.Payload) != "pong" {
+		t.Errorf("reply = %+v", reply)
+	}
+
+	if err := tr.Send("nowhere", &Message{}); err == nil {
+		t.Error("send to unknown node did not error")
+	}
+}
+
+func TestInProcSendAndCall(t *testing.T) {
+	tr := NewInProc(0)
+	defer tr.Close()
+	testTransportSendAndCall(t, tr, "a", "b")
+}
+
+func TestInProcLatency(t *testing.T) {
+	tr := NewInProc(300 * time.Microsecond)
+	defer tr.Close()
+	if err := tr.Register("n", func(m *Message) *Message { return &Message{} }); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := tr.Call("n", &Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 500*time.Microsecond {
+		t.Errorf("call with 300µs hops took %v, want >= ~600µs", el)
+	}
+}
+
+func TestInProcUnregisterDropsMessages(t *testing.T) {
+	tr := NewInProc(0)
+	defer tr.Close()
+	var count atomic.Int32
+	if err := tr.Register("x", func(m *Message) *Message {
+		count.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Unregister("x")
+	if err := tr.Send("x", &Message{}); err == nil {
+		t.Error("send to unregistered node did not error")
+	}
+}
+
+func TestInProcConcurrentSends(t *testing.T) {
+	tr := NewInProc(0)
+	defer tr.Close()
+	var sum atomic.Uint64
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	var received atomic.Int32
+	if err := tr.Register("sink", func(m *Message) *Message {
+		sum.Add(m.Seq)
+		if received.Add(1) == 100 {
+			close(done)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < 10; i++ {
+				if err := tr.Send("sink", &Message{Seq: base + i}); err != nil {
+					t.Error(err)
+				}
+			}
+		}(uint64(g) * 100)
+	}
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("not all messages delivered")
+	}
+}
+
+func freeAddrs(t *testing.T, n int) []NodeID {
+	t.Helper()
+	out := make([]NodeID, n)
+	for i := range out {
+		out[i] = NodeID(fmt.Sprintf("127.0.0.1:%d", 39000+i))
+	}
+	return out
+}
+
+func TestTCPSendAndCall(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	addrs := freeAddrs(t, 2)
+	testTransportSendAndCall(t, tr, addrs[0], addrs[1])
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	addr := NodeID("127.0.0.1:39100")
+	if err := tr.Register(addr, func(m *Message) *Message {
+		return &Message{Blocks: m.Blocks}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	reply, err := tr.Call(addr, &Message{Kind: KindFetch, Blocks: [][]byte{big}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Blocks) != 1 || len(reply.Blocks[0]) != len(big) {
+		t.Fatalf("payload mangled: %d blocks", len(reply.Blocks))
+	}
+	for i := 0; i < len(big); i += 4096 {
+		if reply.Blocks[0][i] != byte(i) {
+			t.Fatalf("payload corrupted at %d", i)
+		}
+	}
+}
+
+func TestTCPConcurrentCalls(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	addr := NodeID("127.0.0.1:39101")
+	if err := tr.Register(addr, func(m *Message) *Message {
+		return &Message{Seq: m.Seq * 2}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(1); i <= 20; i++ {
+				seq := base*1000 + i
+				reply, err := tr.Call(addr, &Message{Seq: seq})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if reply.Seq != seq*2 {
+					t.Errorf("reply %d for call %d", reply.Seq, seq)
+				}
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfianRangeAndSkew(t *testing.T) {
+	const n = 1000
+	z := NewZipfian(n, DefaultTheta)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, n)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := z.Next(rng)
+		if v >= n {
+			t.Fatalf("sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Item 0 must be far more popular than the median item.
+	if counts[0] < 10*counts[n/2] {
+		t.Errorf("insufficient skew: counts[0]=%d counts[mid]=%d", counts[0], counts[n/2])
+	}
+	// Popularity must be roughly monotone for the head items.
+	if counts[0] < counts[10] {
+		t.Errorf("head not most popular: %d vs %d", counts[0], counts[10])
+	}
+}
+
+func TestScrambledZipfianSpreadsHotKeys(t *testing.T) {
+	const n = 1000
+	s := NewScrambledZipfian(n, DefaultTheta)
+	rng := rand.New(rand.NewSource(2))
+	counts := make(map[uint64]int)
+	for i := 0; i < 100000; i++ {
+		v := s.Next(rng)
+		if v >= n {
+			t.Fatalf("sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	// The hottest key should NOT be key 0 with overwhelming probability
+	// (scrambling moved it), and skew must persist.
+	var hot uint64
+	max := 0
+	for k, c := range counts {
+		if c > max {
+			hot, max = k, c
+		}
+	}
+	if max < 1000 {
+		t.Errorf("no hot key after scrambling: max=%d", max)
+	}
+	t.Logf("hottest key %d with %d hits", hot, max)
+}
+
+func TestMixFor(t *testing.T) {
+	for _, w := range Workloads {
+		mix, err := MixFor(w)
+		if err != nil {
+			t.Fatalf("MixFor(%c): %v", w, err)
+		}
+		if mix.Read+mix.Update+mix.Insert+mix.RMW != 100 {
+			t.Errorf("workload %c mix does not sum to 100: %+v", w, mix)
+		}
+	}
+	if _, err := MixFor('E'); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestGeneratorMixProportions(t *testing.T) {
+	ks := NewKeyState(10000)
+	g := NewGenerator(MixA, ks, 42)
+	var reads, updates int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case OpRead:
+			reads++
+		case OpUpdate:
+			updates++
+		default:
+			t.Fatalf("unexpected op %v in workload A", op.Kind)
+		}
+		if op.Key >= ks.Records() {
+			t.Fatalf("key %d out of range", op.Key)
+		}
+	}
+	if reads < n*45/100 || reads > n*55/100 {
+		t.Errorf("read fraction off: %d/%d", reads, n)
+	}
+	_ = updates
+}
+
+func TestGeneratorInsertsGrowKeySpace(t *testing.T) {
+	ks := NewKeyState(100)
+	g := NewGenerator(MixD, ks, 7)
+	inserts := 0
+	for i := 0; i < 10000; i++ {
+		op := g.Next()
+		if op.Kind == OpInsert {
+			inserts++
+			if op.Key < 100 {
+				t.Fatalf("insert key %d collides with preloaded range", op.Key)
+			}
+		}
+		if op.Kind == OpRead && op.Key >= ks.Records() {
+			t.Fatalf("read key %d beyond inserted range %d", op.Key, ks.Records())
+		}
+	}
+	if inserts == 0 {
+		t.Fatal("workload D generated no inserts")
+	}
+	if ks.Records() != uint64(100+inserts) {
+		t.Errorf("key state = %d, want %d", ks.Records(), 100+inserts)
+	}
+}
+
+func TestLatestDistributionSkewsRecent(t *testing.T) {
+	ks := NewKeyState(10000)
+	g := NewGenerator(MixD, ks, 3)
+	recent := 0
+	reads := 0
+	for i := 0; i < 50000; i++ {
+		op := g.Next()
+		if op.Kind != OpRead {
+			continue
+		}
+		reads++
+		if op.Key >= ks.Records()-ks.Records()/10 {
+			recent++
+		}
+	}
+	// With a latest distribution, far more than 10% of reads hit the
+	// most recent 10% of keys.
+	if recent < reads/2 {
+		t.Errorf("latest skew weak: %d/%d reads in newest decile", recent, reads)
+	}
+}
+
+func TestValueDeterministic(t *testing.T) {
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	Value(123, a)
+	Value(123, b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Value not deterministic")
+		}
+	}
+	Value(124, b)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different keys produced identical values")
+	}
+}
+
+// PROPERTY: all generated keys are in range for any records count.
+func TestPropertyKeysInRange(t *testing.T) {
+	f := func(seed int64, recSmall uint16) bool {
+		records := uint64(recSmall)%5000 + 10
+		ks := NewKeyState(records)
+		g := NewGenerator(MixB, ks, seed)
+		for i := 0; i < 2000; i++ {
+			op := g.Next()
+			if op.Key >= ks.Records() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

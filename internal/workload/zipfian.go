@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipfian generates Zipf-distributed integers in [0, n) using the
+// incremental algorithm from Gray et al. ("Quickly Generating
+// Billion-Record Synthetic Databases", SIGMOD '94), the same generator the
+// YCSB client uses. Item 0 is the most popular.
+type Zipfian struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	zeta2 float64
+	eta   float64
+}
+
+// DefaultTheta is YCSB's default Zipfian constant.
+const DefaultTheta = 0.99
+
+// NewZipfian builds a generator over [0, n) with the given theta.
+func NewZipfian(n uint64, theta float64) *Zipfian {
+	z := &Zipfian{n: n, theta: theta}
+	z.zeta2 = zeta(2, theta)
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws a sample.
+func (z *Zipfian) Next(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// N returns the generator's population size.
+func (z *Zipfian) N() uint64 { return z.n }
+
+// fnvScramble spreads a dense index across the key space so the Zipfian
+// hot-set is not physically clustered (YCSB's "scrambled zipfian").
+func fnvScramble(v uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xff
+		h *= prime
+	}
+	return h
+}
+
+// ScrambledZipfian maps Zipf samples over [0, n) onto the same range with
+// scattered popular items.
+type ScrambledZipfian struct {
+	z *Zipfian
+}
+
+// NewScrambledZipfian builds a scrambled generator over [0, n).
+func NewScrambledZipfian(n uint64, theta float64) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfian(n, theta)}
+}
+
+// Next draws a sample in [0, n).
+func (s *ScrambledZipfian) Next(rng *rand.Rand) uint64 {
+	return fnvScramble(s.z.Next(rng)) % s.z.n
+}

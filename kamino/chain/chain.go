@@ -1,0 +1,174 @@
+// Package chain is the public face of the replicated store: Kamino-Tx-Chain
+// (paper §5) and traditional chain replication over the kamino persistent
+// heap. A Cluster bundles the membership manager, an in-process transport
+// with configurable hop latency, and the replicas of one chain; the KV
+// methods run replicated operations through the head.
+//
+// For a chain spanning real processes, use the building blocks directly
+// (internal transport's TCP implementation with the replica runtime); this
+// facade targets embedding, tests, and the benchmark harness.
+package chain
+
+import (
+	"fmt"
+	"time"
+
+	ichain "kaminotx/internal/chain"
+	"kaminotx/internal/membership"
+	"kaminotx/internal/transport"
+)
+
+// Mode selects the replication scheme.
+type Mode = ichain.Mode
+
+// Replication modes.
+const (
+	// ModeKamino is Kamino-Tx-Chain: in-place updates at every replica,
+	// a backup only at the head, f+2 replicas to tolerate f failures.
+	ModeKamino = ichain.ModeKamino
+	// ModeTraditional is classic chain replication: undo-logged copies
+	// in the critical path at every replica, f+1 replicas.
+	ModeTraditional = ichain.ModeTraditional
+)
+
+// Options configures a Cluster.
+type Options struct {
+	// Mode selects the replication scheme. Default ModeKamino.
+	Mode Mode
+	// Replicas is the chain length. For ModeKamino, tolerate f failures
+	// with f+2 replicas; for ModeTraditional, f+1. Default 3.
+	Replicas int
+	// HeapSize per replica. Default 64 MiB.
+	HeapSize int
+	// Alpha sizes the head's backup (ModeKamino): >= 1 full mirror,
+	// < 1 dynamic partial backup. Default 1.
+	Alpha float64
+	// HopLatency is the simulated network latency per message hop.
+	HopLatency time.Duration
+	// Strict enables crash simulation (required by Reboot).
+	Strict bool
+}
+
+// Cluster is one replicated KV chain living in this process.
+type Cluster struct {
+	tr       *transport.InProc
+	mgr      *membership.Manager
+	replicas map[transport.NodeID]*ichain.Replica
+	order    []transport.NodeID
+	client   *ichain.KVClient
+}
+
+// New builds and starts a cluster.
+func New(opts Options) (*Cluster, error) {
+	if opts.Replicas == 0 {
+		opts.Replicas = 3
+	}
+	if opts.Replicas < 2 {
+		return nil, fmt.Errorf("chain: need at least 2 replicas, got %d", opts.Replicas)
+	}
+	if opts.Alpha == 0 {
+		opts.Alpha = 1
+	}
+	tr := transport.NewInProc(opts.HopLatency)
+	ids := make([]transport.NodeID, opts.Replicas)
+	for i := range ids {
+		ids[i] = transport.NodeID(fmt.Sprintf("replica-%d", i))
+	}
+	mgr, err := membership.New(ids)
+	if err != nil {
+		return nil, err
+	}
+	reg := ichain.NewKVRegistry()
+	c := &Cluster{tr: tr, mgr: mgr, replicas: make(map[transport.NodeID]*ichain.Replica), order: ids}
+	for _, id := range ids {
+		rep, err := ichain.NewReplica(id, ichain.Config{
+			Mode:      opts.Mode,
+			HeapSize:  opts.HeapSize,
+			Alpha:     opts.Alpha,
+			Strict:    opts.Strict,
+			Registry:  reg,
+			Transport: tr,
+			Manager:   mgr,
+			Setup:     ichain.KVSetup,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.replicas[id] = rep
+	}
+	c.client = ichain.NewKVClient(func() *ichain.Replica {
+		return c.replicas[mgr.View().Head()]
+	})
+	return c, nil
+}
+
+// Put stores key=val through the chain; it returns once the tail has
+// acknowledged (the operation is then durable on every replica).
+func (c *Cluster) Put(key uint64, val []byte) error { return c.client.Put(key, val) }
+
+// Get reads key at the tail (linearizable with respect to completed Puts).
+func (c *Cluster) Get(key uint64) ([]byte, bool, error) { return c.client.Get(key) }
+
+// Delete removes key through the chain.
+func (c *Cluster) Delete(key uint64) error { return c.client.Delete(key) }
+
+// Members returns the current chain membership, head first.
+func (c *Cluster) Members() []string {
+	v := c.mgr.View()
+	out := make([]string, len(v.Members))
+	for i, m := range v.Members {
+		out[i] = string(m)
+	}
+	return out
+}
+
+// KillReplica fail-stops a replica (by current chain position) and repairs
+// the chain, as the membership service would after detecting the failure.
+func (c *Cluster) KillReplica(position int) error {
+	v := c.mgr.View()
+	if position < 0 || position >= len(v.Members) {
+		return fmt.Errorf("chain: position %d out of range", position)
+	}
+	id := v.Members[position]
+	c.tr.Unregister(id)
+	if _, err := c.mgr.ReportFailure(id); err != nil {
+		return err
+	}
+	rep := c.replicas[id]
+	delete(c.replicas, id)
+	return rep.Close()
+}
+
+// RebootReplica power-cycles a replica (by current chain position) through
+// the paper's quick-reboot protocol (§5.3). Requires Options.Strict.
+func (c *Cluster) RebootReplica(position int) error {
+	v := c.mgr.View()
+	if position < 0 || position >= len(v.Members) {
+		return fmt.Errorf("chain: position %d out of range", position)
+	}
+	return c.replicas[v.Members[position]].Reboot()
+}
+
+// Err surfaces the first fatal replica error, if any.
+func (c *Cluster) Err() error {
+	for _, rep := range c.replicas {
+		if err := rep.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() error {
+	var first error
+	for id, rep := range c.replicas {
+		if err := rep.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(c.replicas, id)
+	}
+	c.tr.Close()
+	return first
+}

@@ -1,0 +1,159 @@
+package kamino
+
+import (
+	"fmt"
+	"time"
+
+	"kaminotx/internal/intentlog"
+)
+
+// Mode selects the atomicity mechanism backing a Pool.
+type Mode string
+
+// Supported atomicity mechanisms. Simple and Dynamic are the paper's
+// contribution; the others are the baselines it is evaluated against.
+const (
+	// ModeSimple is Kamino-Tx-Simple: in-place updates with a full-size
+	// backup heap maintained asynchronously. No data is copied in the
+	// critical path.
+	ModeSimple Mode = "kamino-simple"
+	// ModeDynamic is Kamino-Tx-Dynamic: like Simple, but the backup
+	// holds only the most frequently modified objects in Alpha × HeapSize
+	// bytes of NVM. Backup misses copy one object in the critical path.
+	ModeDynamic Mode = "kamino-dynamic"
+	// ModeUndo is NVML-style undo logging: old object contents are
+	// copied to a persistent log in the critical path before each edit.
+	ModeUndo Mode = "undo"
+	// ModeCoW is copy-on-write: edits go to persistent shadow copies
+	// that are applied back to the originals at commit.
+	ModeCoW Mode = "cow"
+	// ModeNoLog is the unsafe no-atomicity baseline (isolation and
+	// durability only). Aborts and crashes can tear data. Benchmarks
+	// only.
+	ModeNoLog Mode = "nolog"
+	// ModeInPlace is the non-head Kamino-Tx-Chain replica engine (paper
+	// §5): in-place updates with an intent log but no local copies of
+	// any kind. Abort is unsupported; crash recovery of incomplete
+	// transactions needs object images from a chain neighbour.
+	ModeInPlace Mode = "inplace"
+)
+
+// Options configures Create.
+type Options struct {
+	// Mode selects the atomicity mechanism. Default ModeSimple.
+	Mode Mode
+
+	// HeapSize is the main heap region size in bytes. Default 64 MiB.
+	HeapSize int
+
+	// Alpha is the dynamic backup budget as a fraction of HeapSize,
+	// the paper's α ∈ (0, 1). Only used by ModeDynamic. Default 0.5.
+	Alpha float64
+
+	// RootSize is the size of the root object automatically allocated at
+	// pool creation (the application's entry point into the heap).
+	// Default 256 bytes.
+	RootSize int
+
+	// LogSlots bounds concurrently outstanding transactions (including
+	// Kamino commits awaiting backup sync). Default 128.
+	LogSlots int
+	// LogEntriesPerSlot bounds one transaction's write-set. Default 64.
+	LogEntriesPerSlot int
+	// LogDataBytesPerSlot sizes per-slot copy space for undo/CoW modes.
+	// Default 64 KiB; forced to 0 for Kamino modes (which never log
+	// data).
+	LogDataBytesPerSlot int
+
+	// ApplierWorkers is the number of asynchronous backup-sync workers
+	// for Kamino modes. Default 1.
+	ApplierWorkers int
+
+	// Strict enables full crash-simulation fidelity on the underlying
+	// NVM regions (durable shadow images, line-granular crash loss).
+	// Required for Pool.Crash; costs roughly 2× memory and extra
+	// tracking. Default off (benchmark-grade fast mode).
+	Strict bool
+
+	// FlushLatency, FenceLatency emulate slower NVM technologies by
+	// delaying each cache-line flush / fence. Zero models NVDIMM
+	// (DRAM-speed), the paper's testbed.
+	FlushLatency time.Duration
+	FenceLatency time.Duration
+
+	// Dir, when non-empty, makes the pool file-backed: Checkpoint and
+	// Close save the durable images to Dir, and Open(dir) restores them.
+	// Note the simulator's durability between checkpoints lives in
+	// process memory; Dir provides checkpoint-grade persistence across
+	// process runs, not power-failure semantics (those are simulated via
+	// Strict + Crash).
+	Dir string
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Mode == "" {
+		o.Mode = ModeSimple
+	}
+	switch o.Mode {
+	case ModeSimple, ModeDynamic, ModeUndo, ModeCoW, ModeNoLog, ModeInPlace:
+	default:
+		return o, fmt.Errorf("kamino: unknown mode %q", o.Mode)
+	}
+	if o.HeapSize == 0 {
+		o.HeapSize = 64 << 20
+	}
+	if o.HeapSize < 4096 {
+		return o, fmt.Errorf("kamino: HeapSize %d too small", o.HeapSize)
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.5
+	}
+	if o.Alpha <= 0 || o.Alpha >= 1 {
+		if o.Mode == ModeDynamic {
+			return o, fmt.Errorf("kamino: Alpha must be in (0,1), got %v", o.Alpha)
+		}
+	}
+	if o.RootSize == 0 {
+		o.RootSize = 256
+	}
+	if o.LogSlots == 0 {
+		o.LogSlots = 128
+	}
+	if o.LogEntriesPerSlot == 0 {
+		o.LogEntriesPerSlot = 64
+	}
+	if o.LogDataBytesPerSlot == 0 {
+		o.LogDataBytesPerSlot = 64 << 10
+	}
+	if o.ApplierWorkers == 0 {
+		o.ApplierWorkers = 1
+	}
+	return o, nil
+}
+
+func (o Options) logConfig() intentlog.Config {
+	data := o.LogDataBytesPerSlot
+	if o.Mode == ModeSimple || o.Mode == ModeDynamic || o.Mode == ModeNoLog || o.Mode == ModeInPlace {
+		data = 0
+	}
+	return intentlog.Config{
+		Slots:            o.LogSlots,
+		EntriesPerSlot:   o.LogEntriesPerSlot,
+		DataBytesPerSlot: data,
+	}
+}
+
+func (o Options) backupSize() int {
+	switch o.Mode {
+	case ModeSimple:
+		return o.HeapSize
+	case ModeDynamic:
+		n := int(o.Alpha * float64(o.HeapSize))
+		if n < 16<<10 {
+			n = 16 << 10
+		}
+		return n
+	default:
+		return 0
+	}
+}

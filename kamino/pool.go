@@ -1,0 +1,444 @@
+// Package kamino is the public API of the Kamino-Tx reproduction: a
+// transactional persistent object heap for (simulated) non-volatile main
+// memory, implementing the EuroSys 2017 paper "Atomic In-place Updates for
+// Non-volatile Main Memories with Kamino-Tx".
+//
+// A Pool is a persistent heap plus an atomicity engine. Transactions mirror
+// Intel NVML's programming model (paper Table 2 / Figure 10):
+//
+//	pool, _ := kamino.Create(kamino.Options{Mode: kamino.ModeSimple})
+//	defer pool.Close()
+//	err := pool.Update(func(tx *kamino.Tx) error {
+//		obj, err := tx.Alloc(64)            // TX_ZALLOC
+//		if err != nil { return err }
+//		if err := tx.Add(obj); err != nil { // TX_ADD (declare write intent)
+//			return err
+//		}
+//		return tx.Write(obj, 0, []byte("hello"))
+//	})                                      // TX_COMMIT / TX_ABORT
+//
+// The Mode selects the paper's Kamino-Tx-Simple or Kamino-Tx-Dynamic, or
+// one of the baselines (undo logging, copy-on-write, no logging) so the
+// same application code can be benchmarked across mechanisms.
+package kamino
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"kaminotx/internal/engine"
+	"kaminotx/internal/engine/cow"
+	"kaminotx/internal/engine/inplace"
+	"kaminotx/internal/engine/kamino"
+	"kaminotx/internal/engine/nolog"
+	"kaminotx/internal/engine/undo"
+	"kaminotx/internal/heap"
+	"kaminotx/internal/nvm"
+)
+
+// ObjID identifies a persistent object; it doubles as the persistent
+// pointer type stored inside objects. Nil is the null pointer.
+type ObjID = heap.ObjID
+
+// Nil is the null persistent pointer.
+const Nil = heap.Nil
+
+// Stats re-exports engine counters.
+type Stats = engine.Stats
+
+// Pool is a transactional persistent object heap.
+type Pool struct {
+	opts Options
+	eng  engine.Engine
+	root ObjID
+
+	mainReg, backupReg, logReg *nvm.Region
+}
+
+// Create builds a fresh pool per opts and allocates its root object.
+func Create(opts Options) (*Pool, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	p := &Pool{opts: opts}
+	if err := p.makeRegions(); err != nil {
+		return nil, err
+	}
+	if err := p.makeEngine(true); err != nil {
+		return nil, err
+	}
+	// Allocate the root object and store its id in the heap header.
+	tx, err := p.Begin()
+	if err != nil {
+		return nil, err
+	}
+	root, err := tx.Alloc(opts.RootSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	p.eng.Drain()
+	if err := p.eng.Heap().SetRoot(root); err != nil {
+		return nil, err
+	}
+	p.root = root
+	return p, nil
+}
+
+func (p *Pool) regionOptions() nvm.Options {
+	mode := nvm.ModeFast
+	if p.opts.Strict {
+		mode = nvm.ModeStrict
+	}
+	return nvm.Options{
+		Mode: mode,
+		Latency: nvm.LatencyModel{
+			FlushPerLine: p.opts.FlushLatency,
+			Fence:        p.opts.FenceLatency,
+		},
+	}
+}
+
+func (p *Pool) makeRegions() error {
+	ropts := p.regionOptions()
+	var err error
+	p.mainReg, err = nvm.New(p.opts.HeapSize, ropts)
+	if err != nil {
+		return err
+	}
+	if n := p.opts.backupSize(); n > 0 {
+		// The backup region is written only by the asynchronous applier
+		// (and recovery). Its write-backs occupy the NVM device, not a
+		// CPU's critical path, so injected flush latency — which models
+		// a thread stalling on persistence — does not apply to it.
+		bopts := ropts
+		bopts.Latency = nvm.LatencyModel{}
+		p.backupReg, err = nvm.New(n, bopts)
+		if err != nil {
+			return err
+		}
+	}
+	if p.opts.Mode != ModeNoLog {
+		p.logReg, err = nvm.New(p.opts.logConfig().RegionSize(), ropts)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Pool) makeEngine(fresh bool) error {
+	var err error
+	switch p.opts.Mode {
+	case ModeSimple, ModeDynamic:
+		cfg := kamino.Config{Log: p.opts.logConfig(), ApplierWorkers: p.opts.ApplierWorkers}
+		if fresh {
+			p.eng, err = kamino.New(p.mainReg, p.backupReg, p.logReg, cfg)
+		} else {
+			p.eng, err = kamino.Open(p.mainReg, p.backupReg, p.logReg, cfg)
+		}
+	case ModeUndo:
+		if fresh {
+			p.eng, err = undo.New(p.mainReg, p.logReg, p.opts.logConfig())
+		} else {
+			p.eng, err = undo.Open(p.mainReg, p.logReg)
+		}
+	case ModeCoW:
+		if fresh {
+			p.eng, err = cow.New(p.mainReg, p.logReg, p.opts.logConfig())
+		} else {
+			p.eng, err = cow.Open(p.mainReg, p.logReg)
+		}
+	case ModeNoLog:
+		if fresh {
+			p.eng, err = nolog.New(p.mainReg)
+		} else {
+			p.eng, err = nolog.Open(p.mainReg)
+		}
+	case ModeInPlace:
+		if fresh {
+			p.eng, err = inplace.New(p.mainReg, p.logReg, p.opts.logConfig())
+		} else {
+			p.eng, err = inplace.Open(p.mainReg, p.logReg)
+		}
+	default:
+		err = fmt.Errorf("kamino: unknown mode %q", p.opts.Mode)
+	}
+	return err
+}
+
+// Root returns the pool's root object, the durable entry point applications
+// hang their data structures off.
+func (p *Pool) Root() ObjID { return p.root }
+
+// Mode returns the pool's atomicity mechanism.
+func (p *Pool) Mode() Mode { return p.opts.Mode }
+
+// Begin starts a transaction.
+func (p *Pool) Begin() (*Tx, error) {
+	inner, err := p.eng.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{inner: inner, pool: p}, nil
+}
+
+// Update runs fn inside a transaction, committing if fn returns nil and
+// aborting otherwise. The returned error is fn's (or the commit/abort
+// error).
+func (p *Pool) Update(fn func(*Tx) error) error {
+	tx, err := p.Begin()
+	if err != nil {
+		return err
+	}
+	if err := fn(tx); err != nil {
+		if aerr := tx.Abort(); aerr != nil && !errors.Is(aerr, engine.ErrTxDone) {
+			return fmt.Errorf("%w (abort also failed: %v)", err, aerr)
+		}
+		return err
+	}
+	return tx.Commit()
+}
+
+// View runs fn inside a transaction that is always aborted; use it for
+// read-only work (reads acquire read locks, so views see consistent data
+// and wait for pending objects).
+func (p *Pool) View(fn func(*Tx) error) error {
+	tx, err := p.Begin()
+	if err != nil {
+		return err
+	}
+	ferr := fn(tx)
+	if aerr := tx.Abort(); aerr != nil && ferr == nil {
+		return aerr
+	}
+	return ferr
+}
+
+// Drain blocks until all asynchronous post-commit work (Kamino's backup
+// syncs) has finished.
+func (p *Pool) Drain() { p.eng.Drain() }
+
+// Stats returns cumulative engine counters.
+func (p *Pool) Stats() Stats { return p.eng.Stats() }
+
+// Engine exposes the underlying engine. Internal benchmarks use it; most
+// applications should not.
+func (p *Pool) Engine() engine.Engine { return p.eng }
+
+// NVMStats returns the main region's device-level counters (flushes,
+// fences, bytes written).
+func (p *Pool) NVMStats() nvm.Stats { return p.mainReg.Stats() }
+
+// Crash simulates a power failure (losing every unflushed or unfenced
+// write), runs recovery, and leaves the pool ready for new transactions.
+// The pool must have been created with Strict. Outstanding transactions
+// must be quiesced (their goroutines stopped) before calling Crash.
+func (p *Pool) Crash() error {
+	if !p.opts.Strict {
+		return nvm.ErrFastMode
+	}
+	p.eng.Drain()
+	if err := p.eng.Close(); err != nil {
+		return err
+	}
+	for _, r := range []*nvm.Region{p.mainReg, p.backupReg, p.logReg} {
+		if r == nil {
+			continue
+		}
+		if err := r.Crash(); err != nil {
+			return err
+		}
+	}
+	if err := p.makeEngine(false); err != nil {
+		return err
+	}
+	root, err := p.eng.Heap().Root()
+	if err != nil {
+		return err
+	}
+	p.root = root
+	return nil
+}
+
+// Promote converts an in-place chain-replica pool into a Kamino-Tx pool
+// with its own backup — the paper's head-promotion step (§5.2: "the new
+// head goes through its Log Manager's intent logs [and] creates a local
+// backup"). alpha < 1 builds a dynamic backup; alpha >= 1 a full mirror.
+// Chain-level recovery of incomplete transactions must have completed
+// before promotion.
+func (p *Pool) Promote(alpha float64) error {
+	if p.opts.Mode != ModeInPlace {
+		return fmt.Errorf("kamino: Promote from mode %q (only %q replicas promote)", p.opts.Mode, ModeInPlace)
+	}
+	ie, ok := p.eng.(*inplace.Engine)
+	if !ok {
+		return errors.New("kamino: engine mismatch for in-place pool")
+	}
+	if len(ie.PendingRecovery()) > 0 {
+		return errors.New("kamino: unresolved chain recovery; resolve before promoting")
+	}
+	if err := p.eng.Close(); err != nil {
+		return err
+	}
+	var err error
+	if alpha >= 1 {
+		p.opts.Mode = ModeSimple
+		p.backupReg, err = nvm.New(p.opts.HeapSize, p.regionOptions())
+		if err != nil {
+			return err
+		}
+		// A full backup must start as a mirror of main.
+		if err := nvm.Copy(p.backupReg, 0, p.mainReg, 0, p.opts.HeapSize); err != nil {
+			return err
+		}
+		if err := p.backupReg.Persist(0, p.opts.HeapSize); err != nil {
+			return err
+		}
+	} else {
+		p.opts.Mode = ModeDynamic
+		p.opts.Alpha = alpha
+		p.backupReg, err = nvm.New(p.opts.backupSize(), p.regionOptions())
+		if err != nil {
+			return err
+		}
+		if _, err := heap.Format(p.backupReg); err != nil {
+			return err
+		}
+	}
+	return p.makeEngine(false)
+}
+
+// InPlaceEngine exposes the chain-recovery hooks of an in-place replica
+// pool (nil for other modes).
+func (p *Pool) InPlaceEngine() *inplace.Engine {
+	ie, _ := p.eng.(*inplace.Engine)
+	return ie
+}
+
+// Close drains, checkpoints (if file-backed) and shuts the pool down.
+func (p *Pool) Close() error {
+	p.eng.Drain()
+	if p.opts.Dir != "" {
+		if err := p.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return p.eng.Close()
+}
+
+// poolMeta is the JSON sidecar describing a file-backed pool.
+type poolMeta struct {
+	Mode                Mode    `json:"mode"`
+	HeapSize            int     `json:"heap_size"`
+	Alpha               float64 `json:"alpha"`
+	RootSize            int     `json:"root_size"`
+	LogSlots            int     `json:"log_slots"`
+	LogEntriesPerSlot   int     `json:"log_entries_per_slot"`
+	LogDataBytesPerSlot int     `json:"log_data_bytes_per_slot"`
+	Strict              bool    `json:"strict"`
+}
+
+// Checkpoint saves the pool's durable images to Options.Dir. Safe to call
+// repeatedly; each checkpoint is written atomically.
+func (p *Pool) Checkpoint() error {
+	dir := p.opts.Dir
+	if dir == "" {
+		return errors.New("kamino: pool is not file-backed (Options.Dir empty)")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	p.eng.Drain()
+	meta := poolMeta{
+		Mode:                p.opts.Mode,
+		HeapSize:            p.opts.HeapSize,
+		Alpha:               p.opts.Alpha,
+		RootSize:            p.opts.RootSize,
+		LogSlots:            p.opts.LogSlots,
+		LogEntriesPerSlot:   p.opts.LogEntriesPerSlot,
+		LogDataBytesPerSlot: p.opts.LogDataBytesPerSlot,
+		Strict:              p.opts.Strict,
+	}
+	buf, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "pool.json"), buf, 0o644); err != nil {
+		return err
+	}
+	if err := p.mainReg.Save(filepath.Join(dir, "main.img")); err != nil {
+		return err
+	}
+	if p.backupReg != nil {
+		if err := p.backupReg.Save(filepath.Join(dir, "backup.img")); err != nil {
+			return err
+		}
+	}
+	if p.logReg != nil {
+		if err := p.logReg.Save(filepath.Join(dir, "log.img")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Open restores a file-backed pool from a directory written by Checkpoint
+// or Close, running crash recovery over the restored images.
+func Open(dir string) (*Pool, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, "pool.json"))
+	if err != nil {
+		return nil, fmt.Errorf("kamino: open %s: %w", dir, err)
+	}
+	var meta poolMeta
+	if err := json.Unmarshal(buf, &meta); err != nil {
+		return nil, fmt.Errorf("kamino: open %s: bad pool.json: %w", dir, err)
+	}
+	opts, err := Options{
+		Mode:                meta.Mode,
+		HeapSize:            meta.HeapSize,
+		Alpha:               meta.Alpha,
+		RootSize:            meta.RootSize,
+		LogSlots:            meta.LogSlots,
+		LogEntriesPerSlot:   meta.LogEntriesPerSlot,
+		LogDataBytesPerSlot: meta.LogDataBytesPerSlot,
+		Strict:              meta.Strict,
+		Dir:                 dir,
+	}.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	p := &Pool{opts: opts}
+	ropts := p.regionOptions()
+	p.mainReg, err = nvm.Load(filepath.Join(dir, "main.img"), ropts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.backupSize() > 0 {
+		p.backupReg, err = nvm.Load(filepath.Join(dir, "backup.img"), ropts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.Mode != ModeNoLog {
+		p.logReg, err = nvm.Load(filepath.Join(dir, "log.img"), ropts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.makeEngine(false); err != nil {
+		return nil, err
+	}
+	root, err := p.eng.Heap().Root()
+	if err != nil {
+		return nil, err
+	}
+	p.root = root
+	return p, nil
+}

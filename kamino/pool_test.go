@@ -1,0 +1,288 @@
+package kamino
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func allModes() []Mode {
+	return []Mode{ModeSimple, ModeDynamic, ModeUndo, ModeCoW, ModeNoLog}
+}
+
+func atomicModes() []Mode {
+	return []Mode{ModeSimple, ModeDynamic, ModeUndo, ModeCoW}
+}
+
+func testPool(t *testing.T, mode Mode) *Pool {
+	t.Helper()
+	p, err := Create(Options{Mode: mode, HeapSize: 1 << 20, Strict: true})
+	if err != nil {
+		t.Fatalf("Create(%s): %v", mode, err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestCreateAllModes(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(string(mode), func(t *testing.T) {
+			p := testPool(t, mode)
+			if p.Root() == Nil {
+				t.Error("root object not allocated")
+			}
+			if p.Mode() != mode {
+				t.Errorf("Mode = %q", p.Mode())
+			}
+		})
+	}
+}
+
+func TestCreateRejectsBadOptions(t *testing.T) {
+	if _, err := Create(Options{Mode: "bogus"}); err == nil {
+		t.Error("bogus mode accepted")
+	}
+	if _, err := Create(Options{HeapSize: 16}); err == nil {
+		t.Error("tiny heap accepted")
+	}
+	if _, err := Create(Options{Mode: ModeDynamic, Alpha: 1.5, HeapSize: 1 << 20}); err == nil {
+		t.Error("alpha > 1 accepted for dynamic mode")
+	}
+}
+
+func TestUpdateCommitsAndViewReads(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(string(mode), func(t *testing.T) {
+			p := testPool(t, mode)
+			var obj ObjID
+			err := p.Update(func(tx *Tx) error {
+				var err error
+				obj, err = tx.Alloc(128)
+				if err != nil {
+					return err
+				}
+				if err := tx.SetString(obj, 0, "kamino"); err != nil {
+					return err
+				}
+				// Hook it to the root so it is reachable.
+				if err := tx.Add(p.Root()); err != nil {
+					return err
+				}
+				return tx.SetPtr(p.Root(), 0, obj)
+			})
+			if err != nil {
+				t.Fatalf("Update: %v", err)
+			}
+			err = p.View(func(tx *Tx) error {
+				got, err := tx.Ptr(p.Root(), 0)
+				if err != nil {
+					return err
+				}
+				if got != obj {
+					return fmt.Errorf("root pointer = %d, want %d", got, obj)
+				}
+				s, err := tx.String(obj, 0)
+				if err != nil {
+					return err
+				}
+				if s != "kamino" {
+					return fmt.Errorf("string = %q", s)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestUpdateErrorAborts(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, mode := range atomicModes() {
+		t.Run(string(mode), func(t *testing.T) {
+			p := testPool(t, mode)
+			if err := p.Update(func(tx *Tx) error {
+				if err := tx.Add(p.Root()); err != nil {
+					return err
+				}
+				if err := tx.SetUint64(p.Root(), 0, 12345); err != nil {
+					return err
+				}
+				return sentinel
+			}); !errors.Is(err, sentinel) {
+				t.Fatalf("Update error = %v, want sentinel", err)
+			}
+			var v uint64
+			if err := p.View(func(tx *Tx) error {
+				var err error
+				v, err = tx.Uint64(p.Root(), 0)
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if v != 0 {
+				t.Errorf("aborted write visible: %d", v)
+			}
+		})
+	}
+}
+
+func TestCrashRecoveryThroughPublicAPI(t *testing.T) {
+	for _, mode := range atomicModes() {
+		t.Run(string(mode), func(t *testing.T) {
+			p := testPool(t, mode)
+			if err := p.Update(func(tx *Tx) error {
+				if err := tx.Add(p.Root()); err != nil {
+					return err
+				}
+				return tx.SetUint64(p.Root(), 0, 777)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			// Leave a transaction un-committed across the crash.
+			tx, err := p.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Add(p.Root()); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.SetUint64(p.Root(), 0, 666); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Crash(); err != nil {
+				t.Fatalf("Crash: %v", err)
+			}
+			var v uint64
+			if err := p.View(func(tx *Tx) error {
+				var err error
+				v, err = tx.Uint64(p.Root(), 0)
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if v != 777 {
+				t.Errorf("after crash recovery root field = %d, want 777", v)
+			}
+		})
+	}
+}
+
+func TestCrashRequiresStrict(t *testing.T) {
+	p, err := Create(Options{HeapSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Crash(); err == nil {
+		t.Error("Crash on fast-mode pool did not error")
+	}
+}
+
+func TestFileBackedCheckpointAndOpen(t *testing.T) {
+	dir := t.TempDir()
+	p, err := Create(Options{Mode: ModeSimple, HeapSize: 1 << 20, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Update(func(tx *Tx) error {
+		if err := tx.Add(p.Root()); err != nil {
+			return err
+		}
+		return tx.SetString(p.Root(), 0, "checkpointed")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer p2.Close()
+	if p2.Root() == Nil {
+		t.Fatal("root lost across reopen")
+	}
+	var s string
+	if err := p2.View(func(tx *Tx) error {
+		var err error
+		s, err = tx.String(p2.Root(), 0)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s != "checkpointed" {
+		t.Errorf("reopened string = %q", s)
+	}
+}
+
+func TestOpenMissingDir(t *testing.T) {
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Error("Open of empty dir did not error")
+	}
+}
+
+func TestTypedAccessors(t *testing.T) {
+	p := testPool(t, ModeSimple)
+	if err := p.Update(func(tx *Tx) error {
+		r := p.Root()
+		if err := tx.Add(r); err != nil {
+			return err
+		}
+		if err := tx.SetUint64(r, 0, 0xAABBCCDD00112233); err != nil {
+			return err
+		}
+		if err := tx.SetUint32(r, 8, 0xCAFEBABE); err != nil {
+			return err
+		}
+		if err := tx.SetPtr(r, 16, ObjID(424242)); err != nil {
+			return err
+		}
+		v64, err := tx.Uint64(r, 0)
+		if err != nil || v64 != 0xAABBCCDD00112233 {
+			return fmt.Errorf("Uint64 = %x, %v", v64, err)
+		}
+		v32, err := tx.Uint32(r, 8)
+		if err != nil || v32 != 0xCAFEBABE {
+			return fmt.Errorf("Uint32 = %x, %v", v32, err)
+		}
+		ptr, err := tx.Ptr(r, 16)
+		if err != nil || ptr != ObjID(424242) {
+			return fmt.Errorf("Ptr = %d, %v", ptr, err)
+		}
+		if _, err := tx.Uint64(r, 100000); err == nil {
+			return fmt.Errorf("out-of-bounds Uint64 did not error")
+		}
+		if _, err := tx.ReadAt(r, -1, 4); err == nil {
+			return fmt.Errorf("negative ReadAt did not error")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	p := testPool(t, ModeUndo)
+	if err := p.Update(func(tx *Tx) error {
+		if err := tx.Add(p.Root()); err != nil {
+			return err
+		}
+		return tx.SetUint64(p.Root(), 0, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.Commits < 1 {
+		t.Errorf("commits = %d", s.Commits)
+	}
+	if s.BytesCopiedCritical == 0 {
+		t.Error("undo pool reported zero critical copies")
+	}
+	if p.NVMStats().Flushes == 0 {
+		t.Error("no device flushes recorded")
+	}
+}
