@@ -1,0 +1,26 @@
+# Kamino-Tx reproduction — build and verification targets.
+
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the measurement layer and every engine under the race detector:
+# the shared Timer/Collector, the workload generators, and the engines'
+# counter/phase instrumentation are all touched from multiple goroutines.
+race:
+	$(GO) test -race ./internal/stats/... ./internal/workload/... ./internal/engine/... ./internal/obs/...
+
+# check is the full gate: tier-1 build+test plus vet and the race pass.
+check: build vet test race
+
+bench: build
+	$(GO) run ./cmd/kaminobench -experiment fig12

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/debug"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"kaminotx/internal/bench"
+	"kaminotx/internal/obs"
 )
 
 var experiments = []struct {
@@ -43,14 +45,15 @@ var experiments = []struct {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (or 'all', or comma-separated list)")
-		keys       = flag.Int("keys", 50_000, "records preloaded into the store")
-		valueSize  = flag.Int("value", 1024, "value size in bytes")
-		ops        = flag.Int("ops", 10_000, "operations per worker thread")
-		threads    = flag.Int("threads", 4, "worker threads (non-sweep experiments)")
-		flush      = flag.Duration("flush", 0, "modeled per-line flush latency (0 = harness default)")
-		fence      = flag.Duration("fence", 0, "modeled fence latency (0 = harness default)")
-		list       = flag.Bool("list", false, "list experiments and exit")
+		experiment  = flag.String("experiment", "all", "experiment id (or 'all', or comma-separated list)")
+		keys        = flag.Int("keys", 50_000, "records preloaded into the store")
+		valueSize   = flag.Int("value", 1024, "value size in bytes")
+		ops         = flag.Int("ops", 10_000, "operations per worker thread")
+		threads     = flag.Int("threads", 4, "worker threads (non-sweep experiments)")
+		flush       = flag.Duration("flush", 0, "modeled per-line flush latency (0 = harness default)")
+		fence       = flag.Duration("fence", 0, "modeled fence latency (0 = harness default)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live observability JSON on this HTTP address (e.g. :8089)")
+		list        = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 	// Benchmarks allocate large long-lived regions; keep the collector
@@ -72,6 +75,20 @@ func main() {
 		FlushLatency: *flush,
 		FenceLatency: *fence,
 		Out:          os.Stdout,
+	}
+	if *metricsAddr != "" {
+		hub := obs.NewHub()
+		cfg.Metrics = hub
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, hub); err != nil {
+				fmt.Fprintf(os.Stderr, "kaminobench: metrics listener: %v\n", err)
+			}
+		}()
+		display := *metricsAddr
+		if strings.HasPrefix(display, ":") {
+			display = "localhost" + display
+		}
+		fmt.Printf("metrics: live registry snapshots at http://%s/ (JSON)\n", display)
 	}
 	fmt.Printf("kaminobench: keys=%d value=%dB ops/thread=%d threads=%d cpus=%d\n",
 		*keys, *valueSize, *ops, *threads, runtime.NumCPU())

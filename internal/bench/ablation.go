@@ -34,7 +34,7 @@ func Ablation(cfg Config) error {
 			pool.Close()
 			return err
 		}
-		pool.Drain()
+		cfg.collect(pool)
 		s := pool.Stats()
 		commits := float64(s.Commits - base.Commits)
 		if commits == 0 {
@@ -61,7 +61,7 @@ func Ablation(cfg Config) error {
 			pool.Close()
 			return err
 		}
-		pool.Drain()
+		cfg.collect(pool)
 		s := pool.Stats()
 		commits := float64(s.Commits - base.Commits)
 		if commits == 0 {
@@ -91,7 +91,7 @@ func Ablation(cfg Config) error {
 			pool.Close()
 			return err
 		}
-		pool.Drain()
+		cfg.collect(pool)
 		s := pool.Stats()
 		commits := float64(s.Commits - base.Commits)
 		if commits == 0 {
@@ -101,5 +101,6 @@ func Ablation(cfg Config) error {
 			float64(s.DependentWaits-base.DependentWaits)/commits, commits)
 		pool.Close()
 	}
+	cfg.printBreakdown()
 	return nil
 }

@@ -6,7 +6,9 @@ import (
 	"testing"
 	"time"
 
+	"kaminotx/internal/obs"
 	"kaminotx/kamino"
+	chainpkg "kaminotx/kamino/chain"
 )
 
 // tiny returns the smallest configuration that exercises the harness.
@@ -82,5 +84,57 @@ func TestCostModelOrdering(t *testing.T) {
 	full := costFor(kamino.ModeSimple, 1, 50)
 	if !(undo < dyn && dyn < full) {
 		t.Errorf("cost ordering broken: undo=%v dyn=%v full=%v", undo, dyn, full)
+	}
+}
+
+// TestBreakdownAggregatesAcrossPools: the obs accumulator must merge the
+// registries of every pool an experiment created and print the per-phase
+// table, and a configured hub must carry the live registries.
+func TestBreakdownAggregatesAcrossPools(t *testing.T) {
+	var out bytes.Buffer
+	cfg := tiny(&out)
+	cfg.Metrics = obs.NewHub()
+	cfg = cfg.WithDefaults()
+	for _, mode := range []kamino.Mode{kamino.ModeSimple, kamino.ModeUndo} {
+		if _, err := cfg.measureYCSB(mode, 1, 'A', 1); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+	}
+	cfg.printBreakdown()
+	s := out.String()
+	for _, want := range []string{
+		"phase breakdown", "[kamino]", "[undo]",
+		"heap_persist", "commit_persist", "backup_lag", "critical_copy",
+		"commits=", "nvm.main.flushes=",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, s)
+		}
+	}
+	snaps := cfg.Metrics.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("hub has %d registries, want 2", len(snaps))
+	}
+	for _, snap := range snaps {
+		if snap.Counters["commits"] == 0 {
+			t.Errorf("hub registry %q has no commits", snap.Name)
+		}
+	}
+}
+
+// TestChainBreakdownIncludesReplicas: chain experiments fold per-replica
+// protocol counters into the breakdown.
+func TestChainBreakdownIncludesReplicas(t *testing.T) {
+	var out bytes.Buffer
+	cfg := tiny(&out).WithDefaults()
+	if _, err := cfg.measureChain(chainpkg.ModeKamino, 'A', 1); err != nil {
+		t.Fatal(err)
+	}
+	cfg.printBreakdown()
+	s := out.String()
+	for _, want := range []string{"[chain/replica-0]", "forwarded=", "tail_acks=", "[inplace]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("chain breakdown missing %q:\n%s", want, s)
+		}
 	}
 }

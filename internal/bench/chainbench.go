@@ -129,6 +129,7 @@ func (c Config) measureChain(mode chainpkg.Mode, w byte, threads int) (Result, e
 		return Result{}, err
 	}
 	defer cl.Close()
+	c.observeChain(cl)
 	r, err := c.runChainYCSB(cl, mix, threads)
 	if err != nil {
 		return Result{}, err
@@ -136,6 +137,7 @@ func (c Config) measureChain(mode chainpkg.Mode, w byte, threads int) (Result, e
 	if cerr := cl.Err(); cerr != nil {
 		return Result{}, cerr
 	}
+	c.collectChain(cl)
 	return r, nil
 }
 
@@ -160,6 +162,7 @@ func Fig17(cfg Config) error {
 		fmt.Fprintf(cfg.Out, "YCSB-%c   %14.1f %14.1f %9.2fx\n",
 			w, us(ka.Mean), us(tr.Mean), float64(tr.Mean)/float64(ka.Mean))
 	}
+	cfg.printBreakdown()
 	return nil
 }
 
@@ -183,5 +186,6 @@ func Fig18(cfg Config) error {
 		fmt.Fprintf(cfg.Out, "YCSB-%c   %14.2f %14.2f %9.2fx\n",
 			w, ka.OpsPerSec/1000, tr.OpsPerSec/1000, ka.OpsPerSec/tr.OpsPerSec)
 	}
+	cfg.printBreakdown()
 	return nil
 }

@@ -41,6 +41,7 @@ func Fig1(cfg Config) error {
 	}
 	fmt.Fprintf(cfg.Out, "TPC-C      %14.1f %14.1f %9.0f%%\n",
 		no.OpsPerSec/1000, un.OpsPerSec/1000, overheadPct(no.OpsPerSec, un.OpsPerSec))
+	cfg.printBreakdown()
 	return nil
 }
 
@@ -67,6 +68,7 @@ func (c Config) measureTPCC(mode kamino.Mode) (Result, error) {
 		return Result{}, err
 	}
 	defer pool.Close()
+	c.observe(pool)
 	// Paper-like scale: enough warehouses/items that dependent
 	// transactions stay rare, as on the full TPC-C schema.
 	db, err := tpcc.Load(pool, tpcc.Config{Warehouses: 4, Items: 5000, CustomersPerD: 200})
@@ -112,6 +114,7 @@ func (c Config) measureTPCC(mode kamino.Mode) (Result, error) {
 			maxEl = o.el
 		}
 	}
+	c.collect(pool)
 	return Result{
 		OpsPerSec: float64(total) / maxEl.Seconds(),
 		Mean:      time.Duration(uint64(sum) / total),
@@ -147,6 +150,7 @@ func Fig12(cfg Config) error {
 		}
 		fmt.Fprintln(cfg.Out)
 	}
+	cfg.printBreakdown()
 	return nil
 }
 
@@ -183,6 +187,7 @@ func Fig13(cfg Config) error {
 	}
 	fmt.Fprintf(cfg.Out, "TPC-C      %12.2f %12.2f %9.2fx\n",
 		us(ka.Mean), us(un.Mean), float64(un.Mean)/float64(ka.Mean))
+	cfg.printBreakdown()
 	return nil
 }
 
@@ -237,6 +242,7 @@ func dynamicSweep(cfg Config, latency bool) error {
 			fmt.Fprintf(cfg.Out, " %10.3f\n", r.OpsPerSec/1e6)
 		}
 	}
+	cfg.printBreakdown()
 	return nil
 }
 
@@ -261,6 +267,7 @@ func Dependent(cfg Config) error {
 			fmt.Fprintf(cfg.Out, "%-22s %12.2f %14.2f\n", label, us(avg), us(ins))
 		}
 	}
+	cfg.printBreakdown()
 	return nil
 }
 
@@ -338,6 +345,7 @@ func (c Config) dependentRun(mode kamino.Mode, bursty bool) (avg, insertAvg time
 	if insN == 0 {
 		insN = 1
 	}
+	c.collect(pool)
 	return sum / time.Duration(total), insSum / time.Duration(insN), nil
 }
 
@@ -363,6 +371,7 @@ func WorstCase(cfg Config) error {
 		fmt.Fprintf(cfg.Out, "%-8d %12.2f %12.2f %9.2fx\n",
 			size, us(ka), us(un), float64(un)/float64(ka))
 	}
+	cfg.printBreakdown()
 	return nil
 }
 
@@ -378,6 +387,7 @@ func (c Config) worstCaseRun(mode kamino.Mode, size int) (time.Duration, error) 
 		return 0, err
 	}
 	defer pool.Close()
+	c.observe(pool)
 	var obj kamino.ObjID
 	if err := pool.Update(func(tx *kamino.Tx) error {
 		var e error
@@ -402,6 +412,6 @@ func (c Config) worstCaseRun(mode kamino.Mode, size int) (time.Duration, error) 
 		}
 	}
 	el := time.Since(start)
-	pool.Drain()
+	c.collect(pool)
 	return el / time.Duration(n), nil
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"kaminotx/internal/kvstore"
+	"kaminotx/internal/obs"
 	"kaminotx/internal/stats"
 	"kaminotx/internal/workload"
 	"kaminotx/kamino"
@@ -41,6 +42,14 @@ type Config struct {
 	FenceLatency time.Duration
 	// Out receives the report. Required.
 	Out io.Writer
+	// Metrics, if set, receives the live observability registry of every
+	// pool an experiment creates, keyed by engine label, so an HTTP
+	// listener (kaminobench -metrics-addr) can expose them while running.
+	Metrics *obs.Hub
+
+	// agg accumulates per-engine obs snapshots over one experiment for
+	// the phase-breakdown table printed at its end.
+	agg *obsAgg
 }
 
 // WithDefaults fills unset fields.
@@ -62,6 +71,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.FenceLatency == 0 {
 		c.FenceLatency = 500 * time.Nanosecond
+	}
+	if c.agg == nil {
+		c.agg = newObsAgg()
 	}
 	return c
 }
@@ -95,6 +107,7 @@ func (c Config) loadStore(mode kamino.Mode, alpha float64) (*kamino.Pool, *kvsto
 	if err != nil {
 		return nil, nil, err
 	}
+	c.observe(pool)
 	store, err := kvstore.Create(pool, 0)
 	if err != nil {
 		pool.Close()
@@ -193,7 +206,12 @@ func (c Config) measureYCSB(mode kamino.Mode, alpha float64, w byte, threads int
 		return Result{}, err
 	}
 	defer pool.Close()
-	return c.runYCSB(store, mix, threads)
+	r, err := c.runYCSB(store, mix, threads)
+	if err != nil {
+		return Result{}, err
+	}
+	c.collect(pool)
+	return r, nil
 }
 
 func header(w io.Writer, title, note string) {

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"kaminotx/internal/obs"
+	"kaminotx/kamino"
+	chainpkg "kaminotx/kamino/chain"
+)
+
+// obsAgg accumulates observability registries across the many short-lived
+// pools one experiment creates. Registries sharing a label merge: counters
+// add, gauges are sampled into counters, phase histograms merge, so the
+// final breakdown attributes latency over the whole experiment.
+type obsAgg struct {
+	mu    sync.Mutex
+	order []string
+	regs  map[string]*obs.Registry
+}
+
+func newObsAgg() *obsAgg {
+	return &obsAgg{regs: make(map[string]*obs.Registry)}
+}
+
+func (a *obsAgg) absorb(src *obs.Registry) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	label := src.Name()
+	acc, ok := a.regs[label]
+	if !ok {
+		acc = obs.New(label)
+		a.regs[label] = acc
+		a.order = append(a.order, label)
+	}
+	acc.Absorb(src)
+}
+
+func (a *obsAgg) write(w io.Writer) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.order) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n--- phase breakdown (per engine, cumulative incl. preload) ---\n")
+	for _, label := range a.order {
+		a.regs[label].Snapshot().WriteBreakdown(w)
+	}
+}
+
+// observe publishes a pool's live registry to the metrics hub, if one is
+// configured, so -metrics-addr shows the experiment while it runs.
+func (c Config) observe(p *kamino.Pool) {
+	if c.Metrics != nil {
+		c.Metrics.Set(p.Obs().Name(), p.Obs())
+	}
+}
+
+// collect drains a pool's asynchronous work and folds its registry into the
+// experiment accumulator. Call it before Close, after the measured run.
+func (c Config) collect(p *kamino.Pool) {
+	p.Drain()
+	if c.agg != nil {
+		c.agg.absorb(p.Obs())
+	}
+}
+
+// observeChain and collectChain do the same for a replicated cluster: each
+// replica contributes its chain-protocol registry and its engine registry.
+func (c Config) observeChain(cl *chainpkg.Cluster) {
+	if c.Metrics == nil {
+		return
+	}
+	seen := map[string]int{}
+	for _, r := range cl.Obs() {
+		label := r.Name()
+		if n := seen[label]; n > 0 {
+			label = fmt.Sprintf("%s#%d", label, n)
+		}
+		seen[r.Name()]++
+		c.Metrics.Set(label, r)
+	}
+}
+
+func (c Config) collectChain(cl *chainpkg.Cluster) {
+	if c.agg == nil {
+		return
+	}
+	for _, r := range cl.Obs() {
+		c.agg.absorb(r)
+	}
+}
+
+// printBreakdown writes the per-phase latency attribution accumulated over
+// the experiment's pools, sourced from the engines' obs registries.
+func (c Config) printBreakdown() {
+	if c.agg != nil {
+		c.agg.write(c.Out)
+	}
+}

@@ -108,6 +108,7 @@ func (r *Replica) promoteToHead() error {
 				Seq: rec.Seq, Name: rec.Name, Args: rec.Args,
 			})
 		}
+		r.cResends.Add(uint64(len(recs)))
 	} else {
 		// Single-node chain: everything in flight is trivially
 		// complete.
@@ -154,6 +155,7 @@ func (r *Replica) resendInflight(v membership.View, succ transport.NodeID) {
 			Seq: rec.Seq, Name: rec.Name, Args: rec.Args,
 		})
 	}
+	r.cResends.Add(uint64(len(recs)))
 }
 
 // ---------------------------------------------------------------------------

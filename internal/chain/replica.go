@@ -9,6 +9,7 @@ import (
 	"kaminotx/internal/heap"
 	"kaminotx/internal/membership"
 	"kaminotx/internal/nvm"
+	"kaminotx/internal/obs"
 	"kaminotx/internal/pqueue"
 	"kaminotx/internal/transport"
 	"kaminotx/kamino"
@@ -83,6 +84,17 @@ type Replica struct {
 	inflightQ   *pqueue.Queue
 	inputReg    *nvm.Region
 	inflightReg *nvm.Region
+
+	obs        *obs.Registry
+	cSubmits   *obs.Counter // ops accepted at the head
+	cApplied   *obs.Counter // ops executed from the input queue
+	cForwarded *obs.Counter // ops sent to the successor
+	cTailAcks  *obs.Counter // tail acknowledgments sent
+	cAcksRecv  *obs.Counter // tail acknowledgments received (head)
+	cCleanups  *obs.Counter // cleanup messages handled
+	cDedup     *obs.Counter // duplicate deliveries dropped
+	cFetches   *obs.Counter // recovery fetches served to neighbours
+	cResends   *obs.Counter // in-flight re-forwards after view changes
 
 	mu       sync.Mutex
 	view     membership.View
@@ -172,6 +184,7 @@ func NewReplica(id transport.NodeID, cfg Config) (*Replica, error) {
 		return nil, err
 	}
 
+	o := obs.New("chain/" + string(id))
 	r := &Replica{
 		id:          id,
 		cfg:         cfg,
@@ -180,6 +193,16 @@ func NewReplica(id transport.NodeID, cfg Config) (*Replica, error) {
 		inflightQ:   inflightQ,
 		inputReg:    inputReg,
 		inflightReg: inflightReg,
+		obs:         o,
+		cSubmits:    o.Counter("submits"),
+		cApplied:    o.Counter("applied"),
+		cForwarded:  o.Counter("forwarded"),
+		cTailAcks:   o.Counter("tail_acks"),
+		cAcksRecv:   o.Counter("acks_received"),
+		cCleanups:   o.Counter("cleanups"),
+		cDedup:      o.Counter("dedup_dropped"),
+		cFetches:    o.Counter("fetches_served"),
+		cResends:    o.Counter("resends"),
 		view:        view,
 		promoted:    isHead,
 		notify:      make(chan struct{}, 1),
@@ -203,6 +226,11 @@ func (r *Replica) ID() transport.NodeID { return r.id }
 
 // Pool exposes the replica's pool (tests and tools).
 func (r *Replica) Pool() *kamino.Pool { return r.pool }
+
+// Obs returns the replica's chain-protocol observability registry
+// ("chain/<id>"): per-hop forward, ack, cleanup, dedup, fetch, and resend
+// counters. The local engine's registry is separate — see Pool().Obs().
+func (r *Replica) Obs() *obs.Registry { return r.obs }
 
 // IsHead reports whether this replica currently heads the chain.
 func (r *Replica) IsHead() bool {
@@ -336,6 +364,7 @@ func (r *Replica) Submit(name string, args []byte) error {
 	r.mu.Lock()
 	r.lastExec = seq
 	r.mu.Unlock()
+	r.cSubmits.Add(1)
 	rec := pqueue.Record{Seq: seq, Name: name, Args: args}
 	if len(view.Members) == 1 {
 		// Degenerate single-node chain: complete immediately.
@@ -358,6 +387,7 @@ func (r *Replica) Submit(name string, args []byte) error {
 		Kind: transport.KindOp, From: r.id, ViewID: view.ID,
 		Seq: seq, Name: name, Args: args,
 	})
+	r.cForwarded.Add(1)
 	r.execMu.Unlock()
 	return <-done
 }
@@ -464,6 +494,7 @@ func (r *Replica) handle(msg *transport.Message) *transport.Message {
 	switch msg.Kind {
 	case transport.KindOp:
 		if msg.Seq <= r.getInput().LastSeq() {
+			r.cDedup.Add(1)
 			return nil // duplicate delivery after repair/resend
 		}
 		if err := r.getInput().Enqueue(pqueue.Record{Seq: msg.Seq, Name: msg.Name, Args: msg.Args}); err != nil {
@@ -474,6 +505,7 @@ func (r *Replica) handle(msg *transport.Message) *transport.Message {
 	case transport.KindTailAck:
 		// Head: the transaction is complete; release the client and
 		// the admission locks, and clean the in-flight entry.
+		r.cAcksRecv.Add(1)
 		if err := r.getInflight().DropThrough(msg.Seq); err != nil {
 			r.fatal(err)
 		}
@@ -486,6 +518,7 @@ func (r *Replica) handle(msg *transport.Message) *transport.Message {
 			ch <- nil
 		}
 	case transport.KindCleanup:
+		r.cCleanups.Add(1)
 		if err := r.getInflight().DropThrough(msg.Seq); err != nil {
 			r.fatal(err)
 		}
@@ -513,6 +546,7 @@ func (r *Replica) handle(msg *transport.Message) *transport.Message {
 
 // serveFetch returns block images for a recovering neighbour (§5.3).
 func (r *Replica) serveFetch(msg *transport.Message) *transport.Message {
+	r.cFetches.Add(1)
 	reply := &transport.Message{Kind: transport.KindFetchReply}
 	hp := r.pool.Engine().Heap()
 	for i, obj := range msg.Objs {
@@ -576,6 +610,7 @@ func (r *Replica) apply(rec pqueue.Record) error {
 	if err := r.pool.Update(func(tx *kamino.Tx) error { return fn(tx, r.pool, rec.Args) }); err != nil {
 		return err
 	}
+	r.cApplied.Add(1)
 	r.mu.Lock()
 	r.lastExec = rec.Seq
 	view := r.view
@@ -590,12 +625,14 @@ func (r *Replica) apply(rec pqueue.Record) error {
 			Kind: transport.KindOp, From: r.id, ViewID: view.ID,
 			Seq: rec.Seq, Name: rec.Name, Args: rec.Args,
 		})
+		r.cForwarded.Add(1)
 		return nil
 	}
 	// Tail: acknowledge to the head and start clean-up upstream.
 	_ = r.cfg.Transport.Send(view.Head(), &transport.Message{
 		Kind: transport.KindTailAck, From: r.id, ViewID: view.ID, Seq: rec.Seq,
 	})
+	r.cTailAcks.Add(1)
 	if pred, ok := view.Predecessor(r.id); ok && pred != view.Head() {
 		_ = r.cfg.Transport.Send(pred, &transport.Message{
 			Kind: transport.KindCleanup, From: r.id, ViewID: view.ID, Seq: rec.Seq,

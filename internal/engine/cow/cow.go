@@ -8,13 +8,14 @@ package cow
 
 import (
 	"fmt"
-	"sync/atomic"
+	"time"
 
 	"kaminotx/internal/engine"
 	"kaminotx/internal/heap"
 	"kaminotx/internal/intentlog"
 	"kaminotx/internal/locktable"
 	"kaminotx/internal/nvm"
+	"kaminotx/internal/obs"
 )
 
 // Engine is the copy-on-write engine.
@@ -22,11 +23,36 @@ type Engine struct {
 	heap  *heap.Heap
 	log   *intentlog.Log
 	locks *locktable.Table
+	obs   *obs.Registry
 
-	commits  atomic.Uint64
-	aborts   atomic.Uint64
-	critCopy atomic.Uint64
-	depWaits atomic.Uint64
+	commits  *obs.Counter
+	aborts   *obs.Counter
+	critCopy *obs.Counter
+	depWaits *obs.Counter
+
+	phStall    *obs.PhaseStat // dependent-lock acquisition time
+	phCritCopy *obs.PhaseStat // shadow creation copy
+	phIntent   *obs.PhaseStat // pre-marker shadow/alloc persist
+	phMarker   *obs.PhaseStat // commit-marker persist
+	phCopyBack *obs.PhaseStat // post-commit shadow-to-original apply
+}
+
+func newEngine(h *heap.Heap, l *intentlog.Log, heapReg, logReg *nvm.Region) *Engine {
+	o := obs.New("cow")
+	heapReg.ExportObs(o, "nvm.main")
+	logReg.ExportObs(o, "nvm.log")
+	return &Engine{
+		heap: h, log: l, locks: locktable.New(), obs: o,
+		commits:    o.Counter("commits"),
+		aborts:     o.Counter("aborts"),
+		critCopy:   o.Counter("bytes_copied_critical"),
+		depWaits:   o.Counter("dependent_waits"),
+		phStall:    o.Phase(obs.PhaseDependentStall),
+		phCritCopy: o.Phase(obs.PhaseCriticalCopy),
+		phIntent:   o.Phase(obs.PhaseIntentPersist),
+		phMarker:   o.Phase(obs.PhaseCommitPersist),
+		phCopyBack: o.Phase(obs.PhaseCopyBack),
+	}
 }
 
 // New formats a fresh heap and log and returns an engine over them.
@@ -39,7 +65,7 @@ func New(heapReg, logReg *nvm.Region, logCfg intentlog.Config) (*Engine, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{heap: h, log: l, locks: locktable.New()}, nil
+	return newEngine(h, l, heapReg, logReg), nil
 }
 
 // Open attaches to existing regions, runs crash recovery, and rebuilds the
@@ -53,7 +79,7 @@ func Open(heapReg, logReg *nvm.Region) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{heap: h, log: l, locks: locktable.New()}
+	e := newEngine(h, l, heapReg, logReg)
 	if err := e.Recover(); err != nil {
 		return nil, err
 	}
@@ -74,6 +100,9 @@ func (e *Engine) Drain() {}
 
 // Close implements engine.Engine.
 func (e *Engine) Close() error { return nil }
+
+// Obs implements engine.Engine.
+func (e *Engine) Obs() *obs.Registry { return e.obs }
 
 // Stats implements engine.Engine.
 func (e *Engine) Stats() engine.Stats {
@@ -200,7 +229,9 @@ func (t *tx) Add(obj heap.ObjID) error {
 	}
 	if !locked && !t.e.locks.TryLock(uint64(obj), t.owner()) {
 		t.e.depWaits.Add(1)
+		stallStart := time.Now()
 		t.e.locks.Lock(uint64(obj), t.owner())
+		t.e.phStall.Observe(time.Since(stallStart))
 	}
 	fail := func(err error) error {
 		if !locked {
@@ -212,6 +243,7 @@ func (t *tx) Add(obj heap.ObjID) error {
 	if err != nil {
 		return fail(err)
 	}
+	copyStart := time.Now()
 	regionOff, dataOff, err := t.tl.ReserveData(blockLen)
 	if err != nil {
 		return fail(err)
@@ -232,6 +264,7 @@ func (t *tx) Add(obj heap.ObjID) error {
 	}); err != nil {
 		return fail(err)
 	}
+	t.e.phCritCopy.Observe(time.Since(copyStart))
 	t.e.critCopy.Add(uint64(blockLen))
 	t.shadows[obj] = shadow{regionOff: regionOff, dataOff: dataOff, blockLen: blockLen}
 	return nil
@@ -314,7 +347,9 @@ func (t *tx) Free(obj heap.ObjID) error {
 		// commit, and the original is never edited.
 		if !t.e.locks.TryLock(uint64(obj), t.owner()) {
 			t.e.depWaits.Add(1)
+			stallStart := time.Now()
 			t.e.locks.Lock(uint64(obj), t.owner())
+			t.e.phStall.Observe(time.Since(stallStart))
 		}
 		t.shadows[obj] = shadow{blockLen: -1} // lock-only marker
 	}
@@ -356,6 +391,7 @@ func (t *tx) Commit() error {
 	heapReg := t.e.heap.Region()
 	// Make the shadows and fresh allocations durable before the commit
 	// record; recovery replays the copy-back from them.
+	start := time.Now()
 	for _, sh := range t.shadows {
 		if sh.blockLen < 0 {
 			continue
@@ -375,20 +411,25 @@ func (t *tx) Commit() error {
 		}
 	}
 	heapReg.Fence()
+	t.e.phIntent.Observe(time.Since(start))
+	start = time.Now()
 	if err := t.tl.SetState(intentlog.StateCommitted); err != nil {
 		return err
 	}
+	t.e.phMarker.Observe(time.Since(start))
 	// Apply the shadows to the originals (the paper's "copy to
 	// original"), then the deferred frees.
 	entries, err := t.tl.Entries()
 	if err != nil {
 		return err
 	}
+	start = time.Now()
 	if err := t.e.applyShadows(entries, func(dataOff uint32, n int) ([]byte, error) {
 		return t.tl.Data(dataOff, n)
 	}); err != nil {
 		return err
 	}
+	t.e.phCopyBack.Observe(time.Since(start))
 	for _, sh := range t.shadows {
 		if sh.blockLen > 0 {
 			t.e.critCopy.Add(uint64(sh.blockLen))

@@ -11,6 +11,7 @@ import (
 	"errors"
 
 	"kaminotx/internal/heap"
+	"kaminotx/internal/obs"
 )
 
 // Tx is one transaction. The API mirrors NVML's transactional object store
@@ -86,6 +87,11 @@ type Engine interface {
 
 	// Stats returns cumulative counters.
 	Stats() Stats
+
+	// Obs returns the engine's observability registry: counters, NVM
+	// gauges, and per-transaction phase latency histograms. The registry
+	// is live — snapshot it to read a consistent view.
+	Obs() *obs.Registry
 }
 
 // Stats counts engine-level events. All counters are cumulative.

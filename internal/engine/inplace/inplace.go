@@ -20,13 +20,14 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sync/atomic"
+	"time"
 
 	"kaminotx/internal/engine"
 	"kaminotx/internal/heap"
 	"kaminotx/internal/intentlog"
 	"kaminotx/internal/locktable"
 	"kaminotx/internal/nvm"
+	"kaminotx/internal/obs"
 )
 
 // ErrAbortUnsupported reports an Abort on an in-place replica engine.
@@ -37,11 +38,32 @@ type Engine struct {
 	heap  *heap.Heap
 	log   *intentlog.Log
 	locks *locktable.Table
+	obs   *obs.Registry
 
 	pending []PendingTx // incomplete transactions found at Open
 
-	commits  atomic.Uint64
-	depWaits atomic.Uint64
+	commits  *obs.Counter
+	depWaits *obs.Counter
+
+	phStall  *obs.PhaseStat // dependent-lock acquisition time
+	phIntent *obs.PhaseStat // intent-log append persist
+	phHeap   *obs.PhaseStat // in-place heap flush+fence at commit
+	phMarker *obs.PhaseStat // commit-marker persist
+}
+
+func newEngine(h *heap.Heap, l *intentlog.Log, heapReg, logReg *nvm.Region) *Engine {
+	o := obs.New("inplace")
+	heapReg.ExportObs(o, "nvm.main")
+	logReg.ExportObs(o, "nvm.log")
+	return &Engine{
+		heap: h, log: l, locks: locktable.New(), obs: o,
+		commits:  o.Counter("commits"),
+		depWaits: o.Counter("dependent_waits"),
+		phStall:  o.Phase(obs.PhaseDependentStall),
+		phIntent: o.Phase(obs.PhaseIntentPersist),
+		phHeap:   o.Phase(obs.PhaseHeapPersist),
+		phMarker: o.Phase(obs.PhaseCommitPersist),
+	}
 }
 
 // PendingTx is one incomplete transaction surfaced for chain-level
@@ -72,7 +94,7 @@ func New(heapReg, logReg *nvm.Region, logCfg intentlog.Config) (*Engine, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{heap: h, log: l, locks: locktable.New()}, nil
+	return newEngine(h, l, heapReg, logReg), nil
 }
 
 // Open attaches to existing regions and runs local recovery. If the result
@@ -87,7 +109,7 @@ func Open(heapReg, logReg *nvm.Region) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{heap: h, log: l, locks: locktable.New()}
+	e := newEngine(h, l, heapReg, logReg)
 	if err := e.Recover(); err != nil {
 		return nil, err
 	}
@@ -109,9 +131,21 @@ func (e *Engine) Drain() {}
 // Close implements engine.Engine.
 func (e *Engine) Close() error { return nil }
 
+// Obs implements engine.Engine.
+func (e *Engine) Obs() *obs.Registry { return e.obs }
+
 // Stats implements engine.Engine.
 func (e *Engine) Stats() engine.Stats {
 	return engine.Stats{Commits: e.commits.Load(), DependentWaits: e.depWaits.Load()}
+}
+
+// timedAppend persists one intent-log entry and charges it to the
+// intent-persist phase.
+func (e *Engine) timedAppend(tl *intentlog.TxLog, ent intentlog.Entry) error {
+	start := time.Now()
+	err := tl.Append(ent)
+	e.phIntent.Observe(time.Since(start))
+	return err
 }
 
 // Recover completes committed transactions and collects incomplete ones
@@ -245,7 +279,7 @@ func (t *tx) Add(obj heap.ObjID) error {
 		if ws.writable {
 			return nil
 		}
-		if err := t.tl.Append(intentlog.Entry{Op: intentlog.OpWrite, Class: uint32(ws.class), Obj: uint64(obj)}); err != nil {
+		if err := t.e.timedAppend(t.tl, intentlog.Entry{Op: intentlog.OpWrite, Class: uint32(ws.class), Obj: uint64(obj)}); err != nil {
 			return err
 		}
 		t.writeSet[obj] = wsEntry{class: ws.class, writable: true}
@@ -257,9 +291,11 @@ func (t *tx) Add(obj heap.ObjID) error {
 	}
 	if !t.e.locks.TryLock(uint64(obj), t.owner()) {
 		t.e.depWaits.Add(1)
+		stallStart := time.Now()
 		t.e.locks.Lock(uint64(obj), t.owner())
+		t.e.phStall.Observe(time.Since(stallStart))
 	}
-	if err := t.tl.Append(intentlog.Entry{Op: intentlog.OpWrite, Class: uint32(cls), Obj: uint64(obj)}); err != nil {
+	if err := t.e.timedAppend(t.tl, intentlog.Entry{Op: intentlog.OpWrite, Class: uint32(cls), Obj: uint64(obj)}); err != nil {
 		t.e.locks.Unlock(uint64(obj), t.owner())
 		return err
 	}
@@ -302,7 +338,7 @@ func (t *tx) Alloc(size int) (heap.ObjID, error) {
 		return heap.Nil, err
 	}
 	t.e.locks.Lock(uint64(obj), t.owner())
-	if err := t.tl.Append(intentlog.Entry{Op: intentlog.OpAlloc, Class: uint32(cls), Obj: uint64(obj)}); err != nil {
+	if err := t.e.timedAppend(t.tl, intentlog.Entry{Op: intentlog.OpAlloc, Class: uint32(cls), Obj: uint64(obj)}); err != nil {
 		t.e.locks.Unlock(uint64(obj), t.owner())
 		relErr := t.e.heap.ReleaseReservation(obj)
 		if relErr != nil {
@@ -322,7 +358,7 @@ func (t *tx) Free(obj heap.ObjID) error {
 		return engine.ErrTxDone
 	}
 	if ws, ok := t.writeSet[obj]; ok {
-		if err := t.tl.Append(intentlog.Entry{Op: intentlog.OpFree, Class: uint32(ws.class), Obj: uint64(obj)}); err != nil {
+		if err := t.e.timedAppend(t.tl, intentlog.Entry{Op: intentlog.OpFree, Class: uint32(ws.class), Obj: uint64(obj)}); err != nil {
 			return err
 		}
 	} else {
@@ -332,9 +368,11 @@ func (t *tx) Free(obj heap.ObjID) error {
 		}
 		if !t.e.locks.TryLock(uint64(obj), t.owner()) {
 			t.e.depWaits.Add(1)
+			stallStart := time.Now()
 			t.e.locks.Lock(uint64(obj), t.owner())
+			t.e.phStall.Observe(time.Since(stallStart))
 		}
-		if err := t.tl.Append(intentlog.Entry{Op: intentlog.OpFree, Class: uint32(cls), Obj: uint64(obj)}); err != nil {
+		if err := t.e.timedAppend(t.tl, intentlog.Entry{Op: intentlog.OpFree, Class: uint32(cls), Obj: uint64(obj)}); err != nil {
 			t.e.locks.Unlock(uint64(obj), t.owner())
 			return err
 		}
@@ -349,15 +387,19 @@ func (t *tx) Commit() error {
 		return engine.ErrTxDone
 	}
 	reg := t.e.heap.Region()
+	start := time.Now()
 	for obj, ws := range t.writeSet {
 		if err := reg.Flush(int(obj)-heap.BlockHeaderSize, heap.BlockHeaderSize+ws.class); err != nil {
 			return err
 		}
 	}
 	reg.Fence()
+	t.e.phHeap.Observe(time.Since(start))
+	start = time.Now()
 	if err := t.tl.SetState(intentlog.StateCommitted); err != nil {
 		return err
 	}
+	t.e.phMarker.Observe(time.Since(start))
 	for _, obj := range t.frees {
 		if err := t.e.heap.ApplyFree(obj); err != nil {
 			return err

@@ -6,12 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"kaminotx/internal/engine"
 	"kaminotx/internal/heap"
 	"kaminotx/internal/locktable"
 	"kaminotx/internal/nvm"
+	"kaminotx/internal/obs"
 )
 
 // backend abstracts the backup copy of the heap. The simple backend mirrors
@@ -48,15 +49,15 @@ type backend interface {
 type simpleBackend struct {
 	main   *nvm.Region
 	backup *nvm.Region
-	synced atomic.Uint64
+	synced *obs.Counter
 }
 
-func newSimpleBackend(main, backup *nvm.Region) (*simpleBackend, error) {
+func newSimpleBackend(main, backup *nvm.Region, o *obs.Registry) (*simpleBackend, error) {
 	if backup.Size() < main.Size() {
 		return nil, fmt.Errorf("kamino: full backup region (%d bytes) smaller than main (%d bytes)",
 			backup.Size(), main.Size())
 	}
-	return &simpleBackend{main: main, backup: backup}, nil
+	return &simpleBackend{main: main, backup: backup, synced: o.Counter("bytes_copied_async")}, nil
 }
 
 func (b *simpleBackend) ensure(heap.ObjID, int) error { return nil }
@@ -111,19 +112,25 @@ type dynamicBackend struct {
 	entries map[heap.ObjID]*dynEntry
 	lru     *list.List // front = most recently used; values are main ObjIDs
 
-	synced    atomic.Uint64
-	misses    atomic.Uint64
-	missBytes atomic.Uint64
-	evictions atomic.Uint64
+	synced     *obs.Counter
+	misses     *obs.Counter
+	missBytes  *obs.Counter
+	evictions  *obs.Counter
+	phMissCopy *obs.PhaseStat // on-demand backup copy (critical path)
 }
 
-func newDynamicBackend(main *nvm.Region, bheap *heap.Heap, locks *locktable.Table) *dynamicBackend {
+func newDynamicBackend(main *nvm.Region, bheap *heap.Heap, locks *locktable.Table, o *obs.Registry) *dynamicBackend {
 	return &dynamicBackend{
-		main:    main,
-		bheap:   bheap,
-		locks:   locks,
-		entries: make(map[heap.ObjID]*dynEntry),
-		lru:     list.New(),
+		main:       main,
+		bheap:      bheap,
+		locks:      locks,
+		entries:    make(map[heap.ObjID]*dynEntry),
+		lru:        list.New(),
+		synced:     o.Counter("bytes_copied_async"),
+		misses:     o.Counter("backup_misses"),
+		missBytes:  o.Counter("backup_miss_bytes"),
+		evictions:  o.Counter("backup_evictions"),
+		phMissCopy: o.Phase(obs.PhaseCriticalCopy),
 	}
 }
 
@@ -184,6 +191,8 @@ func (b *dynamicBackend) ensure(obj heap.ObjID, class int) error {
 	// makes α < 1 a latency/storage trade-off.
 	b.misses.Add(1)
 	b.missBytes.Add(uint64(blockLen))
+	missStart := time.Now()
+	defer func() { b.phMissCopy.Observe(time.Since(missStart)) }()
 	backupObj, err := b.allocBlock(dynPrefix + blockLen)
 	if err != nil {
 		return err

@@ -21,12 +21,14 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kaminotx/internal/engine"
 	"kaminotx/internal/heap"
 	"kaminotx/internal/intentlog"
 	"kaminotx/internal/locktable"
 	"kaminotx/internal/nvm"
+	"kaminotx/internal/obs"
 )
 
 // Config tunes the engine.
@@ -63,6 +65,7 @@ type Engine struct {
 	locks   *locktable.Table
 	backend backend
 	dynamic bool
+	obs     *obs.Registry
 
 	applyCh chan applyReq
 	wg      sync.WaitGroup // applier goroutines
@@ -71,15 +74,23 @@ type Engine struct {
 
 	applyErr atomic.Value // error
 
-	commits  atomic.Uint64
-	aborts   atomic.Uint64
-	depWaits atomic.Uint64
+	commits  *obs.Counter
+	aborts   *obs.Counter
+	depWaits *obs.Counter
+
+	phStall  *obs.PhaseStat // dependent-lock acquisition time
+	phIntent *obs.PhaseStat // intent-log append persist
+	phHeap   *obs.PhaseStat // in-place heap flush+fence at commit
+	phMarker *obs.PhaseStat // commit-marker persist
+	phSync   *obs.PhaseStat // applier backup roll-forward work
+	phLag    *obs.PhaseStat // commit → locks-released lag
 }
 
 type applyReq struct {
-	tl    *intentlog.TxLog
-	owner locktable.Owner
-	objs  []lockedObj
+	tl          *intentlog.TxLog
+	owner       locktable.Owner
+	objs        []lockedObj
+	committedAt time.Time
 }
 
 type lockedObj struct {
@@ -103,21 +114,22 @@ func New(mainReg, backupReg, logReg *nvm.Region, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	locks := locktable.New()
-	var be backend
 	dynamic := backupReg.Size() < mainReg.Size()
+	o := newRegistry(dynamic, mainReg, backupReg, logReg)
+	var be backend
 	if dynamic {
 		bh, err := heap.Format(backupReg)
 		if err != nil {
 			return nil, err
 		}
-		be = newDynamicBackend(mainReg, bh, locks)
+		be = newDynamicBackend(mainReg, bh, locks, o)
 	} else {
-		be, err = newSimpleBackend(mainReg, backupReg)
+		be, err = newSimpleBackend(mainReg, backupReg, o)
 		if err != nil {
 			return nil, err
 		}
 	}
-	e := &Engine{heap: h, log: l, locks: locks, backend: be, dynamic: dynamic}
+	e := newEngine(h, l, locks, be, dynamic, o)
 	e.start(cfg.ApplierWorkers)
 	return e, nil
 }
@@ -136,8 +148,9 @@ func Open(mainReg, backupReg, logReg *nvm.Region, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	locks := locktable.New()
-	var be backend
 	dynamic := backupReg.Size() < mainReg.Size()
+	o := newRegistry(dynamic, mainReg, backupReg, logReg)
+	var be backend
 	if dynamic {
 		bh, err := heap.Attach(backupReg)
 		if err != nil {
@@ -146,18 +159,18 @@ func Open(mainReg, backupReg, logReg *nvm.Region, cfg Config) (*Engine, error) {
 		if err := bh.Rescan(); err != nil {
 			return nil, err
 		}
-		db := newDynamicBackend(mainReg, bh, locks)
+		db := newDynamicBackend(mainReg, bh, locks, o)
 		if err := db.rebuild(); err != nil {
 			return nil, err
 		}
 		be = db
 	} else {
-		be, err = newSimpleBackend(mainReg, backupReg)
+		be, err = newSimpleBackend(mainReg, backupReg, o)
 		if err != nil {
 			return nil, err
 		}
 	}
-	e := &Engine{heap: h, log: l, locks: locks, backend: be, dynamic: dynamic}
+	e := newEngine(h, l, locks, be, dynamic, o)
 	if err := e.Recover(); err != nil {
 		return nil, err
 	}
@@ -166,6 +179,37 @@ func Open(mainReg, backupReg, logReg *nvm.Region, cfg Config) (*Engine, error) {
 	}
 	e.start(cfg.ApplierWorkers)
 	return e, nil
+}
+
+// newRegistry builds the engine's observability registry with the NVM
+// regions' device counters exported as gauges.
+func newRegistry(dynamic bool, mainReg, backupReg, logReg *nvm.Region) *obs.Registry {
+	name := "kamino"
+	if dynamic {
+		name = "kamino-dynamic"
+	}
+	o := obs.New(name)
+	mainReg.ExportObs(o, "nvm.main")
+	backupReg.ExportObs(o, "nvm.backup")
+	logReg.ExportObs(o, "nvm.log")
+	return o
+}
+
+// newEngine wires the registry-backed counters and phase timers; the hot
+// path touches only the cached pointers.
+func newEngine(h *heap.Heap, l *intentlog.Log, locks *locktable.Table, be backend, dynamic bool, o *obs.Registry) *Engine {
+	return &Engine{
+		heap: h, log: l, locks: locks, backend: be, dynamic: dynamic, obs: o,
+		commits:  o.Counter("commits"),
+		aborts:   o.Counter("aborts"),
+		depWaits: o.Counter("dependent_waits"),
+		phStall:  o.Phase(obs.PhaseDependentStall),
+		phIntent: o.Phase(obs.PhaseIntentPersist),
+		phHeap:   o.Phase(obs.PhaseHeapPersist),
+		phMarker: o.Phase(obs.PhaseCommitPersist),
+		phSync:   o.Phase(obs.PhaseBackupSync),
+		phLag:    o.Phase(obs.PhaseBackupLag),
+	}
 }
 
 func (e *Engine) start(workers int) {
@@ -222,6 +266,7 @@ func (e *Engine) nextReq() (applyReq, bool) {
 }
 
 func (e *Engine) applyOne(req applyReq) error {
+	start := time.Now()
 	for _, lo := range req.objs {
 		if err := e.backend.syncToBackup(lo.obj, lo.class); err != nil {
 			return err
@@ -230,11 +275,15 @@ func (e *Engine) applyOne(req applyReq) error {
 	if err := req.tl.Release(); err != nil {
 		return err
 	}
+	e.phSync.Observe(time.Since(start))
 	// Backup now matches main for the whole write-set: dependent
 	// transactions may proceed.
 	for _, lo := range req.objs {
 		e.locks.Unlock(uint64(lo.obj), req.owner)
 	}
+	// The lag from commit to here is the window a dependent transaction
+	// on this write-set would have stalled.
+	e.phLag.Observe(time.Since(req.committedAt))
 	return nil
 }
 
@@ -248,6 +297,18 @@ func (e *Engine) Name() string {
 
 // Heap implements engine.Engine.
 func (e *Engine) Heap() *heap.Heap { return e.heap }
+
+// Obs implements engine.Engine.
+func (e *Engine) Obs() *obs.Registry { return e.obs }
+
+// timedAppend persists one intent-log entry and charges it to the
+// intent-persist phase.
+func (e *Engine) timedAppend(tl *intentlog.TxLog, ent intentlog.Entry) error {
+	start := time.Now()
+	err := tl.Append(ent)
+	e.phIntent.Observe(time.Since(start))
+	return err
+}
 
 // Drain implements engine.Engine: blocks until every committed
 // transaction's backup sync has completed.
@@ -361,6 +422,18 @@ type tx struct {
 func (t *tx) ID() uint64             { return t.tl.TxID() }
 func (t *tx) owner() locktable.Owner { return locktable.Owner(t.tl.TxID()) }
 
+// lockObj acquires obj's write lock, attributing any blocking on a prior
+// transaction's unreconciled write-set to the dependent-stall phase.
+func (t *tx) lockObj(obj heap.ObjID) {
+	if t.e.locks.TryLock(uint64(obj), t.owner()) {
+		return
+	}
+	t.e.depWaits.Add(1)
+	start := time.Now()
+	t.e.locks.Lock(uint64(obj), t.owner())
+	t.e.phStall.Observe(time.Since(start))
+}
+
 // Add declares the write intent: lock (blocking on pending objects), make
 // sure a consistent backup copy exists, and durably log the object address.
 // No data is copied (the dynamic backend copies only on a backup miss).
@@ -377,7 +450,7 @@ func (t *tx) Add(obj heap.ObjID) error {
 		if err := t.e.backend.ensure(obj, ws.class); err != nil {
 			return err
 		}
-		if err := t.tl.Append(intentlog.Entry{
+		if err := t.e.timedAppend(t.tl, intentlog.Entry{
 			Op:    intentlog.OpWrite,
 			Class: uint32(ws.class),
 			Obj:   uint64(obj),
@@ -391,10 +464,7 @@ func (t *tx) Add(obj heap.ObjID) error {
 	if err != nil {
 		return err
 	}
-	if !t.e.locks.TryLock(uint64(obj), t.owner()) {
-		t.e.depWaits.Add(1)
-		t.e.locks.Lock(uint64(obj), t.owner())
-	}
+	t.lockObj(obj)
 	// Backup-exists-before-modify (paper §3): holding the lock, the
 	// backup copy of obj is in sync; for the dynamic backend this may
 	// create it on demand.
@@ -402,7 +472,7 @@ func (t *tx) Add(obj heap.ObjID) error {
 		t.e.locks.Unlock(uint64(obj), t.owner())
 		return err
 	}
-	if err := t.tl.Append(intentlog.Entry{
+	if err := t.e.timedAppend(t.tl, intentlog.Entry{
 		Op:    intentlog.OpWrite,
 		Class: uint32(cls),
 		Obj:   uint64(obj),
@@ -449,7 +519,7 @@ func (t *tx) Alloc(size int) (heap.ObjID, error) {
 		return heap.Nil, err
 	}
 	t.e.locks.Lock(uint64(obj), t.owner())
-	if err := t.tl.Append(intentlog.Entry{
+	if err := t.e.timedAppend(t.tl, intentlog.Entry{
 		Op:    intentlog.OpAlloc,
 		Class: uint32(cls),
 		Obj:   uint64(obj),
@@ -475,7 +545,7 @@ func (t *tx) Free(obj heap.ObjID) error {
 	// Lock and record intent; the free itself is deferred to commit, so
 	// an abort has nothing to undo and no backup copy is required.
 	if ws, ok := t.writeSet[obj]; ok {
-		if err := t.tl.Append(intentlog.Entry{
+		if err := t.e.timedAppend(t.tl, intentlog.Entry{
 			Op:    intentlog.OpFree,
 			Class: uint32(ws.class),
 			Obj:   uint64(obj),
@@ -487,11 +557,8 @@ func (t *tx) Free(obj heap.ObjID) error {
 		if err != nil {
 			return err
 		}
-		if !t.e.locks.TryLock(uint64(obj), t.owner()) {
-			t.e.depWaits.Add(1)
-			t.e.locks.Lock(uint64(obj), t.owner())
-		}
-		if err := t.tl.Append(intentlog.Entry{
+		t.lockObj(obj)
+		if err := t.e.timedAppend(t.tl, intentlog.Entry{
 			Op:    intentlog.OpFree,
 			Class: uint32(cls),
 			Obj:   uint64(obj),
@@ -516,16 +583,20 @@ func (t *tx) Commit() error {
 		return fmt.Errorf("kamino: engine closed")
 	}
 	reg := t.e.heap.Region()
+	start := time.Now()
 	for obj, ws := range t.writeSet {
 		if err := reg.Flush(int(obj)-heap.BlockHeaderSize, heap.BlockHeaderSize+ws.class); err != nil {
 			return err
 		}
 	}
 	reg.Fence()
+	t.e.phHeap.Observe(time.Since(start))
 	// Commit point.
+	start = time.Now()
 	if err := t.tl.SetState(intentlog.StateCommitted); err != nil {
 		return err
 	}
+	t.e.phMarker.Observe(time.Since(start))
 	for _, obj := range t.frees {
 		if err := t.e.heap.ApplyFree(obj); err != nil {
 			return err
@@ -542,7 +613,7 @@ func (t *tx) Commit() error {
 	t.done = true
 	t.e.commits.Add(1)
 	t.e.inFlt.Add(1)
-	t.e.applyCh <- applyReq{tl: t.tl, owner: t.owner(), objs: objs}
+	t.e.applyCh <- applyReq{tl: t.tl, owner: t.owner(), objs: objs, committedAt: time.Now()}
 	return nil
 }
 

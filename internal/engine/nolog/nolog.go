@@ -8,11 +8,13 @@ package nolog
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"kaminotx/internal/engine"
 	"kaminotx/internal/heap"
 	"kaminotx/internal/locktable"
 	"kaminotx/internal/nvm"
+	"kaminotx/internal/obs"
 )
 
 // Engine is the no-logging baseline engine.
@@ -20,9 +22,27 @@ type Engine struct {
 	heap   *heap.Heap
 	locks  *locktable.Table
 	nextID atomic.Uint64
+	obs    *obs.Registry
 
-	commits atomic.Uint64
-	aborts  atomic.Uint64
+	commits  *obs.Counter
+	aborts   *obs.Counter
+	depWaits *obs.Counter
+
+	phStall *obs.PhaseStat // contended-lock acquisition time
+	phHeap  *obs.PhaseStat // in-place heap flush+fence at commit
+}
+
+func newEngine(h *heap.Heap, reg *nvm.Region) *Engine {
+	o := obs.New("nolog")
+	reg.ExportObs(o, "nvm.main")
+	return &Engine{
+		heap: h, locks: locktable.New(), obs: o,
+		commits:  o.Counter("commits"),
+		aborts:   o.Counter("aborts"),
+		depWaits: o.Counter("dependent_waits"),
+		phStall:  o.Phase(obs.PhaseDependentStall),
+		phHeap:   o.Phase(obs.PhaseHeapPersist),
+	}
 }
 
 // New creates an engine over a freshly formatted heap region.
@@ -31,7 +51,7 @@ func New(reg *nvm.Region) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{heap: h, locks: locktable.New()}, nil
+	return newEngine(h, reg), nil
 }
 
 // Open attaches to an existing heap region. There is nothing to recover —
@@ -41,7 +61,7 @@ func Open(reg *nvm.Region) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{heap: h, locks: locktable.New()}, nil
+	return newEngine(h, reg), nil
 }
 
 // Name implements engine.Engine.
@@ -59,9 +79,16 @@ func (e *Engine) Drain() {}
 // Close implements engine.Engine; no-op.
 func (e *Engine) Close() error { return nil }
 
+// Obs implements engine.Engine.
+func (e *Engine) Obs() *obs.Registry { return e.obs }
+
 // Stats implements engine.Engine.
 func (e *Engine) Stats() engine.Stats {
-	return engine.Stats{Commits: e.commits.Load(), Aborts: e.aborts.Load()}
+	return engine.Stats{
+		Commits:        e.commits.Load(),
+		Aborts:         e.aborts.Load(),
+		DependentWaits: e.depWaits.Load(),
+	}
 }
 
 // Begin implements engine.Engine.
@@ -92,7 +119,12 @@ func (t *tx) Add(obj heap.ObjID) error {
 	if _, err := t.e.heap.ClassOf(obj); err != nil {
 		return err
 	}
-	t.e.locks.Lock(uint64(obj), t.owner())
+	if !t.e.locks.TryLock(uint64(obj), t.owner()) {
+		t.e.depWaits.Add(1)
+		start := time.Now()
+		t.e.locks.Lock(uint64(obj), t.owner())
+		t.e.phStall.Observe(time.Since(start))
+	}
 	t.writeSet[obj] = false
 	return nil
 }
@@ -162,6 +194,7 @@ func (t *tx) Commit() error {
 		return engine.ErrTxDone
 	}
 	reg := t.e.heap.Region()
+	start := time.Now()
 	for obj := range t.writeSet {
 		off, n, err := t.e.heap.Range(obj)
 		if err != nil {
@@ -172,6 +205,7 @@ func (t *tx) Commit() error {
 		}
 	}
 	reg.Fence()
+	t.e.phHeap.Observe(time.Since(start))
 	for _, obj := range t.frees {
 		if err := t.e.heap.ApplyFree(obj); err != nil {
 			return err

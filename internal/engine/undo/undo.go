@@ -8,13 +8,14 @@ package undo
 
 import (
 	"fmt"
-	"sync/atomic"
+	"time"
 
 	"kaminotx/internal/engine"
 	"kaminotx/internal/heap"
 	"kaminotx/internal/intentlog"
 	"kaminotx/internal/locktable"
 	"kaminotx/internal/nvm"
+	"kaminotx/internal/obs"
 )
 
 // Engine is the undo-logging engine.
@@ -22,11 +23,34 @@ type Engine struct {
 	heap  *heap.Heap
 	log   *intentlog.Log
 	locks *locktable.Table
+	obs   *obs.Registry
 
-	commits  atomic.Uint64
-	aborts   atomic.Uint64
-	critCopy atomic.Uint64
-	depWaits atomic.Uint64
+	commits  *obs.Counter
+	aborts   *obs.Counter
+	critCopy *obs.Counter
+	depWaits *obs.Counter
+
+	phStall    *obs.PhaseStat // dependent-lock acquisition time
+	phCritCopy *obs.PhaseStat // old-value copy into the undo log
+	phHeap     *obs.PhaseStat // in-place heap flush+fence at commit
+	phMarker   *obs.PhaseStat // commit-marker persist
+}
+
+func newEngine(h *heap.Heap, l *intentlog.Log, heapReg, logReg *nvm.Region) *Engine {
+	o := obs.New("undo")
+	heapReg.ExportObs(o, "nvm.main")
+	logReg.ExportObs(o, "nvm.log")
+	return &Engine{
+		heap: h, log: l, locks: locktable.New(), obs: o,
+		commits:    o.Counter("commits"),
+		aborts:     o.Counter("aborts"),
+		critCopy:   o.Counter("bytes_copied_critical"),
+		depWaits:   o.Counter("dependent_waits"),
+		phStall:    o.Phase(obs.PhaseDependentStall),
+		phCritCopy: o.Phase(obs.PhaseCriticalCopy),
+		phHeap:     o.Phase(obs.PhaseHeapPersist),
+		phMarker:   o.Phase(obs.PhaseCommitPersist),
+	}
 }
 
 // New formats a fresh heap and log and returns an engine over them.
@@ -39,7 +63,7 @@ func New(heapReg, logReg *nvm.Region, logCfg intentlog.Config) (*Engine, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{heap: h, log: l, locks: locktable.New()}, nil
+	return newEngine(h, l, heapReg, logReg), nil
 }
 
 // Open attaches to existing regions, runs crash recovery, and rebuilds the
@@ -53,7 +77,7 @@ func Open(heapReg, logReg *nvm.Region) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{heap: h, log: l, locks: locktable.New()}
+	e := newEngine(h, l, heapReg, logReg)
 	if err := e.Recover(); err != nil {
 		return nil, err
 	}
@@ -74,6 +98,9 @@ func (e *Engine) Drain() {}
 
 // Close implements engine.Engine.
 func (e *Engine) Close() error { return nil }
+
+// Obs implements engine.Engine.
+func (e *Engine) Obs() *obs.Registry { return e.obs }
 
 // Stats implements engine.Engine.
 func (e *Engine) Stats() engine.Stats {
@@ -176,13 +203,16 @@ func (t *tx) Add(obj heap.ObjID) error {
 	}
 	if !t.e.locks.TryLock(uint64(obj), t.owner()) {
 		t.e.depWaits.Add(1)
+		stallStart := time.Now()
 		t.e.locks.Lock(uint64(obj), t.owner())
+		t.e.phStall.Observe(time.Since(stallStart))
 	}
 	blockOff, blockLen, err := t.e.heap.Range(obj)
 	if err != nil {
 		t.e.locks.Unlock(uint64(obj), t.owner())
 		return err
 	}
+	copyStart := time.Now()
 	old, err := t.e.heap.Region().ReadSlice(blockOff, blockLen)
 	if err != nil {
 		t.e.locks.Unlock(uint64(obj), t.owner())
@@ -196,6 +226,7 @@ func (t *tx) Add(obj heap.ObjID) error {
 		t.e.locks.Unlock(uint64(obj), t.owner())
 		return err
 	}
+	t.e.phCritCopy.Observe(time.Since(copyStart))
 	t.e.critCopy.Add(uint64(blockLen))
 	t.writeSet[obj] = false
 	return nil
@@ -296,6 +327,7 @@ func (t *tx) Commit() error {
 		return engine.ErrTxDone
 	}
 	reg := t.e.heap.Region()
+	start := time.Now()
 	for obj := range t.writeSet {
 		off, n, err := t.e.heap.Range(obj)
 		if err != nil {
@@ -306,10 +338,13 @@ func (t *tx) Commit() error {
 		}
 	}
 	reg.Fence()
+	t.e.phHeap.Observe(time.Since(start))
 	// Commit point: the one-line state store.
+	start = time.Now()
 	if err := t.tl.SetState(intentlog.StateCommitted); err != nil {
 		return err
 	}
+	t.e.phMarker.Observe(time.Since(start))
 	for _, obj := range t.frees {
 		if err := t.e.heap.ApplyFree(obj); err != nil {
 			return err

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// Hub collects the live registries of whatever pools and replicas currently
+// exist, keyed by label, so an HTTP listener can serve a consolidated JSON
+// snapshot while an experiment runs. Registries come and go as experiments
+// create and close pools; Set replaces any previous registry under the same
+// label so the endpoint always reflects the most recent owner.
+type Hub struct {
+	mu    sync.Mutex
+	regs  map[string]*Registry
+	order []string
+}
+
+// NewHub creates an empty hub.
+func NewHub() *Hub {
+	return &Hub{regs: make(map[string]*Registry)}
+}
+
+// Set publishes r under label, replacing any previous registry there.
+func (h *Hub) Set(label string, r *Registry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.regs[label]; !ok {
+		h.order = append(h.order, label)
+	}
+	h.regs[label] = r
+}
+
+// Remove unpublishes label.
+func (h *Hub) Remove(label string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.regs[label]; !ok {
+		return
+	}
+	delete(h.regs, label)
+	for i, l := range h.order {
+		if l == label {
+			h.order = append(h.order[:i], h.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Snapshots captures every published registry, in publication order.
+func (h *Hub) Snapshots() []Snapshot {
+	h.mu.Lock()
+	labels := append([]string(nil), h.order...)
+	regs := make([]*Registry, len(labels))
+	for i, l := range labels {
+		regs[i] = h.regs[l]
+	}
+	h.mu.Unlock()
+	out := make([]Snapshot, len(regs))
+	for i, r := range regs {
+		out[i] = r.Snapshot()
+		out[i].Name = labels[i]
+	}
+	return out
+}
+
+// ServeHTTP serves the hub's current snapshots as a JSON document on any
+// path, in the spirit of expvar.
+func (h *Hub) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	doc := struct {
+		Registries []Snapshot `json:"registries"`
+	}{Registries: h.Snapshots()}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}

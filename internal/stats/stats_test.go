@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 )
@@ -97,5 +99,85 @@ func TestTimer(t *testing.T) {
 	tm.Add(100)
 	if tm.OpsPerSec() <= 0 {
 		t.Error("OpsPerSec not positive")
+	}
+}
+
+// TestPercentileAccuracy is the regression test for the histogram's bucket
+// resolution: with 16 buckets per octave the midpoint estimate must stay
+// within ~4% of the exact percentile computed from the sorted sample.
+func TestPercentileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(7))
+	const n = 50000
+	samples := make([]time.Duration, n)
+	for i := range samples {
+		// Log-uniform over [1µs, 10ms]: exercises many octaves so the
+		// error bound holds across the bucket range, not just one band.
+		d := time.Duration(float64(time.Microsecond) * math.Pow(10000, rng.Float64()))
+		samples[i] = d
+		h.Record(d)
+	}
+	SortDurations(samples)
+	for _, p := range []float64{10, 25, 50, 90, 99, 99.9} {
+		rank := int(math.Ceil(p / 100 * n))
+		if rank < 1 {
+			rank = 1
+		}
+		exact := samples[rank-1]
+		got := h.Percentile(p)
+		relErr := math.Abs(float64(got)-float64(exact)) / float64(exact)
+		if relErr > 0.045 {
+			t.Errorf("p%v = %v, exact %v: relative error %.3f exceeds bound", p, got, exact, relErr)
+		}
+	}
+	if h.Percentile(100) != samples[n-1] {
+		t.Errorf("p100 = %v, want exact max %v", h.Percentile(100), samples[n-1])
+	}
+}
+
+// TestPercentileWithinRecordedRange: midpoint estimates must never leave
+// [min, max], even for edge buckets.
+func TestPercentileWithinRecordedRange(t *testing.T) {
+	var h Histogram
+	h.Record(900 * time.Nanosecond)
+	h.Record(910 * time.Nanosecond)
+	for _, p := range []float64{1, 50, 99, 100} {
+		v := h.Percentile(p)
+		if v < h.Min() || v > h.Max() {
+			t.Errorf("p%v = %v outside [%v, %v]", p, v, h.Min(), h.Max())
+		}
+	}
+}
+
+// TestTimerConcurrent races many adders against readers; run with -race.
+func TestTimerConcurrent(t *testing.T) {
+	tm := StartTimer()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				tm.Add(1)
+				_ = tm.OpsPerSec()
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if tm.Ops() != 8000 {
+		t.Errorf("Ops = %d, want 8000", tm.Ops())
+	}
+}
+
+// TestStringStable: the summary format is part of the harness output
+// contract; keep it stable.
+func TestStringStable(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	s := h.String()
+	if !strings.HasPrefix(s, "n=1 mean=") || !strings.Contains(s, "p50=") ||
+		!strings.Contains(s, "p99=") || !strings.Contains(s, "max=") {
+		t.Errorf("String() format changed: %q", s)
 	}
 }

@@ -182,3 +182,56 @@ func TestPropertyKeysInRange(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestScrambledZipfianDeterministic: rejection re-hashing must stay a pure
+// function of the drawn rank, so the same seed replays the same keys.
+func TestScrambledZipfianDeterministic(t *testing.T) {
+	const n = 997
+	a := NewScrambledZipfian(n, DefaultTheta)
+	b := NewScrambledZipfian(n, DefaultTheta)
+	ra := rand.New(rand.NewSource(11))
+	rb := rand.New(rand.NewSource(11))
+	for i := 0; i < 10000; i++ {
+		if va, vb := a.Next(ra), b.Next(rb); va != vb {
+			t.Fatalf("draw %d diverged: %d vs %d", i, va, vb)
+		}
+	}
+}
+
+// TestScrambledZipfianNonPowerOfTwo checks the frequency and coverage of
+// the scrambled distribution for a key-space size that does not divide
+// 2^64 evenly — the case where a plain modulo reduction is biased.
+func TestScrambledZipfianNonPowerOfTwo(t *testing.T) {
+	const n = 997
+	const draws = 200000
+	s := NewScrambledZipfian(n, DefaultTheta)
+	rng := rand.New(rand.NewSource(5))
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := s.Next(rng)
+		if v >= n {
+			t.Fatalf("sample %d out of range [0,%d)", v, n)
+		}
+		counts[v]++
+	}
+	hot, distinct := 0, 0
+	for _, c := range counts {
+		if c > hot {
+			hot = c
+		}
+		if c > 0 {
+			distinct++
+		}
+	}
+	// The hottest key carries the zipfian head mass (~14% at theta=0.99,
+	// n=997) regardless of where scrambling moved it.
+	if frac := float64(hot) / draws; frac < 0.08 || frac > 0.22 {
+		t.Errorf("hottest key frequency %.3f outside [0.08, 0.22]", frac)
+	}
+	// Scrambling maps ~1000 ranks into 997 keys; the image covers well
+	// over half the space. A biased reduction collapsing part of the
+	// range would show up here.
+	if distinct < n/2 {
+		t.Errorf("only %d distinct keys of %d", distinct, n)
+	}
+}

@@ -74,14 +74,29 @@ func fnvScramble(v uint64) uint64 {
 // scattered popular items.
 type ScrambledZipfian struct {
 	z *Zipfian
+	// limit is 2^64 - (2^64 mod n): hashes at or above it would bias the
+	// reduction toward low keys, so they are deterministically re-hashed.
+	// Zero means 2^64 is a multiple of n and every hash is accepted.
+	limit uint64
 }
 
 // NewScrambledZipfian builds a scrambled generator over [0, n).
 func NewScrambledZipfian(n uint64, theta float64) *ScrambledZipfian {
-	return &ScrambledZipfian{z: NewZipfian(n, theta)}
+	s := &ScrambledZipfian{z: NewZipfian(n, theta)}
+	rem := (math.MaxUint64%n + 1) % n // 2^64 mod n
+	s.limit = -rem
+	return s
 }
 
-// Next draws a sample in [0, n).
+// Next draws a sample in [0, n). The reduction to [0, n) is unbiased:
+// hashes in the final partial copy of n are rejected and re-hashed, so the
+// mapped key is still a pure (deterministic) function of the rank drawn.
 func (s *ScrambledZipfian) Next(rng *rand.Rand) uint64 {
-	return fnvScramble(s.z.Next(rng)) % s.z.n
+	h := fnvScramble(s.z.Next(rng))
+	if s.limit != 0 {
+		for h >= s.limit {
+			h = fnvScramble(h)
+		}
+	}
+	return h % s.z.n
 }

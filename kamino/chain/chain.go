@@ -15,6 +15,7 @@ import (
 
 	ichain "kaminotx/internal/chain"
 	"kaminotx/internal/membership"
+	"kaminotx/internal/obs"
 	"kaminotx/internal/transport"
 )
 
@@ -119,6 +120,23 @@ func (c *Cluster) Members() []string {
 	out := make([]string, len(v.Members))
 	for i, m := range v.Members {
 		out[i] = string(m)
+	}
+	return out
+}
+
+// Obs returns the live observability registries of the cluster, head first
+// in current chain order: for each replica its chain-protocol registry
+// ("chain/<id>": forward/ack/cleanup/dedup/fetch/resend counters) followed
+// by its engine registry (phase latencies, engine counters, NVM gauges).
+func (c *Cluster) Obs() []*obs.Registry {
+	v := c.mgr.View()
+	var out []*obs.Registry
+	for _, id := range v.Members {
+		rep, ok := c.replicas[id]
+		if !ok {
+			continue
+		}
+		out = append(out, rep.Obs(), rep.Pool().Obs())
 	}
 	return out
 }

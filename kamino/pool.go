@@ -37,6 +37,7 @@ import (
 	"kaminotx/internal/engine/undo"
 	"kaminotx/internal/heap"
 	"kaminotx/internal/nvm"
+	"kaminotx/internal/obs"
 )
 
 // ObjID identifies a persistent object; it doubles as the persistent
@@ -227,6 +228,10 @@ func (p *Pool) Drain() { p.eng.Drain() }
 
 // Stats returns cumulative engine counters.
 func (p *Pool) Stats() Stats { return p.eng.Stats() }
+
+// Obs returns the engine's observability registry: counters, NVM gauges,
+// and per-transaction phase latency histograms.
+func (p *Pool) Obs() *obs.Registry { return p.eng.Obs() }
 
 // Engine exposes the underlying engine. Internal benchmarks use it; most
 // applications should not.
