@@ -14,10 +14,11 @@ vet:
 	$(GO) vet ./...
 
 # race runs the measurement layer and every engine under the race detector:
-# the shared Timer/Collector, the workload generators, and the engines'
-# counter/phase instrumentation are all touched from multiple goroutines.
+# the shared Timer/Collector, the workload generators, the engines'
+# counter/phase instrumentation, and the trace recorder are all touched
+# from multiple goroutines.
 race:
-	$(GO) test -race ./internal/stats/... ./internal/workload/... ./internal/engine/... ./internal/obs/...
+	$(GO) test -race ./internal/stats/... ./internal/workload/... ./internal/engine/... ./internal/obs/... ./internal/trace/... ./kamino/...
 
 # check is the full gate: tier-1 build+test plus vet and the race pass.
 check: build vet test race

@@ -5,15 +5,28 @@
 //
 //	kaminobench -experiment fig12 -keys 100000 -ops 20000 -threads 4
 //	kaminobench -experiment all
+//	kaminobench -experiment fig12 -trace-out fig12.trace.json -audit
 //
 // Experiments: fig1, fig12, fig13, fig14, fig15, fig16, fig17, fig18,
 // table1, dependent, worstcase, ablation, all.
+//
+// With -trace-out, every pool the experiments create records its NVM
+// device and transaction lifecycle events into a ring buffer, exported at
+// exit as Chrome trace_event JSON (open in chrome://tracing or Perfetto)
+// or, when the filename ends in .jsonl, as one JSON event per line. With
+// -audit, the recorded events are checked against the Kamino-Tx safety
+// invariants and violations fail the run. With -metrics-addr, the live
+// observability hub is served at /, the trace ring at /trace, and pprof
+// profiles at /debug/pprof/.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/debug"
@@ -22,6 +35,7 @@ import (
 
 	"kaminotx/internal/bench"
 	"kaminotx/internal/obs"
+	"kaminotx/internal/trace"
 )
 
 var experiments = []struct {
@@ -53,6 +67,9 @@ func main() {
 		flush       = flag.Duration("flush", 0, "modeled per-line flush latency (0 = harness default)")
 		fence       = flag.Duration("fence", 0, "modeled fence latency (0 = harness default)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live observability JSON on this HTTP address (e.g. :8089)")
+		traceOut    = flag.String("trace-out", "", "record events and write them here at exit (.json = Chrome trace_event, .jsonl = JSON lines)")
+		traceBuf    = flag.Int("trace-buf", 0, "trace ring-buffer capacity in events (0 = default)")
+		audit       = flag.Bool("audit", false, "audit recorded events against the Kamino-Tx safety invariants (implies recording)")
 		list        = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -76,19 +93,44 @@ func main() {
 		FenceLatency: *fence,
 		Out:          os.Stdout,
 	}
+	var recorder *trace.Recorder
+	if *traceOut != "" || *audit {
+		recorder = trace.NewRecorder(*traceBuf)
+		cfg.Trace = recorder
+	}
+	var srv *http.Server
 	if *metricsAddr != "" {
 		hub := obs.NewHub()
 		cfg.Metrics = hub
+		mux := http.NewServeMux()
+		mux.Handle("/", hub)
+		if recorder != nil {
+			mux.Handle("/trace", trace.Handler(recorder))
+		}
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		// Listen synchronously so a bad address or occupied port is
+		// reported instead of silently racing the benchmark.
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kaminobench: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		srv = &http.Server{Handler: mux}
 		go func() {
-			if err := http.ListenAndServe(*metricsAddr, hub); err != nil {
-				fmt.Fprintf(os.Stderr, "kaminobench: metrics listener: %v\n", err)
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "kaminobench: metrics server: %v\n", err)
 			}
 		}()
 		display := *metricsAddr
 		if strings.HasPrefix(display, ":") {
 			display = "localhost" + display
 		}
-		fmt.Printf("metrics: live registry snapshots at http://%s/ (JSON)\n", display)
+		fmt.Printf("metrics: live registry snapshots at http://%s/ (JSON; ?label=substr filters),"+
+			" trace ring at /trace, pprof at /debug/pprof/\n", display)
 	}
 	fmt.Printf("kaminobench: keys=%d value=%dB ops/thread=%d threads=%d cpus=%d\n",
 		*keys, *valueSize, *ops, *threads, runtime.NumCPU())
@@ -126,4 +168,59 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kaminobench: unknown experiment %q (use -list)\n", *experiment)
 		os.Exit(1)
 	}
+
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "kaminobench: metrics shutdown: %v\n", err)
+		}
+		cancel()
+	}
+	if recorder != nil {
+		if err := finishTrace(recorder, *traceOut, *audit); err != nil {
+			fmt.Fprintf(os.Stderr, "kaminobench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// finishTrace exports the recorded events and/or audits them.
+func finishTrace(rec *trace.Recorder, out string, audit bool) error {
+	events := rec.Events()
+	if dropped := rec.Dropped(); dropped > 0 {
+		fmt.Printf("trace: ring wrapped, oldest %d of %d events dropped (raise -trace-buf)\n",
+			dropped, rec.Total())
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if strings.HasSuffix(out, ".jsonl") {
+			err = trace.WriteJSONL(f, events)
+		} else {
+			err = trace.WriteChrome(f, events)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("trace: writing %s: %w", out, err)
+		}
+		fmt.Printf("trace: %d events written to %s\n", len(events), out)
+	}
+	if audit {
+		report := trace.AuditAll(events)
+		if len(report) == 0 {
+			fmt.Printf("audit: %d events, all safety invariants hold\n", len(events))
+			return nil
+		}
+		for actor, vs := range report {
+			for _, v := range vs {
+				fmt.Fprintf(os.Stderr, "audit: %s: %s\n", actor, v)
+			}
+		}
+		return fmt.Errorf("audit: safety invariant violations in %d actor(s)", len(report))
+	}
+	return nil
 }

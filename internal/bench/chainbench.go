@@ -52,6 +52,7 @@ func (c Config) newCluster(mode chainpkg.Mode) (*chainpkg.Cluster, error) {
 		HeapSize:   keys*(c.ValueSize+256)*2 + (32 << 20),
 		Alpha:      0.5,
 		HopLatency: chainHopLatency,
+		Trace:      c.Trace,
 	})
 	if err != nil {
 		return nil, err

@@ -16,6 +16,7 @@ import (
 	"kaminotx/internal/kvstore"
 	"kaminotx/internal/obs"
 	"kaminotx/internal/stats"
+	"kaminotx/internal/trace"
 	"kaminotx/internal/workload"
 	"kaminotx/kamino"
 )
@@ -46,6 +47,9 @@ type Config struct {
 	// pool an experiment creates, keyed by engine label, so an HTTP
 	// listener (kaminobench -metrics-addr) can expose them while running.
 	Metrics *obs.Hub
+	// Trace, if set, records device and transaction lifecycle events of
+	// every pool an experiment creates (kaminobench -trace-out / -audit).
+	Trace *trace.Recorder
 
 	// agg accumulates per-engine obs snapshots over one experiment for
 	// the phase-breakdown table printed at its end.
@@ -98,6 +102,7 @@ func (c Config) poolFor(mode kamino.Mode, alpha float64) (*kamino.Pool, error) {
 		ApplierWorkers:    2,
 		FlushLatency:      c.FlushLatency,
 		FenceLatency:      c.FenceLatency,
+		Trace:             c.Trace,
 	})
 }
 

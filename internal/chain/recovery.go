@@ -105,7 +105,7 @@ func (r *Replica) promoteToHead() error {
 		for _, rec := range recs {
 			_ = r.cfg.Transport.Send(succ, &transport.Message{
 				Kind: transport.KindOp, From: r.id, ViewID: view.ID,
-				Seq: rec.Seq, Name: rec.Name, Args: rec.Args,
+				Seq: rec.Seq, Name: rec.Name, Args: rec.Args, Trace: rec.Trace,
 			})
 		}
 		r.cResends.Add(uint64(len(recs)))
@@ -132,7 +132,7 @@ func (r *Replica) ackAllInflight(v membership.View) {
 	}
 	for _, rec := range recs {
 		_ = r.cfg.Transport.Send(v.Head(), &transport.Message{
-			Kind: transport.KindTailAck, From: r.id, ViewID: v.ID, Seq: rec.Seq,
+			Kind: transport.KindTailAck, From: r.id, ViewID: v.ID, Seq: rec.Seq, Trace: rec.Trace,
 		})
 	}
 	if len(recs) > 0 {
@@ -152,7 +152,7 @@ func (r *Replica) resendInflight(v membership.View, succ transport.NodeID) {
 	for _, rec := range recs {
 		_ = r.cfg.Transport.Send(succ, &transport.Message{
 			Kind: transport.KindOp, From: r.id, ViewID: v.ID,
-			Seq: rec.Seq, Name: rec.Name, Args: rec.Args,
+			Seq: rec.Seq, Name: rec.Name, Args: rec.Args, Trace: rec.Trace,
 		})
 	}
 	r.cResends.Add(uint64(len(recs)))

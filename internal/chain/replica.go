@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"kaminotx/internal/heap"
 	"kaminotx/internal/membership"
 	"kaminotx/internal/nvm"
 	"kaminotx/internal/obs"
 	"kaminotx/internal/pqueue"
+	"kaminotx/internal/trace"
 	"kaminotx/internal/transport"
 	"kaminotx/kamino"
 )
@@ -53,6 +55,14 @@ type Config struct {
 	// (e.g. creating the hash table); it runs once at replica creation
 	// and must be deterministic.
 	Setup func(pool *kamino.Pool) error
+
+	// Trace, when non-nil, records the replica's chain protocol events
+	// (forward, apply, ack — actor "chain/<id>") and its local pool's
+	// device and transaction events. The head mints a chain-wide trace
+	// id per submitted transaction; it travels in every KindOp and
+	// KindTailAck message and in the persistent queues, so one
+	// transaction's events correlate across all replicas.
+	Trace *trace.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +105,10 @@ type Replica struct {
 	cDedup     *obs.Counter // duplicate deliveries dropped
 	cFetches   *obs.Counter // recovery fetches served to neighbours
 	cResends   *obs.Counter // in-flight re-forwards after view changes
+
+	tr        *trace.Tracer // chain protocol events; nil when untraced
+	traceBase uint64        // high bits of head-minted trace ids
+	traceCtr  atomic.Uint64
 
 	mu       sync.Mutex
 	view     membership.View
@@ -154,6 +168,7 @@ func NewReplica(id transport.NodeID, cfg Config) (*Replica, error) {
 		LogSlots:          cfg.LogSlots,
 		LogEntriesPerSlot: cfg.LogEntriesPerSlot,
 		Strict:            cfg.Strict,
+		Trace:             cfg.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -211,6 +226,10 @@ func NewReplica(id transport.NodeID, cfg Config) (*Replica, error) {
 		seqLocks:    make(map[uint64][]uint64),
 		waiters:     make(map[uint64]chan error),
 	}
+	if cfg.Trace != nil {
+		r.tr = cfg.Trace.Tracer("chain/" + string(id))
+		r.traceBase = fnv64a(string(id)) &^ 0xFFFFFFFF
+	}
 	r.lockCond = sync.NewCond(&r.headMu)
 	if err := cfg.Transport.Register(id, r.handle); err != nil {
 		return nil, err
@@ -219,6 +238,17 @@ func NewReplica(id transport.NodeID, cfg Config) (*Replica, error) {
 	r.wg.Add(1)
 	go r.executor()
 	return r, nil
+}
+
+// fnv64a hashes a node id into the high bits of its trace-id space, so
+// ids minted by different heads (before/after promotion) never collide.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // ID returns the replica's node id.
@@ -365,7 +395,12 @@ func (r *Replica) Submit(name string, args []byte) error {
 	r.lastExec = seq
 	r.mu.Unlock()
 	r.cSubmits.Add(1)
-	rec := pqueue.Record{Seq: seq, Name: name, Args: args}
+	var traceID uint64
+	if r.tr != nil {
+		traceID = r.traceBase | r.traceCtr.Add(1)
+		r.tr.ChainApply(traceID, seq)
+	}
+	rec := pqueue.Record{Seq: seq, Trace: traceID, Name: name, Args: args}
 	if len(view.Members) == 1 {
 		// Degenerate single-node chain: complete immediately.
 		r.execMu.Unlock()
@@ -385,8 +420,9 @@ func (r *Replica) Submit(name string, args []byte) error {
 	// client keeps waiting for the tail acknowledgment.
 	_ = r.cfg.Transport.Send(succ, &transport.Message{
 		Kind: transport.KindOp, From: r.id, ViewID: view.ID,
-		Seq: seq, Name: name, Args: args,
+		Seq: seq, Name: name, Args: args, Trace: traceID,
 	})
+	r.tr.ChainForward(traceID, seq)
 	r.cForwarded.Add(1)
 	r.execMu.Unlock()
 	return <-done
@@ -497,7 +533,7 @@ func (r *Replica) handle(msg *transport.Message) *transport.Message {
 			r.cDedup.Add(1)
 			return nil // duplicate delivery after repair/resend
 		}
-		if err := r.getInput().Enqueue(pqueue.Record{Seq: msg.Seq, Name: msg.Name, Args: msg.Args}); err != nil {
+		if err := r.getInput().Enqueue(pqueue.Record{Seq: msg.Seq, Trace: msg.Trace, Name: msg.Name, Args: msg.Args}); err != nil {
 			r.fatal(err)
 			return nil
 		}
@@ -506,6 +542,7 @@ func (r *Replica) handle(msg *transport.Message) *transport.Message {
 		// Head: the transaction is complete; release the client and
 		// the admission locks, and clean the in-flight entry.
 		r.cAcksRecv.Add(1)
+		r.tr.ChainAck(msg.Trace, msg.Seq)
 		if err := r.getInflight().DropThrough(msg.Seq); err != nil {
 			r.fatal(err)
 		}
@@ -611,6 +648,7 @@ func (r *Replica) apply(rec pqueue.Record) error {
 		return err
 	}
 	r.cApplied.Add(1)
+	r.tr.ChainApply(rec.Trace, rec.Seq)
 	r.mu.Lock()
 	r.lastExec = rec.Seq
 	view := r.view
@@ -623,15 +661,17 @@ func (r *Replica) apply(rec pqueue.Record) error {
 		}
 		_ = r.cfg.Transport.Send(succ, &transport.Message{
 			Kind: transport.KindOp, From: r.id, ViewID: view.ID,
-			Seq: rec.Seq, Name: rec.Name, Args: rec.Args,
+			Seq: rec.Seq, Name: rec.Name, Args: rec.Args, Trace: rec.Trace,
 		})
+		r.tr.ChainForward(rec.Trace, rec.Seq)
 		r.cForwarded.Add(1)
 		return nil
 	}
 	// Tail: acknowledge to the head and start clean-up upstream.
 	_ = r.cfg.Transport.Send(view.Head(), &transport.Message{
-		Kind: transport.KindTailAck, From: r.id, ViewID: view.ID, Seq: rec.Seq,
+		Kind: transport.KindTailAck, From: r.id, ViewID: view.ID, Seq: rec.Seq, Trace: rec.Trace,
 	})
+	r.tr.ChainAck(rec.Trace, rec.Seq)
 	r.cTailAcks.Add(1)
 	if pred, ok := view.Predecessor(r.id); ok && pred != view.Head() {
 		_ = r.cfg.Transport.Send(pred, &transport.Message{

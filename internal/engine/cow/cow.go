@@ -8,6 +8,7 @@ package cow
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"kaminotx/internal/engine"
@@ -16,6 +17,7 @@ import (
 	"kaminotx/internal/locktable"
 	"kaminotx/internal/nvm"
 	"kaminotx/internal/obs"
+	"kaminotx/internal/trace"
 )
 
 // Engine is the copy-on-write engine.
@@ -24,6 +26,7 @@ type Engine struct {
 	log   *intentlog.Log
 	locks *locktable.Table
 	obs   *obs.Registry
+	tr    atomic.Pointer[trace.Tracer]
 
 	commits  *obs.Counter
 	aborts   *obs.Counter
@@ -104,6 +107,16 @@ func (e *Engine) Close() error { return nil }
 // Obs implements engine.Engine.
 func (e *Engine) Obs() *obs.Registry { return e.obs }
 
+// SetTracer implements engine.Engine.
+func (e *Engine) SetTracer(t *trace.Tracer) {
+	if t != nil && !t.Enabled() {
+		t = nil
+	}
+	e.tr.Store(t)
+}
+
+func (e *Engine) trc() *trace.Tracer { return e.tr.Load() }
+
 // Stats implements engine.Engine.
 func (e *Engine) Stats() engine.Stats {
 	return engine.Stats{
@@ -177,6 +190,7 @@ func (e *Engine) Begin() (engine.Tx, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.trc().TxBegin(tl.TxID())
 	return &tx{e: e, tl: tl, shadows: make(map[heap.ObjID]shadow), allocs: make(map[heap.ObjID]bool)}, nil
 }
 
@@ -207,6 +221,32 @@ func (t *tx) inWriteSet(obj heap.ObjID) bool {
 	return t.allocs[obj]
 }
 
+// lockObj acquires obj's write lock, attributing any blocking to the
+// dependent-stall phase.
+func (t *tx) lockObj(obj heap.ObjID) {
+	if t.e.locks.TryLock(uint64(obj), t.owner()) {
+		t.e.trc().LockAcquire(t.ID(), uint64(obj))
+		return
+	}
+	t.e.depWaits.Add(1)
+	stallStart := time.Now()
+	t.e.locks.Lock(uint64(obj), t.owner())
+	d := time.Since(stallStart)
+	t.e.phStall.Observe(d)
+	if tr := t.e.trc(); tr != nil {
+		tr.LockAcquire(t.ID(), uint64(obj))
+		tr.Span(string(obs.PhaseDependentStall), t.ID(), d)
+	}
+}
+
+// traceAppend emits the intent event for the entry just appended.
+func (t *tx) traceAppend(obj heap.ObjID, op intentlog.Op) {
+	if tr := t.e.trc(); tr != nil {
+		off, n := t.tl.EntryRange(t.tl.Len() - 1)
+		tr.IntentAppend(t.ID(), uint64(obj), off, n, op.String())
+	}
+}
+
 // Add creates the object's persistent shadow copy in the critical path.
 func (t *tx) Add(obj heap.ObjID) error {
 	if t.done {
@@ -223,21 +263,20 @@ func (t *tx) Add(obj heap.ObjID) error {
 	} else if t.allocs[obj] {
 		return nil
 	}
-	cls, err := t.e.heap.ClassOf(obj)
-	if err != nil {
-		return err
-	}
-	if !locked && !t.e.locks.TryLock(uint64(obj), t.owner()) {
-		t.e.depWaits.Add(1)
-		stallStart := time.Now()
-		t.e.locks.Lock(uint64(obj), t.owner())
-		t.e.phStall.Observe(time.Since(stallStart))
+	if !locked {
+		t.lockObj(obj)
 	}
 	fail := func(err error) error {
 		if !locked {
 			t.e.locks.Unlock(uint64(obj), t.owner())
 		}
 		return err
+	}
+	// Header reads only under the object lock: a committer's copy-back
+	// rewrites the whole block, header included.
+	cls, err := t.e.heap.ClassOf(obj)
+	if err != nil {
+		return fail(err)
 	}
 	blockOff, blockLen, err := t.e.heap.Range(obj)
 	if err != nil {
@@ -264,8 +303,11 @@ func (t *tx) Add(obj heap.ObjID) error {
 	}); err != nil {
 		return fail(err)
 	}
-	t.e.phCritCopy.Observe(time.Since(copyStart))
+	d := time.Since(copyStart)
+	t.e.phCritCopy.Observe(d)
 	t.e.critCopy.Add(uint64(blockLen))
+	t.traceAppend(obj, intentlog.OpWrite)
+	t.e.trc().Span(string(obs.PhaseCriticalCopy), t.ID(), d)
 	t.shadows[obj] = shadow{regionOff: regionOff, dataOff: dataOff, blockLen: blockLen}
 	return nil
 }
@@ -278,7 +320,11 @@ func (t *tx) Write(obj heap.ObjID, off int, data []byte) error {
 		return engine.ErrTxDone
 	}
 	if t.allocs[obj] {
-		return t.e.heap.Write(obj, off, data)
+		if err := t.e.heap.Write(obj, off, data); err != nil {
+			return err
+		}
+		t.e.trc().InPlaceWrite(t.ID(), uint64(obj), int(obj)+off, len(data))
+		return nil
 	}
 	sh, ok := t.shadows[obj]
 	if !ok {
@@ -330,10 +376,12 @@ func (t *tx) Alloc(size int) (heap.ObjID, error) {
 		}
 		return heap.Nil, err
 	}
+	t.traceAppend(obj, intentlog.OpAlloc)
 	if err := t.e.heap.CommitAlloc(obj); err != nil {
 		return heap.Nil, err
 	}
 	t.e.locks.Lock(uint64(obj), t.owner())
+	t.e.trc().LockAcquire(t.ID(), uint64(obj))
 	t.allocs[obj] = true
 	return obj, nil
 }
@@ -345,12 +393,7 @@ func (t *tx) Free(obj heap.ObjID) error {
 	if !t.inWriteSet(obj) {
 		// Lock without shadowing: the free only takes effect at
 		// commit, and the original is never edited.
-		if !t.e.locks.TryLock(uint64(obj), t.owner()) {
-			t.e.depWaits.Add(1)
-			stallStart := time.Now()
-			t.e.locks.Lock(uint64(obj), t.owner())
-			t.e.phStall.Observe(time.Since(stallStart))
-		}
+		t.lockObj(obj)
 		t.shadows[obj] = shadow{blockLen: -1} // lock-only marker
 	}
 	cls, err := t.e.heap.ClassOf(obj)
@@ -364,6 +407,7 @@ func (t *tx) Free(obj heap.ObjID) error {
 	}); err != nil {
 		return err
 	}
+	t.traceAppend(obj, intentlog.OpFree)
 	t.frees = append(t.frees, obj)
 	return nil
 }
@@ -411,12 +455,20 @@ func (t *tx) Commit() error {
 		}
 	}
 	heapReg.Fence()
-	t.e.phIntent.Observe(time.Since(start))
+	d := time.Since(start)
+	t.e.phIntent.Observe(d)
+	tr := t.e.trc()
+	tr.Span(string(obs.PhaseIntentPersist), t.ID(), d)
 	start = time.Now()
 	if err := t.tl.SetState(intentlog.StateCommitted); err != nil {
 		return err
 	}
-	t.e.phMarker.Observe(time.Since(start))
+	d = time.Since(start)
+	t.e.phMarker.Observe(d)
+	if tr != nil {
+		tr.CommitMarker(t.ID())
+		tr.Span(string(obs.PhaseCommitPersist), t.ID(), d)
+	}
 	// Apply the shadows to the originals (the paper's "copy to
 	// original"), then the deferred frees.
 	entries, err := t.tl.Entries()
@@ -429,7 +481,9 @@ func (t *tx) Commit() error {
 	}); err != nil {
 		return err
 	}
-	t.e.phCopyBack.Observe(time.Since(start))
+	d = time.Since(start)
+	t.e.phCopyBack.Observe(d)
+	tr.Span(string(obs.PhaseCopyBack), t.ID(), d)
 	for _, sh := range t.shadows {
 		if sh.blockLen > 0 {
 			t.e.critCopy.Add(uint64(sh.blockLen))
@@ -455,6 +509,7 @@ func (t *tx) Abort() error {
 	if err := t.tl.SetState(intentlog.StateAborted); err != nil {
 		return err
 	}
+	tr := t.e.trc()
 	for obj := range t.allocs {
 		cls, err := t.e.heap.ClassOf(obj)
 		if err != nil {
@@ -463,11 +518,13 @@ func (t *tx) Abort() error {
 		if err := t.e.heap.RollbackAlloc(obj, cls); err != nil {
 			return err
 		}
+		tr.Rollback(t.ID(), uint64(obj))
 	}
 	if err := t.tl.Release(); err != nil {
 		return err
 	}
 	t.finish()
 	t.e.aborts.Add(1)
+	tr.Abort(t.ID())
 	return nil
 }

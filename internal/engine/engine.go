@@ -12,6 +12,7 @@ import (
 
 	"kaminotx/internal/heap"
 	"kaminotx/internal/obs"
+	"kaminotx/internal/trace"
 )
 
 // Tx is one transaction. The API mirrors NVML's transactional object store
@@ -92,6 +93,14 @@ type Engine interface {
 	// gauges, and per-transaction phase latency histograms. The registry
 	// is live — snapshot it to read a consistent view.
 	Obs() *obs.Registry
+
+	// SetTracer attaches (or detaches, with nil) a trace.Tracer that
+	// receives transaction lifecycle events (begin, lock-acquire,
+	// intent-append, in-place write, commit-marker, backup-sync,
+	// abort/rollback). Safe to call while transactions are running;
+	// with no tracer attached the hot path pays at most one atomic/nil
+	// pointer check per would-be event.
+	SetTracer(*trace.Tracer)
 }
 
 // Stats counts engine-level events. All counters are cumulative.

@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"kaminotx/internal/engine"
@@ -28,6 +29,7 @@ import (
 	"kaminotx/internal/locktable"
 	"kaminotx/internal/nvm"
 	"kaminotx/internal/obs"
+	"kaminotx/internal/trace"
 )
 
 // ErrAbortUnsupported reports an Abort on an in-place replica engine.
@@ -39,6 +41,7 @@ type Engine struct {
 	log   *intentlog.Log
 	locks *locktable.Table
 	obs   *obs.Registry
+	tr    atomic.Pointer[trace.Tracer]
 
 	pending []PendingTx // incomplete transactions found at Open
 
@@ -134,6 +137,16 @@ func (e *Engine) Close() error { return nil }
 // Obs implements engine.Engine.
 func (e *Engine) Obs() *obs.Registry { return e.obs }
 
+// SetTracer implements engine.Engine.
+func (e *Engine) SetTracer(t *trace.Tracer) {
+	if t != nil && !t.Enabled() {
+		t = nil
+	}
+	e.tr.Store(t)
+}
+
+func (e *Engine) trc() *trace.Tracer { return e.tr.Load() }
+
 // Stats implements engine.Engine.
 func (e *Engine) Stats() engine.Stats {
 	return engine.Stats{Commits: e.commits.Load(), DependentWaits: e.depWaits.Load()}
@@ -144,7 +157,13 @@ func (e *Engine) Stats() engine.Stats {
 func (e *Engine) timedAppend(tl *intentlog.TxLog, ent intentlog.Entry) error {
 	start := time.Now()
 	err := tl.Append(ent)
-	e.phIntent.Observe(time.Since(start))
+	d := time.Since(start)
+	e.phIntent.Observe(d)
+	if t := e.trc(); t != nil && err == nil {
+		off, n := tl.EntryRange(tl.Len() - 1)
+		t.IntentAppend(tl.TxID(), ent.Obj, off, n, ent.Op.String())
+		t.Span(string(obs.PhaseIntentPersist), tl.TxID(), d)
+	}
 	return err
 }
 
@@ -251,6 +270,7 @@ func (e *Engine) Begin() (engine.Tx, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.trc().TxBegin(tl.TxID())
 	return &tx{e: e, tl: tl, writeSet: make(map[heap.ObjID]wsEntry)}, nil
 }
 
@@ -285,15 +305,13 @@ func (t *tx) Add(obj heap.ObjID) error {
 		t.writeSet[obj] = wsEntry{class: ws.class, writable: true}
 		return nil
 	}
+	t.lockObj(obj)
+	// Header reads only under the object lock: a committed Free rewrites
+	// the header (free-list link) while its lock is still held.
 	cls, err := t.e.heap.ClassOf(obj)
 	if err != nil {
+		t.e.locks.Unlock(uint64(obj), t.owner())
 		return err
-	}
-	if !t.e.locks.TryLock(uint64(obj), t.owner()) {
-		t.e.depWaits.Add(1)
-		stallStart := time.Now()
-		t.e.locks.Lock(uint64(obj), t.owner())
-		t.e.phStall.Observe(time.Since(stallStart))
 	}
 	if err := t.e.timedAppend(t.tl, intentlog.Entry{Op: intentlog.OpWrite, Class: uint32(cls), Obj: uint64(obj)}); err != nil {
 		t.e.locks.Unlock(uint64(obj), t.owner())
@@ -301,6 +319,23 @@ func (t *tx) Add(obj heap.ObjID) error {
 	}
 	t.writeSet[obj] = wsEntry{class: cls, writable: true}
 	return nil
+}
+
+// lockObj write-locks obj, charging any dependent stall.
+func (t *tx) lockObj(obj heap.ObjID) {
+	if t.e.locks.TryLock(uint64(obj), t.owner()) {
+		t.e.trc().LockAcquire(t.ID(), uint64(obj))
+		return
+	}
+	t.e.depWaits.Add(1)
+	stallStart := time.Now()
+	t.e.locks.Lock(uint64(obj), t.owner())
+	d := time.Since(stallStart)
+	t.e.phStall.Observe(d)
+	if tr := t.e.trc(); tr != nil {
+		tr.LockAcquire(t.ID(), uint64(obj))
+		tr.Span(string(obs.PhaseDependentStall), t.ID(), d)
+	}
 }
 
 func (t *tx) Write(obj heap.ObjID, off int, data []byte) error {
@@ -311,7 +346,11 @@ func (t *tx) Write(obj heap.ObjID, off int, data []byte) error {
 	if !ok || !ws.writable {
 		return fmt.Errorf("%w: %d", engine.ErrNotInTx, obj)
 	}
-	return t.e.heap.Write(obj, off, data)
+	if err := t.e.heap.Write(obj, off, data); err != nil {
+		return err
+	}
+	t.e.trc().InPlaceWrite(t.ID(), uint64(obj), int(obj)+off, len(data))
+	return nil
 }
 
 func (t *tx) Read(obj heap.ObjID) ([]byte, error) {
@@ -338,6 +377,7 @@ func (t *tx) Alloc(size int) (heap.ObjID, error) {
 		return heap.Nil, err
 	}
 	t.e.locks.Lock(uint64(obj), t.owner())
+	t.e.trc().LockAcquire(t.ID(), uint64(obj))
 	if err := t.e.timedAppend(t.tl, intentlog.Entry{Op: intentlog.OpAlloc, Class: uint32(cls), Obj: uint64(obj)}); err != nil {
 		t.e.locks.Unlock(uint64(obj), t.owner())
 		relErr := t.e.heap.ReleaseReservation(obj)
@@ -362,15 +402,11 @@ func (t *tx) Free(obj heap.ObjID) error {
 			return err
 		}
 	} else {
+		t.lockObj(obj)
 		cls, err := t.e.heap.ClassOf(obj)
 		if err != nil {
+			t.e.locks.Unlock(uint64(obj), t.owner())
 			return err
-		}
-		if !t.e.locks.TryLock(uint64(obj), t.owner()) {
-			t.e.depWaits.Add(1)
-			stallStart := time.Now()
-			t.e.locks.Lock(uint64(obj), t.owner())
-			t.e.phStall.Observe(time.Since(stallStart))
 		}
 		if err := t.e.timedAppend(t.tl, intentlog.Entry{Op: intentlog.OpFree, Class: uint32(cls), Obj: uint64(obj)}); err != nil {
 			t.e.locks.Unlock(uint64(obj), t.owner())
@@ -394,12 +430,19 @@ func (t *tx) Commit() error {
 		}
 	}
 	reg.Fence()
-	t.e.phHeap.Observe(time.Since(start))
+	dHeap := time.Since(start)
+	t.e.phHeap.Observe(dHeap)
+	t.e.trc().Span(string(obs.PhaseHeapPersist), t.ID(), dHeap)
 	start = time.Now()
 	if err := t.tl.SetState(intentlog.StateCommitted); err != nil {
 		return err
 	}
-	t.e.phMarker.Observe(time.Since(start))
+	dMarker := time.Since(start)
+	t.e.phMarker.Observe(dMarker)
+	if tr := t.e.trc(); tr != nil {
+		tr.CommitMarker(t.ID())
+		tr.Span(string(obs.PhaseCommitPersist), t.ID(), dMarker)
+	}
 	for _, obj := range t.frees {
 		if err := t.e.heap.ApplyFree(obj); err != nil {
 			return err
@@ -437,5 +480,6 @@ func (t *tx) Abort() error {
 		t.e.locks.RUnlock(uint64(obj), t.owner())
 	}
 	t.done = true
+	t.e.trc().Abort(t.ID())
 	return nil
 }

@@ -27,8 +27,9 @@ type backend interface {
 	// ensure guarantees a durable, in-sync backup copy of obj exists
 	// before the object may be modified in place. Called with obj's
 	// write lock held. The dynamic backend copies on demand here (a
-	// backup miss — the only critical-path copy Kamino-Tx ever does).
-	ensure(obj heap.ObjID, class int) error
+	// backup miss — the only critical-path copy Kamino-Tx ever does);
+	// copied reports that such an on-demand copy was made.
+	ensure(obj heap.ObjID, class int) (copied bool, err error)
 
 	// syncToBackup copies obj's current main-heap block to the backup
 	// and persists it. Called off the critical path by the applier, and
@@ -60,7 +61,7 @@ func newSimpleBackend(main, backup *nvm.Region, o *obs.Registry) (*simpleBackend
 	return &simpleBackend{main: main, backup: backup, synced: o.Counter("bytes_copied_async")}, nil
 }
 
-func (b *simpleBackend) ensure(heap.ObjID, int) error { return nil }
+func (b *simpleBackend) ensure(heap.ObjID, int) (bool, error) { return false, nil }
 
 func (b *simpleBackend) syncToBackup(obj heap.ObjID, class int) error {
 	off := int(obj) - heap.BlockHeaderSize
@@ -177,13 +178,13 @@ func (b *dynamicBackend) rebuild() error {
 	return nil
 }
 
-func (b *dynamicBackend) ensure(obj heap.ObjID, class int) error {
+func (b *dynamicBackend) ensure(obj heap.ObjID, class int) (bool, error) {
 	blockLen := heap.BlockHeaderSize + class
 	b.mu.Lock()
 	if e, ok := b.entries[obj]; ok {
 		b.lru.MoveToFront(e.lruElem)
 		b.mu.Unlock()
-		return nil
+		return false, nil
 	}
 	b.mu.Unlock()
 
@@ -195,27 +196,27 @@ func (b *dynamicBackend) ensure(obj heap.ObjID, class int) error {
 	defer func() { b.phMissCopy.Observe(time.Since(missStart)) }()
 	backupObj, err := b.allocBlock(dynPrefix + blockLen)
 	if err != nil {
-		return err
+		return false, err
 	}
 	breg := b.bheap.Region()
 	var pfx [dynPrefix]byte
 	binary.LittleEndian.PutUint64(pfx[:], uint64(obj))
 	binary.LittleEndian.PutUint32(pfx[8:], uint32(blockLen))
 	if err := breg.Write(int(backupObj), pfx[:]); err != nil {
-		return err
+		return false, err
 	}
 	if err := nvm.Copy(breg, int(backupObj)+dynPrefix, b.main, int(obj)-heap.BlockHeaderSize, blockLen); err != nil {
-		return err
+		return false, err
 	}
 	if err := breg.Persist(int(backupObj), dynPrefix+blockLen); err != nil {
-		return err
+		return false, err
 	}
 	b.mu.Lock()
 	e := &dynEntry{backupObj: backupObj, blockLen: blockLen}
 	e.lruElem = b.lru.PushFront(obj)
 	b.entries[obj] = e
 	b.mu.Unlock()
-	return nil
+	return true, nil
 }
 
 // allocBlock allocates backup space, evicting least-recently-updated

@@ -29,6 +29,7 @@ import (
 	"kaminotx/internal/locktable"
 	"kaminotx/internal/nvm"
 	"kaminotx/internal/obs"
+	"kaminotx/internal/trace"
 )
 
 // Config tunes the engine.
@@ -73,6 +74,11 @@ type Engine struct {
 	closed  atomic.Bool
 
 	applyErr atomic.Value // error
+
+	// tr, when attached, receives transaction lifecycle trace events.
+	// Atomic because the applier goroutines read it concurrently with
+	// SetTracer; nil when tracing is off (one atomic load per event).
+	tr atomic.Pointer[trace.Tracer]
 
 	commits  *obs.Counter
 	aborts   *obs.Counter
@@ -266,16 +272,21 @@ func (e *Engine) nextReq() (applyReq, bool) {
 }
 
 func (e *Engine) applyOne(req applyReq) error {
+	tr := e.trc()
+	txid := req.tl.TxID()
 	start := time.Now()
 	for _, lo := range req.objs {
 		if err := e.backend.syncToBackup(lo.obj, lo.class); err != nil {
 			return err
 		}
+		tr.BackupSync(txid, uint64(lo.obj))
 	}
 	if err := req.tl.Release(); err != nil {
 		return err
 	}
-	e.phSync.Observe(time.Since(start))
+	d := time.Since(start)
+	e.phSync.Observe(d)
+	tr.Span(string(obs.PhaseBackupSync), txid, d)
 	// Backup now matches main for the whole write-set: dependent
 	// transactions may proceed.
 	for _, lo := range req.objs {
@@ -283,7 +294,9 @@ func (e *Engine) applyOne(req applyReq) error {
 	}
 	// The lag from commit to here is the window a dependent transaction
 	// on this write-set would have stalled.
-	e.phLag.Observe(time.Since(req.committedAt))
+	lag := time.Since(req.committedAt)
+	e.phLag.Observe(lag)
+	tr.Span(string(obs.PhaseBackupLag), txid, lag)
 	return nil
 }
 
@@ -301,12 +314,29 @@ func (e *Engine) Heap() *heap.Heap { return e.heap }
 // Obs implements engine.Engine.
 func (e *Engine) Obs() *obs.Registry { return e.obs }
 
+// SetTracer implements engine.Engine: attaches (or detaches, with nil)
+// a lifecycle-event tracer. Safe to call while transactions run.
+func (e *Engine) SetTracer(t *trace.Tracer) {
+	if t != nil && !t.Enabled() {
+		t = nil
+	}
+	e.tr.Store(t)
+}
+
+func (e *Engine) trc() *trace.Tracer { return e.tr.Load() }
+
 // timedAppend persists one intent-log entry and charges it to the
 // intent-persist phase.
 func (e *Engine) timedAppend(tl *intentlog.TxLog, ent intentlog.Entry) error {
 	start := time.Now()
 	err := tl.Append(ent)
-	e.phIntent.Observe(time.Since(start))
+	d := time.Since(start)
+	e.phIntent.Observe(d)
+	if t := e.trc(); t != nil && err == nil {
+		off, n := tl.EntryRange(tl.Len() - 1)
+		t.IntentAppend(tl.TxID(), ent.Obj, off, n, ent.Op.String())
+		t.Span(string(obs.PhaseIntentPersist), tl.TxID(), d)
+	}
 	return err
 }
 
@@ -399,6 +429,7 @@ func (e *Engine) Begin() (engine.Tx, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.trc().TxBegin(tl.TxID())
 	return &tx{e: e, tl: tl, writeSet: make(map[heap.ObjID]wsEntry)}, nil
 }
 
@@ -426,12 +457,18 @@ func (t *tx) owner() locktable.Owner { return locktable.Owner(t.tl.TxID()) }
 // transaction's unreconciled write-set to the dependent-stall phase.
 func (t *tx) lockObj(obj heap.ObjID) {
 	if t.e.locks.TryLock(uint64(obj), t.owner()) {
+		t.e.trc().LockAcquire(t.ID(), uint64(obj))
 		return
 	}
 	t.e.depWaits.Add(1)
 	start := time.Now()
 	t.e.locks.Lock(uint64(obj), t.owner())
-	t.e.phStall.Observe(time.Since(start))
+	d := time.Since(start)
+	t.e.phStall.Observe(d)
+	if tr := t.e.trc(); tr != nil {
+		tr.LockAcquire(t.ID(), uint64(obj))
+		tr.Span(string(obs.PhaseDependentStall), t.ID(), d)
+	}
 }
 
 // Add declares the write intent: lock (blocking on pending objects), make
@@ -447,8 +484,12 @@ func (t *tx) Add(obj heap.ObjID) error {
 		}
 		// Already locked by a Free; upgrade to writable by installing
 		// the backup copy and the write intent.
-		if err := t.e.backend.ensure(obj, ws.class); err != nil {
+		copied, err := t.e.backend.ensure(obj, ws.class)
+		if err != nil {
 			return err
+		}
+		if copied {
+			t.e.trc().BackupSync(t.ID(), uint64(obj))
 		}
 		if err := t.e.timedAppend(t.tl, intentlog.Entry{
 			Op:    intentlog.OpWrite,
@@ -460,17 +501,24 @@ func (t *tx) Add(obj heap.ObjID) error {
 		t.writeSet[obj] = wsEntry{class: ws.class, writable: true}
 		return nil
 	}
+	t.lockObj(obj)
+	// Header reads only under the object lock: a committed Free rewrites
+	// the header (free-list link) while its lock is still held.
 	cls, err := t.e.heap.ClassOf(obj)
 	if err != nil {
+		t.e.locks.Unlock(uint64(obj), t.owner())
 		return err
 	}
-	t.lockObj(obj)
 	// Backup-exists-before-modify (paper §3): holding the lock, the
 	// backup copy of obj is in sync; for the dynamic backend this may
 	// create it on demand.
-	if err := t.e.backend.ensure(obj, cls); err != nil {
+	copied, err := t.e.backend.ensure(obj, cls)
+	if err != nil {
 		t.e.locks.Unlock(uint64(obj), t.owner())
 		return err
+	}
+	if copied {
+		t.e.trc().BackupSync(t.ID(), uint64(obj))
 	}
 	if err := t.e.timedAppend(t.tl, intentlog.Entry{
 		Op:    intentlog.OpWrite,
@@ -492,7 +540,11 @@ func (t *tx) Write(obj heap.ObjID, off int, data []byte) error {
 	if !ok || !ws.writable {
 		return fmt.Errorf("%w: %d", engine.ErrNotInTx, obj)
 	}
-	return t.e.heap.Write(obj, off, data)
+	if err := t.e.heap.Write(obj, off, data); err != nil {
+		return err
+	}
+	t.e.trc().InPlaceWrite(t.ID(), uint64(obj), int(obj)+off, len(data))
+	return nil
 }
 
 func (t *tx) Read(obj heap.ObjID) ([]byte, error) {
@@ -519,6 +571,7 @@ func (t *tx) Alloc(size int) (heap.ObjID, error) {
 		return heap.Nil, err
 	}
 	t.e.locks.Lock(uint64(obj), t.owner())
+	t.e.trc().LockAcquire(t.ID(), uint64(obj))
 	if err := t.e.timedAppend(t.tl, intentlog.Entry{
 		Op:    intentlog.OpAlloc,
 		Class: uint32(cls),
@@ -553,11 +606,12 @@ func (t *tx) Free(obj heap.ObjID) error {
 			return err
 		}
 	} else {
+		t.lockObj(obj)
 		cls, err := t.e.heap.ClassOf(obj)
 		if err != nil {
+			t.e.locks.Unlock(uint64(obj), t.owner())
 			return err
 		}
-		t.lockObj(obj)
 		if err := t.e.timedAppend(t.tl, intentlog.Entry{
 			Op:    intentlog.OpFree,
 			Class: uint32(cls),
@@ -590,13 +644,21 @@ func (t *tx) Commit() error {
 		}
 	}
 	reg.Fence()
-	t.e.phHeap.Observe(time.Since(start))
+	d := time.Since(start)
+	t.e.phHeap.Observe(d)
+	tr := t.e.trc()
+	tr.Span(string(obs.PhaseHeapPersist), t.ID(), d)
 	// Commit point.
 	start = time.Now()
 	if err := t.tl.SetState(intentlog.StateCommitted); err != nil {
 		return err
 	}
-	t.e.phMarker.Observe(time.Since(start))
+	d = time.Since(start)
+	t.e.phMarker.Observe(d)
+	if tr != nil {
+		tr.CommitMarker(t.ID())
+		tr.Span(string(obs.PhaseCommitPersist), t.ID(), d)
+	}
 	for _, obj := range t.frees {
 		if err := t.e.heap.ApplyFree(obj); err != nil {
 			return err
@@ -630,6 +692,7 @@ func (t *tx) Abort() error {
 	if err != nil {
 		return err
 	}
+	tr := t.e.trc()
 	for i := len(entries) - 1; i >= 0; i-- {
 		ent := entries[i]
 		switch ent.Op {
@@ -637,10 +700,12 @@ func (t *tx) Abort() error {
 			if err := t.e.backend.restoreFromBackup(heap.ObjID(ent.Obj), int(ent.Class)); err != nil {
 				return err
 			}
+			tr.Rollback(t.ID(), ent.Obj)
 		case intentlog.OpAlloc:
 			if err := t.e.heap.RollbackAlloc(heap.ObjID(ent.Obj), int(ent.Class)); err != nil {
 				return err
 			}
+			tr.Rollback(t.ID(), ent.Obj)
 		case intentlog.OpFree:
 			// Deferred free never happened.
 		}
@@ -658,5 +723,6 @@ func (t *tx) Abort() error {
 	}
 	t.done = true
 	t.e.aborts.Add(1)
+	tr.Abort(t.ID())
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"kaminotx/internal/locktable"
 	"kaminotx/internal/nvm"
 	"kaminotx/internal/obs"
+	"kaminotx/internal/trace"
 )
 
 // Engine is the no-logging baseline engine.
@@ -23,6 +24,7 @@ type Engine struct {
 	locks  *locktable.Table
 	nextID atomic.Uint64
 	obs    *obs.Registry
+	tr     atomic.Pointer[trace.Tracer]
 
 	commits  *obs.Counter
 	aborts   *obs.Counter
@@ -82,6 +84,18 @@ func (e *Engine) Close() error { return nil }
 // Obs implements engine.Engine.
 func (e *Engine) Obs() *obs.Registry { return e.obs }
 
+// SetTracer implements engine.Engine. The audit policy for "nolog"
+// checks nothing — this baseline is unsafe by design — but its events
+// still appear in exported traces.
+func (e *Engine) SetTracer(t *trace.Tracer) {
+	if t != nil && !t.Enabled() {
+		t = nil
+	}
+	e.tr.Store(t)
+}
+
+func (e *Engine) trc() *trace.Tracer { return e.tr.Load() }
+
 // Stats implements engine.Engine.
 func (e *Engine) Stats() engine.Stats {
 	return engine.Stats{
@@ -93,7 +107,9 @@ func (e *Engine) Stats() engine.Stats {
 
 // Begin implements engine.Engine.
 func (e *Engine) Begin() (engine.Tx, error) {
-	return &tx{e: e, id: e.nextID.Add(1), writeSet: make(map[heap.ObjID]bool)}, nil
+	id := e.nextID.Add(1)
+	e.trc().TxBegin(id)
+	return &tx{e: e, id: id, writeSet: make(map[heap.ObjID]bool)}, nil
 }
 
 type tx struct {
@@ -116,14 +132,24 @@ func (t *tx) Add(obj heap.ObjID) error {
 	if _, ok := t.writeSet[obj]; ok {
 		return nil
 	}
-	if _, err := t.e.heap.ClassOf(obj); err != nil {
-		return err
-	}
-	if !t.e.locks.TryLock(uint64(obj), t.owner()) {
+	if t.e.locks.TryLock(uint64(obj), t.owner()) {
+		t.e.trc().LockAcquire(t.id, uint64(obj))
+	} else {
 		t.e.depWaits.Add(1)
 		start := time.Now()
 		t.e.locks.Lock(uint64(obj), t.owner())
-		t.e.phStall.Observe(time.Since(start))
+		d := time.Since(start)
+		t.e.phStall.Observe(d)
+		if tr := t.e.trc(); tr != nil {
+			tr.LockAcquire(t.id, uint64(obj))
+			tr.Span(string(obs.PhaseDependentStall), t.id, d)
+		}
+	}
+	// Validate under the object lock: a committed Free rewrites the
+	// header (free-list link) while its lock is still held.
+	if _, err := t.e.heap.ClassOf(obj); err != nil {
+		t.e.locks.Unlock(uint64(obj), t.owner())
+		return err
 	}
 	t.writeSet[obj] = false
 	return nil
@@ -136,7 +162,11 @@ func (t *tx) Write(obj heap.ObjID, off int, data []byte) error {
 	if _, ok := t.writeSet[obj]; !ok {
 		return fmt.Errorf("%w: %d", engine.ErrNotInTx, obj)
 	}
-	return t.e.heap.Write(obj, off, data)
+	if err := t.e.heap.Write(obj, off, data); err != nil {
+		return err
+	}
+	t.e.trc().InPlaceWrite(t.id, uint64(obj), int(obj)+off, len(data))
+	return nil
 }
 
 func (t *tx) Read(obj heap.ObjID) ([]byte, error) {
@@ -162,6 +192,7 @@ func (t *tx) Alloc(size int) (heap.ObjID, error) {
 		return heap.Nil, err
 	}
 	t.e.locks.Lock(uint64(obj), t.owner())
+	t.e.trc().LockAcquire(t.id, uint64(obj))
 	t.writeSet[obj] = true
 	return obj, nil
 }
@@ -205,7 +236,9 @@ func (t *tx) Commit() error {
 		}
 	}
 	reg.Fence()
-	t.e.phHeap.Observe(time.Since(start))
+	d := time.Since(start)
+	t.e.phHeap.Observe(d)
+	t.e.trc().Span(string(obs.PhaseHeapPersist), t.id, d)
 	for _, obj := range t.frees {
 		if err := t.e.heap.ApplyFree(obj); err != nil {
 			return err
@@ -224,5 +257,6 @@ func (t *tx) Abort() error {
 	}
 	t.finish()
 	t.e.aborts.Add(1)
+	t.e.trc().Abort(t.id)
 	return nil
 }

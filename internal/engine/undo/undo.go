@@ -8,6 +8,7 @@ package undo
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"kaminotx/internal/engine"
@@ -16,6 +17,7 @@ import (
 	"kaminotx/internal/locktable"
 	"kaminotx/internal/nvm"
 	"kaminotx/internal/obs"
+	"kaminotx/internal/trace"
 )
 
 // Engine is the undo-logging engine.
@@ -24,6 +26,7 @@ type Engine struct {
 	log   *intentlog.Log
 	locks *locktable.Table
 	obs   *obs.Registry
+	tr    atomic.Pointer[trace.Tracer]
 
 	commits  *obs.Counter
 	aborts   *obs.Counter
@@ -102,6 +105,16 @@ func (e *Engine) Close() error { return nil }
 // Obs implements engine.Engine.
 func (e *Engine) Obs() *obs.Registry { return e.obs }
 
+// SetTracer implements engine.Engine.
+func (e *Engine) SetTracer(t *trace.Tracer) {
+	if t != nil && !t.Enabled() {
+		t = nil
+	}
+	e.tr.Store(t)
+}
+
+func (e *Engine) trc() *trace.Tracer { return e.tr.Load() }
+
 // Stats implements engine.Engine.
 func (e *Engine) Stats() engine.Stats {
 	return engine.Stats{
@@ -126,7 +139,7 @@ func (e *Engine) Recover() error {
 				}
 			}
 		case intentlog.StateRunning, intentlog.StateAborted:
-			if err := e.rollback(v.Entries, func(dataOff uint32, n int) ([]byte, error) {
+			if err := e.rollback(nil, 0, v.Entries, func(dataOff uint32, n int) ([]byte, error) {
 				return v.Data(dataOff, n)
 			}); err != nil {
 				return err
@@ -139,7 +152,7 @@ func (e *Engine) Recover() error {
 // rollback restores objects from undo copies and unwinds allocations.
 // Entries are processed newest-first so an alloc-then-write sequence undoes
 // cleanly. Object-granularity copies make this idempotent.
-func (e *Engine) rollback(entries []intentlog.Entry, data func(uint32, int) ([]byte, error)) error {
+func (e *Engine) rollback(tr *trace.Tracer, txid uint64, entries []intentlog.Entry, data func(uint32, int) ([]byte, error)) error {
 	reg := e.heap.Region()
 	for i := len(entries) - 1; i >= 0; i-- {
 		ent := entries[i]
@@ -156,10 +169,12 @@ func (e *Engine) rollback(entries []intentlog.Entry, data func(uint32, int) ([]b
 			if err := reg.Persist(blockOff, len(old)); err != nil {
 				return err
 			}
+			tr.Rollback(txid, ent.Obj)
 		case intentlog.OpAlloc:
 			if err := e.heap.RollbackAlloc(heap.ObjID(ent.Obj), int(ent.Class)); err != nil {
 				return err
 			}
+			tr.Rollback(txid, ent.Obj)
 		case intentlog.OpFree:
 			// Deferred free never happened; nothing to undo.
 		}
@@ -173,6 +188,7 @@ func (e *Engine) Begin() (engine.Tx, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.trc().TxBegin(tl.TxID())
 	return &tx{e: e, tl: tl, writeSet: make(map[heap.ObjID]bool)}, nil
 }
 
@@ -197,15 +213,25 @@ func (t *tx) Add(obj heap.ObjID) error {
 	if _, ok := t.writeSet[obj]; ok {
 		return nil
 	}
-	cls, err := t.e.heap.ClassOf(obj)
-	if err != nil {
-		return err
-	}
-	if !t.e.locks.TryLock(uint64(obj), t.owner()) {
+	if t.e.locks.TryLock(uint64(obj), t.owner()) {
+		t.e.trc().LockAcquire(t.ID(), uint64(obj))
+	} else {
 		t.e.depWaits.Add(1)
 		stallStart := time.Now()
 		t.e.locks.Lock(uint64(obj), t.owner())
-		t.e.phStall.Observe(time.Since(stallStart))
+		d := time.Since(stallStart)
+		t.e.phStall.Observe(d)
+		if tr := t.e.trc(); tr != nil {
+			tr.LockAcquire(t.ID(), uint64(obj))
+			tr.Span(string(obs.PhaseDependentStall), t.ID(), d)
+		}
+	}
+	// Header reads only under the object lock: a concurrent abort's
+	// rollback rewrites the whole block, header included.
+	cls, err := t.e.heap.ClassOf(obj)
+	if err != nil {
+		t.e.locks.Unlock(uint64(obj), t.owner())
+		return err
 	}
 	blockOff, blockLen, err := t.e.heap.Range(obj)
 	if err != nil {
@@ -226,8 +252,14 @@ func (t *tx) Add(obj heap.ObjID) error {
 		t.e.locks.Unlock(uint64(obj), t.owner())
 		return err
 	}
-	t.e.phCritCopy.Observe(time.Since(copyStart))
+	d := time.Since(copyStart)
+	t.e.phCritCopy.Observe(d)
 	t.e.critCopy.Add(uint64(blockLen))
+	if tr := t.e.trc(); tr != nil {
+		off, n := t.tl.EntryRange(t.tl.Len() - 1)
+		tr.IntentAppend(t.ID(), uint64(obj), off, n, intentlog.OpWrite.String())
+		tr.Span(string(obs.PhaseCriticalCopy), t.ID(), d)
+	}
 	t.writeSet[obj] = false
 	return nil
 }
@@ -239,7 +271,11 @@ func (t *tx) Write(obj heap.ObjID, off int, data []byte) error {
 	if _, ok := t.writeSet[obj]; !ok {
 		return fmt.Errorf("%w: %d", engine.ErrNotInTx, obj)
 	}
-	return t.e.heap.Write(obj, off, data)
+	if err := t.e.heap.Write(obj, off, data); err != nil {
+		return err
+	}
+	t.e.trc().InPlaceWrite(t.ID(), uint64(obj), int(obj)+off, len(data))
+	return nil
 }
 
 func (t *tx) Read(obj heap.ObjID) ([]byte, error) {
@@ -278,10 +314,15 @@ func (t *tx) Alloc(size int) (heap.ObjID, error) {
 		}
 		return heap.Nil, err
 	}
+	if tr := t.e.trc(); tr != nil {
+		off, n := t.tl.EntryRange(t.tl.Len() - 1)
+		tr.IntentAppend(t.ID(), uint64(obj), off, n, intentlog.OpAlloc.String())
+	}
 	if err := t.e.heap.CommitAlloc(obj); err != nil {
 		return heap.Nil, err
 	}
 	t.e.locks.Lock(uint64(obj), t.owner())
+	t.e.trc().LockAcquire(t.ID(), uint64(obj))
 	t.writeSet[obj] = true
 	return obj, nil
 }
@@ -305,6 +346,10 @@ func (t *tx) Free(obj heap.ObjID) error {
 		Obj:   uint64(obj),
 	}); err != nil {
 		return err
+	}
+	if tr := t.e.trc(); tr != nil {
+		off, n := t.tl.EntryRange(t.tl.Len() - 1)
+		tr.IntentAppend(t.ID(), uint64(obj), off, n, intentlog.OpFree.String())
 	}
 	t.frees = append(t.frees, obj)
 	return nil
@@ -338,13 +383,21 @@ func (t *tx) Commit() error {
 		}
 	}
 	reg.Fence()
-	t.e.phHeap.Observe(time.Since(start))
+	d := time.Since(start)
+	t.e.phHeap.Observe(d)
+	tr := t.e.trc()
+	tr.Span(string(obs.PhaseHeapPersist), t.ID(), d)
 	// Commit point: the one-line state store.
 	start = time.Now()
 	if err := t.tl.SetState(intentlog.StateCommitted); err != nil {
 		return err
 	}
-	t.e.phMarker.Observe(time.Since(start))
+	d = time.Since(start)
+	t.e.phMarker.Observe(d)
+	if tr != nil {
+		tr.CommitMarker(t.ID())
+		tr.Span(string(obs.PhaseCommitPersist), t.ID(), d)
+	}
 	for _, obj := range t.frees {
 		if err := t.e.heap.ApplyFree(obj); err != nil {
 			return err
@@ -369,7 +422,7 @@ func (t *tx) Abort() error {
 	if err != nil {
 		return err
 	}
-	if err := t.e.rollback(entries, func(dataOff uint32, n int) ([]byte, error) {
+	if err := t.e.rollback(t.e.trc(), t.ID(), entries, func(dataOff uint32, n int) ([]byte, error) {
 		return t.tl.Data(dataOff, n)
 	}); err != nil {
 		return err
@@ -379,5 +432,6 @@ func (t *tx) Abort() error {
 	}
 	t.finish()
 	t.e.aborts.Add(1)
+	t.e.trc().Abort(t.ID())
 	return nil
 }

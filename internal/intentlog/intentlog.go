@@ -370,6 +370,13 @@ func (t *TxLog) Slot() int { return t.slot }
 // Len returns the number of appended entries.
 func (t *TxLog) Len() int { return t.n }
 
+// EntryRange returns the byte range [off, off+n) entry i of this
+// transaction occupies in the log region — the range that must be
+// durable before the corresponding in-place store (trace/auditor use).
+func (t *TxLog) EntryRange(i int) (off, n int) {
+	return t.l.entryOff(t.slot, i), entrySize
+}
+
 // Append durably records one intent. On return the intent (and every earlier
 // one) is durable; the caller may then modify the object.
 func (t *TxLog) Append(e Entry) error {

@@ -33,7 +33,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"kaminotx/internal/trace"
 )
 
 // LineSize is the simulated cache-line size in bytes. Flush granularity and
@@ -111,6 +114,11 @@ type Region struct {
 
 	statMu sync.Mutex
 	stats  Stats
+
+	// tracer, when attached, receives device-level trace events. Atomic
+	// so SetTracer is safe against concurrent region use; nil when
+	// tracing is off (the common case: one atomic load per mutation).
+	tracer atomic.Pointer[trace.Tracer]
 }
 
 // New creates a Region of the given size, zero-filled and fully durable.
@@ -186,6 +194,7 @@ func (r *Region) Write(off int, p []byte) error {
 	copy(r.mem[off:], p)
 	r.markDirty(off, len(p))
 	r.countWrite(len(p))
+	r.traceWrite(off, len(p))
 	return nil
 }
 
@@ -197,6 +206,7 @@ func (r *Region) Zero(off, n int) error {
 	clear(r.mem[off : off+n])
 	r.markDirty(off, n)
 	r.countWrite(n)
+	r.traceWrite(off, n)
 	return nil
 }
 
@@ -210,6 +220,7 @@ func (r *Region) Store64(off int, v uint64) error {
 	binary.LittleEndian.PutUint64(r.mem[off:], v)
 	r.markDirty(off, 8)
 	r.countWrite(8)
+	r.traceWrite(off, 8)
 	return nil
 }
 
@@ -221,6 +232,7 @@ func (r *Region) Store32(off int, v uint32) error {
 	binary.LittleEndian.PutUint32(r.mem[off:], v)
 	r.markDirty(off, 4)
 	r.countWrite(4)
+	r.traceWrite(off, 4)
 	return nil
 }
 
@@ -278,6 +290,7 @@ func Copy(dst *Region, doff int, src *Region, soff, n int) error {
 	copy(dst.mem[doff:doff+n], src.mem[soff:soff+n])
 	dst.markDirty(doff, n)
 	dst.countWrite(n)
+	dst.traceWrite(doff, n)
 	src.statMu.Lock()
 	src.stats.BytesRead += uint64(n)
 	src.statMu.Unlock()
@@ -315,6 +328,7 @@ func (r *Region) Flush(off, n int) error {
 	if r.latency.FlushPerLine > 0 {
 		spin(time.Duration(nl) * r.latency.FlushPerLine)
 	}
+	r.traceFlush(off, n)
 	return nil
 }
 
@@ -335,6 +349,7 @@ func (r *Region) Fence() {
 	if r.latency.Fence > 0 {
 		spin(r.latency.Fence)
 	}
+	r.traceFence()
 }
 
 // persistLine copies one line from the volatile view to the durable image.
@@ -391,6 +406,7 @@ func (r *Region) crash(keep func(line int) bool) error {
 	}
 	clear(r.dirty)
 	copy(r.mem, r.durable)
+	r.traceCrash(keep != nil)
 	return nil
 }
 

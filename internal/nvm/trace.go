@@ -1,0 +1,38 @@
+package nvm
+
+import "kaminotx/internal/trace"
+
+// SetTracer attaches (or detaches, with nil) a device-event tracer. The
+// pointer is atomic so a tracer can be attached while other goroutines
+// are using the region; with no tracer attached each mutation pays
+// exactly one atomic pointer load.
+func (r *Region) SetTracer(t *trace.Tracer) {
+	if t != nil && !t.Enabled() {
+		t = nil
+	}
+	r.tracer.Store(t)
+}
+
+func (r *Region) traceWrite(off, n int) {
+	if t := r.tracer.Load(); t != nil {
+		t.DevWrite(off, n)
+	}
+}
+
+func (r *Region) traceFlush(off, n int) {
+	if t := r.tracer.Load(); t != nil {
+		t.DevFlush(off, n)
+	}
+}
+
+func (r *Region) traceFence() {
+	if t := r.tracer.Load(); t != nil {
+		t.DevFence()
+	}
+}
+
+func (r *Region) traceCrash(partial bool) {
+	if t := r.tracer.Load(); t != nil {
+		t.DevCrash(partial)
+	}
+}

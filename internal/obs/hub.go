@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
+	"strings"
 	"sync"
 )
 
@@ -49,9 +50,18 @@ func (h *Hub) Remove(label string) {
 }
 
 // Snapshots captures every published registry, in publication order.
-func (h *Hub) Snapshots() []Snapshot {
+func (h *Hub) Snapshots() []Snapshot { return h.snapshots("") }
+
+// snapshots captures the published registries whose label contains filter
+// (all of them when filter is empty), in publication order.
+func (h *Hub) snapshots(filter string) []Snapshot {
 	h.mu.Lock()
-	labels := append([]string(nil), h.order...)
+	var labels []string
+	for _, l := range h.order {
+		if filter == "" || strings.Contains(l, filter) {
+			labels = append(labels, l)
+		}
+	}
 	regs := make([]*Registry, len(labels))
 	for i, l := range labels {
 		regs[i] = h.regs[l]
@@ -66,11 +76,12 @@ func (h *Hub) Snapshots() []Snapshot {
 }
 
 // ServeHTTP serves the hub's current snapshots as a JSON document on any
-// path, in the spirit of expvar.
-func (h *Hub) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+// path, in the spirit of expvar. A ?label=substr query restricts the
+// document to registries whose label contains substr.
+func (h *Hub) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	doc := struct {
 		Registries []Snapshot `json:"registries"`
-	}{Registries: h.Snapshots()}
+	}{Registries: h.snapshots(req.URL.Query().Get("label"))}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -146,3 +146,44 @@ func TestHubServeHTTP(t *testing.T) {
 		t.Errorf("after remove: %d entries", n)
 	}
 }
+
+func TestHubLabelFilter(t *testing.T) {
+	h := NewHub()
+	h.Set("kamino-simple", New("kamino-simple"))
+	h.Set("kamino-dynamic", New("kamino-dynamic"))
+	h.Set("undo", New("undo"))
+
+	serve := func(target string) (int, []Snapshot, string) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+		var body struct {
+			Registries []Snapshot `json:"registries"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("bad JSON for %s: %v\n%s", target, err, rec.Body.String())
+		}
+		return rec.Code, body.Registries, rec.Header().Get("Content-Type")
+	}
+
+	code, regs, ctype := serve("/?label=kamino")
+	if code != 200 || len(regs) != 2 {
+		t.Fatalf("?label=kamino: code=%d registries=%d", code, len(regs))
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("Content-Type = %q", ctype)
+	}
+	for _, r := range regs {
+		if !strings.Contains(r.Name, "kamino") {
+			t.Errorf("unfiltered registry %q leaked through", r.Name)
+		}
+	}
+	if _, regs, _ = serve("/?label=undo"); len(regs) != 1 || regs[0].Name != "undo" {
+		t.Errorf("?label=undo: %+v", regs)
+	}
+	if _, regs, _ = serve("/?label=nomatch"); len(regs) != 0 {
+		t.Errorf("?label=nomatch returned %d registries", len(regs))
+	}
+	if _, regs, _ = serve("/"); len(regs) != 3 {
+		t.Errorf("unfiltered: %d registries", len(regs))
+	}
+}

@@ -31,15 +31,16 @@ const (
 	hOffSeq   = 32 // u64 highest sequence number ever enqueued
 
 	// record header: total u32 (aligned length incl. header), seq u64,
-	// nameLen u16, argsLen u32
-	recHdr = 4 + 8 + 2 + 4 + 6 // padded to 24
+	// trace u64, nameLen u16, argsLen u32
+	recHdr = 4 + 8 + 8 + 2 + 4 + 6 // padded to 32
 )
 
 // Record is one queued operation.
 type Record struct {
-	Seq  uint64
-	Name string
-	Args []byte
+	Seq   uint64
+	Trace uint64 // chain-wide trace id minted by the head; 0 when untraced
+	Name  string
+	Args  []byte
 }
 
 // Queue is a persistent FIFO of records.
@@ -190,8 +191,9 @@ func (q *Queue) Enqueue(r Record) error {
 	buf := make([]byte, sz)
 	binary.LittleEndian.PutUint32(buf[0:], uint32(sz))
 	binary.LittleEndian.PutUint64(buf[4:], r.Seq)
-	binary.LittleEndian.PutUint16(buf[12:], uint16(len(r.Name)))
-	binary.LittleEndian.PutUint32(buf[14:], uint32(len(r.Args)))
+	binary.LittleEndian.PutUint64(buf[12:], r.Trace)
+	binary.LittleEndian.PutUint16(buf[20:], uint16(len(r.Name)))
+	binary.LittleEndian.PutUint32(buf[22:], uint32(len(r.Args)))
 	copy(buf[recHdr:], r.Name)
 	copy(buf[recHdr+len(r.Name):], r.Args)
 	if err := q.write(q.tail, buf); err != nil {
@@ -221,8 +223,9 @@ func (q *Queue) decodeAt(off uint64) (Record, uint64, error) {
 	}
 	sz := uint64(binary.LittleEndian.Uint32(hdr[0:]))
 	seq := binary.LittleEndian.Uint64(hdr[4:])
-	nameLen := int(binary.LittleEndian.Uint16(hdr[12:]))
-	argsLen := int(binary.LittleEndian.Uint32(hdr[14:]))
+	traceID := binary.LittleEndian.Uint64(hdr[12:])
+	nameLen := int(binary.LittleEndian.Uint16(hdr[20:]))
+	argsLen := int(binary.LittleEndian.Uint32(hdr[22:]))
 	if sz < recHdr || sz > q.cap || uint64(recHdr+nameLen+argsLen) > sz {
 		return Record{}, 0, fmt.Errorf("pqueue: corrupt record at %d (size %d)", off, sz)
 	}
@@ -231,9 +234,10 @@ func (q *Queue) decodeAt(off uint64) (Record, uint64, error) {
 		return Record{}, 0, err
 	}
 	return Record{
-		Seq:  seq,
-		Name: string(body[:nameLen]),
-		Args: append([]byte(nil), body[nameLen:]...),
+		Seq:   seq,
+		Trace: traceID,
+		Name:  string(body[:nameLen]),
+		Args:  append([]byte(nil), body[nameLen:]...),
 	}, sz, nil
 }
 

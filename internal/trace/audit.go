@@ -1,0 +1,280 @@
+// The auditor replays a recorded event stream and mechanically checks
+// the three Kamino-Tx safety invariants (§3 of the paper):
+//
+//  1. intent-durable-before-store — the intent-log entry covering an
+//     object must be durable (written, flushed, and fenced on the log
+//     region) before the first in-place store to that object;
+//  2. consistent-copy-exists — an object may be modified in place only
+//     while a consistent copy of it exists (backup in sync, or the
+//     object was freshly allocated this epoch and its alloc intent is
+//     the copy);
+//  3. dependent-blocked — a transaction must not acquire an object's
+//     lock while a previous transaction's modification of it has not
+//     yet been reconciled to the backup (or rolled back).
+//
+// The auditor is intentionally conservative where the stream is
+// truncated: transactions whose TxBegin fell off the ring are skipped,
+// and every Crash/CrashPartial resets all derived state (post-crash
+// recovery runs before tracers are re-attached, so its repairs are not
+// in the stream).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// lineSize mirrors nvm.LineSize (the package cannot import nvm — nvm
+// imports trace for its device hooks).
+const lineSize = 64
+
+// Violation is one invariant breach found by the auditor.
+type Violation struct {
+	// Seq is the offending event's sequence number.
+	Seq uint64
+	// Rule names the broken invariant: "intent-not-durable",
+	// "store-without-intent", "store-without-copy",
+	// "dependent-not-blocked".
+	Rule string
+	// Actor is the engine instance audited.
+	Actor string
+	// TxID and Obj identify the offending transaction and object.
+	TxID uint64
+	Obj  uint64
+	// Msg explains the breach.
+	Msg string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("seq=%d %s actor=%s tx=%d obj=%d: %s", v.Seq, v.Rule, v.Actor, v.TxID, v.Obj, v.Msg)
+}
+
+// Policy selects which invariants apply to an engine actor. The nolog
+// baseline is deliberately unsafe and checks nothing; undo, cow and
+// in-place engines log intents but keep no backup; only the kamino
+// engines promise an asynchronously reconciled copy.
+type Policy struct {
+	// Actor is the engine instance label ("kamino#1"). Its region
+	// actors are derived by suffix ("kamino#1/log" etc).
+	Actor string
+	// RequireIntent enables rules 1 (intent durable before store) and
+	// the intent-precedes-store check.
+	RequireIntent bool
+	// RequireBackup enables rules 2 and 3 (consistent copy /
+	// dependent stall).
+	RequireBackup bool
+}
+
+// PolicyFor derives the invariant set from an actor label minted by the
+// pool ("<engine-name>#<n>").
+func PolicyFor(actor string) Policy {
+	name := actor
+	if i := strings.IndexByte(name, '#'); i >= 0 {
+		name = name[:i]
+	}
+	p := Policy{Actor: actor}
+	switch name {
+	case "kamino", "kamino-dynamic":
+		p.RequireIntent = true
+		p.RequireBackup = true
+	case "undo", "cow", "inplace":
+		p.RequireIntent = true
+	}
+	return p
+}
+
+// lineState tracks the persistence of one cache line relative to its
+// last store. Absent lines are durable (no un-persisted store seen).
+type lineState uint8
+
+const (
+	lineDirty   lineState = iota // stored, not yet flushed
+	linePending                  // flushed, fence not yet issued
+)
+
+type auditState struct {
+	p Policy
+	// lines[region][line] — persistence of the last store per line.
+	lines map[string]map[int]lineState
+	// known transactions (TxBegin in the stream); events for unknown
+	// txs are skipped so a wrapped ring cannot fabricate violations.
+	known map[uint64]bool
+	// intents[tx] — objects covered by a durable intent entry.
+	intents map[uint64]map[uint64]bool
+	// dirtyBy[obj] — tx whose in-place stores are not yet reconciled.
+	dirtyBy map[uint64]uint64
+	// fresh[obj] — allocated this epoch and not yet backed up: its
+	// alloc intent is the consistent copy, so rules 2/3 are satisfied
+	// without a BackupSync.
+	fresh map[uint64]bool
+}
+
+func newAuditState(p Policy) *auditState {
+	return &auditState{
+		p:       p,
+		lines:   map[string]map[int]lineState{},
+		known:   map[uint64]bool{},
+		intents: map[uint64]map[uint64]bool{},
+		dirtyBy: map[uint64]uint64{},
+		fresh:   map[uint64]bool{},
+	}
+}
+
+// reset drops all derived state (crash boundary).
+func (s *auditState) reset() {
+	s.lines = map[string]map[int]lineState{}
+	s.known = map[uint64]bool{}
+	s.intents = map[uint64]map[uint64]bool{}
+	s.dirtyBy = map[uint64]uint64{}
+	s.fresh = map[uint64]bool{}
+}
+
+func (s *auditState) regionLines(region string) map[int]lineState {
+	m := s.lines[region]
+	if m == nil {
+		m = map[int]lineState{}
+		s.lines[region] = m
+	}
+	return m
+}
+
+// rangeDurable reports whether every line of [off, off+n) in region is
+// durable, naming the first offending line otherwise.
+func (s *auditState) rangeDurable(region string, off, n int) (bool, int) {
+	m := s.lines[region]
+	if m == nil || n <= 0 {
+		return true, 0
+	}
+	for line := off / lineSize; line <= (off+n-1)/lineSize; line++ {
+		if _, bad := m[line]; bad {
+			return false, line
+		}
+	}
+	return true, 0
+}
+
+// Audit replays events against one engine's policy and returns every
+// violation found. Events of other actors are ignored; device events are
+// matched by the "<actor>/<region>" label convention.
+func Audit(events []Event, p Policy) []Violation {
+	s := newAuditState(p)
+	logRegion := p.Actor + "/log"
+	var out []Violation
+	add := func(e Event, rule, msg string) {
+		out = append(out, Violation{Seq: e.Seq, Rule: rule, Actor: p.Actor, TxID: e.TxID, Obj: e.Obj, Msg: msg})
+	}
+
+	for _, e := range events {
+		if e.Actor != p.Actor && !strings.HasPrefix(e.Actor, p.Actor+"/") {
+			continue
+		}
+		switch e.Kind {
+		case KindWrite:
+			m := s.regionLines(e.Actor)
+			for line := e.Off / lineSize; line <= (e.Off+e.Len-1)/lineSize && e.Len > 0; line++ {
+				m[line] = lineDirty
+			}
+		case KindFlush:
+			m := s.lines[e.Actor]
+			for line := e.Off / lineSize; m != nil && line <= (e.Off+e.Len-1)/lineSize && e.Len > 0; line++ {
+				if st, ok := m[line]; ok && st == lineDirty {
+					m[line] = linePending
+				}
+			}
+		case KindFence:
+			m := s.lines[e.Actor]
+			for line, st := range m {
+				if st == linePending {
+					delete(m, line)
+				}
+			}
+		case KindCrash, KindCrashPartial:
+			// After any power failure the volatile view reverts to
+			// (a subset of) the durable image: content and durable
+			// state coincide again, and recovery is not traced.
+			s.reset()
+
+		case KindTxBegin:
+			s.known[e.TxID] = true
+			s.intents[e.TxID] = map[uint64]bool{}
+		case KindIntentAppend:
+			if !s.known[e.TxID] {
+				continue
+			}
+			s.intents[e.TxID][e.Obj] = true
+			if e.Phase == "alloc" {
+				s.fresh[e.Obj] = true
+			}
+			if s.p.RequireIntent {
+				if ok, line := s.rangeDurable(logRegion, e.Off, e.Len); !ok {
+					add(e, "intent-not-durable", fmt.Sprintf(
+						"intent entry [%d,+%d) reported durable but log line %d was never fenced", e.Off, e.Len, line))
+				}
+			}
+		case KindInPlaceWrite:
+			if !s.known[e.TxID] {
+				continue
+			}
+			if s.p.RequireIntent && !s.intents[e.TxID][e.Obj] {
+				add(e, "store-without-intent",
+					"in-place heap store before any durable intent entry for the object")
+			}
+			if s.p.RequireBackup {
+				if by := s.dirtyBy[e.Obj]; by != 0 && by != e.TxID && !s.fresh[e.Obj] {
+					add(e, "store-without-copy", fmt.Sprintf(
+						"in-place store while the backup still lags tx %d's modification — no consistent copy exists", by))
+				}
+				s.dirtyBy[e.Obj] = e.TxID
+			}
+		case KindLockAcquire:
+			if s.p.RequireBackup && s.known[e.TxID] {
+				if by := s.dirtyBy[e.Obj]; by != 0 && by != e.TxID && !s.fresh[e.Obj] {
+					add(e, "dependent-not-blocked", fmt.Sprintf(
+						"lock granted while tx %d's modification is not yet reconciled to the backup", by))
+				}
+			}
+		case KindBackupSync:
+			delete(s.dirtyBy, e.Obj)
+			delete(s.fresh, e.Obj)
+		case KindRollback:
+			delete(s.dirtyBy, e.Obj)
+		case KindCommitMarker, KindAbort:
+			delete(s.intents, e.TxID)
+			delete(s.known, e.TxID)
+		}
+	}
+	return out
+}
+
+// Actors lists the engine actors present in the stream (actors that
+// emitted transaction lifecycle events), sorted.
+func Actors(events []Event) []string {
+	seen := map[string]bool{}
+	for _, e := range events {
+		switch e.Kind {
+		case KindTxBegin, KindLockAcquire, KindIntentAppend, KindInPlaceWrite,
+			KindCommitMarker, KindBackupSync, KindAbort, KindRollback:
+			seen[e.Actor] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AuditAll audits every engine actor in the stream under its derived
+// policy and returns violations keyed by actor (actors with none are
+// omitted).
+func AuditAll(events []Event) map[string][]Violation {
+	out := map[string][]Violation{}
+	for _, actor := range Actors(events) {
+		if vs := Audit(events, PolicyFor(actor)); len(vs) > 0 {
+			out[actor] = vs
+		}
+	}
+	return out
+}

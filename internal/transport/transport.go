@@ -50,6 +50,9 @@ type Message struct {
 	Seq  uint64
 	Name string
 	Args []byte
+	// Trace is the chain-wide trace id minted by the head for KindOp and
+	// echoed by KindTailAck; 0 when tracing is off.
+	Trace uint64
 
 	// Fetch fields: parallel slices describing object blocks.
 	Objs    []uint64

@@ -16,6 +16,7 @@ import (
 	ichain "kaminotx/internal/chain"
 	"kaminotx/internal/membership"
 	"kaminotx/internal/obs"
+	"kaminotx/internal/trace"
 	"kaminotx/internal/transport"
 )
 
@@ -48,6 +49,10 @@ type Options struct {
 	HopLatency time.Duration
 	// Strict enables crash simulation (required by Reboot).
 	Strict bool
+	// Trace, when non-nil, records every replica's chain protocol
+	// events and local engine events; head-minted trace ids correlate
+	// one transaction across the whole chain.
+	Trace *trace.Recorder
 }
 
 // Cluster is one replicated KV chain living in this process.
@@ -91,6 +96,7 @@ func New(opts Options) (*Cluster, error) {
 			Transport: tr,
 			Manager:   mgr,
 			Setup:     ichain.KVSetup,
+			Trace:     opts.Trace,
 		})
 		if err != nil {
 			c.Close()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"kaminotx/internal/intentlog"
+	"kaminotx/internal/trace"
 )
 
 // Mode selects the atomicity mechanism backing a Pool.
@@ -88,6 +89,16 @@ type Options struct {
 	// process runs, not power-failure semantics (those are simulated via
 	// Strict + Crash).
 	Dir string
+
+	// Trace, when non-nil, records every NVM device event and transaction
+	// lifecycle event into the given ring buffer for export
+	// (trace.WriteJSONL, trace.WriteChrome) and safety auditing
+	// (trace.Audit). Each engine incarnation — including the ones built
+	// by Crash and Promote — registers a fresh actor name
+	// "<engine>#<n>", with its regions as "<actor>/main", "/backup",
+	// "/log". With Trace nil the hot path pays at most one atomic nil
+	// check per would-be event.
+	Trace *trace.Recorder
 }
 
 func (o Options) withDefaults() (Options, error) {

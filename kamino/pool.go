@@ -171,7 +171,29 @@ func (p *Pool) makeEngine(fresh bool) error {
 	default:
 		err = fmt.Errorf("kamino: unknown mode %q", p.opts.Mode)
 	}
+	if err == nil {
+		p.attachTrace()
+	}
 	return err
+}
+
+// attachTrace registers this engine incarnation with the pool's trace
+// recorder (if any). A fresh actor id is minted per incarnation so events
+// from before and after a Crash or Promote land under distinct actors.
+func (p *Pool) attachTrace() {
+	rec := p.opts.Trace
+	if rec == nil {
+		return
+	}
+	actor := fmt.Sprintf("%s#%d", p.eng.Name(), rec.NextActorID())
+	p.eng.SetTracer(rec.Tracer(actor))
+	p.mainReg.SetTracer(rec.Tracer(actor + "/main"))
+	if p.backupReg != nil {
+		p.backupReg.SetTracer(rec.Tracer(actor + "/backup"))
+	}
+	if p.logReg != nil {
+		p.logReg.SetTracer(rec.Tracer(actor + "/log"))
+	}
 }
 
 // Root returns the pool's root object, the durable entry point applications
@@ -245,7 +267,23 @@ func (p *Pool) NVMStats() nvm.Stats { return p.mainReg.Stats() }
 // write), runs recovery, and leaves the pool ready for new transactions.
 // The pool must have been created with Strict. Outstanding transactions
 // must be quiesced (their goroutines stopped) before calling Crash.
-func (p *Pool) Crash() error {
+func (p *Pool) Crash() error { return p.crash(nil) }
+
+// CrashPartial is Crash with the weaker loss model: each
+// flushed-but-unfenced cache line independently survives or is lost,
+// decided by a deterministic hash of seed and line number. Fenced lines
+// always survive; unflushed lines never do.
+func (p *Pool) CrashPartial(seed int64) error {
+	return p.crash(func(line int) bool {
+		h := uint64(seed)*0x9E3779B97F4A7C15 + uint64(line)
+		h ^= h >> 31
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+		return h&1 == 0
+	})
+}
+
+func (p *Pool) crash(keep func(line int) bool) error {
 	if !p.opts.Strict {
 		return nvm.ErrFastMode
 	}
@@ -257,7 +295,13 @@ func (p *Pool) Crash() error {
 		if r == nil {
 			continue
 		}
-		if err := r.Crash(); err != nil {
+		var err error
+		if keep == nil {
+			err = r.Crash()
+		} else {
+			err = r.CrashPartial(keep)
+		}
+		if err != nil {
 			return err
 		}
 	}
