@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race doccheck check bench
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,14 @@ vet:
 race:
 	$(GO) test -race ./internal/stats/... ./internal/workload/... ./internal/engine/... ./internal/obs/... ./internal/trace/... ./kamino/...
 
-# check is the full gate: tier-1 build+test plus vet and the race pass.
-check: build vet test race
+# doccheck fails if any exported identifier under internal/ or kamino/
+# lacks a godoc comment (see tools/doccheck for the exact rules).
+doccheck:
+	$(GO) run ./tools/doccheck internal kamino
+
+# check is the full gate: tier-1 build+test plus vet, the race pass, and
+# the godoc-coverage check.
+check: build vet test race doccheck
 
 bench: build
 	$(GO) run ./cmd/kaminobench -experiment fig12

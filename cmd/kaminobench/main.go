@@ -8,7 +8,7 @@
 //	kaminobench -experiment fig12 -trace-out fig12.trace.json -audit
 //
 // Experiments: fig1, fig12, fig13, fig14, fig15, fig16, fig17, fig18,
-// table1, dependent, worstcase, ablation, all.
+// table1, dependent, worstcase, ablation, chainscale, all.
 //
 // With -trace-out, every pool the experiments create records its NVM
 // device and transaction lifecycle events into a ring buffer, exported at
@@ -55,6 +55,7 @@ var experiments = []struct {
 	{"dependent", "dependent transactions (uniform vs bursty)", bench.Dependent},
 	{"worstcase", "repeated same-object updates by size", bench.WorstCase},
 	{"ablation", "design-choice ablations via mechanism counters", bench.Ablation},
+	{"chainscale", "chain throughput vs hop batch size and chain length", bench.ChainScaling},
 }
 
 func main() {
@@ -66,6 +67,10 @@ func main() {
 		threads     = flag.Int("threads", 4, "worker threads (non-sweep experiments)")
 		flush       = flag.Duration("flush", 0, "modeled per-line flush latency (0 = harness default)")
 		fence       = flag.Duration("fence", 0, "modeled fence latency (0 = harness default)")
+		batchOps    = flag.Int("batch-ops", 0, "chain hop batch size in ops (0/1 = unbatched; chainscale sweeps its own sizes)")
+		batchBytes  = flag.Int("batch-bytes", 0, "chain hop batch payload cap in bytes (0 = default 256 KiB)")
+		batchDelay  = flag.Duration("batch-delay", 0, "how long the chain head waits to fill a batch (0 = never wait)")
+		groupCommit = flag.Bool("group-commit", false, "group-commit intent-log persists inside each chain replica's engine")
 		metricsAddr = flag.String("metrics-addr", "", "serve live observability JSON on this HTTP address (e.g. :8089)")
 		traceOut    = flag.String("trace-out", "", "record events and write them here at exit (.json = Chrome trace_event, .jsonl = JSON lines)")
 		traceBuf    = flag.Int("trace-buf", 0, "trace ring-buffer capacity in events (0 = default)")
@@ -85,13 +90,17 @@ func main() {
 	}
 
 	cfg := bench.Config{
-		Keys:         *keys,
-		ValueSize:    *valueSize,
-		OpsPerThread: *ops,
-		Threads:      *threads,
-		FlushLatency: *flush,
-		FenceLatency: *fence,
-		Out:          os.Stdout,
+		Keys:             *keys,
+		ValueSize:        *valueSize,
+		OpsPerThread:     *ops,
+		Threads:          *threads,
+		FlushLatency:     *flush,
+		FenceLatency:     *fence,
+		ChainBatchOps:    *batchOps,
+		ChainBatchBytes:  *batchBytes,
+		ChainBatchDelay:  *batchDelay,
+		ChainGroupCommit: *groupCommit,
+		Out:              os.Stdout,
 	}
 	var recorder *trace.Recorder
 	if *traceOut != "" || *audit {

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -45,14 +46,26 @@ func (c Config) newCluster(mode chainpkg.Mode) (*chainpkg.Cluster, error) {
 	if mode == chainpkg.ModeTraditional {
 		replicas = chainF + 1
 	}
+	return c.newClusterN(mode, replicas, c.ChainBatchOps)
+}
+
+// newClusterN is newCluster with explicit chain length and batch size (the
+// scaling sweep varies both).
+func (c Config) newClusterN(mode chainpkg.Mode, replicas, batchOps int) (*chainpkg.Cluster, error) {
 	keys := c.chainKeys()
 	cl, err := chainpkg.New(chainpkg.Options{
-		Mode:       mode,
-		Replicas:   replicas,
-		HeapSize:   keys*(c.ValueSize+256)*2 + (32 << 20),
-		Alpha:      0.5,
-		HopLatency: chainHopLatency,
-		Trace:      c.Trace,
+		Mode:         mode,
+		Replicas:     replicas,
+		HeapSize:     keys*(c.ValueSize+256)*2 + (32 << 20),
+		Alpha:        0.5,
+		HopLatency:   chainHopLatency,
+		FlushLatency: c.FlushLatency,
+		FenceLatency: c.FenceLatency,
+		BatchOps:     batchOps,
+		BatchBytes:   c.ChainBatchBytes,
+		BatchDelay:   c.ChainBatchDelay,
+		GroupCommit:  c.ChainGroupCommit,
+		Trace:        c.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -186,6 +199,154 @@ func Fig18(cfg Config) error {
 		}
 		fmt.Fprintf(cfg.Out, "YCSB-%c   %14.2f %14.2f %9.2fx\n",
 			w, ka.OpsPerSec/1000, tr.OpsPerSec/1000, ka.OpsPerSec/tr.OpsPerSec)
+	}
+	cfg.printBreakdown()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Chain scaling: batch size × chain length
+
+// chainPersistTotals sums the cumulative device fence and flush counts over
+// every registry the cluster exposes — each replica's engine regions plus
+// its input/in-flight queue regions. The delta across a run, divided by the
+// ops completed, is the per-operation persist cost batching exists to
+// amortize.
+func chainPersistTotals(cl *chainpkg.Cluster) (fences, flushes uint64) {
+	for _, r := range cl.Obs() {
+		s := r.Snapshot()
+		for name, v := range s.Gauges {
+			switch {
+			case strings.HasSuffix(name, ".fences"):
+				fences += v
+			case strings.HasSuffix(name, ".flushes"):
+				flushes += v
+			}
+		}
+	}
+	return fences, flushes
+}
+
+// chainScaleRun drives a put-only load from `clients` concurrent clients
+// against a Kamino-Tx-Chain of the given length and batch size, returning
+// throughput and the per-op device persist costs of the measured window.
+func (c Config) chainScaleRun(replicas, batchOps, clients int) (r Result, fencesPerOp, flushesPerOp float64, err error) {
+	cl, err := c.newClusterN(chainpkg.ModeKamino, replicas, batchOps)
+	if err != nil {
+		return Result{}, 0, 0, err
+	}
+	defer cl.Close()
+	c.observeChain(cl)
+	keys := uint64(c.chainKeys())
+	ops := c.chainOps()
+
+	// drive runs one concurrent put phase; ofs keeps the phases' key
+	// sequences distinct. Keys spread over the key space so admission-
+	// control conflicts stay rare and batching is the bottleneck under
+	// test.
+	var col stats.Collector
+	drive := func(n int, ofs uint64, record bool) error {
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients)
+		for th := 0; th < clients; th++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				// Staggered starts keep the clients from marching in
+				// lockstep (submit together, ack together), which starves
+				// the batcher of arrivals for whole round trips at a time.
+				time.Sleep(time.Duration(seed%64) * 37 * time.Microsecond)
+				var hist stats.Histogram
+				val := make([]byte, c.ValueSize)
+				for i := 0; i < n; i++ {
+					key := (seed*2654435761 + (ofs+uint64(i))*40503) % keys
+					workload.Value(key+seed, val)
+					t0 := time.Now()
+					if err := cl.Put(key, val); err != nil {
+						errCh <- fmt.Errorf("chainscale put key %d: %w", key, err)
+						return
+					}
+					if record {
+						hist.Record(time.Since(t0))
+					}
+				}
+				if record {
+					col.Report(&hist, uint64(n))
+				}
+			}(uint64(th + 1))
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			return err
+		}
+		return nil
+	}
+
+	// An unmeasured warmup phase keeps cold-start effects (first-touch
+	// faults, the preload's backup applier backlog) out of the measured
+	// window; the persist totals and the clock are sampled between phases.
+	warmup := ops / 5
+	if warmup < 10 {
+		warmup = 10
+	}
+	if err := drive(warmup, 1<<32, false); err != nil {
+		return Result{}, 0, 0, err
+	}
+	f0, fl0 := chainPersistTotals(cl)
+	start := time.Now()
+	if err := drive(ops, 0, true); err != nil {
+		return Result{}, 0, 0, err
+	}
+	elapsed := time.Since(start).Seconds()
+	if cerr := cl.Err(); cerr != nil {
+		return Result{}, 0, 0, cerr
+	}
+	f1, fl1 := chainPersistTotals(cl)
+	c.collectChain(cl)
+	h := col.Histogram()
+	total := float64(col.Ops())
+	return Result{OpsPerSec: total / elapsed, Mean: h.Mean(), P99: h.Percentile(99)},
+		float64(f1-f0) / total, float64(fl1-fl0) / total, nil
+}
+
+// ChainScaling sweeps hop batch size against chain length for Kamino-Tx-
+// Chain under a concurrent put-only load. Expected shape: throughput climbs
+// steeply from batch 1 (every op pays the full per-hop message and
+// queue-persist cost) and saturates once the hop latency is amortized —
+// ≥2x by batch 16 — while device fences per op fall toward the floor set by
+// each replica's own commit path; longer chains shift the whole curve down
+// but batch just as well.
+func ChainScaling(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	if cfg.ChainBatchDelay == 0 {
+		// Batching needs somewhere to accumulate: with zero delay the head
+		// seals each batch as soon as the submit channel runs dry, and at
+		// these client counts that means batches of one or two. A few
+		// hundred microseconds — well under one chain round trip — lets
+		// batches actually fill. -batch-delay overrides.
+		cfg.ChainBatchDelay = 300 * time.Microsecond
+	}
+	header(cfg.Out, "Chain scaling: batch size vs chain length, Kamino-Tx-Chain, put-only",
+		"expected shape: >=2x throughput by batch 16; persists per op drop with batch size")
+	lengths := []int{3, 5}
+	batches := []int{1, 4, 16, 64}
+	const clients = 96
+	fmt.Fprintf(cfg.Out, "%-9s %6s %12s %9s %12s %12s %12s\n",
+		"replicas", "batch", "kops/s", "speedup", "mean (µs)", "fences/op", "flushes/op")
+	for _, n := range lengths {
+		var base float64
+		for _, b := range batches {
+			r, fpo, flpo, err := cfg.chainScaleRun(n, b, clients)
+			if err != nil {
+				return err
+			}
+			if b == 1 {
+				base = r.OpsPerSec
+			}
+			fmt.Fprintf(cfg.Out, "%-9d %6d %12.1f %8.2fx %12.1f %12.1f %12.1f\n",
+				n, b, r.OpsPerSec/1000, r.OpsPerSec/base, us(r.Mean), fpo, flpo)
+		}
 	}
 	cfg.printBreakdown()
 	return nil

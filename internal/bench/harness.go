@@ -41,6 +41,17 @@ type Config struct {
 	// would only be larger" (§7).
 	FlushLatency time.Duration
 	FenceLatency time.Duration
+	// ChainBatchOps / ChainBatchBytes / ChainBatchDelay configure chain
+	// hop batching for the chain experiments (kaminobench -batch-ops,
+	// -batch-bytes, -batch-delay). Zero keeps the unbatched per-op
+	// protocol. ChainScaling sweeps batch sizes itself and ignores
+	// ChainBatchOps.
+	ChainBatchOps   int
+	ChainBatchBytes int
+	ChainBatchDelay time.Duration
+	// ChainGroupCommit enables intent-log group commit inside every chain
+	// replica's local engine (kaminobench -group-commit).
+	ChainGroupCommit bool
 	// Out receives the report. Required.
 	Out io.Writer
 	// Metrics, if set, receives the live observability registry of every

@@ -94,6 +94,7 @@ func (r *Replica) promoteToHead() error {
 			r.lockedBy[k] = struct{}{}
 		}
 		r.seqLocks[rec.Seq] = keys
+		r.seqTrace[rec.Seq] = rec.Trace
 	}
 	if r.nextSeq < maxSeq {
 		r.nextSeq = maxSeq
@@ -112,12 +113,10 @@ func (r *Replica) promoteToHead() error {
 	} else {
 		// Single-node chain: everything in flight is trivially
 		// complete.
-		for _, rec := range recs {
-			r.releaseLocks(rec.Seq)
-		}
 		if err := r.getInflight().DropThrough(maxSeq); err != nil {
 			return err
 		}
+		r.completeThrough(maxSeq)
 	}
 	return nil
 }
@@ -170,6 +169,44 @@ func (r *Replica) resendInflight(v membership.View, succ transport.NodeID) {
 // input queue; re-execution is safe because replicated operations are
 // idempotent.
 func (r *Replica) Reboot() error {
+	return r.reboot(func() error {
+		if err := r.pool.Crash(); err != nil {
+			return err
+		}
+		if err := r.inputReg.Crash(); err != nil {
+			return err
+		}
+		return r.inflightReg.Crash()
+	})
+}
+
+// RebootPartial is Reboot with the weaker nvm loss model: each
+// flushed-but-unfenced cache line independently survives or is lost,
+// decided deterministically from seed (see Pool.CrashPartial). It
+// exercises recovery from the torn states a fence would have excluded —
+// e.g. a queue batch whose records persisted but whose header did not.
+func (r *Replica) RebootPartial(seed int64) error {
+	keep := func(line int) bool {
+		h := uint64(seed)*0x9E3779B97F4A7C15 + uint64(line)
+		h ^= h >> 31
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+		return h&1 == 0
+	}
+	return r.reboot(func() error {
+		if err := r.pool.CrashPartial(seed); err != nil {
+			return err
+		}
+		if err := r.inputReg.CrashPartial(keep); err != nil {
+			return err
+		}
+		return r.inflightReg.CrashPartial(keep)
+	})
+}
+
+// reboot runs the quick-reboot protocol around the given power-failure
+// model, which must crash the pool and both queue regions.
+func (r *Replica) reboot(crash func() error) error {
 	if !r.cfg.Strict {
 		return errors.New("chain: Reboot requires Strict replicas")
 	}
@@ -184,13 +221,7 @@ func (r *Replica) Reboot() error {
 	// Power failure: heap/log regions and both queues lose volatile
 	// state. Pool.Crash also reopens the engine, which for in-place
 	// replicas surfaces pending transactions.
-	if err := r.pool.Crash(); err != nil {
-		return err
-	}
-	if err := r.inputReg.Crash(); err != nil {
-		return err
-	}
-	if err := r.inflightReg.Crash(); err != nil {
+	if err := crash(); err != nil {
 		return err
 	}
 	inputQ, err := pqueue.Attach(r.inputReg)

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kaminotx/internal/heap"
 	"kaminotx/internal/membership"
@@ -44,8 +45,33 @@ type Config struct {
 	// LogSlots / LogEntriesPerSlot size each replica's intent log.
 	LogSlots          int
 	LogEntriesPerSlot int
+	// FlushLatency / FenceLatency model the persist costs of the simulated
+	// NVM backing each replica's pool AND its protocol queues (the same
+	// knobs kamino.Options exposes for standalone pools). Zero means free
+	// persists, which hides exactly the cost hop batching amortizes.
+	FlushLatency time.Duration
+	FenceLatency time.Duration
 	// Strict enables crash simulation (required by Reboot).
 	Strict bool
+
+	// BatchOps caps how many operations one chain hop coalesces into a
+	// single message and a single persistent-queue append (one flush+fence
+	// epoch per batch instead of per op). 1 disables batching — every op
+	// travels in its own KindOp message, exactly the unbatched protocol.
+	// Default 1.
+	BatchOps int
+	// BatchBytes caps a batch's payload bytes. A batch closes when it
+	// reaches BatchOps operations or BatchBytes argument bytes, whichever
+	// comes first. Default 256 KiB.
+	BatchBytes int
+	// BatchDelay is how long the head waits for more submissions after the
+	// first before sealing a batch. Zero (the default) never waits: a
+	// batch is whatever has already queued, so an unloaded chain keeps
+	// per-op latency. Only meaningful with BatchOps > 1.
+	BatchDelay time.Duration
+	// GroupCommit enables intent-log group commit inside each replica's
+	// local engine (see kamino.Options.GroupCommit).
+	GroupCommit bool
 
 	Registry  *Registry
 	Transport transport.Transport
@@ -79,7 +105,16 @@ func (c Config) withDefaults() Config {
 		c.LogSlots = 128
 	}
 	if c.LogEntriesPerSlot == 0 {
-		c.LogEntriesPerSlot = 64
+		// Sized so a full hop batch (BatchOps operations, each touching a
+		// handful of objects) usually executes as ONE local transaction;
+		// oversized batches fall back to splitting (see executeBatch).
+		c.LogEntriesPerSlot = 512
+	}
+	if c.BatchOps <= 0 {
+		c.BatchOps = 1
+	}
+	if c.BatchBytes <= 0 {
+		c.BatchBytes = 256 << 10
 	}
 	return c
 }
@@ -105,6 +140,9 @@ type Replica struct {
 	cDedup     *obs.Counter // duplicate deliveries dropped
 	cFetches   *obs.Counter // recovery fetches served to neighbours
 	cResends   *obs.Counter // in-flight re-forwards after view changes
+	cBatches   *obs.Counter // downstream sends (batched or not)
+	cBatchOps  *obs.Counter // ops inside those sends; /batches = mean batch size
+	cSplits    *obs.Counter // combined batch transactions that failed and split
 
 	tr        *trace.Tracer // chain protocol events; nil when untraced
 	traceBase uint64        // high bits of head-minted trace ids
@@ -115,20 +153,30 @@ type Replica struct {
 	lastExec uint64
 	promoted bool // head engine active (initial head or promoted later)
 
-	notify chan struct{}
-	stopMu sync.Mutex
-	stop   chan struct{}
-	wg     sync.WaitGroup
+	notify   chan struct{}
+	submitCh chan *submitReq // head: admitted submissions awaiting a batch
+	stopMu   sync.Mutex
+	stop     chan struct{}
+	wg       sync.WaitGroup
 
 	// Head state.
 	headMu   sync.Mutex
-	execMu   sync.Mutex // serializes execute+forward so chain order == head order
 	nextSeq  uint64
 	lockCond *sync.Cond
 	lockedBy map[uint64]struct{}   // held abstract lock keys
 	seqLocks map[uint64][]uint64   // in-flight seq -> its lock keys
 	waiters  map[uint64]chan error // seq -> client completion
+	seqTrace map[uint64]uint64     // in-flight seq -> its trace id
 	execErr  error                 // fatal replica error
+}
+
+// submitReq is one admitted client operation waiting for the head batcher.
+type submitReq struct {
+	name string
+	args []byte
+	fn   WriteFunc
+	keys []uint64
+	done chan error
 }
 
 // NewReplica builds one replica and registers its transport handler. The
@@ -167,7 +215,10 @@ func NewReplica(id transport.NodeID, cfg Config) (*Replica, error) {
 		Alpha:             cfg.Alpha,
 		LogSlots:          cfg.LogSlots,
 		LogEntriesPerSlot: cfg.LogEntriesPerSlot,
+		FlushLatency:      cfg.FlushLatency,
+		FenceLatency:      cfg.FenceLatency,
 		Strict:            cfg.Strict,
+		GroupCommit:       cfg.GroupCommit,
 		Trace:             cfg.Trace,
 	})
 	if err != nil {
@@ -178,7 +229,13 @@ func NewReplica(id transport.NodeID, cfg Config) (*Replica, error) {
 			return nil, err
 		}
 	}
-	ropts := nvm.Options{Mode: nvm.ModeFast}
+	ropts := nvm.Options{
+		Mode: nvm.ModeFast,
+		Latency: nvm.LatencyModel{
+			FlushPerLine: cfg.FlushLatency,
+			Fence:        cfg.FenceLatency,
+		},
+	}
 	if cfg.Strict {
 		ropts.Mode = nvm.ModeStrict
 	}
@@ -218,14 +275,22 @@ func NewReplica(id transport.NodeID, cfg Config) (*Replica, error) {
 		cDedup:      o.Counter("dedup_dropped"),
 		cFetches:    o.Counter("fetches_served"),
 		cResends:    o.Counter("resends"),
+		cBatches:    o.Counter("batches"),
+		cBatchOps:   o.Counter("batch_ops"),
+		cSplits:     o.Counter("batch_splits"),
 		view:        view,
 		promoted:    isHead,
 		notify:      make(chan struct{}, 1),
-		stop:        make(chan struct{}),
+		submitCh:    make(chan *submitReq, 1024),
 		lockedBy:    make(map[uint64]struct{}),
 		seqLocks:    make(map[uint64][]uint64),
 		waiters:     make(map[uint64]chan error),
+		seqTrace:    make(map[uint64]uint64),
 	}
+	// The queue regions' device counters surface the persist cost of the
+	// chain protocol itself (batching exists to shrink these).
+	inputReg.ExportObs(o, "nvm.inputq")
+	inflightReg.ExportObs(o, "nvm.inflightq")
 	if cfg.Trace != nil {
 		r.tr = cfg.Trace.Tracer("chain/" + string(id))
 		r.traceBase = fnv64a(string(id)) &^ 0xFFFFFFFF
@@ -235,8 +300,7 @@ func NewReplica(id transport.NodeID, cfg Config) (*Replica, error) {
 		return nil, err
 	}
 	cfg.Manager.Watch(r.onViewChange)
-	r.wg.Add(1)
-	go r.executor()
+	r.startExecutor()
 	return r, nil
 }
 
@@ -282,7 +346,7 @@ func (r *Replica) getInflight() *pqueue.Queue {
 	return r.inflightQ
 }
 
-// stopExecutor halts the executor goroutine; startExecutor restarts it.
+// stopExecutor halts the pipeline goroutines; startExecutor restarts them.
 func (r *Replica) stopExecutor() {
 	r.stopMu.Lock()
 	select {
@@ -294,18 +358,21 @@ func (r *Replica) stopExecutor() {
 	r.wg.Wait()
 }
 
+// startExecutor spawns one pipeline incarnation: the executor applies input
+// records and hands them to the forwarder, which batches them downstream,
+// while the batcher coalesces head submissions. The stop channel and the
+// executor→forwarder channel are per-incarnation so a Reboot never mixes
+// records from the pre-crash queues into the new pipeline.
 func (r *Replica) startExecutor() {
 	r.stopMu.Lock()
 	r.stop = make(chan struct{})
+	stop := r.stop
 	r.stopMu.Unlock()
-	r.wg.Add(1)
-	go r.executor()
-}
-
-func (r *Replica) stopped() <-chan struct{} {
-	r.stopMu.Lock()
-	defer r.stopMu.Unlock()
-	return r.stop
+	fwd := make(chan pqueue.Record, 1024)
+	r.wg.Add(3)
+	go r.executor(stop, fwd)
+	go r.forwarder(stop, fwd)
+	go r.batcher(stop)
 }
 
 func (r *Replica) currentView() membership.View {
@@ -371,61 +438,233 @@ func (r *Replica) Submit(name string, args []byte) error {
 	// acknowledgment releases them.
 	r.admit(keys)
 
-	// Execute locally and forward under execMu so that downstream
-	// execution order equals head execution order. The sequence number
-	// is assigned here, so numbers are monotone in forwarding order and
-	// replicas can deduplicate resends by their highest seen sequence.
-	r.execMu.Lock()
-	err = r.pool.Update(func(tx *kamino.Tx) error { return fn(tx, r.pool, args) })
+	// Hand off to the batcher, which executes, assigns the sequence
+	// number, and forwards — possibly coalesced with concurrent
+	// submissions into one downstream message and one in-flight-queue
+	// persist. The batcher is single-threaded, so downstream execution
+	// order equals head execution order.
+	req := &submitReq{name: name, args: args, fn: fn, keys: keys, done: make(chan error, 1)}
+	r.submitCh <- req
+	return <-req.done
+}
+
+// batcher is the head's submission loop: it drains admitted submissions
+// into batches bounded by BatchOps/BatchBytes (waiting up to BatchDelay for
+// company after the first) and processes each batch as one unit. Non-head
+// replicas run it too, but their submitCh never fills.
+func (r *Replica) batcher(stop chan struct{}) {
+	defer r.wg.Done()
+	for {
+		var first *submitReq
+		select {
+		case <-stop:
+			return
+		case first = <-r.submitCh:
+		}
+		batch := append(make([]*submitReq, 0, r.cfg.BatchOps), first)
+		bytes := len(first.args)
+		var timeout <-chan time.Time
+		var timer *time.Timer
+		if r.cfg.BatchDelay > 0 && r.cfg.BatchOps > 1 {
+			timer = time.NewTimer(r.cfg.BatchDelay)
+			timeout = timer.C
+		}
+	gather:
+		for len(batch) < r.cfg.BatchOps && bytes < r.cfg.BatchBytes {
+			if timeout == nil {
+				select {
+				case req := <-r.submitCh:
+					batch = append(batch, req)
+					bytes += len(req.args)
+				default:
+					break gather
+				}
+			} else {
+				select {
+				case req := <-r.submitCh:
+					batch = append(batch, req)
+					bytes += len(req.args)
+				case <-timeout:
+					break gather
+				case <-stop:
+					break gather
+				}
+			}
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+		// Process even when stopping: these clients were admitted and
+		// must get an answer (the stop path re-checks at the top).
+		r.processBatch(batch)
+	}
+}
+
+// applyReqs executes admitted submissions against the local pool, all in one
+// transaction when possible: one intent-log slot, one commit persist, one
+// backup reconciliation for the whole batch. Admission control guarantees
+// batch members touch disjoint lock keys, so combining them changes no
+// outcome. If the combined transaction fails — one operation aborts, or the
+// write set overflows a log slot — the batch splits in half and retries,
+// converging to per-operation execution and per-operation errors.
+func (r *Replica) applyReqs(reqs []*submitReq, failed map[*submitReq]error) {
+	if len(reqs) == 1 {
+		req := reqs[0]
+		if err := r.pool.Update(func(tx *kamino.Tx) error { return req.fn(tx, r.pool, req.args) }); err != nil {
+			failed[req] = err
+		}
+		return
+	}
+	err := r.pool.Update(func(tx *kamino.Tx) error {
+		for _, req := range reqs {
+			if err := req.fn(tx, r.pool, req.args); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 	if err != nil {
-		// Aborted at the head: never admitted downstream (Figure 8
-		// abort case), and no sequence number is consumed.
-		r.execMu.Unlock()
-		r.releaseKeys(keys)
-		return err
+		r.cSplits.Add(1)
+		mid := len(reqs) / 2
+		r.applyReqs(reqs[:mid], failed)
+		r.applyReqs(reqs[mid:], failed)
 	}
-	done := make(chan error, 1)
-	r.headMu.Lock()
-	r.nextSeq++
-	seq := r.nextSeq
-	r.seqLocks[seq] = keys
-	r.waiters[seq] = done
-	r.headMu.Unlock()
-	r.mu.Lock()
-	r.lastExec = seq
-	r.mu.Unlock()
-	r.cSubmits.Add(1)
-	var traceID uint64
-	if r.tr != nil {
-		traceID = r.traceBase | r.traceCtr.Add(1)
+}
+
+// processBatch executes a batch of admitted submissions in order, persists
+// the survivors to the in-flight queue under one flush+fence epoch, and
+// forwards them downstream as one message. Aborted operations (Figure 8)
+// are answered immediately and consume no sequence number.
+func (r *Replica) processBatch(reqs []*submitReq) {
+	view := r.currentView()
+	recs := make([]pqueue.Record, 0, len(reqs))
+	accepted := make([]*submitReq, 0, len(reqs))
+	failed := make(map[*submitReq]error)
+	r.applyReqs(reqs, failed)
+	for _, req := range reqs {
+		if err, ok := failed[req]; ok {
+			// Aborted at the head: never admitted downstream.
+			r.releaseKeys(req.keys)
+			req.done <- err
+			continue
+		}
+		var traceID uint64
+		if r.tr != nil {
+			traceID = r.traceBase | r.traceCtr.Add(1)
+		}
+		r.headMu.Lock()
+		r.nextSeq++
+		seq := r.nextSeq
+		r.seqLocks[seq] = req.keys
+		r.waiters[seq] = req.done
+		r.seqTrace[seq] = traceID
+		r.headMu.Unlock()
+		r.mu.Lock()
+		r.lastExec = seq
+		r.mu.Unlock()
+		r.cSubmits.Add(1)
 		r.tr.ChainApply(traceID, seq)
+		recs = append(recs, pqueue.Record{Seq: seq, Trace: traceID, Name: req.name, Args: req.args})
+		accepted = append(accepted, req)
 	}
-	rec := pqueue.Record{Seq: seq, Trace: traceID, Name: name, Args: args}
+	if len(recs) == 0 {
+		return
+	}
+	last := recs[len(recs)-1].Seq
 	if len(view.Members) == 1 {
 		// Degenerate single-node chain: complete immediately.
-		r.execMu.Unlock()
-		r.releaseLocks(seq)
-		r.dropWaiter(seq)
-		return nil
+		r.completeThrough(last)
+		return
 	}
-	if err := r.getInflight().Enqueue(rec); err != nil {
-		r.execMu.Unlock()
-		r.releaseLocks(seq)
-		r.dropWaiter(seq)
-		return err
+	if err := r.getInflight().AppendBatch(recs); err != nil {
+		r.headMu.Lock()
+		for _, rec := range recs {
+			for _, k := range r.seqLocks[rec.Seq] {
+				delete(r.lockedBy, k)
+			}
+			delete(r.seqLocks, rec.Seq)
+			delete(r.waiters, rec.Seq)
+			delete(r.seqTrace, rec.Seq)
+		}
+		r.lockCond.Broadcast()
+		r.headMu.Unlock()
+		for _, req := range accepted {
+			req.done <- err
+		}
+		return
 	}
 	succ, _ := view.Successor(r.id)
 	// A failed send means the successor just died; repair resends from
 	// the in-flight queue, so the error is intentionally dropped and the
-	// client keeps waiting for the tail acknowledgment.
-	_ = r.cfg.Transport.Send(succ, &transport.Message{
-		Kind: transport.KindOp, From: r.id, ViewID: view.ID,
-		Seq: seq, Name: name, Args: args, Trace: traceID,
+	// clients keep waiting for the tail acknowledgment.
+	r.sendBatch(view, succ, recs)
+	for _, rec := range recs {
+		r.tr.ChainForward(rec.Trace, rec.Seq)
+	}
+	r.cForwarded.Add(uint64(len(recs)))
+}
+
+// sendBatch ships recs to one chain neighbour: a lone record travels as a
+// plain KindOp (the unbatched wire protocol), more as one KindOpBatch.
+func (r *Replica) sendBatch(view membership.View, to transport.NodeID, recs []pqueue.Record) {
+	r.cBatches.Add(1)
+	r.cBatchOps.Add(uint64(len(recs)))
+	if len(recs) == 1 {
+		rec := recs[0]
+		_ = r.cfg.Transport.Send(to, &transport.Message{
+			Kind: transport.KindOp, From: r.id, ViewID: view.ID,
+			Seq: rec.Seq, Name: rec.Name, Args: rec.Args, Trace: rec.Trace,
+		})
+		return
+	}
+	batch := make([]transport.BatchedOp, len(recs))
+	for i, rec := range recs {
+		batch[i] = transport.BatchedOp{Seq: rec.Seq, Trace: rec.Trace, Name: rec.Name, Args: rec.Args}
+	}
+	lastRec := recs[len(recs)-1]
+	_ = r.cfg.Transport.Send(to, &transport.Message{
+		Kind: transport.KindOpBatch, From: r.id, ViewID: view.ID,
+		Seq: lastRec.Seq, Trace: lastRec.Trace, Batch: batch,
 	})
-	r.tr.ChainForward(traceID, seq)
-	r.cForwarded.Add(1)
-	r.execMu.Unlock()
-	return <-done
+	r.tr.ChainBatch(lastRec.Seq, len(recs))
+}
+
+// completeThrough finishes every in-flight transaction with seq <= ackSeq:
+// admission locks release, clients unblock, and the head emits one ack
+// trace event per transaction (tail acks cover a whole prefix, so a single
+// message may complete many).
+func (r *Replica) completeThrough(ackSeq uint64) {
+	type completion struct {
+		seq   uint64
+		trace uint64
+		ch    chan error
+	}
+	var dones []completion
+	r.headMu.Lock()
+	for seq, ch := range r.waiters {
+		if seq <= ackSeq {
+			dones = append(dones, completion{seq, r.seqTrace[seq], ch})
+			delete(r.waiters, seq)
+			delete(r.seqTrace, seq)
+		}
+	}
+	// Locks release for every covered seq, waiter or not (a promoted head
+	// holds lock entries for re-driven transactions with no client).
+	for seq, keys := range r.seqLocks {
+		if seq <= ackSeq {
+			for _, k := range keys {
+				delete(r.lockedBy, k)
+			}
+			delete(r.seqLocks, seq)
+		}
+	}
+	r.lockCond.Broadcast()
+	r.headMu.Unlock()
+	sort.Slice(dones, func(i, j int) bool { return dones[i].seq < dones[j].seq })
+	for _, d := range dones {
+		r.tr.ChainAck(d.trace, d.seq)
+		d.ch <- nil
+	}
 }
 
 // Read executes a registered read operation at the tail and returns its
@@ -488,29 +727,6 @@ func (r *Replica) releaseKeys(keys []uint64) {
 	r.headMu.Unlock()
 }
 
-// releaseLocks frees the admission locks of an in-flight transaction.
-func (r *Replica) releaseLocks(seq uint64) {
-	r.headMu.Lock()
-	for _, k := range r.seqLocks[seq] {
-		delete(r.lockedBy, k)
-	}
-	delete(r.seqLocks, seq)
-	r.lockCond.Broadcast()
-	r.headMu.Unlock()
-}
-
-func (r *Replica) dropWaiter(seq uint64) {
-	r.headMu.Lock()
-	if ch := r.waiters[seq]; ch != nil {
-		select {
-		case ch <- nil:
-		default:
-		}
-		delete(r.waiters, seq)
-	}
-	r.headMu.Unlock()
-}
-
 // ---------------------------------------------------------------------------
 // Message handling
 
@@ -522,7 +738,7 @@ func (r *Replica) handle(msg *transport.Message) *transport.Message {
 	// receivers deduplicate by sequence number. Recovery fetches and
 	// tail reads carry no chain-ordering obligations.
 	switch msg.Kind {
-	case transport.KindOp, transport.KindTailAck, transport.KindCleanup:
+	case transport.KindOp, transport.KindOpBatch, transport.KindTailAck, transport.KindCleanup:
 		if msg.From != "" && r.currentView().Index(msg.From) < 0 {
 			return nil
 		}
@@ -538,22 +754,37 @@ func (r *Replica) handle(msg *transport.Message) *transport.Message {
 			return nil
 		}
 		r.kick()
+	case transport.KindOpBatch:
+		// One durable input-queue append (one flush+fence epoch) for the
+		// whole batch. Ops are in chain order, so filtering duplicates by
+		// the highest seen sequence keeps the remainder contiguous.
+		in := r.getInput()
+		last := in.LastSeq()
+		recs := make([]pqueue.Record, 0, len(msg.Batch))
+		for _, op := range msg.Batch {
+			if op.Seq <= last {
+				r.cDedup.Add(1)
+				continue
+			}
+			recs = append(recs, pqueue.Record{Seq: op.Seq, Trace: op.Trace, Name: op.Name, Args: op.Args})
+		}
+		if len(recs) == 0 {
+			return nil
+		}
+		if err := in.AppendBatch(recs); err != nil {
+			r.fatal(err)
+			return nil
+		}
+		r.kick()
 	case transport.KindTailAck:
-		// Head: the transaction is complete; release the client and
-		// the admission locks, and clean the in-flight entry.
+		// Head: every transaction up to msg.Seq is complete; release the
+		// clients and the admission locks, and clean the in-flight
+		// prefix (tail acks cover batches, so this is a range).
 		r.cAcksRecv.Add(1)
-		r.tr.ChainAck(msg.Trace, msg.Seq)
 		if err := r.getInflight().DropThrough(msg.Seq); err != nil {
 			r.fatal(err)
 		}
-		r.headMu.Lock()
-		ch := r.waiters[msg.Seq]
-		delete(r.waiters, msg.Seq)
-		r.headMu.Unlock()
-		r.releaseLocks(msg.Seq)
-		if ch != nil {
-			ch <- nil
-		}
+		r.completeThrough(msg.Seq)
 	case transport.KindCleanup:
 		r.cCleanups.Add(1)
 		if err := r.getInflight().DropThrough(msg.Seq); err != nil {
@@ -601,82 +832,205 @@ func (r *Replica) serveFetch(msg *transport.Message) *transport.Message {
 }
 
 // ---------------------------------------------------------------------------
-// Executor (non-head replicas; the head executes in Submit)
+// Pipeline (non-head replicas; the head executes in the batcher)
+//
+// The executor applies input-queue records and streams them to the
+// forwarder over a channel, so this replica can execute record k+1 while
+// its downstream work for record k (persist, send) is still in progress.
+// Records stay in the durable input queue until the forwarder has made
+// them durable downstream: a crash anywhere re-executes the suffix, which
+// is safe because replicated operations are idempotent.
 
-func (r *Replica) executor() {
+func (r *Replica) executor(stop chan struct{}, fwd chan pqueue.Record) {
 	defer r.wg.Done()
+	cur := r.getInput().Cursor()
 	for {
 		select {
-		case <-r.stopped():
+		case <-stop:
 			return
 		case <-r.notify:
 		}
 		for {
 			select {
-			case <-r.stopped():
+			case <-stop:
 				return
 			default:
 			}
-			rec, err := r.getInput().Peek()
-			if errors.Is(err, pqueue.ErrEmpty) {
+			// Drain whatever is ready, up to one batch, and apply it as
+			// one local transaction (see executeBatch).
+			batch := make([]pqueue.Record, 0, r.cfg.BatchOps)
+			bytes := 0
+			for len(batch) < r.cfg.BatchOps && bytes < r.cfg.BatchBytes {
+				rec, err := cur.Next()
+				if errors.Is(err, pqueue.ErrEmpty) {
+					break
+				}
+				if err != nil {
+					r.fatal(err)
+					return
+				}
+				batch = append(batch, rec)
+				bytes += len(rec.Args)
+			}
+			if len(batch) == 0 {
 				break
 			}
-			if err != nil {
+			if err := r.executeBatch(batch); err != nil {
 				r.fatal(err)
 				return
 			}
-			if err := r.apply(rec); err != nil {
-				r.fatal(fmt.Errorf("chain: applying seq %d (%s): %w", rec.Seq, rec.Name, err))
-				return
-			}
-			if _, err := r.getInput().Dequeue(); err != nil {
-				r.fatal(err)
-				return
+			for _, rec := range batch {
+				select {
+				case fwd <- rec:
+				case <-stop:
+					return
+				}
 			}
 		}
 	}
 }
 
-// apply executes one replicated operation locally and moves it along the
-// chain.
-func (r *Replica) apply(rec pqueue.Record) error {
+// execute applies one replicated operation to the local pool.
+func (r *Replica) execute(rec pqueue.Record) error {
 	fn, _, err := r.cfg.Registry.write(rec.Name)
 	if err != nil {
 		return err
 	}
 	if err := r.pool.Update(func(tx *kamino.Tx) error { return fn(tx, r.pool, rec.Args) }); err != nil {
-		return err
+		return fmt.Errorf("chain: applying seq %d (%s): %w", rec.Seq, rec.Name, err)
 	}
 	r.cApplied.Add(1)
 	r.tr.ChainApply(rec.Trace, rec.Seq)
 	r.mu.Lock()
 	r.lastExec = rec.Seq
-	view := r.view
 	r.mu.Unlock()
+	return nil
+}
 
-	if succ, ok := view.Successor(r.id); ok {
-		// Middle: forward downstream and remember in flight.
-		if err := r.getInflight().Enqueue(rec); err != nil {
+// executeBatch applies a batch of replicated operations as one local
+// transaction: one intent-log slot, one commit persist for the whole batch.
+// The head admits only key-disjoint operations into flight, so combining
+// them is outcome-equivalent to applying them one by one; a crash mid-batch
+// rolls the whole transaction back (or recovery resolves it), and the
+// records — still in the durable input queue — re-execute on reboot. If the
+// combined transaction fails (one operation aborts, or the write set
+// overflows a log slot), the batch splits in half and retries, converging to
+// per-operation execution.
+func (r *Replica) executeBatch(recs []pqueue.Record) error {
+	if len(recs) == 1 {
+		return r.execute(recs[0])
+	}
+	fns := make([]WriteFunc, len(recs))
+	for i, rec := range recs {
+		fn, _, err := r.cfg.Registry.write(rec.Name)
+		if err != nil {
+			return fmt.Errorf("chain: applying seq %d (%s): %w", rec.Seq, rec.Name, err)
+		}
+		fns[i] = fn
+	}
+	err := r.pool.Update(func(tx *kamino.Tx) error {
+		for i, rec := range recs {
+			if err := fns[i](tx, r.pool, rec.Args); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		r.cSplits.Add(1)
+		mid := len(recs) / 2
+		if err := r.executeBatch(recs[:mid]); err != nil {
 			return err
 		}
-		_ = r.cfg.Transport.Send(succ, &transport.Message{
-			Kind: transport.KindOp, From: r.id, ViewID: view.ID,
-			Seq: rec.Seq, Name: rec.Name, Args: rec.Args, Trace: rec.Trace,
-		})
-		r.tr.ChainForward(rec.Trace, rec.Seq)
-		r.cForwarded.Add(1)
-		return nil
+		return r.executeBatch(recs[mid:])
 	}
-	// Tail: acknowledge to the head and start clean-up upstream.
+	r.cApplied.Add(uint64(len(recs)))
+	for _, rec := range recs {
+		r.tr.ChainApply(rec.Trace, rec.Seq)
+	}
+	r.mu.Lock()
+	r.lastExec = recs[len(recs)-1].Seq
+	r.mu.Unlock()
+	return nil
+}
+
+// forwarder drains executed records and moves them along the chain in
+// batches: whatever the executor has finished by the time the previous
+// batch's persist+send completes travels together.
+func (r *Replica) forwarder(stop chan struct{}, fwd chan pqueue.Record) {
+	defer r.wg.Done()
+	for {
+		var first pqueue.Record
+		select {
+		case <-stop:
+			return
+		case first = <-fwd:
+		}
+		batch := append(make([]pqueue.Record, 0, r.cfg.BatchOps), first)
+		bytes := len(first.Args)
+	gather:
+		for len(batch) < r.cfg.BatchOps && bytes < r.cfg.BatchBytes {
+			select {
+			case rec := <-fwd:
+				batch = append(batch, rec)
+				bytes += len(rec.Args)
+			default:
+				break gather
+			}
+		}
+		if err := r.forwardBatch(batch); err != nil {
+			r.fatal(err)
+			return
+		}
+	}
+}
+
+// forwardBatch moves one batch of executed records downstream. Middles
+// persist the batch to the in-flight queue (one flush+fence epoch), send it
+// to the successor, and only then retire it from the input queue; the tail
+// acknowledges the whole prefix to the head before retiring, so a crash can
+// only re-execute and re-ack, never strand a client.
+func (r *Replica) forwardBatch(recs []pqueue.Record) error {
+	view := r.currentView()
+	last := recs[len(recs)-1]
+	if succ, ok := view.Successor(r.id); ok {
+		// Re-executed records (crash between in-flight persist and
+		// input retire) are already durable in flight; skip re-appending
+		// but still resend — the successor deduplicates.
+		fresh := recs
+		if lastIn := r.getInflight().LastSeq(); lastIn >= recs[0].Seq {
+			fresh = make([]pqueue.Record, 0, len(recs))
+			for _, rec := range recs {
+				if rec.Seq > lastIn {
+					fresh = append(fresh, rec)
+				}
+			}
+		}
+		if len(fresh) > 0 {
+			if err := r.getInflight().AppendBatch(fresh); err != nil {
+				return err
+			}
+		}
+		r.sendBatch(view, succ, recs)
+		for _, rec := range recs {
+			r.tr.ChainForward(rec.Trace, rec.Seq)
+		}
+		r.cForwarded.Add(uint64(len(recs)))
+		return r.getInput().DropThrough(last.Seq)
+	}
+	// Tail: one acknowledgment completes the whole prefix at the head,
+	// and one cleanup retires it upstream.
 	_ = r.cfg.Transport.Send(view.Head(), &transport.Message{
-		Kind: transport.KindTailAck, From: r.id, ViewID: view.ID, Seq: rec.Seq, Trace: rec.Trace,
+		Kind: transport.KindTailAck, From: r.id, ViewID: view.ID, Seq: last.Seq, Trace: last.Trace,
 	})
-	r.tr.ChainAck(rec.Trace, rec.Seq)
-	r.cTailAcks.Add(1)
+	for _, rec := range recs {
+		r.tr.ChainAck(rec.Trace, rec.Seq)
+	}
+	r.cTailAcks.Add(uint64(len(recs)))
 	if pred, ok := view.Predecessor(r.id); ok && pred != view.Head() {
 		_ = r.cfg.Transport.Send(pred, &transport.Message{
-			Kind: transport.KindCleanup, From: r.id, ViewID: view.ID, Seq: rec.Seq,
+			Kind: transport.KindCleanup, From: r.id, ViewID: view.ID, Seq: last.Seq,
 		})
 	}
-	return nil
+	return r.getInput().DropThrough(last.Seq)
 }

@@ -42,6 +42,14 @@ type Config struct {
 	// Defaults to 1; committed transactions never overlap on objects, so
 	// any worker count is safe.
 	ApplierWorkers int
+
+	// GroupCommit routes commit-marker persists through a dedicated
+	// committer goroutine that absorbs concurrent transactions' markers
+	// into one flush+fence epoch. Commit latency gains a hand-off, so it
+	// pays off only when commits are frequent enough to share fences;
+	// abort and crash-recovery semantics are unchanged (each slot's state
+	// word remains that transaction's independent commit point).
+	GroupCommit bool
 }
 
 func (c Config) withDefaults() Config {
@@ -68,10 +76,11 @@ type Engine struct {
 	dynamic bool
 	obs     *obs.Registry
 
-	applyCh chan applyReq
-	wg      sync.WaitGroup // applier goroutines
-	inFlt   sync.WaitGroup // outstanding post-commit syncs
-	closed  atomic.Bool
+	applyCh  chan applyReq
+	commitCh chan commitReq // nil unless Config.GroupCommit
+	wg       sync.WaitGroup // applier + committer goroutines
+	inFlt    sync.WaitGroup // outstanding post-commit syncs
+	closed   atomic.Bool
 
 	applyErr atomic.Value // error
 
@@ -80,16 +89,19 @@ type Engine struct {
 	// SetTracer; nil when tracing is off (one atomic load per event).
 	tr atomic.Pointer[trace.Tracer]
 
-	commits  *obs.Counter
-	aborts   *obs.Counter
-	depWaits *obs.Counter
+	commits    *obs.Counter
+	aborts     *obs.Counter
+	depWaits   *obs.Counter
+	grpEpochs  *obs.Counter // group-commit fence epochs issued
+	grpCommits *obs.Counter // transactions committed through group commit
 
-	phStall  *obs.PhaseStat // dependent-lock acquisition time
-	phIntent *obs.PhaseStat // intent-log append persist
-	phHeap   *obs.PhaseStat // in-place heap flush+fence at commit
-	phMarker *obs.PhaseStat // commit-marker persist
-	phSync   *obs.PhaseStat // applier backup roll-forward work
-	phLag    *obs.PhaseStat // commit → locks-released lag
+	phStall   *obs.PhaseStat // dependent-lock acquisition time
+	phIntent  *obs.PhaseStat // intent-log append persist
+	phHeap    *obs.PhaseStat // in-place heap flush+fence at commit
+	phMarker  *obs.PhaseStat // commit-marker persist
+	phGrpWait *obs.PhaseStat // commit-marker wait under group commit
+	phSync    *obs.PhaseStat // applier backup roll-forward work
+	phLag     *obs.PhaseStat // commit → locks-released lag
 }
 
 type applyReq struct {
@@ -97,6 +109,13 @@ type applyReq struct {
 	owner       locktable.Owner
 	objs        []lockedObj
 	committedAt time.Time
+}
+
+// commitReq hands a transaction's commit marker to the group committer;
+// done reports when (and whether) the shared fence epoch covered it.
+type commitReq struct {
+	tl   *intentlog.TxLog
+	done chan error
 }
 
 type lockedObj struct {
@@ -136,7 +155,7 @@ func New(mainReg, backupReg, logReg *nvm.Region, cfg Config) (*Engine, error) {
 		}
 	}
 	e := newEngine(h, l, locks, be, dynamic, o)
-	e.start(cfg.ApplierWorkers)
+	e.start(cfg)
 	return e, nil
 }
 
@@ -183,7 +202,7 @@ func Open(mainReg, backupReg, logReg *nvm.Region, cfg Config) (*Engine, error) {
 	if err := h.Rescan(); err != nil {
 		return nil, err
 	}
-	e.start(cfg.ApplierWorkers)
+	e.start(cfg)
 	return e, nil
 }
 
@@ -206,24 +225,86 @@ func newRegistry(dynamic bool, mainReg, backupReg, logReg *nvm.Region) *obs.Regi
 func newEngine(h *heap.Heap, l *intentlog.Log, locks *locktable.Table, be backend, dynamic bool, o *obs.Registry) *Engine {
 	return &Engine{
 		heap: h, log: l, locks: locks, backend: be, dynamic: dynamic, obs: o,
-		commits:  o.Counter("commits"),
-		aborts:   o.Counter("aborts"),
-		depWaits: o.Counter("dependent_waits"),
-		phStall:  o.Phase(obs.PhaseDependentStall),
-		phIntent: o.Phase(obs.PhaseIntentPersist),
-		phHeap:   o.Phase(obs.PhaseHeapPersist),
-		phMarker: o.Phase(obs.PhaseCommitPersist),
-		phSync:   o.Phase(obs.PhaseBackupSync),
-		phLag:    o.Phase(obs.PhaseBackupLag),
+		commits:    o.Counter("commits"),
+		aborts:     o.Counter("aborts"),
+		depWaits:   o.Counter("dependent_waits"),
+		grpEpochs:  o.Counter("group_commit_epochs"),
+		grpCommits: o.Counter("group_committed_txs"),
+		phStall:    o.Phase(obs.PhaseDependentStall),
+		phIntent:   o.Phase(obs.PhaseIntentPersist),
+		phHeap:     o.Phase(obs.PhaseHeapPersist),
+		phMarker:   o.Phase(obs.PhaseCommitPersist),
+		phGrpWait:  o.Phase(obs.PhaseGroupCommitWait),
+		phSync:     o.Phase(obs.PhaseBackupSync),
+		phLag:      o.Phase(obs.PhaseBackupLag),
 	}
 }
 
-func (e *Engine) start(workers int) {
+func (e *Engine) start(cfg Config) {
 	e.applyCh = make(chan applyReq, e.log.Config().Slots)
-	for i := 0; i < workers; i++ {
+	for i := 0; i < cfg.ApplierWorkers; i++ {
 		e.wg.Add(1)
 		go e.applier()
 	}
+	if cfg.GroupCommit {
+		e.commitCh = make(chan commitReq, e.log.Config().Slots)
+		e.wg.Add(1)
+		go e.committer()
+	}
+}
+
+// committer is the group-commit thread: it gathers whatever commit markers
+// are pending, persists them under one flush+fence epoch via SetStateBatch,
+// and wakes every covered transaction. Like the applier it spins briefly
+// before parking, because a parked-goroutine wakeup would be charged to
+// every commit's critical path.
+func (e *Engine) committer() {
+	defer e.wg.Done()
+	pending := make([]commitReq, 0, 64)
+	tls := make([]*intentlog.TxLog, 0, 64)
+	for {
+		req, ok := e.nextCommit()
+		if !ok {
+			return
+		}
+		pending = append(pending[:0], req)
+		// Absorb everything already waiting, up to a full batch.
+	drain:
+		for len(pending) < cap(pending) {
+			select {
+			case more, ok := <-e.commitCh:
+				if !ok {
+					break drain
+				}
+				pending = append(pending, more)
+			default:
+				break drain
+			}
+		}
+		tls = tls[:0]
+		for _, p := range pending {
+			tls = append(tls, p.tl)
+		}
+		err := e.log.SetStateBatch(tls, intentlog.StateCommitted)
+		e.grpEpochs.Add(1)
+		e.grpCommits.Add(uint64(len(pending)))
+		for _, p := range pending {
+			p.done <- err
+		}
+	}
+}
+
+func (e *Engine) nextCommit() (commitReq, bool) {
+	for i := 0; i < applierSpins; i++ {
+		select {
+		case req, ok := <-e.commitCh:
+			return req, ok
+		default:
+			runtime.Gosched()
+		}
+	}
+	req, ok := <-e.commitCh
+	return req, ok
 }
 
 // applier is the paper's background Transaction Coordinator thread: it
@@ -351,6 +432,9 @@ func (e *Engine) Close() error {
 	}
 	e.inFlt.Wait()
 	close(e.applyCh)
+	if e.commitCh != nil {
+		close(e.commitCh)
+	}
 	e.wg.Wait()
 	return e.err()
 }
@@ -648,16 +732,33 @@ func (t *tx) Commit() error {
 	t.e.phHeap.Observe(d)
 	tr := t.e.trc()
 	tr.Span(string(obs.PhaseHeapPersist), t.ID(), d)
-	// Commit point.
+	// Commit point. Under group commit the marker persist is delegated to
+	// the committer, which folds concurrent markers into one fence epoch;
+	// the slot's state word is still this transaction's atomic commit
+	// point either way.
 	start = time.Now()
-	if err := t.tl.SetState(intentlog.StateCommitted); err != nil {
-		return err
-	}
-	d = time.Since(start)
-	t.e.phMarker.Observe(d)
-	if tr != nil {
-		tr.CommitMarker(t.ID())
-		tr.Span(string(obs.PhaseCommitPersist), t.ID(), d)
+	if ch := t.e.commitCh; ch != nil {
+		done := make(chan error, 1)
+		ch <- commitReq{tl: t.tl, done: done}
+		if err := <-done; err != nil {
+			return err
+		}
+		d = time.Since(start)
+		t.e.phGrpWait.Observe(d)
+		if tr != nil {
+			tr.CommitMarker(t.ID())
+			tr.Span(string(obs.PhaseGroupCommitWait), t.ID(), d)
+		}
+	} else {
+		if err := t.tl.SetState(intentlog.StateCommitted); err != nil {
+			return err
+		}
+		d = time.Since(start)
+		t.e.phMarker.Observe(d)
+		if tr != nil {
+			tr.CommitMarker(t.ID())
+			tr.Span(string(obs.PhaseCommitPersist), t.ID(), d)
+		}
 	}
 	for _, obj := range t.frees {
 		if err := t.e.heap.ApplyFree(obj); err != nil {

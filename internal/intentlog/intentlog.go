@@ -38,6 +38,7 @@ const (
 	OpFree  Op = 3 // object will be freed at commit
 )
 
+// String names the record kind for logs and errors.
 func (o Op) String() string {
 	switch o {
 	case OpWrite:
@@ -62,6 +63,7 @@ const (
 	StateAborted   State = 3
 )
 
+// String names the slot state for logs and errors.
 func (s State) String() string {
 	switch s {
 	case StateFree:
@@ -482,6 +484,33 @@ func (t *TxLog) SetState(s State) error {
 		return err
 	}
 	return t.l.reg.Persist(off+sOffState, 4)
+}
+
+// SetStateBatch durably transitions several transactions' slots to s under
+// a single flush+fence epoch (group commit): each slot's state word is
+// stored and flushed, then one fence makes them all durable together. Every
+// transaction's own commit point remains its slot's one-line state word —
+// a crash inside the epoch leaves each slot independently either in its old
+// state or in s, exactly as if the markers had been persisted one by one —
+// so per-transaction recovery semantics are unchanged; only the fence cost
+// is amortized across the group.
+//
+// All TxLogs must belong to this log.
+func (l *Log) SetStateBatch(ts []*TxLog, s State) error {
+	for _, t := range ts {
+		if t.l != l {
+			return errors.New("intentlog: SetStateBatch across logs")
+		}
+		off := l.slotOff(t.slot)
+		if err := l.reg.Store32(off+sOffState, uint32(s)); err != nil {
+			return err
+		}
+		if err := l.reg.Flush(off+sOffState, 4); err != nil {
+			return err
+		}
+	}
+	l.reg.Fence()
+	return nil
 }
 
 // Release durably frees the slot and returns it to the allocatable pool.

@@ -55,6 +55,7 @@ const (
 	ModeFast
 )
 
+// String names the simulation mode for logs and errors.
 func (m Mode) String() string {
 	switch m {
 	case ModeStrict:
@@ -163,11 +164,19 @@ func (r *Region) check(off, n int) error {
 	return nil
 }
 
-func (r *Region) markDirty(off, n int) {
+// mutate applies a volatile-view mutation. In strict mode the mutation
+// runs under the line mutex so it is ordered with a concurrent Fence
+// persisting flushed lines out of the same bytes — two objects smaller
+// than a line can share one, so another transaction's fence may read the
+// line this one is writing; the dirty-line bookkeeping shares the same
+// critical section. Fast mode has no durable image to race with.
+func (r *Region) mutate(off, n int, apply func()) {
 	if r.mode != ModeStrict || n == 0 {
+		apply()
 		return
 	}
 	r.mu.Lock()
+	apply()
 	for line := off / LineSize; line <= (off+n-1)/LineSize; line++ {
 		r.dirty[line] = struct{}{}
 		// A line can be re-dirtied after Flush but before Fence; the
@@ -191,8 +200,7 @@ func (r *Region) Write(off int, p []byte) error {
 	if err := r.check(off, len(p)); err != nil {
 		return err
 	}
-	copy(r.mem[off:], p)
-	r.markDirty(off, len(p))
+	r.mutate(off, len(p), func() { copy(r.mem[off:], p) })
 	r.countWrite(len(p))
 	r.traceWrite(off, len(p))
 	return nil
@@ -203,8 +211,7 @@ func (r *Region) Zero(off, n int) error {
 	if err := r.check(off, n); err != nil {
 		return err
 	}
-	clear(r.mem[off : off+n])
-	r.markDirty(off, n)
+	r.mutate(off, n, func() { clear(r.mem[off : off+n]) })
 	r.countWrite(n)
 	r.traceWrite(off, n)
 	return nil
@@ -217,8 +224,7 @@ func (r *Region) Store64(off int, v uint64) error {
 	if err := r.check(off, 8); err != nil {
 		return err
 	}
-	binary.LittleEndian.PutUint64(r.mem[off:], v)
-	r.markDirty(off, 8)
+	r.mutate(off, 8, func() { binary.LittleEndian.PutUint64(r.mem[off:], v) })
 	r.countWrite(8)
 	r.traceWrite(off, 8)
 	return nil
@@ -229,8 +235,7 @@ func (r *Region) Store32(off int, v uint32) error {
 	if err := r.check(off, 4); err != nil {
 		return err
 	}
-	binary.LittleEndian.PutUint32(r.mem[off:], v)
-	r.markDirty(off, 4)
+	r.mutate(off, 4, func() { binary.LittleEndian.PutUint32(r.mem[off:], v) })
 	r.countWrite(4)
 	r.traceWrite(off, 4)
 	return nil
@@ -287,8 +292,7 @@ func Copy(dst *Region, doff int, src *Region, soff, n int) error {
 	if err := dst.check(doff, n); err != nil {
 		return err
 	}
-	copy(dst.mem[doff:doff+n], src.mem[soff:soff+n])
-	dst.markDirty(doff, n)
+	dst.mutate(doff, n, func() { copy(dst.mem[doff:doff+n], src.mem[soff:soff+n]) })
 	dst.countWrite(n)
 	dst.traceWrite(doff, n)
 	src.statMu.Lock()

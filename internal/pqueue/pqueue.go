@@ -176,38 +176,69 @@ func (q *Queue) read(off uint64, n int) ([]byte, error) {
 	return out, nil
 }
 
-// Enqueue durably appends r. On return the record and the tail cursor are
-// persisted.
-func (q *Queue) Enqueue(r Record) error {
-	if len(r.Name) > 1<<15 {
-		return fmt.Errorf("pqueue: name too long (%d bytes)", len(r.Name))
-	}
-	sz := recSize(r)
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if sz > q.cap-(q.tail-q.head) {
-		return fmt.Errorf("%w: need %d bytes, %d free", ErrFull, sz, q.cap-(q.tail-q.head))
-	}
-	buf := make([]byte, sz)
-	binary.LittleEndian.PutUint32(buf[0:], uint32(sz))
+// encodeRecord serializes r into buf, which must be recSize(r) bytes.
+func encodeRecord(buf []byte, r Record) {
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(buf)))
 	binary.LittleEndian.PutUint64(buf[4:], r.Seq)
 	binary.LittleEndian.PutUint64(buf[12:], r.Trace)
 	binary.LittleEndian.PutUint16(buf[20:], uint16(len(r.Name)))
 	binary.LittleEndian.PutUint32(buf[22:], uint32(len(r.Args)))
 	copy(buf[recHdr:], r.Name)
 	copy(buf[recHdr+len(r.Name):], r.Args)
+}
+
+// Enqueue durably appends r. On return the record and the tail cursor are
+// persisted.
+func (q *Queue) Enqueue(r Record) error {
+	return q.AppendBatch([]Record{r})
+}
+
+// AppendBatch durably appends every record in recs as one persist epoch:
+// all records are written contiguously at the tail and flushed under a
+// single fence, then the tail/lastSeq header line is persisted — two fences
+// total regardless of len(recs), where per-record Enqueues would pay two
+// each. Either every record becomes durable (the tail cursor moved past
+// them all) or none does (a crash before the cursor persist leaves the old
+// tail, and recovery never reads past it).
+func (q *Queue) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var total uint64
+	for _, r := range recs {
+		if len(r.Name) > 1<<15 {
+			return fmt.Errorf("pqueue: name too long (%d bytes)", len(r.Name))
+		}
+		total += recSize(r)
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if total > q.cap-(q.tail-q.head) {
+		return fmt.Errorf("%w: need %d bytes, %d free", ErrFull, total, q.cap-(q.tail-q.head))
+	}
+	buf := make([]byte, total)
+	off := uint64(0)
+	maxSeq := q.lastSeq
+	for _, r := range recs {
+		sz := recSize(r)
+		encodeRecord(buf[off:off+sz], r)
+		off += sz
+		if r.Seq > maxSeq {
+			maxSeq = r.Seq
+		}
+	}
 	if err := q.write(q.tail, buf); err != nil {
 		return err
 	}
 	if err := q.persist(q.tail, len(buf)); err != nil {
 		return err
 	}
-	q.tail += sz
+	q.tail += total
 	if err := q.reg.Store64(hOffTail, q.tail); err != nil {
 		return err
 	}
-	if r.Seq > q.lastSeq {
-		q.lastSeq = r.Seq
+	if maxSeq > q.lastSeq {
+		q.lastSeq = maxSeq
 		if err := q.reg.Store64(hOffSeq, q.lastSeq); err != nil {
 			return err
 		}
@@ -322,4 +353,41 @@ func (q *Queue) Empty() bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.head == q.tail
+}
+
+// Cursor iterates a queue's records oldest-first without consuming them,
+// so a pipelined consumer can execute records while a later stage decides
+// when they may durably leave the queue (Dequeue / DropThrough). If the
+// queue's head overtakes the cursor (records dropped behind it), the
+// cursor clamps forward to the new head. Logical offsets grow
+// monotonically, so a cursor never sees a record twice.
+type Cursor struct {
+	q   *Queue
+	off uint64
+}
+
+// Cursor returns a cursor positioned at the oldest record.
+func (q *Queue) Cursor() *Cursor {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return &Cursor{q: q, off: q.head}
+}
+
+// Next returns the record under the cursor and advances past it, or
+// ErrEmpty when the cursor has caught up with the tail.
+func (c *Cursor) Next() (Record, error) {
+	c.q.mu.Lock()
+	defer c.q.mu.Unlock()
+	if c.off < c.q.head {
+		c.off = c.q.head
+	}
+	if c.off == c.q.tail {
+		return Record{}, ErrEmpty
+	}
+	r, sz, err := c.q.decodeAt(c.off)
+	if err != nil {
+		return Record{}, err
+	}
+	c.off += sz
+	return r, nil
 }

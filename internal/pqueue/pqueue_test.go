@@ -173,3 +173,183 @@ func TestEmptyAndLen(t *testing.T) {
 		t.Error("queue with record reports empty")
 	}
 }
+
+func TestAppendBatchOrderAndDurability(t *testing.T) {
+	q := newQueue(t, 8192)
+	var recs []Record
+	for i := uint64(1); i <= 8; i++ {
+		recs = append(recs, Record{Seq: i, Trace: i * 100, Name: "op", Args: []byte{byte(i)}})
+	}
+	if err := q.AppendBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if q.LastSeq() != 8 {
+		t.Errorf("LastSeq = %d, want 8", q.LastSeq())
+	}
+	// Everything must survive a crash: AppendBatch is durable on return.
+	if err := q.reg.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Attach(q.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := q2.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 8 {
+		t.Fatalf("after crash: %d records, want 8", len(all))
+	}
+	for i, r := range all {
+		want := uint64(i + 1)
+		if r.Seq != want || r.Trace != want*100 || r.Args[0] != byte(want) {
+			t.Errorf("record %d = %+v, want seq %d", i, r, want)
+		}
+	}
+	if q2.LastSeq() != 8 {
+		t.Errorf("LastSeq after crash = %d", q2.LastSeq())
+	}
+}
+
+func TestAppendBatchSingleFenceEpoch(t *testing.T) {
+	q := newQueue(t, 64<<10)
+	var batch []Record
+	for i := uint64(1); i <= 16; i++ {
+		batch = append(batch, Record{Seq: i, Name: "op", Args: make([]byte, 64)})
+	}
+	before := q.reg.Stats().Fences
+	if err := q.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	batchFences := q.reg.Stats().Fences - before
+
+	q2 := newQueue(t, 64<<10)
+	before = q2.reg.Stats().Fences
+	for i := uint64(1); i <= 16; i++ {
+		if err := q2.Enqueue(Record{Seq: i, Name: "op", Args: make([]byte, 64)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serialFences := q2.reg.Stats().Fences - before
+
+	if batchFences > 2 {
+		t.Errorf("AppendBatch(16) issued %d fences, want <= 2", batchFences)
+	}
+	if serialFences != 16*batchFences {
+		t.Logf("serial fences = %d, batch fences = %d", serialFences, batchFences)
+	}
+	if batchFences*8 > serialFences {
+		t.Errorf("batch fences %d not amortized vs serial %d", batchFences, serialFences)
+	}
+}
+
+func TestAppendBatchWrapAround(t *testing.T) {
+	q := newQueue(t, 2048)
+	// Fill and drain to push the cursors near the ring end, then batch
+	// across the wrap boundary.
+	args := make([]byte, 200)
+	for round := 0; round < 4; round++ {
+		for i := uint64(0); i < 4; i++ {
+			seq := uint64(round)*4 + i + 1
+			if err := q.Enqueue(Record{Seq: seq, Name: "pad", Args: args}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := q.Dequeue(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var batch []Record
+	for i := uint64(100); i < 106; i++ {
+		batch = append(batch, Record{Seq: i, Name: "wrap", Args: args})
+	}
+	if err := q.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	all, err := q.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 6 || all[0].Seq != 100 || all[5].Seq != 105 {
+		t.Fatalf("after wrap batch: %+v", all)
+	}
+}
+
+func TestAppendBatchFull(t *testing.T) {
+	q := newQueue(t, 2048)
+	big := make([]byte, 700)
+	batch := []Record{
+		{Seq: 1, Name: "a", Args: big},
+		{Seq: 2, Name: "b", Args: big},
+		{Seq: 3, Name: "c", Args: big},
+	}
+	if err := q.AppendBatch(batch); !errors.Is(err, ErrFull) {
+		t.Fatalf("oversized batch = %v, want ErrFull", err)
+	}
+	// Nothing may have been admitted partially.
+	if n, _ := q.Len(); n != 0 {
+		t.Errorf("Len after failed batch = %d", n)
+	}
+}
+
+func TestCursorDoesNotConsume(t *testing.T) {
+	q := newQueue(t, 8192)
+	for i := uint64(1); i <= 5; i++ {
+		if err := q.Enqueue(Record{Seq: i, Name: "op"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := q.Cursor()
+	for i := uint64(1); i <= 5; i++ {
+		r, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Seq != i {
+			t.Errorf("cursor record %d has seq %d", i, r.Seq)
+		}
+	}
+	if _, err := cur.Next(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("exhausted cursor = %v, want ErrEmpty", err)
+	}
+	// The records are still all in the queue.
+	if n, _ := q.Len(); n != 5 {
+		t.Errorf("Len after cursor sweep = %d, want 5", n)
+	}
+	// New records become visible to an exhausted cursor.
+	if err := q.Enqueue(Record{Seq: 6, Name: "op"}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := cur.Next()
+	if err != nil || r.Seq != 6 {
+		t.Errorf("cursor after new enqueue = %+v %v", r, err)
+	}
+}
+
+func TestCursorClampsToHead(t *testing.T) {
+	q := newQueue(t, 8192)
+	for i := uint64(1); i <= 6; i++ {
+		if err := q.Enqueue(Record{Seq: i, Name: "op"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := q.Cursor()
+	if r, err := cur.Next(); err != nil || r.Seq != 1 {
+		t.Fatalf("first = %+v %v", r, err)
+	}
+	// Drop records 1-4 behind (and ahead of) the cursor; it must clamp
+	// forward to the new head rather than re-reading reclaimed space.
+	if err := q.DropThrough(4); err != nil {
+		t.Fatal(err)
+	}
+	r, err := cur.Next()
+	if err != nil || r.Seq != 5 {
+		t.Fatalf("after DropThrough(4): %+v %v, want seq 5", r, err)
+	}
+	if r, err = cur.Next(); err != nil || r.Seq != 6 {
+		t.Fatalf("next = %+v %v, want seq 6", r, err)
+	}
+}

@@ -46,6 +46,7 @@ type Violation struct {
 	Msg string
 }
 
+// String renders the violation as one human-readable line.
 func (v Violation) String() string {
 	return fmt.Sprintf("seq=%d %s actor=%s tx=%d obj=%d: %s", v.Seq, v.Rule, v.Actor, v.TxID, v.Obj, v.Msg)
 }

@@ -70,6 +70,10 @@ const (
 	KindChainForward
 	// KindChainApply reports an op executed at a replica.
 	KindChainApply
+	// KindChainBatch reports a multi-op batch forwarded as one message
+	// and one durable queue append (Obj is the batch's last sequence
+	// number, Len the operation count).
+	KindChainBatch
 	// KindChainAck reports a tail acknowledgment (sent at the tail,
 	// received at the head).
 	KindChainAck
@@ -92,6 +96,7 @@ var kindNames = [...]string{
 	KindSpan:         "span",
 	KindChainForward: "chain_forward",
 	KindChainApply:   "chain_apply",
+	KindChainBatch:   "chain_batch",
 	KindChainAck:     "chain_ack",
 }
 
@@ -358,4 +363,12 @@ func (t *Tracer) ChainApply(traceID, seq uint64) {
 // ChainAck records a tail acknowledgment for seq under trace id.
 func (t *Tracer) ChainAck(traceID, seq uint64) {
 	t.emit(Event{Kind: KindChainAck, Trace: traceID, Obj: seq})
+}
+
+// ChainBatch records n operations coalesced into one forwarded message and
+// one durable queue append, ending at lastSeq. Per-op ChainForward events
+// are still emitted, so the auditor and the trace tests see every
+// operation; ChainBatch marks the batch boundaries themselves.
+func (t *Tracer) ChainBatch(lastSeq uint64, n int) {
+	t.emit(Event{Kind: KindChainBatch, Obj: lastSeq, Len: n})
 }

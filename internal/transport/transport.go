@@ -38,7 +38,24 @@ const (
 	KindResend
 	// KindError reports a remote failure.
 	KindError
+	// KindOpBatch carries several transactions down the chain in one
+	// message (the head or a forwarding replica coalesced them). Seq is
+	// the batch's highest sequence number; the per-op fields live in
+	// Batch. Appended last so earlier kinds keep their gob values.
+	KindOpBatch
 )
+
+// BatchedOp is one operation inside a KindOpBatch message, in chain order.
+type BatchedOp struct {
+	// Seq is the head-assigned sequence number.
+	Seq uint64
+	// Trace is the head-minted chain-wide trace id (0 when untraced).
+	Trace uint64
+	// Name is the registered operation name.
+	Name string
+	// Args is the operation's encoded argument payload.
+	Args []byte
+}
 
 // Message is the single wire format for all chain traffic (gob-friendly).
 type Message struct {
@@ -53,6 +70,10 @@ type Message struct {
 	// Trace is the chain-wide trace id minted by the head for KindOp and
 	// echoed by KindTailAck; 0 when tracing is off.
 	Trace uint64
+
+	// Batch holds the per-op fields of a KindOpBatch message, in chain
+	// order (ascending Seq).
+	Batch []BatchedOp
 
 	// Fetch fields: parallel slices describing object blocks.
 	Objs    []uint64

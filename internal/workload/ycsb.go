@@ -22,6 +22,7 @@ const (
 	OpScan
 )
 
+// String names the operation kind for logs and reports.
 func (k OpKind) String() string {
 	switch k {
 	case OpRead:

@@ -47,8 +47,25 @@ type Options struct {
 	Alpha float64
 	// HopLatency is the simulated network latency per message hop.
 	HopLatency time.Duration
+	// FlushLatency / FenceLatency model the persist costs of each
+	// replica's simulated NVM — pool and protocol queues alike (see
+	// kamino.Options). Zero makes persists free.
+	FlushLatency time.Duration
+	FenceLatency time.Duration
 	// Strict enables crash simulation (required by Reboot).
 	Strict bool
+	// BatchOps caps how many operations one chain hop coalesces into a
+	// single message and a single persistent-queue flush+fence epoch.
+	// 1 (the default) disables batching — the unbatched per-op protocol.
+	BatchOps int
+	// BatchBytes caps a batch's payload bytes. Default 256 KiB.
+	BatchBytes int
+	// BatchDelay is how long the head waits for more submissions after
+	// the first before sealing a batch; zero (the default) never waits.
+	BatchDelay time.Duration
+	// GroupCommit enables intent-log group commit inside each replica's
+	// local engine (see kamino.Options.GroupCommit).
+	GroupCommit bool
 	// Trace, when non-nil, records every replica's chain protocol
 	// events and local engine events; head-minted trace ids correlate
 	// one transaction across the whole chain.
@@ -88,15 +105,21 @@ func New(opts Options) (*Cluster, error) {
 	c := &Cluster{tr: tr, mgr: mgr, replicas: make(map[transport.NodeID]*ichain.Replica), order: ids}
 	for _, id := range ids {
 		rep, err := ichain.NewReplica(id, ichain.Config{
-			Mode:      opts.Mode,
-			HeapSize:  opts.HeapSize,
-			Alpha:     opts.Alpha,
-			Strict:    opts.Strict,
-			Registry:  reg,
-			Transport: tr,
-			Manager:   mgr,
-			Setup:     ichain.KVSetup,
-			Trace:     opts.Trace,
+			Mode:         opts.Mode,
+			HeapSize:     opts.HeapSize,
+			Alpha:        opts.Alpha,
+			FlushLatency: opts.FlushLatency,
+			FenceLatency: opts.FenceLatency,
+			Strict:       opts.Strict,
+			BatchOps:     opts.BatchOps,
+			BatchBytes:   opts.BatchBytes,
+			BatchDelay:   opts.BatchDelay,
+			GroupCommit:  opts.GroupCommit,
+			Registry:     reg,
+			Transport:    tr,
+			Manager:      mgr,
+			Setup:        ichain.KVSetup,
+			Trace:        opts.Trace,
 		})
 		if err != nil {
 			c.Close()

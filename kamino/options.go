@@ -70,6 +70,14 @@ type Options struct {
 	// for Kamino modes. Default 1.
 	ApplierWorkers int
 
+	// GroupCommit enables intent-log group commit for Kamino modes: a
+	// dedicated committer absorbs concurrent transactions' commit-marker
+	// persists into one flush+fence epoch. Worthwhile under concurrent
+	// commit load (it amortizes the fence); a lone transaction pays an
+	// extra hand-off. Per-transaction abort and crash-recovery semantics
+	// are unchanged. Ignored by the baseline modes. Default off.
+	GroupCommit bool
+
 	// Strict enables full crash-simulation fidelity on the underlying
 	// NVM regions (durable shadow images, line-granular crash loss).
 	// Required for Pool.Crash; costs roughly 2× memory and extra

@@ -138,7 +138,7 @@ func (p *Pool) makeEngine(fresh bool) error {
 	var err error
 	switch p.opts.Mode {
 	case ModeSimple, ModeDynamic:
-		cfg := kamino.Config{Log: p.opts.logConfig(), ApplierWorkers: p.opts.ApplierWorkers}
+		cfg := kamino.Config{Log: p.opts.logConfig(), ApplierWorkers: p.opts.ApplierWorkers, GroupCommit: p.opts.GroupCommit}
 		if fresh {
 			p.eng, err = kamino.New(p.mainReg, p.backupReg, p.logReg, cfg)
 		} else {
