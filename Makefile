@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race doccheck check bench
+.PHONY: build test vet race doccheck check bench bench-json benchdiff
 
 build:
 	$(GO) build ./...
@@ -31,3 +31,14 @@ check: build vet test race doccheck
 
 bench: build
 	$(GO) run ./cmd/kaminobench -experiment fig12
+
+# bench-json regenerates the machine-readable baseline artifacts with small,
+# fast parameters (the same invocation CI uses; EXPERIMENTS.md documents the
+# baseline-refresh procedure). benchdiff compares a new run against the
+# checked-in baselines.
+BENCH_JSON_FLAGS = -keys 2000 -ops 500 -threads 2 -bench-out out
+bench-json: build
+	$(GO) run ./cmd/kaminobench -experiment fig12,chainscale $(BENCH_JSON_FLAGS)
+
+benchdiff: bench-json
+	$(GO) run ./tools/benchdiff . out

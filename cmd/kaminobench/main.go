@@ -16,8 +16,16 @@
 // or, when the filename ends in .jsonl, as one JSON event per line. With
 // -audit, the recorded events are checked against the Kamino-Tx safety
 // invariants and violations fail the run. With -metrics-addr, the live
-// observability hub is served at /, the trace ring at /trace, and pprof
-// profiles at /debug/pprof/.
+// observability hub is served at /, Prometheus text exposition at
+// /metrics, the time-series ring at /series, the trace ring at /trace,
+// and pprof profiles at /debug/pprof/.
+//
+// With -bench-out DIR, every experiment additionally writes a
+// machine-readable BENCH_<experiment>.json artifact into DIR — config,
+// measured cells with latency percentiles, per-engine observability
+// snapshots, and the sampled time series — for tools/benchdiff to compare
+// across runs. With -profile-dir DIR, each experiment writes
+// <experiment>.cpu.pprof and <experiment>.heap.pprof into DIR.
 package main
 
 import (
@@ -28,13 +36,16 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	rpprof "runtime/pprof"
 	"strings"
 	"time"
 
 	"kaminotx/internal/bench"
 	"kaminotx/internal/obs"
+	"kaminotx/internal/obs/series"
 	"kaminotx/internal/trace"
 )
 
@@ -72,6 +83,8 @@ func main() {
 		batchDelay  = flag.Duration("batch-delay", 0, "how long the chain head waits to fill a batch (0 = never wait)")
 		groupCommit = flag.Bool("group-commit", false, "group-commit intent-log persists inside each chain replica's engine")
 		metricsAddr = flag.String("metrics-addr", "", "serve live observability JSON on this HTTP address (e.g. :8089)")
+		benchOut    = flag.String("bench-out", "", "write BENCH_<experiment>.json artifacts into this directory")
+		profileDir  = flag.String("profile-dir", "", "write per-experiment CPU and heap profiles into this directory")
 		traceOut    = flag.String("trace-out", "", "record events and write them here at exit (.json = Chrome trace_event, .jsonl = JSON lines)")
 		traceBuf    = flag.Int("trace-buf", 0, "trace ring-buffer capacity in events (0 = default)")
 		audit       = flag.Bool("audit", false, "audit recorded events against the Kamino-Tx safety invariants (implies recording)")
@@ -108,11 +121,23 @@ func main() {
 		cfg.Trace = recorder
 	}
 	var srv *http.Server
-	if *metricsAddr != "" {
+	var sampler *series.Sampler
+	if *metricsAddr != "" || *benchOut != "" {
+		// One process-wide hub and sampler: the harness slices each
+		// experiment's window out of the ring for its artifact, while the
+		// HTTP endpoints expose the whole run live.
 		hub := obs.NewHub()
 		cfg.Metrics = hub
+		sampler = series.New(hub, series.Options{})
+		cfg.Series = sampler
+		sampler.Start()
+	}
+	if *metricsAddr != "" {
+		hub := cfg.Metrics
 		mux := http.NewServeMux()
 		mux.Handle("/", hub)
+		mux.Handle("/metrics", hub.PromHandler())
+		mux.Handle("/series", sampler)
 		if recorder != nil {
 			mux.Handle("/trace", trace.Handler(recorder))
 		}
@@ -139,7 +164,8 @@ func main() {
 			display = "localhost" + display
 		}
 		fmt.Printf("metrics: live registry snapshots at http://%s/ (JSON; ?label=substr filters),"+
-			" trace ring at /trace, pprof at /debug/pprof/\n", display)
+			" Prometheus text at /metrics, time series at /series, trace ring at /trace,"+
+			" pprof at /debug/pprof/\n", display)
 	}
 	fmt.Printf("kaminobench: keys=%d value=%dB ops/thread=%d threads=%d cpus=%d\n",
 		*keys, *valueSize, *ops, *threads, runtime.NumCPU())
@@ -167,7 +193,7 @@ func main() {
 		}
 		ran++
 		start := time.Now()
-		if err := e.run(cfg); err != nil {
+		if err := runOne(cfg, e.name, e.run, *benchOut, *profileDir); err != nil {
 			fmt.Fprintf(os.Stderr, "kaminobench: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
@@ -178,6 +204,9 @@ func main() {
 		os.Exit(1)
 	}
 
+	if sampler != nil {
+		sampler.Stop()
+	}
 	if srv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		if err := srv.Shutdown(ctx); err != nil {
@@ -191,6 +220,61 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runOne executes one experiment, optionally capturing its BENCH_*.json
+// artifact (-bench-out) and CPU/heap profiles (-profile-dir).
+func runOne(cfg bench.Config, name string, run func(bench.Config) error, benchOut, profileDir string) error {
+	if profileDir != "" {
+		if err := os.MkdirAll(profileDir, 0o755); err != nil {
+			return fmt.Errorf("profile dir: %w", err)
+		}
+		f, err := os.Create(filepath.Join(profileDir, name+".cpu.pprof"))
+		if err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := rpprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		defer func() {
+			rpprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "kaminobench: cpu profile: %v\n", cerr)
+			}
+			if err := writeHeapProfile(filepath.Join(profileDir, name+".heap.pprof")); err != nil {
+				fmt.Fprintf(os.Stderr, "kaminobench: heap profile: %v\n", err)
+			}
+		}()
+	}
+	if benchOut == "" {
+		return run(cfg)
+	}
+	art, err := bench.RunArtifact(name, run, cfg)
+	if err != nil {
+		return err
+	}
+	path, err := bench.WriteArtifact(benchOut, art)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("artifact: %s (%d cells, %d samples)\n", path, len(art.Cells), len(art.Series))
+	return nil
+}
+
+// writeHeapProfile snapshots the post-experiment live heap (after a GC, so
+// the profile shows retained memory, not garbage).
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	err = rpprof.WriteHeapProfile(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // finishTrace exports the recorded events and/or audits them.

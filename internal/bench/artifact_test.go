@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kaminotx/internal/obs"
+	"kaminotx/internal/obs/series"
+	"kaminotx/kamino"
+)
+
+// miniExperiment measures one engine pair — enough cells to exercise the
+// artifact plumbing without a full figure sweep.
+func miniExperiment(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	if _, err := cfg.measureYCSB(kamino.ModeSimple, 1, 'A', 1); err != nil {
+		return err
+	}
+	_, err := cfg.measureYCSB(kamino.ModeUndo, 0, 'A', 1)
+	return err
+}
+
+func TestRunArtifactCapturesRun(t *testing.T) {
+	var out bytes.Buffer
+	art, err := RunArtifact("mini", miniExperiment, tiny(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Schema != ArtifactSchema || art.Experiment != "mini" {
+		t.Errorf("header wrong: %+v", art)
+	}
+	if len(art.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(art.Cells))
+	}
+	keys := map[string]bool{}
+	for _, c := range art.Cells {
+		if c.OpsPerSec <= 0 || c.Mean <= 0 || c.P50 <= 0 || c.Max < c.P99 {
+			t.Errorf("degenerate cell %+v", c)
+		}
+		keys[c.Key()] = true
+	}
+	if !keys["kamino|YCSB-A|t=1|a=1"] || !keys["undo|YCSB-A|t=1"] {
+		t.Errorf("unexpected cell keys: %v", keys)
+	}
+	if len(art.Registries) == 0 {
+		t.Error("no registry snapshots captured")
+	}
+	// Bracketing samples: at least the start-of-window and close samples.
+	if len(art.Series) < 1 {
+		t.Errorf("got %d series samples, want >= 1", len(art.Series))
+	}
+	if art.Config.Keys != 500 || art.Config.Threads != 2 {
+		t.Errorf("config not captured: %+v", art.Config)
+	}
+}
+
+func TestArtifactRoundTripAndStability(t *testing.T) {
+	var out bytes.Buffer
+	art, err := RunArtifact("mini", miniExperiment, tiny(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path, err := WriteArtifact(dir, art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_mini.json" {
+		t.Errorf("artifact path = %s", path)
+	}
+	loaded, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Marshal-stable: writing the loaded artifact reproduces the bytes.
+	path2, err := WriteArtifact(t.TempDir(), loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(path)
+	b, _ := os.ReadFile(path2)
+	if !bytes.Equal(a, b) {
+		t.Error("artifact JSON is not byte-stable across load/write")
+	}
+	if len(loaded.Cells) != len(art.Cells) {
+		t.Errorf("round-trip lost cells: %d -> %d", len(art.Cells), len(loaded.Cells))
+	}
+}
+
+func TestLoadArtifactRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_x.json")
+	buf, _ := json.Marshal(Artifact{Schema: ArtifactSchema + 1, Experiment: "x"})
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadArtifact(path); err == nil {
+		t.Error("schema mismatch not rejected")
+	}
+}
+
+func TestEmbedSeriesDownsamples(t *testing.T) {
+	short := make([]series.Sample, 10)
+	for i := range short {
+		short[i].Seq = uint64(i)
+	}
+	kept, stride := embedSeries(short)
+	if stride != 1 || len(kept) != 10 {
+		t.Errorf("short window altered: %d samples, stride %d", len(kept), stride)
+	}
+	long := make([]series.Sample, 255)
+	for i := range long {
+		long[i].Seq = uint64(i)
+	}
+	kept, stride = embedSeries(long)
+	if len(kept) > seriesEmbedCap+1 {
+		t.Errorf("kept %d samples, cap is %d", len(kept), seriesEmbedCap+1)
+	}
+	if stride < 2 {
+		t.Errorf("stride = %d, want >= 2", stride)
+	}
+	if kept[0].Seq != 0 || kept[len(kept)-1].Seq != 254 {
+		t.Errorf("first/last not preserved: %d..%d", kept[0].Seq, kept[len(kept)-1].Seq)
+	}
+}
+
+func TestObsAggAbsorbIdempotent(t *testing.T) {
+	src := obs.New("kamino")
+	src.Counter("commits").Add(7)
+	agg := newObsAgg()
+	agg.absorb(src)
+	agg.absorb(src) // same registry again: must not double
+	snaps := agg.snapshots()
+	if len(snaps) != 1 {
+		t.Fatalf("got %d snapshots, want 1", len(snaps))
+	}
+	if got := snaps[0].Counters["commits"]; got != 7 {
+		t.Errorf("commits = %d after double absorb, want 7", got)
+	}
+	// A different registry with the same label still merges.
+	src2 := obs.New("kamino")
+	src2.Counter("commits").Add(3)
+	agg.absorb(src2)
+	if got := agg.snapshots()[0].Counters["commits"]; got != 10 {
+		t.Errorf("commits = %d after second registry, want 10", got)
+	}
+}

@@ -129,8 +129,15 @@ func (c Config) runChainYCSB(cl *chainpkg.Cluster, mix workload.Mix, threads int
 		return Result{}, err
 	}
 	elapsed := time.Since(start).Seconds()
-	h := col.Histogram()
-	return Result{OpsPerSec: float64(col.Ops()) / elapsed, Mean: h.Mean(), P99: h.Percentile(99)}, nil
+	return resultFrom(col.Histogram(), float64(col.Ops())/elapsed), nil
+}
+
+// chainLabel names the cluster mode for artifact cells.
+func chainLabel(mode chainpkg.Mode) string {
+	if mode == chainpkg.ModeTraditional {
+		return "chain-traditional"
+	}
+	return "chain-kamino"
 }
 
 func (c Config) measureChain(mode chainpkg.Mode, w byte, threads int) (Result, error) {
@@ -152,6 +159,11 @@ func (c Config) measureChain(mode chainpkg.Mode, w byte, threads int) (Result, e
 		return Result{}, cerr
 	}
 	c.collectChain(cl)
+	c.recordCell(Cell{
+		Engine:   chainLabel(mode),
+		Workload: "YCSB-" + string(w),
+		Threads:  threads,
+	}.withResult(r))
 	return r, nil
 }
 
@@ -304,10 +316,22 @@ func (c Config) chainScaleRun(replicas, batchOps, clients int) (r Result, fences
 	}
 	f1, fl1 := chainPersistTotals(cl)
 	c.collectChain(cl)
-	h := col.Histogram()
 	total := float64(col.Ops())
-	return Result{OpsPerSec: total / elapsed, Mean: h.Mean(), P99: h.Percentile(99)},
-		float64(f1-f0) / total, float64(fl1-fl0) / total, nil
+	r = resultFrom(col.Histogram(), total/elapsed)
+	fencesPerOp = float64(f1-f0) / total
+	flushesPerOp = float64(fl1-fl0) / total
+	c.recordCell(Cell{
+		Engine:   chainLabel(chainpkg.ModeKamino),
+		Workload: "put",
+		Threads:  clients,
+		Params: map[string]float64{
+			"replicas":       float64(replicas),
+			"batch":          float64(batchOps),
+			"fences_per_op":  fencesPerOp,
+			"flushes_per_op": flushesPerOp,
+		},
+	}.withResult(r))
+	return r, fencesPerOp, flushesPerOp, nil
 }
 
 // ChainScaling sweeps hop batch size against chain length for Kamino-Tx-

@@ -15,6 +15,7 @@ import (
 
 	"kaminotx/internal/kvstore"
 	"kaminotx/internal/obs"
+	"kaminotx/internal/obs/series"
 	"kaminotx/internal/stats"
 	"kaminotx/internal/trace"
 	"kaminotx/internal/workload"
@@ -58,6 +59,11 @@ type Config struct {
 	// pool an experiment creates, keyed by engine label, so an HTTP
 	// listener (kaminobench -metrics-addr) can expose them while running.
 	Metrics *obs.Hub
+	// Series, if set, is the time-series sampler over Metrics; the harness
+	// embeds each experiment's sample window in its BENCH_*.json artifact
+	// and kaminobench serves the live ring at /series. RunArtifact fills
+	// both this and Metrics when unset.
+	Series *series.Sampler
 	// Trace, if set, records device and transaction lifecycle events of
 	// every pool an experiment creates (kaminobench -trace-out / -audit).
 	Trace *trace.Recorder
@@ -65,6 +71,9 @@ type Config struct {
 	// agg accumulates per-engine obs snapshots over one experiment for
 	// the phase-breakdown table printed at its end.
 	agg *obsAgg
+	// art accumulates measured cells for the experiment's machine-readable
+	// artifact (RunArtifact); nil when no artifact was requested.
+	art *cellRecorder
 }
 
 // WithDefaults fills unset fields.
@@ -145,7 +154,22 @@ func (c Config) loadStore(mode kamino.Mode, alpha float64) (*kamino.Pool, *kvsto
 type Result struct {
 	OpsPerSec float64
 	Mean      time.Duration
+	P50       time.Duration
+	P90       time.Duration
 	P99       time.Duration
+	Max       time.Duration
+}
+
+// resultFrom summarizes a merged histogram plus throughput into a Result.
+func resultFrom(h *stats.Histogram, opsPerSec float64) Result {
+	return Result{
+		OpsPerSec: opsPerSec,
+		Mean:      h.Mean(),
+		P50:       h.Percentile(50),
+		P90:       h.Percentile(90),
+		P99:       h.Percentile(99),
+		Max:       h.Max(),
+	}
 }
 
 // runYCSB drives the YCSB mix against a loaded store with the given number
@@ -203,12 +227,7 @@ func (c Config) runYCSB(store *kvstore.Store, mix workload.Mix, threads int) (Re
 		return Result{}, err
 	}
 	elapsed := time.Since(start).Seconds()
-	h := col.Histogram()
-	return Result{
-		OpsPerSec: float64(col.Ops()) / elapsed,
-		Mean:      h.Mean(),
-		P99:       h.Percentile(99),
-	}, nil
+	return resultFrom(col.Histogram(), float64(col.Ops())/elapsed), nil
 }
 
 // measureYCSB loads a fresh store for mode and runs one YCSB workload.
@@ -227,6 +246,12 @@ func (c Config) measureYCSB(mode kamino.Mode, alpha float64, w byte, threads int
 		return Result{}, err
 	}
 	c.collect(pool)
+	c.recordCell(Cell{
+		Engine:   pool.Obs().Name(),
+		Workload: "YCSB-" + string(w),
+		Threads:  threads,
+		Alpha:    alpha,
+	}.withResult(r))
 	return r, nil
 }
 

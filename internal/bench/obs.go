@@ -14,19 +14,33 @@ import (
 // pools one experiment creates. Registries sharing a label merge: counters
 // add, gauges are sampled into counters, phase histograms merge, so the
 // final breakdown attributes latency over the whole experiment.
+//
+// Absorbing is idempotent per source registry: obs.Registry.Absorb adds
+// counter values wholesale, so folding the same registry in twice (an
+// experiment retrying a phase, or collect followed by a chain-wide
+// collectChain over the same replicas) would double every count. The seen
+// set makes the second absorb a no-op.
 type obsAgg struct {
 	mu    sync.Mutex
 	order []string
 	regs  map[string]*obs.Registry
+	seen  map[*obs.Registry]struct{}
 }
 
 func newObsAgg() *obsAgg {
-	return &obsAgg{regs: make(map[string]*obs.Registry)}
+	return &obsAgg{
+		regs: make(map[string]*obs.Registry),
+		seen: make(map[*obs.Registry]struct{}),
+	}
 }
 
 func (a *obsAgg) absorb(src *obs.Registry) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if _, dup := a.seen[src]; dup {
+		return
+	}
+	a.seen[src] = struct{}{}
 	label := src.Name()
 	acc, ok := a.regs[label]
 	if !ok {
@@ -35,6 +49,18 @@ func (a *obsAgg) absorb(src *obs.Registry) {
 		a.order = append(a.order, label)
 	}
 	acc.Absorb(src)
+}
+
+// snapshots returns the accumulated per-engine snapshots in first-absorbed
+// order (deterministic for a given experiment, so artifacts diff cleanly).
+func (a *obsAgg) snapshots() []obs.Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]obs.Snapshot, 0, len(a.order))
+	for _, label := range a.order {
+		out = append(out, a.regs[label].Snapshot())
+	}
+	return out
 }
 
 func (a *obsAgg) write(w io.Writer) {

@@ -291,6 +291,11 @@ func NewReplica(id transport.NodeID, cfg Config) (*Replica, error) {
 	// chain protocol itself (batching exists to shrink these).
 	inputReg.ExportObs(o, "nvm.inputq")
 	inflightReg.ExportObs(o, "nvm.inflightq")
+	// Live queue depths: records waiting to execute and batches forwarded
+	// but not yet acked by the tail. A growing inflight gauge means the
+	// downstream chain is the bottleneck.
+	o.Gauge("input_records", func() uint64 { return queueLen(r.getInput()) })
+	o.Gauge("inflight_records", func() uint64 { return queueLen(r.getInflight()) })
 	if cfg.Trace != nil {
 		r.tr = cfg.Trace.Tracer("chain/" + string(id))
 		r.traceBase = fnv64a(string(id)) &^ 0xFFFFFFFF
@@ -302,6 +307,16 @@ func NewReplica(id transport.NodeID, cfg Config) (*Replica, error) {
 	cfg.Manager.Watch(r.onViewChange)
 	r.startExecutor()
 	return r, nil
+}
+
+// queueLen samples a persistent queue's record count for a gauge; a
+// mid-crash-simulation read error reads as empty rather than failing.
+func queueLen(q *pqueue.Queue) uint64 {
+	n, err := q.Len()
+	if err != nil || n < 0 {
+		return 0
+	}
+	return uint64(n)
 }
 
 // fnv64a hashes a node id into the high bits of its trace-id space, so

@@ -121,7 +121,7 @@ type dynamicBackend struct {
 }
 
 func newDynamicBackend(main *nvm.Region, bheap *heap.Heap, locks *locktable.Table, o *obs.Registry) *dynamicBackend {
-	return &dynamicBackend{
+	b := &dynamicBackend{
 		main:       main,
 		bheap:      bheap,
 		locks:      locks,
@@ -133,6 +133,9 @@ func newDynamicBackend(main *nvm.Region, bheap *heap.Heap, locks *locktable.Tabl
 		evictions:  o.Counter("backup_evictions"),
 		phMissCopy: o.Phase(obs.PhaseCriticalCopy),
 	}
+	// Live occupancy of the α-sized backup: copies resident right now.
+	o.Gauge("backup_resident_copies", func() uint64 { return uint64(b.size()) })
+	return b
 }
 
 // rebuild scans the backup heap and reconstructs the volatile map after a
@@ -313,7 +316,8 @@ func (b *dynamicBackend) restoreFromBackup(obj heap.ObjID, class int) error {
 
 func (b *dynamicBackend) bytesSynced() uint64 { return b.synced.Load() }
 
-// size returns the number of live backup copies (test hook).
+// size returns the number of live backup copies (tests and the
+// backup_resident_copies gauge).
 func (b *dynamicBackend) size() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()

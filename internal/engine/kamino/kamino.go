@@ -80,6 +80,7 @@ type Engine struct {
 	commitCh chan commitReq // nil unless Config.GroupCommit
 	wg       sync.WaitGroup // applier + committer goroutines
 	inFlt    sync.WaitGroup // outstanding post-commit syncs
+	pending  atomic.Int64   // committed txs whose backup sync hasn't finished
 	closed   atomic.Bool
 
 	applyErr atomic.Value // error
@@ -242,6 +243,16 @@ func newEngine(h *heap.Heap, l *intentlog.Log, locks *locktable.Table, be backen
 
 func (e *Engine) start(cfg Config) {
 	e.applyCh = make(chan applyReq, e.log.Config().Slots)
+	// Live lag gauges: how much committed work the backup appliers still
+	// owe. queue_depth counts requests parked in the channel; pending_txs
+	// additionally includes the ones a worker is currently rolling forward.
+	e.obs.Gauge("backup_queue_depth", func() uint64 { return uint64(len(e.applyCh)) })
+	e.obs.Gauge("backup_pending_txs", func() uint64 {
+		if n := e.pending.Load(); n > 0 {
+			return uint64(n)
+		}
+		return 0
+	})
 	for i := 0; i < cfg.ApplierWorkers; i++ {
 		e.wg.Add(1)
 		go e.applier()
@@ -325,6 +336,7 @@ func (e *Engine) applier() {
 		if err := e.applyOne(req); err != nil {
 			e.applyErr.CompareAndSwap(nil, err)
 		}
+		e.pending.Add(-1)
 		e.inFlt.Done()
 	}
 }
@@ -776,6 +788,7 @@ func (t *tx) Commit() error {
 	t.done = true
 	t.e.commits.Add(1)
 	t.e.inFlt.Add(1)
+	t.e.pending.Add(1)
 	t.e.applyCh <- applyReq{tl: t.tl, owner: t.owner(), objs: objs, committedAt: time.Now()}
 	return nil
 }

@@ -122,6 +122,7 @@ func (p *PhaseStat) snapshot() PhaseSnapshot {
 		Total: h.Sum(),
 		Mean:  h.Mean(),
 		P50:   h.Percentile(50),
+		P90:   h.Percentile(90),
 		P99:   h.Percentile(99),
 		Max:   h.Max(),
 	}
@@ -206,7 +207,9 @@ func (r *Registry) Phase(p Phase) *PhaseStat {
 // Absorb folds other's current state into r: counters add, gauges are
 // sampled and added as counters (they are cumulative device counts), phase
 // histograms merge. Used by the benchmark harness to aggregate the pools
-// an experiment created, per engine.
+// an experiment created, per engine. Absorb is additive, not idempotent —
+// absorbing the same registry twice doubles its counts, so callers that
+// may revisit a source (bench.obsAgg) must deduplicate.
 func (r *Registry) Absorb(other *Registry) {
 	other.mu.RLock()
 	counters := make(map[string]uint64, len(other.counters))
@@ -240,16 +243,56 @@ type PhaseSnapshot struct {
 	Total time.Duration `json:"total_ns"`
 	Mean  time.Duration `json:"mean_ns"`
 	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
 	P99   time.Duration `json:"p99_ns"`
 	Max   time.Duration `json:"max_ns"`
 }
 
 // Snapshot is a point-in-time copy of a registry, JSON-serializable.
+// encoding/json writes map keys in sorted order, so marshaling a Snapshot
+// is byte-stable; code that iterates the maps directly must use the
+// Sorted* helpers to stay deterministic (benchmark artifacts are diffed
+// byte-for-byte).
 type Snapshot struct {
 	Name     string                  `json:"name"`
 	Counters map[string]uint64       `json:"counters"`
 	Gauges   map[string]uint64       `json:"gauges,omitempty"`
 	Phases   map[Phase]PhaseSnapshot `json:"phases"`
+}
+
+// SortedCounterNames returns the snapshot's counter names in sorted order.
+func (s Snapshot) SortedCounterNames() []string { return sortedKeys(s.Counters) }
+
+// SortedGaugeNames returns the snapshot's gauge names in sorted order.
+func (s Snapshot) SortedGaugeNames() []string { return sortedKeys(s.Gauges) }
+
+// SortedPhases returns the snapshot's phases in critical-path order, with
+// any custom phases following alphabetically — the same order
+// WriteBreakdown prints.
+func (s Snapshot) SortedPhases() []Phase {
+	out := make([]Phase, 0, len(s.Phases))
+	for _, p := range phaseOrder {
+		if _, ok := s.Phases[p]; ok {
+			out = append(out, p)
+		}
+	}
+	var extra []Phase
+	for p := range s.Phases {
+		if !inOrder(p) {
+			extra = append(extra, p)
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	return append(out, extra...)
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Snapshot captures the registry's current state.

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Prometheus text-format exposition for a Hub: every published registry's
+// counters, gauges, and phase histograms become scrapeable metrics with a
+// registry="<label>" label, so one scrape covers every live engine and
+// replica. Counters are TYPE counter with a _total suffix; gauges (sampled
+// value sources, e.g. NVM device counters or live queue depths) are TYPE
+// gauge; phases become TYPE summary with p50/p90/p99 quantiles plus _sum
+// and _count series in seconds.
+
+// promNamespace prefixes every exposed metric name.
+const promNamespace = "kaminotx"
+
+// PromHandler returns an http.Handler serving the hub's current state in
+// Prometheus text exposition format (version 0.0.4) — mount it at /metrics.
+func (h *Hub) PromHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, h.snapshots(req.URL.Query().Get("label")))
+	})
+}
+
+// WriteProm writes snapshots in Prometheus text exposition format. Each
+// metric name's # TYPE header is emitted exactly once, before all of its
+// labeled series, as the format requires; output is deterministic (metric
+// names sorted, registries in snapshot order).
+func WriteProm(w io.Writer, snaps []Snapshot) {
+	type series struct {
+		suffix string // e.g. `{registry="kamino",quantile="0.5"}`
+		value  string
+	}
+	type metric struct {
+		typ    string
+		series []series
+	}
+	metrics := make(map[string]*metric)
+	names := []string{}
+	add := func(name, typ, labels, value string) {
+		m, ok := metrics[name]
+		if !ok {
+			m = &metric{typ: typ}
+			metrics[name] = m
+			names = append(names, name)
+		}
+		m.series = append(m.series, series{suffix: labels, value: value})
+	}
+	for _, s := range snaps {
+		reg := s.Name
+		for _, name := range s.SortedCounterNames() {
+			add(promName(name)+"_total", "counter",
+				fmt.Sprintf(`{registry=%q}`, reg), fmt.Sprintf("%d", s.Counters[name]))
+		}
+		for _, name := range s.SortedGaugeNames() {
+			add(promName(name), "gauge",
+				fmt.Sprintf(`{registry=%q}`, reg), fmt.Sprintf("%d", s.Gauges[name]))
+		}
+		for _, p := range s.SortedPhases() {
+			ps := s.Phases[p]
+			base := promNamespace + "_phase_" + promSanitize(string(p)) + "_seconds"
+			for _, q := range []struct {
+				q string
+				d time.Duration
+			}{{"0.5", ps.P50}, {"0.9", ps.P90}, {"0.99", ps.P99}} {
+				add(base, "summary",
+					fmt.Sprintf(`{registry=%q,quantile=%q}`, reg, q.q), promSeconds(q.d))
+			}
+			add(base+"_sum", "summary:sum",
+				fmt.Sprintf(`{registry=%q}`, reg), promSeconds(ps.Total))
+			add(base+"_count", "summary:count",
+				fmt.Sprintf(`{registry=%q}`, reg), fmt.Sprintf("%d", ps.Count))
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := metrics[name]
+		// The _sum/_count series of a summary belong to the base metric's
+		// TYPE declaration; they get no header of their own.
+		if m.typ != "summary:sum" && m.typ != "summary:count" {
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, m.typ)
+		}
+		for _, se := range m.series {
+			fmt.Fprintf(w, "%s%s %s\n", name, se.suffix, se.value)
+		}
+	}
+}
+
+// promName maps a registry counter/gauge name (dotted, e.g.
+// "nvm.main.fences") to a namespaced Prometheus metric name.
+func promName(name string) string {
+	return promNamespace + "_" + promSanitize(name)
+}
+
+// promSanitize rewrites a name into the Prometheus metric-name alphabet
+// [a-zA-Z0-9_:]; anything else (dots, dashes, slashes) becomes '_'. A
+// leading digit gains a '_' prefix.
+func promSanitize(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promSeconds formats a duration as seconds with nanosecond precision.
+func promSeconds(d time.Duration) string {
+	return fmt.Sprintf("%.9f", d.Seconds())
+}

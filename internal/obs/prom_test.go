@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromSanitize(t *testing.T) {
+	cases := map[string]string{
+		"commits":           "commits",
+		"nvm.main.fences":   "nvm_main_fences",
+		"chain/head-1":      "chain_head_1",
+		"9lives":            "_9lives",
+		"a:b_c":             "a:b_c",
+		"weird name\ttabs!": "weird_name_tabs_",
+	}
+	for in, want := range cases {
+		if got := promSanitize(in); got != want {
+			t.Errorf("promSanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func promFixture() []Snapshot {
+	r := New("kamino")
+	r.Counter("commits").Add(42)
+	r.Gauge("nvm.main.fences", func() uint64 { return 7 })
+	r.Phase(PhaseIntentPersist).Observe(2 * time.Millisecond)
+	r2 := New("chain/a")
+	r2.Counter("commits").Add(5)
+	return []Snapshot{r.Snapshot(), r2.Snapshot()}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	var buf bytes.Buffer
+	WriteProm(&buf, promFixture())
+	out := buf.String()
+
+	wantLines := []string{
+		"# TYPE kaminotx_commits_total counter",
+		`kaminotx_commits_total{registry="kamino"} 42`,
+		`kaminotx_commits_total{registry="chain/a"} 5`,
+		"# TYPE kaminotx_nvm_main_fences gauge",
+		`kaminotx_nvm_main_fences{registry="kamino"} 7`,
+		"# TYPE kaminotx_phase_intent_persist_seconds summary",
+		`kaminotx_phase_intent_persist_seconds{registry="kamino",quantile="0.5"} 0.002000000`,
+		`kaminotx_phase_intent_persist_seconds_sum{registry="kamino"} 0.002000000`,
+		`kaminotx_phase_intent_persist_seconds_count{registry="kamino"} 1`,
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\noutput:\n%s", want, out)
+		}
+	}
+	// The format allows exactly one TYPE header per metric name; _sum and
+	// _count must not get their own.
+	if n := strings.Count(out, "# TYPE kaminotx_commits_total"); n != 1 {
+		t.Errorf("commits_total TYPE header appears %d times, want 1", n)
+	}
+	if strings.Contains(out, "# TYPE kaminotx_phase_intent_persist_seconds_sum") ||
+		strings.Contains(out, "# TYPE kaminotx_phase_intent_persist_seconds_count") {
+		t.Errorf("summary _sum/_count must not have their own TYPE header:\n%s", out)
+	}
+	// Every TYPE header precedes all of its metric's series.
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		base := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+		hdr := strings.Index(out, "# TYPE "+base+" ")
+		if hdr < 0 || hdr > strings.Index(out, line) {
+			t.Errorf("series %q not preceded by its TYPE header", line)
+		}
+	}
+}
+
+func TestWritePromDeterministic(t *testing.T) {
+	snaps := promFixture()
+	var a, b bytes.Buffer
+	WriteProm(&a, snaps)
+	WriteProm(&b, snaps)
+	if a.String() != b.String() {
+		t.Errorf("two identical WriteProm calls differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	h := NewHub()
+	r := New("kamino")
+	r.Counter("commits").Inc()
+	h.Set("kamino", r)
+	r2 := New("undo")
+	r2.Counter("commits").Inc()
+	h.Set("undo", r2)
+
+	rec := httptest.NewRecorder()
+	h.PromHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want text exposition 0.0.4", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `kaminotx_commits_total{registry="kamino"} 1`) {
+		t.Errorf("body missing kamino series:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.PromHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?label=undo", nil))
+	body := rec.Body.String()
+	if strings.Contains(body, `registry="kamino"`) || !strings.Contains(body, `registry="undo"`) {
+		t.Errorf("?label=undo filter failed:\n%s", body)
+	}
+}

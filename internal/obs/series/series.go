@@ -1,0 +1,314 @@
+// Package series turns the process's live observability registries into
+// longitudinal telemetry: a periodic sampler snapshots every registry a
+// source (normally an obs.Hub) currently publishes into a timestamped ring
+// of samples, deriving per-interval rates — ops/s, fences and flushes per
+// op, backup-lag bytes/s — from the counter and gauge deltas.
+//
+// End-of-run breakdown tables collapse a whole experiment into sums; the
+// sampler keeps the curves. Backup-applier lag building up, a chain
+// replica's in-flight queue growing, group commit kicking in as load rises:
+// all are visible only as series. The benchmark harness starts one sampler
+// per experiment and embeds the window's samples in the BENCH_*.json
+// artifact; kaminobench additionally serves the live ring at /series.
+//
+// Sampling cost is one Snapshot per registry per tick (a short RLock plus
+// gauge reads) — lock-cheap relative to any measured workload, and zero
+// between ticks.
+package series
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"kaminotx/internal/obs"
+)
+
+// Source yields the current registry snapshots; *obs.Hub implements it.
+type Source interface {
+	Snapshots() []obs.Snapshot
+}
+
+// DefaultInterval is the sampling period when Options.Interval is zero:
+// fast enough that even a seconds-long experiment yields a usable curve,
+// slow enough to stay invisible next to the measured workload.
+const DefaultInterval = 200 * time.Millisecond
+
+// DefaultCapacity bounds the ring when Options.Capacity is zero (about 40
+// minutes of history at the default interval).
+const DefaultCapacity = 12000
+
+// Options tunes a Sampler.
+type Options struct {
+	// Interval between samples. Default DefaultInterval.
+	Interval time.Duration
+	// Capacity bounds the ring; the oldest samples drop when it wraps.
+	// Default DefaultCapacity.
+	Capacity int
+	// Now substitutes the clock (tests use a fake). Default time.Now.
+	Now func() time.Time
+}
+
+// Sample is one timestamped capture of every live registry.
+type Sample struct {
+	// Seq numbers samples from 0 monotonically, surviving ring wrap.
+	Seq uint64 `json:"seq"`
+	// Elapsed is the offset from the sampler's start — wall-clock-free so
+	// artifacts from different runs align.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Registries holds one entry per live registry, in hub order.
+	Registries []RegistrySample `json:"registries"`
+}
+
+// RegistrySample is one registry's state at a sample, plus rates derived
+// against the previous sample of the same registry name.
+type RegistrySample struct {
+	Name     string                          `json:"name"`
+	Counters map[string]uint64               `json:"counters,omitempty"`
+	Gauges   map[string]uint64               `json:"gauges,omitempty"`
+	Phases   map[obs.Phase]obs.PhaseSnapshot `json:"phases,omitempty"`
+	// Rates holds per-second rates for every counter and gauge that moved
+	// since the previous sample ("<name>/s"), plus derived per-operation
+	// costs when the interval committed transactions: "fences_per_op" and
+	// "flushes_per_op" (summed over every *.fences / *.flushes gauge,
+	// divided by the commit delta) and "backup_lag_bytes/s" (the
+	// bytes_copied_async delta — how fast the backup is catching up).
+	Rates map[string]float64 `json:"rates,omitempty"`
+}
+
+// Sampler periodically captures a Source into a bounded ring.
+type Sampler struct {
+	src      Source
+	interval time.Duration
+	capacity int
+	now      func() time.Time
+
+	mu      sync.Mutex
+	start   time.Time
+	ring    []Sample // ring[0] is the oldest retained sample
+	total   uint64   // samples ever taken
+	prev    map[string]RegistrySample
+	prevAt  time.Duration
+	stop    chan struct{}
+	stopped sync.WaitGroup
+	running bool
+}
+
+// New builds a sampler over src. Start begins periodic capture; SampleNow
+// takes one sample synchronously (tests drive a fake clock this way).
+func New(src Source, opts Options) *Sampler {
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultInterval
+	}
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultCapacity
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	s := &Sampler{
+		src:      src,
+		interval: opts.Interval,
+		capacity: opts.Capacity,
+		now:      opts.Now,
+		prev:     make(map[string]RegistrySample),
+	}
+	s.start = s.now()
+	return s
+}
+
+// Start launches the periodic sampling goroutine. Calling Start on a
+// running sampler is a no-op.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		return
+	}
+	s.running = true
+	s.stop = make(chan struct{})
+	stop := s.stop
+	s.mu.Unlock()
+	s.stopped.Add(1)
+	go func() {
+		defer s.stopped.Done()
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.SampleNow()
+			}
+		}
+	}()
+}
+
+// Stop halts periodic sampling and takes one final sample, so short
+// windows always end with the run's closing state. The ring is retained;
+// Start may be called again.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	if !s.running {
+		s.mu.Unlock()
+		return
+	}
+	s.running = false
+	close(s.stop)
+	s.mu.Unlock()
+	s.stopped.Wait()
+	s.SampleNow()
+}
+
+// SampleNow captures one sample synchronously and returns it.
+func (s *Sampler) SampleNow() Sample {
+	snaps := s.src.Snapshots() // outside s.mu: snapshotting takes registry locks
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	at := s.now().Sub(s.start)
+	dt := (at - s.prevAt).Seconds()
+	sample := Sample{Seq: s.total, Elapsed: at, Registries: make([]RegistrySample, 0, len(snaps))}
+	seen := make(map[string]struct{}, len(snaps))
+	for _, snap := range snaps {
+		rs := RegistrySample{
+			Name:     snap.Name,
+			Counters: snap.Counters,
+			Gauges:   snap.Gauges,
+			Phases:   snap.Phases,
+		}
+		if prev, ok := s.prev[snap.Name]; ok && dt > 0 {
+			rs.Rates = deriveRates(prev, rs, dt)
+		}
+		seen[snap.Name] = struct{}{}
+		sample.Registries = append(sample.Registries, rs)
+	}
+	// Forget registries that vanished (a pool closed): if the label
+	// reappears it is a new engine whose counters restart, and a rate
+	// against the old incarnation would be garbage (often negative).
+	for name := range s.prev {
+		if _, ok := seen[name]; !ok {
+			delete(s.prev, name)
+		}
+	}
+	for _, rs := range sample.Registries {
+		s.prev[rs.Name] = rs
+	}
+	s.prevAt = at
+	s.total++
+	s.ring = append(s.ring, sample)
+	if len(s.ring) > s.capacity {
+		s.ring = s.ring[len(s.ring)-s.capacity:]
+	}
+	return sample
+}
+
+// deriveRates computes per-second rates and per-op costs for one registry
+// over one interval. Counter deltas that would be negative (an engine
+// restarted under the same label between samples) are skipped.
+func deriveRates(prev, cur RegistrySample, dt float64) map[string]float64 {
+	rates := make(map[string]float64)
+	delta := func(prevV, curV uint64) (float64, bool) {
+		if curV < prevV {
+			return 0, false
+		}
+		return float64(curV - prevV), true
+	}
+	var fences, flushes, ops float64
+	for name, v := range cur.Counters {
+		d, ok := delta(prev.Counters[name], v)
+		if !ok {
+			return nil // restarted engine: no meaningful rates this interval
+		}
+		if d != 0 {
+			rates[name+"/s"] = d / dt
+		}
+		if name == "commits" || name == "applied" {
+			ops += d
+		}
+	}
+	for name, v := range cur.Gauges {
+		d, ok := delta(prev.Gauges[name], v)
+		if !ok {
+			return nil
+		}
+		if d != 0 {
+			rates[name+"/s"] = d / dt
+		}
+		switch {
+		case strings.HasSuffix(name, ".fences"):
+			fences += d
+		case strings.HasSuffix(name, ".flushes"):
+			flushes += d
+		case strings.HasSuffix(name, ".bytes_written") && strings.HasPrefix(name, "nvm.backup"):
+			rates["backup_lag_bytes/s"] = d / dt
+		}
+	}
+	if ops > 0 {
+		rates["ops/s"] = ops / dt
+		rates["fences_per_op"] = fences / ops
+		rates["flushes_per_op"] = flushes / ops
+	}
+	if len(rates) == 0 {
+		return nil
+	}
+	return rates
+}
+
+// Samples returns the retained ring, oldest first.
+func (s *Sampler) Samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, len(s.ring))
+	copy(out, s.ring)
+	return out
+}
+
+// Total reports how many samples have ever been taken (ring wrap does not
+// reset it); the harness uses it to slice one experiment's window out of a
+// process-long ring.
+func (s *Sampler) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Since returns the retained samples with Seq >= seq, oldest first.
+func (s *Sampler) Since(seq uint64) []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Sample
+	for _, sm := range s.ring {
+		if sm.Seq >= seq {
+			out = append(out, sm)
+		}
+	}
+	return out
+}
+
+// ServeHTTP serves the retained ring as a JSON document — the /series
+// endpoint. ?since=N restricts the reply to samples with Seq >= N, so a
+// poller can fetch increments.
+func (s *Sampler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	var since uint64
+	if q := req.URL.Query().Get("since"); q != "" {
+		n, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "series: bad since", http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	doc := struct {
+		Interval time.Duration `json:"interval_ns"`
+		Total    uint64        `json:"total"`
+		Samples  []Sample      `json:"samples"`
+	}{Interval: s.interval, Total: s.Total(), Samples: s.Since(since)}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}

@@ -1,0 +1,201 @@
+package series
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kaminotx/internal/obs"
+)
+
+// fakeSource is a hand-controlled Source backed by live registries.
+type fakeSource struct {
+	regs []*obs.Registry
+}
+
+func (f *fakeSource) Snapshots() []obs.Snapshot {
+	out := make([]obs.Snapshot, 0, len(f.regs))
+	for _, r := range f.regs {
+		out = append(out, r.Snapshot())
+	}
+	return out
+}
+
+// fakeClock advances only when told to, making rate math exact.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+func (c *fakeClock) fn() func() time.Time    { return func() time.Time { return c.now } }
+
+func TestSamplerRates(t *testing.T) {
+	reg := obs.New("kamino")
+	commits := reg.Counter("commits")
+	var fences atomic.Uint64
+	reg.Gauge("nvm.main.fences", func() uint64 { return fences.Load() })
+	var backup atomic.Uint64
+	reg.Gauge("nvm.backup.bytes_written", func() uint64 { return backup.Load() })
+
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	s := New(&fakeSource{regs: []*obs.Registry{reg}}, Options{Now: clk.fn()})
+
+	first := s.SampleNow() // baseline: no prior sample, no rates
+	if first.Registries[0].Rates != nil {
+		t.Errorf("first sample has rates: %v", first.Registries[0].Rates)
+	}
+
+	commits.Add(100)
+	fences.Store(300)
+	backup.Store(4096)
+	clk.advance(2 * time.Second)
+	sm := s.SampleNow()
+
+	rates := sm.Registries[0].Rates
+	if rates == nil {
+		t.Fatal("second sample has no rates")
+	}
+	want := map[string]float64{
+		"commits/s":          50,
+		"ops/s":              50,
+		"fences_per_op":      3,
+		"flushes_per_op":     0,
+		"backup_lag_bytes/s": 2048,
+	}
+	for name, v := range want {
+		if got := rates[name]; got != v {
+			t.Errorf("rates[%q] = %g, want %g", name, got, v)
+		}
+	}
+	if sm.Elapsed != 2*time.Second {
+		t.Errorf("Elapsed = %v, want 2s", sm.Elapsed)
+	}
+}
+
+func TestSamplerRestartedRegistry(t *testing.T) {
+	reg := obs.New("kamino")
+	reg.Counter("commits").Add(100)
+	src := &fakeSource{regs: []*obs.Registry{reg}}
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	s := New(src, Options{Now: clk.fn()})
+	s.SampleNow()
+
+	// Same label, fresh registry: counters went backwards.
+	fresh := obs.New("kamino")
+	fresh.Counter("commits").Add(10)
+	src.regs[0] = fresh
+	clk.advance(time.Second)
+	if rates := s.SampleNow().Registries[0].Rates; rates != nil {
+		t.Errorf("restarted registry produced rates: %v", rates)
+	}
+
+	// A registry that vanishes for a sample is forgotten: when the label
+	// reappears its first sample is a new baseline, not a bogus delta.
+	src.regs = nil
+	clk.advance(time.Second)
+	s.SampleNow()
+	again := obs.New("kamino")
+	again.Counter("commits").Add(1)
+	src.regs = []*obs.Registry{again}
+	clk.advance(time.Second)
+	if rates := s.SampleNow().Registries[0].Rates; rates != nil {
+		t.Errorf("reappeared registry produced rates against old incarnation: %v", rates)
+	}
+}
+
+func TestSamplerRingWrapAndSince(t *testing.T) {
+	reg := obs.New("kamino")
+	c := reg.Counter("commits")
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	s := New(&fakeSource{regs: []*obs.Registry{reg}}, Options{Capacity: 3, Now: clk.fn()})
+	for i := 0; i < 10; i++ {
+		c.Inc()
+		clk.advance(time.Second)
+		s.SampleNow()
+	}
+	if got := s.Total(); got != 10 {
+		t.Errorf("Total = %d, want 10", got)
+	}
+	samples := s.Samples()
+	if len(samples) != 3 {
+		t.Fatalf("ring holds %d samples, want 3", len(samples))
+	}
+	// Seq survives the wrap: the retained window is the newest three.
+	for i, sm := range samples {
+		if want := uint64(7 + i); sm.Seq != want {
+			t.Errorf("samples[%d].Seq = %d, want %d", i, sm.Seq, want)
+		}
+	}
+	if got := s.Since(9); len(got) != 1 || got[0].Seq != 9 {
+		t.Errorf("Since(9) = %+v, want one sample with Seq 9", got)
+	}
+	if got := s.Since(100); len(got) != 0 {
+		t.Errorf("Since(100) returned %d samples, want 0", len(got))
+	}
+}
+
+func TestSamplerStartStop(t *testing.T) {
+	reg := obs.New("kamino")
+	s := New(&fakeSource{regs: []*obs.Registry{reg}}, Options{Interval: time.Millisecond})
+	s.Start()
+	s.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Total() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Total() == 0 {
+		t.Fatal("sampler never ticked")
+	}
+	s.Stop()
+	total := s.Total()
+	if total == 0 {
+		t.Fatal("Stop dropped the final sample")
+	}
+	time.Sleep(5 * time.Millisecond)
+	if got := s.Total(); got != total {
+		t.Errorf("sampler still ticking after Stop: %d -> %d", total, got)
+	}
+	s.Stop() // idempotent
+}
+
+func TestSamplerServeHTTP(t *testing.T) {
+	reg := obs.New("kamino")
+	reg.Counter("commits").Inc()
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	s := New(&fakeSource{regs: []*obs.Registry{reg}}, Options{Now: clk.fn()})
+	s.SampleNow()
+	clk.advance(time.Second)
+	s.SampleNow()
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/series", nil))
+	var doc struct {
+		Interval time.Duration `json:"interval_ns"`
+		Total    uint64        `json:"total"`
+		Samples  []Sample      `json:"samples"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if doc.Total != 2 || len(doc.Samples) != 2 {
+		t.Errorf("total=%d samples=%d, want 2/2", doc.Total, len(doc.Samples))
+	}
+	if doc.Interval != DefaultInterval {
+		t.Errorf("interval = %v, want %v", doc.Interval, DefaultInterval)
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/series?since=1", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(doc.Samples) != 1 || doc.Samples[0].Seq != 1 {
+		t.Errorf("?since=1 returned %+v, want one sample with Seq 1", doc.Samples)
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/series?since=nope", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad since: status %d, want 400", rec.Code)
+	}
+}

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"kaminotx/internal/bench"
+)
+
+// loadArtifacts reads one BENCH_*.json file, or every one inside a
+// directory, keyed by experiment name.
+func loadArtifacts(path string) (map[string]*bench.Artifact, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	if info.IsDir() {
+		files, err = filepath.Glob(filepath.Join(path, "BENCH_*.json"))
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("%s: no BENCH_*.json artifacts", path)
+		}
+		sort.Strings(files)
+	} else {
+		files = []string{path}
+	}
+	arts := make(map[string]*bench.Artifact, len(files))
+	for _, f := range files {
+		art, err := bench.LoadArtifact(f)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := arts[art.Experiment]; dup {
+			return nil, fmt.Errorf("%s: experiment %q already loaded (duplicate of another artifact: %+v)", f, art.Experiment, prev.Config)
+		}
+		arts[art.Experiment] = art
+	}
+	return arts, nil
+}
+
+// cellDelta is one aligned cell's comparison. Positive OpsPct means NEW is
+// faster; positive MeanPct means NEW is slower (latency rose).
+type cellDelta struct {
+	Experiment string
+	Key        string
+	BaseOps    float64
+	CurOps     float64
+	OpsPct     float64
+	BaseMean   time.Duration
+	CurMean    time.Duration
+	MeanPct    float64
+	Regressed  bool
+}
+
+// report is the outcome of one diff: the aligned deltas, the cells present
+// on only one side, and the subset of deltas beyond the threshold.
+type report struct {
+	threshold   float64
+	deltas      []cellDelta
+	regressions []cellDelta
+	baseOnly    []string // "experiment: key" present only in BASE
+	curOnly     []string
+	missingExp  []string // experiments present on one side only
+	configNotes []string // config mismatches per experiment
+}
+
+// pctChange returns the percent change from base to cur, 0 when base is 0.
+func pctChange(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+// diffArtifacts aligns two artifact sets and computes per-cell deltas. A
+// cell regresses when its throughput drops, or its mean latency rises, by
+// more than thresholdPct percent (ignored when thresholdPct <= 0).
+func diffArtifacts(base, cur map[string]*bench.Artifact, thresholdPct float64) *report {
+	rep := &report{threshold: thresholdPct}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			rep.missingExp = append(rep.missingExp, fmt.Sprintf("%s: only in BASE", name))
+			continue
+		}
+		if b.Config != c.Config {
+			rep.configNotes = append(rep.configNotes,
+				fmt.Sprintf("%s: configs differ (base %+v, new %+v) — deltas may reflect the config, not the code", name, b.Config, c.Config))
+		}
+		curCells := make(map[string]bench.Cell, len(c.Cells))
+		for _, cell := range c.Cells {
+			curCells[cell.Key()] = cell
+		}
+		seen := make(map[string]bool, len(b.Cells))
+		for _, bc := range b.Cells {
+			key := bc.Key()
+			if seen[key] {
+				continue // repeated cell (an experiment measuring the same point twice); first wins
+			}
+			seen[key] = true
+			cc, ok := curCells[key]
+			if !ok {
+				rep.baseOnly = append(rep.baseOnly, name+": "+key)
+				continue
+			}
+			d := cellDelta{
+				Experiment: name,
+				Key:        key,
+				BaseOps:    bc.OpsPerSec,
+				CurOps:     cc.OpsPerSec,
+				OpsPct:     pctChange(bc.OpsPerSec, cc.OpsPerSec),
+				BaseMean:   bc.Mean,
+				CurMean:    cc.Mean,
+				MeanPct:    pctChange(float64(bc.Mean), float64(cc.Mean)),
+			}
+			if thresholdPct > 0 && (d.OpsPct < -thresholdPct || d.MeanPct > thresholdPct) {
+				d.Regressed = true
+				rep.regressions = append(rep.regressions, d)
+			}
+			rep.deltas = append(rep.deltas, d)
+		}
+		for _, cc := range c.Cells {
+			if !seen[cc.Key()] {
+				rep.curOnly = append(rep.curOnly, name+": "+cc.Key())
+				seen[cc.Key()] = true
+			}
+		}
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			rep.missingExp = append(rep.missingExp, fmt.Sprintf("%s: only in NEW", name))
+		}
+	}
+	sort.Strings(rep.missingExp)
+	return rep
+}
+
+// write renders the report as a fixed-width table plus alignment notes.
+func (r *report) write(w io.Writer) {
+	for _, note := range r.configNotes {
+		fmt.Fprintf(w, "warning: %s\n", note)
+	}
+	for _, note := range r.missingExp {
+		fmt.Fprintf(w, "warning: experiment %s\n", note)
+	}
+	for _, key := range r.baseOnly {
+		fmt.Fprintf(w, "warning: cell only in BASE — %s\n", key)
+	}
+	for _, key := range r.curOnly {
+		fmt.Fprintf(w, "warning: cell only in NEW — %s\n", key)
+	}
+	if len(r.deltas) == 0 {
+		fmt.Fprintln(w, "no aligned cells to compare")
+		return
+	}
+	fmt.Fprintf(w, "%-12s %-44s %12s %12s %8s %10s %10s %8s\n",
+		"experiment", "cell", "base op/s", "new op/s", "Δ%", "base mean", "new mean", "Δ%")
+	for _, d := range r.deltas {
+		mark := ""
+		if d.Regressed {
+			mark = "  << REGRESSION"
+		}
+		fmt.Fprintf(w, "%-12s %-44s %12.0f %12.0f %+7.1f%% %10s %10s %+7.1f%%%s\n",
+			d.Experiment, truncKey(d.Key, 44), d.BaseOps, d.CurOps, d.OpsPct,
+			fmtDur(d.BaseMean), fmtDur(d.CurMean), d.MeanPct, mark)
+	}
+	if r.threshold > 0 {
+		if len(r.regressions) > 0 {
+			fmt.Fprintf(w, "\n%d of %d cells regressed beyond %.1f%%\n",
+				len(r.regressions), len(r.deltas), r.threshold)
+		} else {
+			fmt.Fprintf(w, "\nall %d cells within %.1f%%\n", len(r.deltas), r.threshold)
+		}
+	}
+}
+
+// truncKey shortens long cell keys to fit the table column.
+func truncKey(key string, n int) string {
+	if len(key) <= n {
+		return key
+	}
+	return key[:n-1] + "…"
+}
+
+// fmtDur renders a latency compactly (µs below 10ms, ms above).
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < 10*time.Millisecond:
+		return strings.Replace(fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond)), ".0µs", "µs", 1)
+	default:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	}
+}

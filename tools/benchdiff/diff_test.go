@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"kaminotx/internal/bench"
+)
+
+func fixture(opsA, opsB float64, meanA, meanB time.Duration) map[string]*bench.Artifact {
+	return map[string]*bench.Artifact{
+		"fig12": {
+			Schema:     bench.ArtifactSchema,
+			Experiment: "fig12",
+			Config:     bench.ArtifactConfig{Keys: 1000, Threads: 2},
+			Cells: []bench.Cell{
+				{Engine: "kamino", Workload: "YCSB-A", Threads: 2, Alpha: 1, OpsPerSec: opsA, Mean: meanA},
+				{Engine: "undo", Workload: "YCSB-A", Threads: 2, OpsPerSec: opsB, Mean: meanB},
+			},
+		},
+	}
+}
+
+func TestSelfCompareIsAllZero(t *testing.T) {
+	base := fixture(1000, 500, time.Millisecond, 2*time.Millisecond)
+	rep := diffArtifacts(base, base, 5)
+	if len(rep.regressions) != 0 {
+		t.Fatalf("self-compare found regressions: %+v", rep.regressions)
+	}
+	if len(rep.deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(rep.deltas))
+	}
+	for _, d := range rep.deltas {
+		if d.OpsPct != 0 || d.MeanPct != 0 {
+			t.Errorf("self-compare delta nonzero: %+v", d)
+		}
+	}
+}
+
+func TestThroughputDropRegresses(t *testing.T) {
+	base := fixture(1000, 500, time.Millisecond, 2*time.Millisecond)
+	cur := fixture(900, 500, time.Millisecond, 2*time.Millisecond) // kamino -10%
+	rep := diffArtifacts(base, cur, 5)
+	if len(rep.regressions) != 1 {
+		t.Fatalf("got %d regressions, want 1: %+v", len(rep.regressions), rep.deltas)
+	}
+	if !strings.Contains(rep.regressions[0].Key, "kamino") {
+		t.Errorf("wrong cell flagged: %+v", rep.regressions[0])
+	}
+	// Same drop under a looser gate passes.
+	if rep := diffArtifacts(base, cur, 15); len(rep.regressions) != 0 {
+		t.Errorf("10%% drop regressed a 15%% gate: %+v", rep.regressions)
+	}
+	// Threshold 0 is report-only: nothing ever regresses.
+	if rep := diffArtifacts(base, cur, 0); len(rep.regressions) != 0 {
+		t.Errorf("report-only mode flagged regressions: %+v", rep.regressions)
+	}
+}
+
+func TestLatencyRiseRegresses(t *testing.T) {
+	base := fixture(1000, 500, time.Millisecond, 2*time.Millisecond)
+	cur := fixture(1000, 500, 2*time.Millisecond, 2*time.Millisecond) // kamino mean +100%
+	rep := diffArtifacts(base, cur, 50)
+	if len(rep.regressions) != 1 {
+		t.Fatalf("latency rise not flagged: %+v", rep.deltas)
+	}
+	// A throughput gain alongside must not mask it; and a latency *drop*
+	// never regresses.
+	cur = fixture(1000, 500, time.Microsecond, 2*time.Millisecond)
+	if rep := diffArtifacts(base, cur, 50); len(rep.regressions) != 0 {
+		t.Errorf("latency improvement flagged: %+v", rep.regressions)
+	}
+}
+
+func TestAlignmentWarnings(t *testing.T) {
+	base := fixture(1000, 500, time.Millisecond, 2*time.Millisecond)
+	cur := fixture(1000, 500, time.Millisecond, 2*time.Millisecond)
+	cur["fig12"].Cells = cur["fig12"].Cells[:1] // undo cell missing in NEW
+	cur["fig12"].Config.Keys = 2000             // config drift
+	cur["chainscale"] = &bench.Artifact{Schema: bench.ArtifactSchema, Experiment: "chainscale"}
+	rep := diffArtifacts(base, cur, 0)
+	var buf bytes.Buffer
+	rep.write(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"cell only in BASE",
+		"configs differ",
+		"chainscale: only in NEW",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if len(rep.deltas) != 1 {
+		t.Errorf("got %d aligned deltas, want 1", len(rep.deltas))
+	}
+}
+
+func TestLoadArtifactsDir(t *testing.T) {
+	dir := t.TempDir()
+	art := fixture(1000, 500, time.Millisecond, 2*time.Millisecond)["fig12"]
+	if _, err := bench.WriteArtifact(dir, art); err != nil {
+		t.Fatal(err)
+	}
+	arts, err := loadArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 1 || arts["fig12"] == nil {
+		t.Fatalf("dir load = %v", arts)
+	}
+	single, err := loadArtifacts(dir + "/BENCH_fig12.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single["fig12"] == nil {
+		t.Fatal("file load failed")
+	}
+	if _, err := loadArtifacts(t.TempDir()); err == nil {
+		t.Error("empty dir did not error")
+	}
+}

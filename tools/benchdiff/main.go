@@ -1,0 +1,54 @@
+// Command benchdiff compares two benchmark artifacts (or directories of
+// them) produced by `kaminobench -bench-out` and reports per-cell deltas.
+//
+// Usage:
+//
+//	benchdiff [-threshold PCT] BASE NEW
+//
+// BASE and NEW are BENCH_*.json files or directories containing them.
+// Artifacts align by experiment name, cells by their key (engine,
+// workload, threads, alpha, and dimension params), so runs regenerated
+// with the same configuration diff cell-for-cell.
+//
+// With the default -threshold 0, benchdiff is report-only and always
+// exits 0 (CI runs it this way to annotate a PR without gating). With
+// -threshold PCT > 0, a throughput drop or mean-latency rise of more than
+// PCT percent in any aligned cell makes benchdiff exit 1. Load and usage
+// errors exit 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0,
+		"regression gate in percent: exit 1 when throughput drops or mean latency rises by more than this (0 = report-only)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold PCT] BASE NEW\n")
+		fmt.Fprintf(os.Stderr, "  BASE, NEW: BENCH_*.json artifacts or directories of them\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := loadArtifacts(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := loadArtifacts(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	rep := diffArtifacts(base, cur, *threshold)
+	rep.write(os.Stdout)
+	if *threshold > 0 && len(rep.regressions) > 0 {
+		os.Exit(1)
+	}
+}
