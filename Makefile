@@ -13,12 +13,14 @@ test:
 vet:
 	$(GO) vet ./...
 
-# race runs the measurement layer and every engine under the race detector:
-# the shared Timer/Collector, the workload generators, the engines'
-# counter/phase instrumentation, and the trace recorder are all touched
-# from multiple goroutines.
+# race runs the measurement layer, every engine, and the sharded
+# concurrency layers under the race detector: the shared Timer/Collector,
+# the workload generators, the engines' counter/phase instrumentation, the
+# trace recorder, and the striped locktable / per-shard heap arenas /
+# partitioned intent log / striped NVM line mutexes are all touched from
+# multiple goroutines.
 race:
-	$(GO) test -race ./internal/stats/... ./internal/workload/... ./internal/engine/... ./internal/obs/... ./internal/trace/... ./kamino/...
+	$(GO) test -race ./internal/stats/... ./internal/workload/... ./internal/engine/... ./internal/obs/... ./internal/trace/... ./kamino/... ./internal/locktable/... ./internal/heap/... ./internal/intentlog/... ./internal/nvm/... ./internal/pbtree/...
 
 # doccheck fails if any exported identifier under internal/ or kamino/
 # lacks a godoc comment (see tools/doccheck for the exact rules).
@@ -38,7 +40,7 @@ bench: build
 # checked-in baselines.
 BENCH_JSON_FLAGS = -keys 2000 -ops 500 -threads 2 -bench-out out
 bench-json: build
-	$(GO) run ./cmd/kaminobench -experiment fig12,chainscale $(BENCH_JSON_FLAGS)
+	$(GO) run ./cmd/kaminobench -experiment fig12,chainscale,threadscale $(BENCH_JSON_FLAGS)
 
 benchdiff: bench-json
 	$(GO) run ./tools/benchdiff . out

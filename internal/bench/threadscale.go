@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+
+	"kaminotx/internal/workload"
+	"kaminotx/kamino"
+)
+
+// threadScaleThreads and threadScaleShards are the sweep axes of the
+// ThreadScale experiment.
+var (
+	threadScaleThreads = []int{1, 8, 16, 32, 48, 96}
+	threadScaleShards  = []int{1, 4, 16}
+)
+
+// ThreadScale measures how concurrency sharding of the volatile layers
+// (lock-table buckets, heap arenas, intent-log slot groups) changes
+// Kamino-Tx-Simple throughput as client threads scale past the core count.
+// The workload is 100% Zipfian updates — the worst case for a coarse lock
+// table, where every transaction write-locks a warm key and read-locks the
+// hot B+Tree interior nodes. With a single lock bucket every unlock
+// broadcasts to every waiter in the process (a thundering herd that grows
+// with the thread count); sharding wakes only the waiters of the same
+// bucket. Expected shape: near-parity at 1 thread, and a widening gap as
+// threads grow, flattening once the shard count exceeds the effective
+// contention width.
+func ThreadScale(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	// This experiment isolates the volatile concurrency structures, so it
+	// always runs at NVDIMM speed (zero injected flush/fence latency, the
+	// paper's testbed). With modeled device latency in place, every config
+	// spends its core budget in the latency spin loop and the sharding
+	// delta drowns; see chainscale for the same ignore-the-knob precedent.
+	cfg.FlushLatency = 0
+	cfg.FenceLatency = 0
+	header(cfg.Out, "Thread scaling: Kamino-Tx-Simple throughput vs concurrency shards (K ops/sec)",
+		"expected shape: parity at 1 thread; sharded layers pull ahead as threads grow past the core count")
+	fmt.Fprintf(cfg.Out, "%-8s", "threads")
+	for _, s := range threadScaleShards {
+		fmt.Fprintf(cfg.Out, " %12s", fmt.Sprintf("shards=%d", s))
+	}
+	fmt.Fprintf(cfg.Out, " %10s\n", "best/1")
+	for _, th := range threadScaleThreads {
+		fmt.Fprintf(cfg.Out, "%-8d", th)
+		var base, best float64
+		for _, s := range threadScaleShards {
+			r, err := cfg.threadScaleRun(th, s)
+			if err != nil {
+				return err
+			}
+			if s == threadScaleShards[0] {
+				base = r.OpsPerSec
+			}
+			if r.OpsPerSec > best {
+				best = r.OpsPerSec
+			}
+			fmt.Fprintf(cfg.Out, " %12.1f", r.OpsPerSec/1000)
+		}
+		ratio := 0.0
+		if base > 0 {
+			ratio = best / base
+		}
+		fmt.Fprintf(cfg.Out, " %9.2fx\n", ratio)
+	}
+	cfg.printBreakdown()
+	return nil
+}
+
+// threadScaleRun loads a fresh store with the given shard count and drives
+// the pure-update Zipfian workload with threads workers.
+func (c Config) threadScaleRun(threads, shards int) (Result, error) {
+	c.Shards = shards
+	pool, store, err := c.loadStore(kamino.ModeSimple, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	defer pool.Close()
+	r, err := c.runYCSB(store, workload.Mix{Update: 100}, threads)
+	if err != nil {
+		return Result{}, err
+	}
+	c.collect(pool)
+	c.recordCell(Cell{
+		Engine:   pool.Obs().Name(),
+		Workload: "threadscale",
+		Threads:  threads,
+		Params:   map[string]float64{"shards": float64(shards)},
+	}.withResult(r))
+	return r, nil
+}

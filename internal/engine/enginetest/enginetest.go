@@ -61,6 +61,7 @@ func Run(t *testing.T, f Factory) {
 		t.Run("CrashMidTxAllocRollsBack", func(t *testing.T) { testCrashMidAlloc(t, f) })
 		t.Run("PropertyCrashAtomicity", func(t *testing.T) { testPropertyCrashAtomicity(t, f) })
 	}
+	RunConcurrency(t, f)
 }
 
 // mustAlloc creates and commits an object with the given contents,

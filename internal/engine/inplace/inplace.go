@@ -88,6 +88,14 @@ type PendingObj struct {
 
 // New formats fresh regions and returns an engine.
 func New(heapReg, logReg *nvm.Region, logCfg intentlog.Config) (*Engine, error) {
+	return NewSharded(heapReg, logReg, logCfg, 0)
+}
+
+// NewSharded is New with an explicit concurrency shard count for the lock
+// table, heap allocator, and intent-log free-slot pool (0 selects each
+// layer's default). Sharding is volatile-only; it never changes what is
+// written to NVM.
+func NewSharded(heapReg, logReg *nvm.Region, logCfg intentlog.Config, shards int) (*Engine, error) {
 	h, err := heap.Format(heapReg)
 	if err != nil {
 		return nil, err
@@ -97,13 +105,21 @@ func New(heapReg, logReg *nvm.Region, logCfg intentlog.Config) (*Engine, error) 
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(h, l, heapReg, logReg), nil
+	e := newEngine(h, l, heapReg, logReg)
+	e.reshard(shards)
+	return e, nil
 }
 
 // Open attaches to existing regions and runs local recovery. If the result
 // has pending transactions (PendingRecovery non-empty), the caller MUST
 // resolve them via ResolvePending before Begin.
 func Open(heapReg, logReg *nvm.Region) (*Engine, error) {
+	return OpenSharded(heapReg, logReg, 0)
+}
+
+// OpenSharded is Open with an explicit concurrency shard count (see
+// NewSharded).
+func OpenSharded(heapReg, logReg *nvm.Region, shards int) (*Engine, error) {
 	h, err := heap.Attach(heapReg)
 	if err != nil {
 		return nil, err
@@ -119,7 +135,20 @@ func Open(heapReg, logReg *nvm.Region) (*Engine, error) {
 	if err := h.Rescan(); err != nil {
 		return nil, err
 	}
+	e.reshard(shards)
 	return e, nil
+}
+
+// reshard retunes the volatile concurrency structures. Called only between
+// construction/recovery and the first transaction, while no locks are held
+// and no slots are in flight.
+func (e *Engine) reshard(n int) {
+	if n <= 0 {
+		return
+	}
+	e.locks = locktable.NewSharded(n)
+	e.heap.SetShards(n)
+	e.log.SetShards(n)
 }
 
 // Name implements engine.Engine.

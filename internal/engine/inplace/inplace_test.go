@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"kaminotx/internal/engine/enginetest"
 	"kaminotx/internal/engine/inplace"
 	"kaminotx/internal/heap"
 	"kaminotx/internal/intentlog"
@@ -67,6 +68,21 @@ func TestCommitAndReopen(t *testing.T) {
 	if string(b[:12]) != "replica data" {
 		t.Errorf("data lost: %q", b[:12])
 	}
+}
+
+// The in-place engine cannot abort, so it runs only the concurrency half
+// of the conformance suite: parallel disjoint-key transactions with the
+// trace audited for store-without-intent violations. (CrashMidBurst needs
+// rollback, which in-place delegates to neighbour replicas.)
+func TestConcurrencyConformance(t *testing.T) {
+	enginetest.RunConcurrency(t, enginetest.Factory{
+		Name:   "inplace",
+		Atomic: false,
+		New: func(t *testing.T) *enginetest.Instance {
+			e, _, _ := newEngine(t)
+			return &enginetest.Instance{Engine: e}
+		},
+	})
 }
 
 func TestAbortUnsupported(t *testing.T) {

@@ -38,10 +38,19 @@ type Config struct {
 	// with DataBytesPerSlot forced to 0 — Kamino-Tx never logs data.
 	Log intentlog.Config
 
-	// ApplierWorkers is the number of background backup-sync goroutines.
-	// Defaults to 1; committed transactions never overlap on objects, so
-	// any worker count is safe.
+	// ApplierWorkers is the number of background backup-sync goroutines,
+	// each with its own queue; a committed transaction is routed to a
+	// worker by its first object's shard, so per-object copy-back order
+	// is preserved (and any routing is safe: a tx's locks are held until
+	// its sync completes, so two queued txs never share an object).
+	// Defaults to GOMAXPROCS/2, minimum 1.
 	ApplierWorkers int
+
+	// Shards tunes the concurrency sharding of the layers under the
+	// engine: lock-table buckets, heap allocator shards, and intent-log
+	// free-slot shards. Zero selects each layer's default; persistent
+	// formats are shard-oblivious, so any value can reopen any image.
+	Shards int
 
 	// GroupCommit routes commit-marker persists through a dedicated
 	// committer goroutine that absorbs concurrent transactions' markers
@@ -61,7 +70,10 @@ func (c Config) withDefaults() Config {
 		}
 	}
 	if c.ApplierWorkers <= 0 {
-		c.ApplierWorkers = 1
+		c.ApplierWorkers = runtime.GOMAXPROCS(0) / 2
+		if c.ApplierWorkers < 1 {
+			c.ApplierWorkers = 1
+		}
 	}
 	return c
 }
@@ -76,8 +88,8 @@ type Engine struct {
 	dynamic bool
 	obs     *obs.Registry
 
-	applyCh  chan applyReq
-	commitCh chan commitReq // nil unless Config.GroupCommit
+	applyChs []chan applyReq // one queue per applier worker
+	commitCh chan commitReq  // nil unless Config.GroupCommit
 	wg       sync.WaitGroup // applier + committer goroutines
 	inFlt    sync.WaitGroup // outstanding post-commit syncs
 	pending  atomic.Int64   // committed txs whose backup sync hasn't finished
@@ -139,7 +151,9 @@ func New(mainReg, backupReg, logReg *nvm.Region, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	locks := locktable.New()
+	h.SetShards(cfg.Shards)
+	l.SetShards(cfg.Shards)
+	locks := locktable.NewSharded(cfg.Shards)
 	dynamic := backupReg.Size() < mainReg.Size()
 	o := newRegistry(dynamic, mainReg, backupReg, logReg)
 	var be backend
@@ -173,7 +187,9 @@ func Open(mainReg, backupReg, logReg *nvm.Region, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	locks := locktable.New()
+	h.SetShards(cfg.Shards)
+	l.SetShards(cfg.Shards)
+	locks := locktable.NewSharded(cfg.Shards)
 	dynamic := backupReg.Size() < mainReg.Size()
 	o := newRegistry(dynamic, mainReg, backupReg, logReg)
 	var be backend
@@ -242,11 +258,30 @@ func newEngine(h *heap.Heap, l *intentlog.Log, locks *locktable.Table, be backen
 }
 
 func (e *Engine) start(cfg Config) {
-	e.applyCh = make(chan applyReq, e.log.Config().Slots)
+	e.applyChs = make([]chan applyReq, cfg.ApplierWorkers)
+	for i := range e.applyChs {
+		e.applyChs[i] = make(chan applyReq, e.log.Config().Slots)
+	}
 	// Live lag gauges: how much committed work the backup appliers still
-	// owe. queue_depth counts requests parked in the channel; pending_txs
-	// additionally includes the ones a worker is currently rolling forward.
-	e.obs.Gauge("backup_queue_depth", func() uint64 { return uint64(len(e.applyCh)) })
+	// owe. queue_depth counts requests parked across all worker queues
+	// (with a per-worker breakdown when there is more than one);
+	// pending_txs additionally includes the ones workers are currently
+	// rolling forward.
+	e.obs.Gauge("backup_queue_depth", func() uint64 {
+		var n uint64
+		for _, ch := range e.applyChs {
+			n += uint64(len(ch))
+		}
+		return n
+	})
+	if len(e.applyChs) > 1 {
+		for i := range e.applyChs {
+			ch := e.applyChs[i]
+			e.obs.Gauge(fmt.Sprintf("backup_queue_depth.%d", i), func() uint64 {
+				return uint64(len(ch))
+			})
+		}
+	}
 	e.obs.Gauge("backup_pending_txs", func() uint64 {
 		if n := e.pending.Load(); n > 0 {
 			return uint64(n)
@@ -255,7 +290,7 @@ func (e *Engine) start(cfg Config) {
 	})
 	for i := 0; i < cfg.ApplierWorkers; i++ {
 		e.wg.Add(1)
-		go e.applier()
+		go e.applier(e.applyChs[i])
 	}
 	if cfg.GroupCommit {
 		e.commitCh = make(chan commitReq, e.log.Config().Slots)
@@ -326,10 +361,10 @@ func (e *Engine) nextCommit() (commitReq, bool) {
 // microseconds to wake, which would be charged to every dependent
 // transaction's critical path — on real hardware the backup writer is a
 // polling thread for exactly this reason.
-func (e *Engine) applier() {
+func (e *Engine) applier(ch chan applyReq) {
 	defer e.wg.Done()
 	for {
-		req, ok := e.nextReq()
+		req, ok := e.nextReq(ch)
 		if !ok {
 			return
 		}
@@ -351,17 +386,37 @@ var applierSpins = func() int {
 	return 2000
 }()
 
-func (e *Engine) nextReq() (applyReq, bool) {
+func (e *Engine) nextReq(ch chan applyReq) (applyReq, bool) {
 	for i := 0; i < applierSpins; i++ {
 		select {
-		case req, ok := <-e.applyCh:
+		case req, ok := <-ch:
 			return req, ok
 		default:
 			runtime.Gosched()
 		}
 	}
-	req, ok := <-e.applyCh
+	req, ok := <-ch
 	return req, ok
+}
+
+// routeApply picks the worker queue for a committed transaction: the shard
+// of its smallest object id (map iteration order is random, so the minimum
+// makes routing deterministic per write-set). Any choice is correct — the
+// tx's write locks are held until applyOne finishes, so no two queued
+// requests share an object — but shard-stable routing keeps a hot object's
+// copy-backs on one worker.
+func (e *Engine) routeApply(objs []lockedObj) chan applyReq {
+	if len(e.applyChs) == 1 || len(objs) == 0 {
+		return e.applyChs[0]
+	}
+	min := objs[0].obj
+	for _, lo := range objs[1:] {
+		if lo.obj < min {
+			min = lo.obj
+		}
+	}
+	h := uint64(min) * 0x9e3779b97f4a7c15 >> 32
+	return e.applyChs[h%uint64(len(e.applyChs))]
 }
 
 func (e *Engine) applyOne(req applyReq) error {
@@ -443,7 +498,9 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.inFlt.Wait()
-	close(e.applyCh)
+	for _, ch := range e.applyChs {
+		close(ch)
+	}
 	if e.commitCh != nil {
 		close(e.commitCh)
 	}
@@ -789,7 +846,7 @@ func (t *tx) Commit() error {
 	t.e.commits.Add(1)
 	t.e.inFlt.Add(1)
 	t.e.pending.Add(1)
-	t.e.applyCh <- applyReq{tl: t.tl, owner: t.owner(), objs: objs, committedAt: time.Now()}
+	t.e.routeApply(objs) <- applyReq{tl: t.tl, owner: t.owner(), objs: objs, committedAt: time.Now()}
 	return nil
 }
 

@@ -49,21 +49,48 @@ func newEngine(h *heap.Heap, reg *nvm.Region) *Engine {
 
 // New creates an engine over a freshly formatted heap region.
 func New(reg *nvm.Region) (*Engine, error) {
+	return NewSharded(reg, 0)
+}
+
+// NewSharded is New with an explicit concurrency shard count for the lock
+// table and heap allocator (0 selects each layer's default). Sharding is
+// volatile-only; it never changes what is written to NVM.
+func NewSharded(reg *nvm.Region, shards int) (*Engine, error) {
 	h, err := heap.Format(reg)
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(h, reg), nil
+	e := newEngine(h, reg)
+	e.reshard(shards)
+	return e, nil
 }
 
 // Open attaches to an existing heap region. There is nothing to recover —
 // that is the point of this baseline.
 func Open(reg *nvm.Region) (*Engine, error) {
+	return OpenSharded(reg, 0)
+}
+
+// OpenSharded is Open with an explicit concurrency shard count (see
+// NewSharded).
+func OpenSharded(reg *nvm.Region, shards int) (*Engine, error) {
 	h, err := heap.Open(reg)
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(h, reg), nil
+	e := newEngine(h, reg)
+	e.reshard(shards)
+	return e, nil
+}
+
+// reshard retunes the volatile concurrency structures. Called only between
+// construction and the first transaction, while no locks are held.
+func (e *Engine) reshard(n int) {
+	if n <= 0 {
+		return
+	}
+	e.locks = locktable.NewSharded(n)
+	e.heap.SetShards(n)
 }
 
 // Name implements engine.Engine.

@@ -58,6 +58,14 @@ func newEngine(h *heap.Heap, l *intentlog.Log, heapReg, logReg *nvm.Region) *Eng
 
 // New formats a fresh heap and log and returns an engine over them.
 func New(heapReg, logReg *nvm.Region, logCfg intentlog.Config) (*Engine, error) {
+	return NewSharded(heapReg, logReg, logCfg, 0)
+}
+
+// NewSharded is New with an explicit concurrency shard count for the lock
+// table, heap allocator, and intent-log free-slot pool (0 selects each
+// layer's default). Sharding is volatile-only; it never changes what is
+// written to NVM.
+func NewSharded(heapReg, logReg *nvm.Region, logCfg intentlog.Config, shards int) (*Engine, error) {
 	h, err := heap.Format(heapReg)
 	if err != nil {
 		return nil, err
@@ -66,12 +74,20 @@ func New(heapReg, logReg *nvm.Region, logCfg intentlog.Config) (*Engine, error) 
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(h, l, heapReg, logReg), nil
+	e := newEngine(h, l, heapReg, logReg)
+	e.reshard(shards)
+	return e, nil
 }
 
 // Open attaches to existing regions, runs crash recovery, and rebuilds the
 // heap free lists.
 func Open(heapReg, logReg *nvm.Region) (*Engine, error) {
+	return OpenSharded(heapReg, logReg, 0)
+}
+
+// OpenSharded is Open with an explicit concurrency shard count (see
+// NewSharded).
+func OpenSharded(heapReg, logReg *nvm.Region, shards int) (*Engine, error) {
 	h, err := heap.Attach(heapReg)
 	if err != nil {
 		return nil, err
@@ -87,7 +103,20 @@ func Open(heapReg, logReg *nvm.Region) (*Engine, error) {
 	if err := h.Rescan(); err != nil {
 		return nil, err
 	}
+	e.reshard(shards)
 	return e, nil
+}
+
+// reshard retunes the volatile concurrency structures. Called only between
+// construction/recovery and the first transaction, while no locks are held
+// and no slots are in flight.
+func (e *Engine) reshard(n int) {
+	if n <= 0 {
+		return
+	}
+	e.locks = locktable.NewSharded(n)
+	e.heap.SetShards(n)
+	e.log.SetShards(n)
 }
 
 // Name implements engine.Engine.

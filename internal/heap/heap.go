@@ -26,7 +26,9 @@ package heap
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"kaminotx/internal/nvm"
 )
@@ -83,12 +85,126 @@ func classFor(size int) int {
 }
 
 // Heap is a persistent object heap bound to one NVM region.
+//
+// The persistent layout is shard-oblivious — one bump pointer, one linear
+// run of blocks — but the volatile allocator state is sharded: each shard
+// owns size-class free lists under its own mutex, and the bump pointer has
+// a dedicated carve mutex. An allocating goroutine is steered to a
+// processor-affine shard; when that shard's list for the class is empty it
+// steals from the neighbours before carving fresh space, so freed blocks
+// are always reused before the heap grows. Carves take a whole chunk of
+// same-class blocks at once (one bump persist, one contiguous header
+// persist), amortizing the allocation fences that would otherwise
+// serialize concurrent allocators on the carve mutex.
 type Heap struct {
 	reg *nvm.Region
 
+	carveMu sync.Mutex    // serializes bump carves
+	bump    atomic.Uint64 // volatile mirror of the persistent bump pointer
+
+	shards []heapShard
+	rr     atomic.Uint32 // round-robin seed for fresh shard hints
+	hints  sync.Pool     // *shardHint, processor-affine
+}
+
+// heapShard is one stripe of the volatile free lists. Padded so shards on
+// adjacent cache lines don't false-share under concurrent alloc/free.
+type heapShard struct {
 	mu   sync.Mutex
-	bump uint64 // volatile mirror of the persistent bump pointer
 	free map[int][]ObjID
+	_    [40]byte
+}
+
+// shardHint remembers which shard a processor last allocated from.
+// sync.Pool keeps it P-local, which is as close to CPU affinity as
+// portable Go gets; correctness never depends on the hint (every path
+// falls back to scanning all shards), only locality does.
+type shardHint struct{ idx uint32 }
+
+// DefaultShards returns the allocator shard count used when SetShards was
+// never called (or called with n <= 0): GOMAXPROCS rounded up to a power
+// of two, clamped to [1, 16].
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		n = 16
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// maxHeapShards bounds SetShards requests; past this the per-shard maps
+// cost more than the contention they avoid.
+const maxHeapShards = 4096
+
+// initShards installs n (normalized) empty shards and wires the hint pool.
+func (h *Heap) initShards(n int) {
+	if n <= 0 {
+		n = DefaultShards()
+	}
+	if n > maxHeapShards {
+		n = maxHeapShards
+	}
+	h.shards = make([]heapShard, n)
+	for i := range h.shards {
+		h.shards[i].free = make(map[int][]ObjID)
+	}
+	h.hints.New = func() any {
+		return &shardHint{idx: h.rr.Add(1) - 1}
+	}
+}
+
+// SetShards resizes the volatile allocator to n shards (n <= 0 restores
+// DefaultShards), redistributing any existing free lists deterministically
+// (list order is preserved; block i of a class goes to shard i mod n). Not
+// safe concurrently with allocation; engines call it right after
+// Format/Attach/Open, before transactions start.
+func (h *Heap) SetShards(n int) {
+	lists := h.collectFree()
+	h.initShards(n)
+	h.scatterFree(lists)
+}
+
+// ShardCount reports the allocator shard count (test hook).
+func (h *Heap) ShardCount() int { return len(h.shards) }
+
+// collectFree drains every shard's free lists into one per-class list,
+// ordered by shard index then list position (deterministic for a given
+// prior distribution).
+func (h *Heap) collectFree() map[int][]ObjID {
+	out := make(map[int][]ObjID)
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		for cls, list := range s.free {
+			out[cls] = append(out[cls], list...)
+		}
+		s.free = make(map[int][]ObjID)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// scatterFree deals per-class lists round-robin across the shards.
+func (h *Heap) scatterFree(lists map[int][]ObjID) {
+	n := len(h.shards)
+	for cls, list := range lists {
+		for i, obj := range list {
+			s := &h.shards[i%n]
+			s.free[cls] = append(s.free[cls], obj)
+		}
+	}
+}
+
+// hintShard returns the processor-affine shard index for this goroutine.
+func (h *Heap) hintShard() int {
+	v := h.hints.Get().(*shardHint)
+	idx := int(v.idx) % len(h.shards)
+	h.hints.Put(v)
+	return idx
 }
 
 // Errors returned by heap operations.
@@ -127,7 +243,10 @@ func Format(reg *nvm.Region) (*Heap, error) {
 	if err := reg.Persist(0, headerSize); err != nil {
 		return nil, err
 	}
-	return &Heap{reg: reg, bump: headerSize, free: make(map[int][]ObjID)}, nil
+	h := &Heap{reg: reg}
+	h.bump.Store(headerSize)
+	h.initShards(0)
+	return h, nil
 }
 
 // Attach binds to an already formatted heap without scanning it. The caller
@@ -152,7 +271,10 @@ func Attach(reg *nvm.Region) (*Heap, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Heap{reg: reg, bump: bump, free: make(map[int][]ObjID)}, nil
+	h := &Heap{reg: reg}
+	h.bump.Store(bump)
+	h.initShards(0)
+	return h, nil
 }
 
 // Open attaches to a formatted heap and rebuilds the free lists. Use when
@@ -173,12 +295,16 @@ func Open(reg *nvm.Region) (*Heap, error) {
 func (h *Heap) Region() *nvm.Region { return h.reg }
 
 // Rescan walks all block headers and rebuilds the volatile free lists.
+// Distribution across shards is deterministic: free blocks are collected
+// in scan (address) order and dealt round-robin per class, so two rescans
+// of the same persistent image always produce identical per-shard lists.
+// Not safe concurrently with allocation (run it before transactions, as
+// Open and engine recovery do).
 func (h *Heap) Rescan() error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.free = make(map[int][]ObjID)
+	bump := h.bump.Load()
+	found := make(map[int][]ObjID)
 	off := uint64(headerSize)
-	for off < h.bump {
+	for off < bump {
 		size, err := h.reg.Load32(int(off) + bhSize)
 		if err != nil {
 			return err
@@ -188,19 +314,26 @@ func (h *Heap) Rescan() error {
 			return err
 		}
 		if size == 0 || size%blockAlign != 0 || int(size) > MaxAlloc ||
-			off+BlockHeaderSize+uint64(size) > h.bump ||
+			off+BlockHeaderSize+uint64(size) > bump ||
 			(state != stateFree && state != stateAlloc) {
 			return fmt.Errorf("%w: block at %d size=%d state=%d bump=%d",
-				ErrCorruptScan, off, size, state, h.bump)
+				ErrCorruptScan, off, size, state, bump)
 		}
 		if state == stateFree {
-			h.free[int(size)] = append(h.free[int(size)], ObjID(off+BlockHeaderSize))
+			found[int(size)] = append(found[int(size)], ObjID(off+BlockHeaderSize))
 		}
 		off += BlockHeaderSize + uint64(size)
 	}
-	if off != h.bump {
-		return fmt.Errorf("%w: scan ended at %d, bump is %d", ErrCorruptScan, off, h.bump)
+	if off != bump {
+		return fmt.Errorf("%w: scan ended at %d, bump is %d", ErrCorruptScan, off, bump)
 	}
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		s.free = make(map[int][]ObjID)
+		s.mu.Unlock()
+	}
+	h.scatterFree(found)
 	return nil
 }
 
@@ -212,64 +345,123 @@ func (h *Heap) loadState(blockOff int) (byte, error) {
 	return b[0], nil
 }
 
+// carveChunkBytes targets how much contiguous space one bump carve
+// formats. Carving several same-class blocks per carve amortizes the bump
+// persist (flush + fence) that would otherwise be paid per allocation;
+// the surplus blocks seed the carving goroutine's shard free list.
+const carveChunkBytes = 4096
+
+// carveMaxBlocks bounds a chunk so small classes don't pre-format dozens
+// of blocks a short-lived workload never uses.
+const carveMaxBlocks = 8
+
 // Reserve picks a block able to hold size payload bytes without touching
-// persistent state. The block is removed from the volatile free lists (or
-// carved from the bump pointer, persisting only the bump), so concurrent
-// reservations never alias. Pair with CommitAlloc or ReleaseReservation.
+// persistent block state. It first tries the calling goroutine's affine
+// shard, then steals from every other shard — so freed blocks anywhere are
+// always reused before the heap grows — and only then carves a chunk of
+// fresh same-class blocks from the bump pointer (persisting the bump
+// first; surplus chunk blocks go on the affine shard's free list).
+// Concurrent reservations never alias. Pair with CommitAlloc or
+// ReleaseReservation.
 func (h *Heap) Reserve(size int) (ObjID, error) {
 	if size <= 0 || size > MaxAlloc {
 		return Nil, fmt.Errorf("%w: %d", ErrSizeRange, size)
 	}
 	cls := classFor(size)
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if list := h.free[cls]; len(list) > 0 {
-		obj := list[len(list)-1]
-		h.free[cls] = list[:len(list)-1]
-		return obj, nil
+	home := h.hintShard()
+	n := len(h.shards)
+	for i := 0; i < n; i++ {
+		s := &h.shards[(home+i)%n]
+		s.mu.Lock()
+		if list := s.free[cls]; len(list) > 0 {
+			obj := list[len(list)-1]
+			s.free[cls] = list[:len(list)-1]
+			s.mu.Unlock()
+			return obj, nil
+		}
+		s.mu.Unlock()
 	}
+	return h.carve(cls, home)
+}
+
+// carve formats a chunk of fresh same-class blocks at the bump pointer,
+// returning the first and pushing the rest onto shard home's free list.
+// The chunk shrinks to whatever fits (down to one block) before the carve
+// reports ErrHeapFull, so the heap's capacity is identical to a
+// block-at-a-time allocator's.
+func (h *Heap) carve(cls, home int) (ObjID, error) {
 	need := uint64(BlockHeaderSize + cls)
-	if h.bump+need > uint64(h.reg.Size()) {
-		return Nil, fmt.Errorf("%w: need %d bytes, %d available",
-			ErrHeapFull, need, uint64(h.reg.Size())-h.bump)
+	blocks := carveChunkBytes / int(need)
+	if blocks > carveMaxBlocks {
+		blocks = carveMaxBlocks
 	}
-	blockOff := h.bump
-	h.bump += need
-	// Persist the bump pointer before the block is handed out so that a
+	if blocks < 1 {
+		blocks = 1
+	}
+	h.carveMu.Lock()
+	defer h.carveMu.Unlock()
+	bump := h.bump.Load()
+	avail := uint64(h.reg.Size()) - bump
+	if uint64(blocks)*need > avail {
+		blocks = int(avail / need)
+	}
+	if blocks < 1 {
+		return Nil, fmt.Errorf("%w: need %d bytes, %d available",
+			ErrHeapFull, need, avail)
+	}
+	chunkOff := bump
+	newBump := bump + uint64(blocks)*need
+	// Persist the bump pointer before any block is handed out so that a
 	// committed transaction can never reference space beyond the durable
 	// bump (Rescan would not find it after a crash).
-	if err := h.reg.Store64(offBump, h.bump); err != nil {
-		h.bump = blockOff
+	if err := h.reg.Store64(offBump, newBump); err != nil {
 		return Nil, err
 	}
 	if err := h.reg.Persist(offBump, 8); err != nil {
 		return Nil, err
 	}
-	// Write the class size now (it is stable across alloc/free cycles of
-	// this block and is needed by Rescan); state remains free until
-	// CommitAlloc.
-	if err := h.reg.Store32(int(blockOff)+bhSize, uint32(cls)); err != nil {
+	// Write every block's class size now (stable across alloc/free cycles
+	// and needed by Rescan); states remain free until CommitAlloc. One
+	// contiguous persist covers the whole chunk's headers.
+	for b := 0; b < blocks; b++ {
+		off := int(chunkOff + uint64(b)*need)
+		if err := h.reg.Store32(off+bhSize, uint32(cls)); err != nil {
+			return Nil, err
+		}
+		if err := h.reg.Write(off+bhState, []byte{stateFree}); err != nil {
+			return Nil, err
+		}
+	}
+	if err := h.reg.Persist(int(chunkOff), blocks*int(need)); err != nil {
 		return Nil, err
 	}
-	if err := h.reg.Write(int(blockOff)+bhState, []byte{stateFree}); err != nil {
-		return Nil, err
+	h.bump.Store(newBump)
+	if blocks > 1 {
+		s := &h.shards[home]
+		s.mu.Lock()
+		// Surplus pushed high-address-first so the next same-shard
+		// Reserve pops the block adjacent to the one handed out.
+		for b := blocks - 1; b >= 1; b-- {
+			s.free[cls] = append(s.free[cls], ObjID(chunkOff+uint64(b)*need+BlockHeaderSize))
+		}
+		s.mu.Unlock()
 	}
-	if err := h.reg.Persist(int(blockOff), BlockHeaderSize); err != nil {
-		return Nil, err
-	}
-	return ObjID(blockOff + BlockHeaderSize), nil
+	return ObjID(chunkOff + BlockHeaderSize), nil
 }
 
 // ReleaseReservation returns a reserved-but-never-committed block to the
-// volatile free list (e.g. when intent logging failed).
+// volatile free list (e.g. when intent logging failed). The block lands on
+// the calling goroutine's affine shard: only Reserve hands out blocks, so
+// no duplicate can exist on another shard.
 func (h *Heap) ReleaseReservation(obj ObjID) error {
 	cls, err := h.ClassOf(obj)
 	if err != nil {
 		return err
 	}
-	h.mu.Lock()
-	h.free[cls] = append(h.free[cls], obj)
-	h.mu.Unlock()
+	s := &h.shards[h.hintShard()]
+	s.mu.Lock()
+	s.free[cls] = append(s.free[cls], obj)
+	s.mu.Unlock()
 	return nil
 }
 
@@ -311,17 +503,34 @@ func (h *Heap) RollbackAlloc(obj ObjID, cls int) error {
 	if err := h.reg.Persist(blockOff, BlockHeaderSize); err != nil {
 		return err
 	}
-	h.mu.Lock()
-	// Guard against double insertion when recovery retries.
-	for _, o := range h.free[cls] {
-		if o == obj {
-			h.mu.Unlock()
-			return nil
+	h.pushFreeIfAbsent(cls, obj)
+	return nil
+}
+
+// pushFreeIfAbsent adds obj to the free lists unless it is already on one,
+// guarding RollbackAlloc/ApplyFree against double insertion when recovery
+// retries. It locks every shard (ascending index order) so the
+// scan-then-append is atomic against a concurrent retry; both callers are
+// rare (abort, recovery, committed frees), so the full sweep is off any
+// hot path.
+func (h *Heap) pushFreeIfAbsent(cls int, obj ObjID) {
+	for i := range h.shards {
+		h.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range h.shards {
+			h.shards[i].mu.Unlock()
+		}
+	}()
+	for i := range h.shards {
+		for _, o := range h.shards[i].free[cls] {
+			if o == obj {
+				return
+			}
 		}
 	}
-	h.free[cls] = append(h.free[cls], obj)
-	h.mu.Unlock()
-	return nil
+	s := &h.shards[h.hintShard()]
+	s.free[cls] = append(s.free[cls], obj)
 }
 
 // ApplyFree marks an allocated block free and persists the header. Called
@@ -338,23 +547,11 @@ func (h *Heap) ApplyFree(obj ObjID) error {
 	if err := h.reg.Persist(blockOff, BlockHeaderSize); err != nil {
 		return err
 	}
-	h.mu.Lock()
-	for _, o := range h.free[cls] {
-		if o == obj {
-			h.mu.Unlock()
-			return nil
-		}
-	}
-	h.free[cls] = append(h.free[cls], obj)
-	h.mu.Unlock()
+	h.pushFreeIfAbsent(cls, obj)
 	return nil
 }
 
-func (h *Heap) bumpSnapshot() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.bump
-}
+func (h *Heap) bumpSnapshot() uint64 { return h.bump.Load() }
 
 // validate checks that obj points at a plausible block payload.
 func (h *Heap) validate(obj ObjID) error {
@@ -449,12 +646,17 @@ func (h *Heap) SetRoot(obj ObjID) error {
 	return h.reg.Persist(offRoot, 8)
 }
 
-// FreeCount returns the number of free blocks of the given payload class.
-// Test hook.
+// FreeCount returns the number of free blocks of the given payload class,
+// summed across all shards. Test hook.
 func (h *Heap) FreeCount(cls int) int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.free[cls])
+	n := 0
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		n += len(s.free[cls])
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Bump returns the current bump offset. Test hook.

@@ -79,6 +79,7 @@ func TestAllocWriteRead(t *testing.T) {
 
 func TestAllocZeroesPayload(t *testing.T) {
 	h := newHeap(t, 1<<16)
+	h.SetShards(1) // deterministic LIFO reuse
 	obj := alloc(t, h, 64)
 	if err := h.Write(obj, 0, []byte{0xAA, 0xBB, 0xCC}); err != nil {
 		t.Fatal(err)
@@ -100,15 +101,17 @@ func TestAllocZeroesPayload(t *testing.T) {
 
 func TestFreeListReuse(t *testing.T) {
 	h := newHeap(t, 1<<16)
+	h.SetShards(1) // deterministic LIFO reuse
 	a := alloc(t, h, 40) // class 48
 	bumpAfterA := h.Bump()
+	spares := h.FreeCount(48) // chunk carving pre-formats surplus blocks
 	if err := h.ApplyFree(a); err != nil {
 		t.Fatal(err)
 	}
-	if h.FreeCount(48) != 1 {
-		t.Fatalf("free count = %d, want 1", h.FreeCount(48))
+	if h.FreeCount(48) != spares+1 {
+		t.Fatalf("free count = %d, want %d", h.FreeCount(48), spares+1)
 	}
-	b := alloc(t, h, 33) // also class 48
+	b := alloc(t, h, 33) // also class 48; LIFO pops the just-freed block
 	if b != a {
 		t.Errorf("free block not reused: %d vs %d", b, a)
 	}
@@ -120,24 +123,28 @@ func TestFreeListReuse(t *testing.T) {
 func TestApplyFreeIdempotent(t *testing.T) {
 	h := newHeap(t, 1<<16)
 	a := alloc(t, h, 16)
+	before := h.FreeCount(16)
 	if err := h.ApplyFree(a); err != nil {
 		t.Fatal(err)
 	}
 	if err := h.ApplyFree(a); err != nil {
 		t.Fatal(err)
 	}
-	if h.FreeCount(16) != 1 {
-		t.Errorf("double ApplyFree duplicated free-list entry: %d", h.FreeCount(16))
+	if h.FreeCount(16) != before+1 {
+		t.Errorf("double ApplyFree duplicated free-list entry: %d, want %d",
+			h.FreeCount(16), before+1)
 	}
 }
 
 func TestRollbackAllocIdempotent(t *testing.T) {
 	h := newHeap(t, 1<<16)
+	h.SetShards(1) // deterministic LIFO reuse
 	obj, err := h.Reserve(100)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cls := ClassForSize(100)
+	before := h.FreeCount(cls)
 	// Crash could happen before or after CommitAlloc; rollback must work
 	// in both cases and be repeatable.
 	if err := h.CommitAlloc(obj); err != nil {
@@ -149,8 +156,9 @@ func TestRollbackAllocIdempotent(t *testing.T) {
 	if err := h.RollbackAlloc(obj, cls); err != nil {
 		t.Fatal(err)
 	}
-	if h.FreeCount(cls) != 1 {
-		t.Errorf("free count after double rollback = %d, want 1", h.FreeCount(cls))
+	if h.FreeCount(cls) != before+1 {
+		t.Errorf("free count after double rollback = %d, want %d",
+			h.FreeCount(cls), before+1)
 	}
 	alloc2, err := h.Reserve(100)
 	if err != nil {
@@ -172,23 +180,25 @@ func TestRescanRebuildsFreeLists(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// The free set is the 5 explicitly freed blocks plus any chunk-carve
+	// spares that were never committed; rescan must recover exactly it.
+	want := h.FreeCount(64)
 	h2, err := Open(h.Region())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h2.FreeCount(64) != 5 {
-		t.Errorf("rescan found %d free 64-byte blocks, want 5", h2.FreeCount(64))
+	if h2.FreeCount(64) != want {
+		t.Errorf("rescan found %d free 64-byte blocks, want %d", h2.FreeCount(64), want)
 	}
-	// Allocations from the reopened heap must come from the free list.
-	got := alloc(t, h2, 64)
-	found := false
-	for i := 0; i < 10; i += 2 {
-		if got == objs[i] {
-			found = true
-		}
+	// Allocations from the reopened heap must come from the free list, not
+	// grow the heap.
+	bump := h2.Bump()
+	alloc(t, h2, 64)
+	if h2.Bump() != bump {
+		t.Errorf("reopened heap grew instead of reusing a free block")
 	}
-	if !found {
-		t.Errorf("reopened heap did not reuse a freed block")
+	if h2.FreeCount(64) != want-1 {
+		t.Errorf("free count after reuse = %d, want %d", h2.FreeCount(64), want-1)
 	}
 }
 
@@ -230,7 +240,8 @@ func TestReserveBumpPersistedBeforeReturn(t *testing.T) {
 	if _, err := h.Reserve(64); err != nil {
 		t.Fatal(err)
 	}
-	// Crash immediately: the bump (and the block's class header) must be
+	carved := h.FreeCount(64) // surplus blocks of the carved chunk
+	// Crash immediately: the bump (and the chunk's class headers) must be
 	// durable so a post-crash rescan still parses the heap.
 	if err := h.Region().Crash(); err != nil {
 		t.Fatal(err)
@@ -239,9 +250,11 @@ func TestReserveBumpPersistedBeforeReturn(t *testing.T) {
 	if err != nil {
 		t.Fatalf("rescan after crash mid-alloc: %v", err)
 	}
-	// The reserved block was never committed, so it must be free.
-	if h2.FreeCount(64) != 1 {
-		t.Errorf("reserved-uncommitted block not free after crash: %d", h2.FreeCount(64))
+	// No block of the chunk was committed, so all of them — including the
+	// reserved one — must come back free.
+	if h2.FreeCount(64) != carved+1 {
+		t.Errorf("free blocks after crash mid-alloc = %d, want %d",
+			h2.FreeCount(64), carved+1)
 	}
 }
 
@@ -345,6 +358,167 @@ func TestHugeAllocation(t *testing.T) {
 	obj2 := alloc(t, h, 100000)
 	if obj2 != obj {
 		t.Error("huge block not reused")
+	}
+}
+
+// shardLists snapshots the per-shard free lists for one class (test-only;
+// callers must not be allocating concurrently).
+func shardLists(h *Heap, cls int) [][]ObjID {
+	out := make([][]ObjID, len(h.shards))
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		out[i] = append([]ObjID(nil), s.free[cls]...)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+func TestSetShardsNormalizesAndPreservesFree(t *testing.T) {
+	h := newHeap(t, 1<<16)
+	h.SetShards(4)
+	if h.ShardCount() != 4 {
+		t.Fatalf("ShardCount = %d, want 4", h.ShardCount())
+	}
+	var objs []ObjID
+	for i := 0; i < 6; i++ {
+		objs = append(objs, alloc(t, h, 64))
+	}
+	for _, o := range objs {
+		if err := h.ApplyFree(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := h.FreeCount(64)
+	h.SetShards(8)
+	if h.FreeCount(64) != total {
+		t.Errorf("SetShards lost free blocks: %d, want %d", h.FreeCount(64), total)
+	}
+	h.SetShards(1)
+	if h.FreeCount(64) != total {
+		t.Errorf("SetShards(1) lost free blocks: %d, want %d", h.FreeCount(64), total)
+	}
+}
+
+func TestShardedAllocFreeReopenReuses(t *testing.T) {
+	h := newHeap(t, 1<<18)
+	h.SetShards(4)
+	var objs []ObjID
+	for i := 0; i < 32; i++ {
+		objs = append(objs, alloc(t, h, 64))
+	}
+	for _, o := range objs {
+		if err := h.ApplyFree(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	free := h.FreeCount(64)
+	h2, err := Open(h.Region())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.SetShards(4)
+	if h2.FreeCount(64) != free {
+		t.Fatalf("free count after reopen = %d, want %d", h2.FreeCount(64), free)
+	}
+	// Every allocation after reopen must reuse a free block — the bump may
+	// not move until the free set is exhausted, regardless of which shard
+	// serves each request.
+	bump := h2.Bump()
+	for i := 0; i < free; i++ {
+		alloc(t, h2, 64)
+	}
+	if h2.Bump() != bump {
+		t.Errorf("bump advanced while free blocks remained: %d vs %d", h2.Bump(), bump)
+	}
+	if h2.FreeCount(64) != 0 {
+		t.Errorf("free blocks left after draining: %d", h2.FreeCount(64))
+	}
+}
+
+func TestRescanDistributionDeterministic(t *testing.T) {
+	h := newHeap(t, 1<<18)
+	var objs []ObjID
+	for i := 0; i < 24; i++ {
+		objs = append(objs, alloc(t, h, 64))
+	}
+	for i := 0; i < len(objs); i += 3 {
+		if err := h.ApplyFree(objs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	open := func() [][]ObjID {
+		h2, err := Open(h.Region())
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2.SetShards(4)
+		if err := h2.Rescan(); err != nil {
+			t.Fatal(err)
+		}
+		return shardLists(h2, 64)
+	}
+	a, b := open(), open()
+	if len(a) != len(b) {
+		t.Fatalf("shard count mismatch: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("shard %d length differs: %d vs %d", i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Errorf("shard %d slot %d differs: %d vs %d", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+func TestConcurrentReserveNoAliasing(t *testing.T) {
+	h := newHeap(t, 1<<20)
+	h.SetShards(4)
+	const workers, perWorker = 8, 50
+	results := make([][]ObjID, workers)
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- w }()
+			for i := 0; i < perWorker; i++ {
+				obj, err := h.Reserve(64)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := h.CommitAlloc(obj); err != nil {
+					t.Error(err)
+					return
+				}
+				results[w] = append(results[w], obj)
+				if i%3 == 0 {
+					if err := h.ApplyFree(obj); err != nil {
+						t.Error(err)
+						return
+					}
+					results[w] = results[w][:len(results[w])-1]
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	seen := make(map[ObjID]int)
+	for w, objs := range results {
+		for _, o := range objs {
+			if prev, dup := seen[o]; dup {
+				t.Fatalf("block %d handed to workers %d and %d", o, prev, w)
+			}
+			seen[o] = w
+		}
+	}
+	// The final image must still rescan cleanly.
+	if _, err := Open(h.Region()); err != nil {
+		t.Fatalf("rescan after concurrent alloc/free: %v", err)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -158,19 +159,120 @@ func (c Config) checksum() uint32 {
 }
 
 // Log is a persistent intent log bound to one NVM region.
+//
+// The persistent format is shard-oblivious; only the volatile free-slot pool
+// is partitioned. Each slot has a home shard (slot index mod shard count)
+// whose mutex guards its free-list membership, so under load slot acquire
+// and release never touch a shared mutex. When every shard a Begin scans is
+// empty, it falls back to a global wait (waitMu/waitCond) that a release
+// always signals — backpressure on the asynchronous applier, exactly as
+// before.
 type Log struct {
 	reg *nvm.Region
 	cfg Config
 
 	nextTxID atomic.Uint64
 
-	mu        sync.Mutex
-	slotFree  *sync.Cond // signaled when a slot is returned
-	freeSlots []int
+	shards []slotShard
+	rr     atomic.Uint32 // rotates the shard a Begin scans first
+
+	waitMu   sync.Mutex // slow path: serializes exhausted Begins
+	waitCond *sync.Cond // signaled on every slot return
 }
 
-func (l *Log) initCond() {
-	l.slotFree = sync.NewCond(&l.mu)
+// slotShard is one stripe of the volatile free-slot pool. Padded so shards
+// on adjacent cache lines don't false-share under concurrent begin/release.
+type slotShard struct {
+	mu   sync.Mutex
+	free []int
+	_    [40]byte
+}
+
+// defaultSlotShards sizes the free-slot pool partition: one shard per
+// processor, capped so tiny logs aren't sliced thinner than their slots.
+func defaultSlotShards(slots int) int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		n = 16
+	}
+	if n > slots {
+		n = slots
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// initShards installs n (clamped) empty shards and the global wait channel.
+func (l *Log) initShards(n int) {
+	if n <= 0 {
+		n = defaultSlotShards(l.cfg.Slots)
+	}
+	if n > l.cfg.Slots {
+		n = l.cfg.Slots
+	}
+	l.shards = make([]slotShard, n)
+	l.waitCond = sync.NewCond(&l.waitMu)
+}
+
+// SetShards repartitions the volatile free-slot pool into n shards (n <= 0
+// restores the default), keeping every free slot. Not safe concurrently
+// with Begin/Release; engines call it right after Format/Attach.
+func (l *Log) SetShards(n int) {
+	var free []int
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		free = append(free, s.free...)
+		s.free = nil
+		s.mu.Unlock()
+	}
+	l.initShards(n)
+	for _, slot := range free {
+		l.pushSlot(slot)
+	}
+}
+
+// ShardCount reports the free-slot pool's shard count (test hook).
+func (l *Log) ShardCount() int { return len(l.shards) }
+
+// pushSlot returns a slot to its home shard's free list.
+func (l *Log) pushSlot(slot int) {
+	s := &l.shards[slot%len(l.shards)]
+	s.mu.Lock()
+	s.free = append(s.free, slot)
+	s.mu.Unlock()
+}
+
+// tryAcquire pops a free slot, scanning every shard starting from a
+// rotating origin so concurrent Begins spread across shards.
+func (l *Log) tryAcquire() (int, bool) {
+	n := len(l.shards)
+	start := int(l.rr.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		s := &l.shards[(start+i)%n]
+		s.mu.Lock()
+		if len(s.free) > 0 {
+			slot := s.free[len(s.free)-1]
+			s.free = s.free[:len(s.free)-1]
+			s.mu.Unlock()
+			return slot, true
+		}
+		s.mu.Unlock()
+	}
+	return 0, false
+}
+
+// returnSlot makes a slot allocatable again and wakes one blocked Begin.
+// The slot is pushed before waitMu is taken: a Begin on the slow path holds
+// waitMu across its rescan-then-Wait, so the release's push is either seen
+// by that rescan or its signal lands after the Wait — never a lost wakeup.
+func (l *Log) returnSlot(slot int) {
+	l.pushSlot(slot)
+	l.waitMu.Lock()
+	l.waitCond.Signal()
+	l.waitMu.Unlock()
 }
 
 // Errors returned by the log.
@@ -215,10 +317,10 @@ func Format(reg *nvm.Region, cfg Config) (*Log, error) {
 		return nil, err
 	}
 	l := &Log{reg: reg, cfg: cfg}
-	l.initCond()
+	l.initShards(0)
 	l.nextTxID.Store(1)
 	for i := cfg.Slots - 1; i >= 0; i-- {
-		l.freeSlots = append(l.freeSlots, i)
+		l.pushSlot(i)
 	}
 	return l, nil
 }
@@ -248,9 +350,9 @@ func Attach(reg *nvm.Region) (*Log, error) {
 		return nil, fmt.Errorf("intentlog: region smaller than formatted size")
 	}
 	l := &Log{reg: reg, cfg: cfg}
-	l.initCond()
+	l.initShards(0)
 	maxTx := uint64(0)
-	for i := 0; i < cfg.Slots; i++ {
+	for i := cfg.Slots - 1; i >= 0; i-- {
 		st, txid, _, _, err := l.slotHeader(i)
 		if err != nil {
 			return nil, err
@@ -259,7 +361,7 @@ func Attach(reg *nvm.Region) (*Log, error) {
 			maxTx = txid
 		}
 		if st == StateFree {
-			l.freeSlots = append(l.freeSlots, i)
+			l.pushSlot(i)
 		}
 	}
 	l.nextTxID.Store(maxTx + 1)
@@ -314,29 +416,32 @@ type TxLog struct {
 // Begin claims a free slot and durably marks it Running. When all slots are
 // occupied (committed transactions whose backup sync is still pending hold
 // theirs), Begin blocks until one frees — backpressure on the asynchronous
-// applier rather than an error.
+// applier rather than an error. The fast path touches only per-shard
+// mutexes; the global wait lock is taken only once every shard is empty.
 func (l *Log) Begin() (*TxLog, error) {
-	l.mu.Lock()
-	for len(l.freeSlots) == 0 {
-		l.slotFree.Wait()
+	if slot, ok := l.tryAcquire(); ok {
+		return l.initSlot(slot)
 	}
-	slot := l.freeSlots[len(l.freeSlots)-1]
-	l.freeSlots = l.freeSlots[:len(l.freeSlots)-1]
-	l.mu.Unlock()
-	return l.initSlot(slot)
+	l.waitMu.Lock()
+	for {
+		// Rescan under waitMu: a concurrent returnSlot either pushed
+		// before we got here (the scan finds it) or will signal after our
+		// Wait parks (returnSlot signals under waitMu).
+		if slot, ok := l.tryAcquire(); ok {
+			l.waitMu.Unlock()
+			return l.initSlot(slot)
+		}
+		l.waitCond.Wait()
+	}
 }
 
 // TryBegin is Begin without blocking; it returns ErrLogFull when no slot is
 // free.
 func (l *Log) TryBegin() (*TxLog, error) {
-	l.mu.Lock()
-	if len(l.freeSlots) == 0 {
-		l.mu.Unlock()
+	slot, ok := l.tryAcquire()
+	if !ok {
 		return nil, ErrLogFull
 	}
-	slot := l.freeSlots[len(l.freeSlots)-1]
-	l.freeSlots = l.freeSlots[:len(l.freeSlots)-1]
-	l.mu.Unlock()
 	return l.initSlot(slot)
 }
 
@@ -528,10 +633,7 @@ func (t *TxLog) Release() error {
 		return err
 	}
 	t.released = true
-	t.l.mu.Lock()
-	t.l.freeSlots = append(t.l.freeSlots, t.slot)
-	t.l.slotFree.Signal()
-	t.l.mu.Unlock()
+	t.l.returnSlot(t.slot)
 	return nil
 }
 
@@ -591,10 +693,7 @@ func (v SlotView) Free() error {
 	if err := v.l.reg.Persist(off+sOffState, 4); err != nil {
 		return err
 	}
-	v.l.mu.Lock()
-	v.l.freeSlots = append(v.l.freeSlots, v.Slot)
-	v.l.slotFree.Signal()
-	v.l.mu.Unlock()
+	v.l.returnSlot(v.Slot)
 	return nil
 }
 

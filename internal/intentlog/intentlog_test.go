@@ -396,3 +396,87 @@ func TestSetStateBatchRejectsForeignTxLog(t *testing.T) {
 		t.Fatal("SetStateBatch across logs succeeded")
 	}
 }
+
+// TestSetShardsRepartitionsFreePool: every slot must remain acquirable
+// across repartitions, and the count must clamp to [1, Slots].
+func TestSetShardsRepartitionsFreePool(t *testing.T) {
+	l := newLog(t, smallCfg)
+	for _, n := range []int{1, 2, smallCfg.Slots, smallCfg.Slots * 4, -3} {
+		l.SetShards(n)
+		if got := l.ShardCount(); got < 1 || got > smallCfg.Slots {
+			t.Fatalf("SetShards(%d): shard count %d outside [1, %d]", n, got, smallCfg.Slots)
+		}
+		var txs []*TxLog
+		for i := 0; i < smallCfg.Slots; i++ {
+			tx, err := l.Begin()
+			if err != nil {
+				t.Fatalf("SetShards(%d): Begin %d: %v", n, i, err)
+			}
+			txs = append(txs, tx)
+		}
+		if _, err := l.TryBegin(); err != ErrLogFull {
+			t.Fatalf("SetShards(%d): TryBegin with full log = %v, want ErrLogFull", n, err)
+		}
+		for _, tx := range txs {
+			if err := tx.Release(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestConcurrentBeginReleaseAcrossShards churns more goroutines than
+// slots through Begin/Release on a multi-shard pool, forcing both the
+// cross-shard fallback scan and the exhaustion-blocking path. A lost
+// wakeup hangs the test; a double-granted slot corrupts the final count.
+func TestConcurrentBeginReleaseAcrossShards(t *testing.T) {
+	cfg := Config{Slots: 8, EntriesPerSlot: 4, DataBytesPerSlot: 0}
+	l := newLog(t, cfg)
+	l.SetShards(4)
+
+	const goroutines = 32
+	const itersEach = 200
+	done := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			for i := 0; i < itersEach; i++ {
+				tx, err := l.Begin()
+				if err != nil {
+					done <- err
+					return
+				}
+				if err := tx.Append(Entry{Op: OpWrite, Obj: uint64(g)}); err != nil {
+					done <- err
+					return
+				}
+				if err := tx.Release(); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("Begin/Release churn deadlocked (lost wakeup?)")
+		}
+	}
+	// Every slot must be back in the pool.
+	var txs []*TxLog
+	for i := 0; i < cfg.Slots; i++ {
+		tx, err := l.TryBegin()
+		if err != nil {
+			t.Fatalf("slot %d not returned to the pool: %v", i, err)
+		}
+		txs = append(txs, tx)
+	}
+	for _, tx := range txs {
+		tx.Release()
+	}
+}

@@ -18,7 +18,14 @@ import (
 	"sync"
 )
 
-const shardCount = 64
+// DefaultShards is the bucket count used by New. It matches the historical
+// fixed shard count; NewSharded tunes it (the bench harness and kaminobench
+// expose it as -shards).
+const DefaultShards = 64
+
+// maxShards bounds NewSharded requests; beyond this the per-bucket maps
+// cost more than the contention they avoid.
+const maxShards = 4096
 
 // Owner identifies a lock holder (a transaction id, or a synthetic id for
 // recovery-held locks).
@@ -37,14 +44,26 @@ type shard struct {
 	m    map[uint64]*entry
 }
 
-// Table is a sharded object lock table.
+// Table is a striped object lock table: ObjIDs hash to one of 2^k buckets,
+// each with its own mutex, condition variable and entry map, so lock
+// traffic on disjoint objects never shares a mutex — and, as important
+// under load, an Unlock's Broadcast wakes only the waiters parked on the
+// same bucket rather than every blocked transaction in the system.
 type Table struct {
-	shards [shardCount]shard
+	shards []shard
+	shift  uint // index = hash >> shift; shift = 64 - log2(len(shards))
 }
 
-// New creates an empty lock table.
-func New() *Table {
-	t := &Table{}
+// New creates an empty lock table with DefaultShards buckets.
+func New() *Table { return NewSharded(0) }
+
+// NewSharded creates an empty lock table with n buckets, rounded up to a
+// power of two and clamped to [1, 4096]. n <= 0 selects DefaultShards.
+// Locking semantics are identical at every bucket count; n only tunes how
+// much lock traffic shares a mutex and a wakeup broadcast.
+func NewSharded(n int) *Table {
+	n = normShards(n)
+	t := &Table{shards: make([]shard, n), shift: shiftFor(n)}
 	for i := range t.shards {
 		s := &t.shards[i]
 		s.m = make(map[uint64]*entry)
@@ -53,8 +72,40 @@ func New() *Table {
 	return t
 }
 
+// normShards rounds n up to a power of two in [1, maxShards], defaulting
+// when n <= 0.
+func normShards(n int) int {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shiftFor returns 64 - log2(n) for power-of-two n, so that hash >> shift
+// is a top-bits bucket index (top bits of a Fibonacci hash are the
+// well-mixed ones). For n == 1 the shift is 64, which Go defines to yield
+// 0 — every object lands in the single bucket.
+func shiftFor(n int) uint {
+	s := uint(64)
+	for n > 1 {
+		n >>= 1
+		s--
+	}
+	return s
+}
+
+// ShardCount reports the bucket count (test hook).
+func (t *Table) ShardCount() int { return len(t.shards) }
+
 func (t *Table) shard(obj uint64) *shard {
-	return &t.shards[(obj*0x9e3779b97f4a7c15)>>58%shardCount]
+	return &t.shards[(obj*0x9e3779b97f4a7c15)>>t.shift]
 }
 
 func (s *shard) get(obj uint64) *entry {
@@ -82,8 +133,13 @@ func (s *shard) maybeDelete(obj uint64, e *entry) {
 func (t *Table) Lock(obj uint64, owner Owner) {
 	// Spin briefly before blocking: the common contended case is a
 	// dependent transaction waiting out a sub-microsecond backup sync,
-	// where a condition-variable park/unpark would dominate.
-	for spin := 0; spin < 200; spin++ {
+	// where a condition-variable park/unpark would dominate. The spin is
+	// short on purpose — each Gosched hands the core through the whole run
+	// queue, so a long spin on an oversubscribed host degenerates into
+	// scheduler polling; past it, parking on the bucket's condition
+	// variable is cheaper (and bucket striping keeps the wakeups
+	// targeted).
+	for spin := 0; spin < 4; spin++ {
 		if t.TryLock(obj, owner) {
 			return
 		}

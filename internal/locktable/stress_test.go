@@ -1,0 +1,118 @@
+package locktable
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStressOverlappingKeySets hammers the striped table with 64
+// goroutines whose key windows overlap their neighbours', mixing write
+// locks, two-key transactions and read locks. The plain (non-atomic)
+// counters are guarded only by the table's write locks, so under -race
+// any mutual-exclusion failure — a bucket-boundary bug, a broken upgrade,
+// a wakeup delivered to the wrong waiter — becomes a hard detector error;
+// a lost wakeup hangs the test instead of passing it.
+func TestStressOverlappingKeySets(t *testing.T) {
+	const (
+		goroutines = 64
+		iters      = 300
+		keyspace   = 32
+		window     = 6
+	)
+	tbl := NewSharded(8) // keys per bucket > 1: exercises shared-bucket waits
+	counters := make([]int, keyspace)
+	var readSink atomic.Int64
+	var wantTotal atomic.Int64
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			owner := Owner(g + 1)
+			rng := rand.New(rand.NewSource(int64(g)))
+			base := (g / 2) % keyspace // adjacent goroutines share a window
+			for i := 0; i < iters; i++ {
+				k1 := uint64((base + rng.Intn(window)) % keyspace)
+				k2 := uint64((base + rng.Intn(window)) % keyspace)
+				if k1 > k2 {
+					k1, k2 = k2, k1 // ascending acquisition: no deadlock cycles
+				}
+				if i%4 == 0 {
+					tbl.RLock(k1, owner)
+					readSink.Add(int64(counters[k1]))
+					tbl.RUnlock(k1, owner)
+					continue
+				}
+				tbl.Lock(k1, owner)
+				if k2 != k1 {
+					tbl.Lock(k2, owner)
+				}
+				counters[k1]++
+				wantTotal.Add(1)
+				if k2 != k1 {
+					counters[k2]++
+					wantTotal.Add(1)
+					tbl.Unlock(k2, owner)
+				}
+				tbl.Unlock(k1, owner)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, c := range counters {
+		total += c
+	}
+	if int64(total) != wantTotal.Load() {
+		t.Errorf("lost updates: counters sum to %d, want %d", total, wantTotal.Load())
+	}
+	for k := uint64(0); k < keyspace; k++ {
+		if tbl.Locked(k) {
+			t.Errorf("key %d still locked after all goroutines finished", k)
+		}
+	}
+}
+
+// TestDependentBlockingOrder models Kamino-Tx's hold-past-commit
+// discipline on a single-bucket table (the worst case: every waiter
+// parks on the same condition variable). Each holder clears a "synced"
+// flag on acquire and sets it again just before Unlock — the stand-in for
+// the asynchronous backup sync finishing. A dependent transaction granted
+// the lock early observes synced == false; a lost wakeup leaves waiters
+// parked forever and hangs the test.
+func TestDependentBlockingOrder(t *testing.T) {
+	const (
+		goroutines = 64
+		itersEach  = 50
+		obj        = uint64(42)
+	)
+	tbl := NewSharded(1)
+	synced := true // guarded by the table's write lock on obj
+
+	var wg sync.WaitGroup
+	for g := 1; g <= goroutines; g++ {
+		wg.Add(1)
+		go func(owner Owner) {
+			defer wg.Done()
+			for i := 0; i < itersEach; i++ {
+				tbl.Lock(obj, owner)
+				if !synced {
+					t.Errorf("owner %d granted the lock while the previous holder's sync was incomplete", owner)
+				}
+				synced = false
+				runtime.Gosched() // widen the pending window
+				synced = true
+				tbl.Unlock(obj, owner)
+			}
+		}(Owner(g))
+	}
+	wg.Wait()
+	if !synced || tbl.Locked(obj) {
+		t.Error("table not quiescent after stress")
+	}
+}

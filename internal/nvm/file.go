@@ -28,10 +28,12 @@ const (
 func (r *Region) Save(path string) error {
 	var img []byte
 	if r.mode == ModeStrict {
-		r.mu.Lock()
+		// Snapshot under every stripe so no fence is mid-drain while the
+		// durable image is copied.
+		r.lockAll()
 		img = make([]byte, r.size)
 		copy(img, r.durable)
-		r.mu.Unlock()
+		r.unlockAll()
 	} else {
 		img = r.mem
 	}

@@ -100,6 +100,29 @@ type Options struct {
 	Latency LatencyModel
 }
 
+// lineStripeCount is the number of stripes the strict-mode line mutex is
+// split into. A line belongs to stripe line % lineStripeCount, so
+// consecutive lines land on distinct stripes and concurrent Persist calls
+// on disjoint objects almost never contend.
+const lineStripeCount = 64
+
+// lineStripe guards the dirty/pending membership and the durable-image
+// bytes of the cache lines mapped to it. Padded against false sharing.
+type lineStripe struct {
+	mu      sync.Mutex
+	dirty   map[int]struct{}
+	pending map[int]struct{}
+	// npend mirrors len(pending); written under mu, read locklessly by
+	// Fence so it can skip stripes with nothing to drain.
+	npend atomic.Int32
+	_     [16]byte
+}
+
+// stripeMask marks which stripes an operation must hold. Stripes are
+// always locked in ascending index order, which makes any pair of
+// multi-stripe operations (wide writes, Crash, Save) deadlock-free.
+type stripeMask [lineStripeCount]bool
+
 // Region is a contiguous span of simulated NVM.
 type Region struct {
 	mode    Mode
@@ -108,10 +131,11 @@ type Region struct {
 
 	mem []byte // volatile view (CPU caches + memory)
 
-	mu      sync.Mutex // guards durable, dirty, pending (strict mode)
-	durable []byte     // durable image (strict mode only)
-	dirty   map[int]struct{}
-	pending map[int]struct{}
+	// Strict mode: the line state (and the covered bytes of durable) is
+	// guarded by per-line stripes rather than one region-wide mutex, so
+	// concurrent transactions persisting disjoint lines don't serialize.
+	stripes [lineStripeCount]lineStripe
+	durable []byte // durable image (strict mode only)
 
 	statMu sync.Mutex
 	stats  Stats
@@ -120,6 +144,57 @@ type Region struct {
 	// so SetTracer is safe against concurrent region use; nil when
 	// tracing is off (the common case: one atomic load per mutation).
 	tracer atomic.Pointer[trace.Tracer]
+}
+
+// stripeOf maps a line index to its stripe.
+func stripeOf(line int) int { return line & (lineStripeCount - 1) }
+
+// spanMask returns the stripes covering [off, off+n). Spans of 64+ lines
+// touch every stripe.
+func spanMask(off, n int) (mask stripeMask) {
+	first, last := off/LineSize, (off+n-1)/LineSize
+	if last-first+1 >= lineStripeCount {
+		for i := range mask {
+			mask[i] = true
+		}
+		return
+	}
+	for line := first; line <= last; line++ {
+		mask[stripeOf(line)] = true
+	}
+	return
+}
+
+// lockMask acquires the masked stripes in ascending order.
+func (r *Region) lockMask(mask *stripeMask) {
+	for i := range r.stripes {
+		if mask[i] {
+			r.stripes[i].mu.Lock()
+		}
+	}
+}
+
+// unlockMask releases the masked stripes.
+func (r *Region) unlockMask(mask *stripeMask) {
+	for i := range r.stripes {
+		if mask[i] {
+			r.stripes[i].mu.Unlock()
+		}
+	}
+}
+
+// lockAll acquires every stripe (Crash, Save, whole-image operations).
+func (r *Region) lockAll() {
+	for i := range r.stripes {
+		r.stripes[i].mu.Lock()
+	}
+}
+
+// unlockAll releases every stripe.
+func (r *Region) unlockAll() {
+	for i := range r.stripes {
+		r.stripes[i].mu.Unlock()
+	}
 }
 
 // New creates a Region of the given size, zero-filled and fully durable.
@@ -135,8 +210,10 @@ func New(size int, opts Options) (*Region, error) {
 	}
 	if opts.Mode == ModeStrict {
 		r.durable = make([]byte, size)
-		r.dirty = make(map[int]struct{})
-		r.pending = make(map[int]struct{})
+		for i := range r.stripes {
+			r.stripes[i].dirty = make(map[int]struct{})
+			r.stripes[i].pending = make(map[int]struct{})
+		}
 	}
 	return r, nil
 }
@@ -165,26 +242,31 @@ func (r *Region) check(off, n int) error {
 }
 
 // mutate applies a volatile-view mutation. In strict mode the mutation
-// runs under the line mutex so it is ordered with a concurrent Fence
-// persisting flushed lines out of the same bytes — two objects smaller
-// than a line can share one, so another transaction's fence may read the
-// line this one is writing; the dirty-line bookkeeping shares the same
-// critical section. Fast mode has no durable image to race with.
+// runs under the covering line stripes so it is ordered with a concurrent
+// Fence persisting flushed lines out of the same bytes — two objects
+// smaller than a line can share one, so another transaction's fence may
+// read the line this one is writing; the dirty-line bookkeeping shares the
+// same critical section. Fast mode has no durable image to race with.
 func (r *Region) mutate(off, n int, apply func()) {
 	if r.mode != ModeStrict || n == 0 {
 		apply()
 		return
 	}
-	r.mu.Lock()
+	mask := spanMask(off, n)
+	r.lockMask(&mask)
 	apply()
 	for line := off / LineSize; line <= (off+n-1)/LineSize; line++ {
-		r.dirty[line] = struct{}{}
+		s := &r.stripes[stripeOf(line)]
+		s.dirty[line] = struct{}{}
 		// A line can be re-dirtied after Flush but before Fence; the
 		// fence must not persist the new contents of a re-dirtied
 		// line as if it had been flushed.
-		delete(r.pending, line)
+		if _, ok := s.pending[line]; ok {
+			delete(s.pending, line)
+			s.npend.Add(-1)
+		}
 	}
-	r.mu.Unlock()
+	r.unlockMask(&mask)
 }
 
 func (r *Region) countWrite(n int) {
@@ -320,14 +402,17 @@ func (r *Region) Flush(off, n int) error {
 	r.stats.LinesFlushed += uint64(nl)
 	r.statMu.Unlock()
 	if r.mode == ModeStrict && n > 0 {
-		r.mu.Lock()
+		mask := spanMask(off, n)
+		r.lockMask(&mask)
 		for line := off / LineSize; line <= (off+n-1)/LineSize; line++ {
-			if _, ok := r.dirty[line]; ok {
-				delete(r.dirty, line)
-				r.pending[line] = struct{}{}
+			s := &r.stripes[stripeOf(line)]
+			if _, ok := s.dirty[line]; ok {
+				delete(s.dirty, line)
+				s.pending[line] = struct{}{}
+				s.npend.Add(1)
 			}
 		}
-		r.mu.Unlock()
+		r.unlockMask(&mask)
 	}
 	if r.latency.FlushPerLine > 0 {
 		spin(time.Duration(nl) * r.latency.FlushPerLine)
@@ -337,18 +422,31 @@ func (r *Region) Flush(off, n int) error {
 }
 
 // Fence orders and completes all previously flushed lines, like SFENCE.
-// After Fence returns, every line flushed before the call is durable.
+// After Fence returns, every line flushed before the call is durable. The
+// drain proceeds stripe by stripe; a line concurrently re-dirtied after its
+// stripe is drained is simply not yet durable, the same outcome as if the
+// racing write had happened after the whole fence.
 func (r *Region) Fence() {
 	r.statMu.Lock()
 	r.stats.Fences++
 	r.statMu.Unlock()
 	if r.mode == ModeStrict {
-		r.mu.Lock()
-		for line := range r.pending {
-			r.persistLine(line)
-			delete(r.pending, line)
+		for i := range r.stripes {
+			s := &r.stripes[i]
+			// Lock-free skip: any flush that happened before this fence
+			// already published a nonzero npend; a racing flush is
+			// unordered with the fence either way.
+			if s.npend.Load() == 0 {
+				continue
+			}
+			s.mu.Lock()
+			for line := range s.pending {
+				r.persistLine(line)
+				delete(s.pending, line)
+			}
+			s.npend.Store(0)
+			s.mu.Unlock()
 		}
-		r.mu.Unlock()
 	}
 	if r.latency.Fence > 0 {
 		spin(r.latency.Fence)
@@ -357,7 +455,7 @@ func (r *Region) Fence() {
 }
 
 // persistLine copies one line from the volatile view to the durable image.
-// Caller holds r.mu.
+// Caller holds the line's stripe mutex.
 func (r *Region) persistLine(line int) {
 	start := line * LineSize
 	end := start + LineSize
@@ -400,15 +498,22 @@ func (r *Region) crash(keep func(line int) bool) error {
 	if r.mode != ModeStrict {
 		return ErrFastMode
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for line := range r.pending {
-		if keep != nil && keep(line) {
-			r.persistLine(line)
+	// A crash is a whole-region event: take every stripe (ascending, the
+	// global order) so no write, flush or fence is in flight while the
+	// volatile view is rewound.
+	r.lockAll()
+	defer r.unlockAll()
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		for line := range s.pending {
+			if keep != nil && keep(line) {
+				r.persistLine(line)
+			}
+			delete(s.pending, line)
 		}
-		delete(r.pending, line)
+		s.npend.Store(0)
+		clear(s.dirty)
 	}
-	clear(r.dirty)
 	copy(r.mem, r.durable)
 	r.traceCrash(keep != nil)
 	return nil
@@ -424,8 +529,12 @@ func (r *Region) IsPersisted(off, n int) (bool, error) {
 	if err := r.check(off, n); err != nil {
 		return false, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	if n == 0 {
+		return true, nil
+	}
+	mask := spanMask(off, n)
+	r.lockMask(&mask)
+	defer r.unlockMask(&mask)
 	for i := off; i < off+n; i++ {
 		if r.mem[i] != r.durable[i] {
 			return false, nil
@@ -440,9 +549,14 @@ func (r *Region) DirtyLines() int {
 	if r.mode != ModeStrict {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.dirty) + len(r.pending)
+	n := 0
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		n += len(s.dirty) + len(s.pending)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // spin waits at least d, modeling a thread stalled on the persistence

@@ -8,9 +8,13 @@
 // released). Internal nodes are read physically under latches; engine-level
 // transaction locks are taken only on leaves and value objects, which
 // preserves the paper's dependent-transaction semantics at the data level
-// while keeping navigation deadlock-free. Node latches are held until the
-// transaction commits so that engines which publish changes at commit time
-// (copy-on-write) never expose a half-written node to a navigating reader.
+// while keeping navigation deadlock-free. Clean ancestors are released as
+// soon as the next level is latched and known non-full, so operations on
+// disjoint subtrees never serialize on the upper levels; latches on nodes
+// a transaction has written — split parents and halves, and the target
+// leaf — are held until the transaction finishes, so engines which publish
+// changes at commit time (copy-on-write) never expose a half-written node
+// to a navigating reader.
 //
 // Each public operation (Get, Put, Delete, Scan) is one transaction.
 // Deletes are lazy: keys are removed from leaves without rebalancing, which
@@ -154,13 +158,18 @@ func (t *Tree) Get(key uint64) ([]byte, bool, error) {
 	defer un.runAll()
 	err := t.pool.View(func(tx *kamino.Tx) error {
 		t.rootLatch.RLock()
-		un.add(t.rootLatch.RUnlock)
 		cur, err := t.rootPtr()
 		if err != nil {
+			t.rootLatch.RUnlock()
 			return err
 		}
 		l := t.latch(cur)
 		l.RLock()
+		// Latch coupling (as in Delete): each ancestor is released as
+		// soon as the next level is latched, so point lookups never
+		// pile up on the upper levels. Only the leaf latch is held
+		// through the transaction.
+		t.rootLatch.RUnlock()
 		un.add(l.RUnlock)
 		for {
 			nd, err := t.readNode(cur)
@@ -193,7 +202,10 @@ func (t *Tree) Get(key uint64) ([]byte, bool, error) {
 			child := nd.ptrs[upperBound(nd.keys, key)]
 			cl := t.latch(child)
 			cl.RLock()
-			un.add(cl.RUnlock)
+			// Release the parent now that the child is latched.
+			last := len(un) - 1
+			un[last]()
+			un[last] = cl.RUnlock
 			cur = child
 		}
 	})
@@ -251,9 +263,11 @@ func (t *Tree) tryPut(key uint64, fn func([]byte, bool) ([]byte, error)) (retry 
 			retry = true
 			return nil
 		}
-		un.add(t.rootLatch.RUnlock)
-		un.add(rl.Unlock)
-		return t.descendPut(tx, &un, rootObj, root, key, fn)
+		// The root pointer cannot move while this descent holds the
+		// root node's latch (splitRoot latches the old root node), so
+		// the pointer latch is released here rather than at commit.
+		t.rootLatch.RUnlock()
+		return t.descendPut(tx, &un, rootObj, root, false, key, fn)
 	})
 	return retry, err
 }
@@ -358,8 +372,29 @@ func (t *Tree) splitChild(tx *kamino.Tx, obj kamino.ObjID, nd *node) (uint64, ka
 
 // descendPut walks from a latched non-full node down to the leaf,
 // proactively splitting full children, then performs the leaf update.
-// cur is latched (exclusively) and not full.
-func (t *Tree) descendPut(tx *kamino.Tx, un *unlockers, curObj kamino.ObjID, cur *node, key uint64, fn func([]byte, bool) ([]byte, error)) error {
+// cur is latched (exclusively) and not full; curDirty reports whether this
+// transaction has already written cur.
+//
+// Latch coupling: a clean ancestor is unlocked as soon as the next node
+// down is latched and guaranteed non-full — at that point nothing deeper
+// can modify it, so holding it would only serialize unrelated writers
+// (with the root at the top, holding every latch to commit degenerates
+// into one writer at a time through the whole tree). Dirty nodes — the
+// parent and halves of a proactive split, and the leaf — keep their
+// latches until the transaction finishes, because engines that publish
+// writes at commit time (copy-on-write) must not expose a latched-free
+// node whose physical image is mid-replacement.
+func (t *Tree) descendPut(tx *kamino.Tx, un *unlockers, curObj kamino.ObjID, cur *node, curDirty bool, key uint64, fn func([]byte, bool) ([]byte, error)) error {
+	curLatch := t.latch(curObj)
+	// release disposes of cur's latch once the descent moves past it (or
+	// fails): clean nodes unlock immediately, dirty ones at commit.
+	release := func() {
+		if curDirty {
+			un.add(curLatch.Unlock)
+		} else {
+			curLatch.Unlock()
+		}
+	}
 	for !cur.leaf {
 		childObj := cur.ptrs[upperBound(cur.keys, key)]
 		cl := t.latch(childObj)
@@ -367,14 +402,17 @@ func (t *Tree) descendPut(tx *kamino.Tx, un *unlockers, curObj kamino.ObjID, cur
 		child, err := t.readNode(childObj)
 		if err != nil {
 			cl.Unlock()
+			release()
 			return err
 		}
+		childDirty := false
 		if len(child.keys) == t.order {
 			// Proactive split: parent (cur) is latched and not
 			// full, so the separator insertion is safe.
 			sep, rightObj, err := t.splitChild(tx, childObj, child)
 			if err != nil {
 				cl.Unlock()
+				release()
 				return err
 			}
 			i, _ := search(cur.keys, sep)
@@ -382,15 +420,21 @@ func (t *Tree) descendPut(tx *kamino.Tx, un *unlockers, curObj kamino.ObjID, cur
 			cur.ptrs = append(cur.ptrs[:i+1], append([]kamino.ObjID{rightObj}, cur.ptrs[i+1:]...)...)
 			if err := tx.Add(curObj); err != nil {
 				cl.Unlock()
+				release()
 				return err
 			}
 			if err := t.writeNode(tx, curObj, cur); err != nil {
 				cl.Unlock()
+				release()
 				return err
 			}
+			curDirty = true
+			childDirty = true
 			if key >= sep {
-				// Continue into the new right sibling.
-				cl.Unlock()
+				// Continue into the new right sibling. The left
+				// half was written by this transaction, so its
+				// latch is held to commit like any dirty node.
+				un.add(cl.Unlock)
 				childObj = rightObj
 				cl = t.latch(childObj)
 				cl.Lock()
@@ -401,12 +445,14 @@ func (t *Tree) descendPut(tx *kamino.Tx, un *unlockers, curObj kamino.ObjID, cur
 			child, err = t.readNodeTx(tx, childObj)
 			if err != nil {
 				cl.Unlock()
+				release()
 				return err
 			}
 		}
-		un.add(cl.Unlock)
-		curObj, cur = childObj, child
+		release()
+		curObj, cur, curLatch, curDirty = childObj, child, cl, childDirty
 	}
+	un.add(curLatch.Unlock) // the leaf is always written: hold to commit
 	return t.putInLeaf(tx, curObj, key, fn)
 }
 

@@ -89,7 +89,10 @@ func runAuditedWorkload(t *testing.T, pool *Pool, withAborts bool) {
 
 // TestAuditAllEngines: every engine, run under a contended workload with
 // injected full and partial crashes, must produce an event stream the
-// auditor accepts.
+// auditor accepts. Pools run at Shards: 16 so every shard boundary —
+// lock-table buckets, heap arenas, intent-log slot groups, NVM stripes,
+// and the applier pool — is crossed while the auditor watches; the
+// per-layer defaults are exercised by the rest of the suite.
 func TestAuditAllEngines(t *testing.T) {
 	modes := []struct {
 		mode       Mode
@@ -111,6 +114,7 @@ func TestAuditAllEngines(t *testing.T) {
 				Alpha:    0.5,
 				Strict:   true,
 				Trace:    rec,
+				Shards:   16,
 			})
 			if err != nil {
 				t.Fatal(err)

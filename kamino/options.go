@@ -67,8 +67,17 @@ type Options struct {
 	LogDataBytesPerSlot int
 
 	// ApplierWorkers is the number of asynchronous backup-sync workers
-	// for Kamino modes. Default 1.
+	// for Kamino modes, each with its own queue (committed transactions
+	// are routed by their first object's shard, preserving per-object
+	// copy-back order). Default GOMAXPROCS/2, minimum 1.
 	ApplierWorkers int
+
+	// Shards tunes the concurrency sharding of every volatile layer under
+	// the engine: lock-table buckets, heap-allocator shards, and the
+	// intent-log free-slot pool. It never changes what is written to NVM,
+	// so any shard count can reopen any pool image. Zero selects each
+	// layer's default (scaled to GOMAXPROCS).
+	Shards int
 
 	// GroupCommit enables intent-log group commit for Kamino modes: a
 	// dedicated committer absorbs concurrent transactions' commit-marker
@@ -144,9 +153,8 @@ func (o Options) withDefaults() (Options, error) {
 	if o.LogDataBytesPerSlot == 0 {
 		o.LogDataBytesPerSlot = 64 << 10
 	}
-	if o.ApplierWorkers == 0 {
-		o.ApplierWorkers = 1
-	}
+	// ApplierWorkers and Shards zero values flow through to the engine,
+	// which picks GOMAXPROCS-scaled defaults.
 	return o, nil
 }
 

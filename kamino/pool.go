@@ -138,7 +138,7 @@ func (p *Pool) makeEngine(fresh bool) error {
 	var err error
 	switch p.opts.Mode {
 	case ModeSimple, ModeDynamic:
-		cfg := kamino.Config{Log: p.opts.logConfig(), ApplierWorkers: p.opts.ApplierWorkers, GroupCommit: p.opts.GroupCommit}
+		cfg := kamino.Config{Log: p.opts.logConfig(), ApplierWorkers: p.opts.ApplierWorkers, GroupCommit: p.opts.GroupCommit, Shards: p.opts.Shards}
 		if fresh {
 			p.eng, err = kamino.New(p.mainReg, p.backupReg, p.logReg, cfg)
 		} else {
@@ -146,27 +146,27 @@ func (p *Pool) makeEngine(fresh bool) error {
 		}
 	case ModeUndo:
 		if fresh {
-			p.eng, err = undo.New(p.mainReg, p.logReg, p.opts.logConfig())
+			p.eng, err = undo.NewSharded(p.mainReg, p.logReg, p.opts.logConfig(), p.opts.Shards)
 		} else {
-			p.eng, err = undo.Open(p.mainReg, p.logReg)
+			p.eng, err = undo.OpenSharded(p.mainReg, p.logReg, p.opts.Shards)
 		}
 	case ModeCoW:
 		if fresh {
-			p.eng, err = cow.New(p.mainReg, p.logReg, p.opts.logConfig())
+			p.eng, err = cow.NewSharded(p.mainReg, p.logReg, p.opts.logConfig(), p.opts.Shards)
 		} else {
-			p.eng, err = cow.Open(p.mainReg, p.logReg)
+			p.eng, err = cow.OpenSharded(p.mainReg, p.logReg, p.opts.Shards)
 		}
 	case ModeNoLog:
 		if fresh {
-			p.eng, err = nolog.New(p.mainReg)
+			p.eng, err = nolog.NewSharded(p.mainReg, p.opts.Shards)
 		} else {
-			p.eng, err = nolog.Open(p.mainReg)
+			p.eng, err = nolog.OpenSharded(p.mainReg, p.opts.Shards)
 		}
 	case ModeInPlace:
 		if fresh {
-			p.eng, err = inplace.New(p.mainReg, p.logReg, p.opts.logConfig())
+			p.eng, err = inplace.NewSharded(p.mainReg, p.logReg, p.opts.logConfig(), p.opts.Shards)
 		} else {
-			p.eng, err = inplace.Open(p.mainReg, p.logReg)
+			p.eng, err = inplace.OpenSharded(p.mainReg, p.logReg, p.opts.Shards)
 		}
 	default:
 		err = fmt.Errorf("kamino: unknown mode %q", p.opts.Mode)
