@@ -8,7 +8,8 @@
 //	kaminobench -experiment fig12 -trace-out fig12.trace.json -audit
 //
 // Experiments: fig1, fig12, fig13, fig14, fig15, fig16, fig17, fig18,
-// table1, dependent, worstcase, ablation, chainscale, threadscale, all.
+// table1, dependent, worstcase, ablation, chainscale, threadscale, chaos,
+// all.
 //
 // With -trace-out, every pool the experiments create records its NVM
 // device and transaction lifecycle events into a ring buffer, exported at
@@ -68,6 +69,7 @@ var experiments = []struct {
 	{"ablation", "design-choice ablations via mechanism counters", bench.Ablation},
 	{"chainscale", "chain throughput vs hop batch size and chain length", bench.ChainScaling},
 	{"threadscale", "throughput vs threads and concurrency shard count", bench.ThreadScale},
+	{"chaos", "kill-rebuild-rejoin schedules under live chain load", bench.Chaos},
 }
 
 func main() {

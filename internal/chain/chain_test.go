@@ -15,11 +15,26 @@ import (
 
 // testChain bundles one in-process chain.
 type testChain struct {
-	tr       *transport.InProc
-	mgr      *membership.Manager
+	tr  *transport.InProc
+	mgr *membership.Manager
+	mu  sync.RWMutex // guards replicas (kill/rejoin race with live clients)
+
 	replicas map[transport.NodeID]*Replica
 	order    []transport.NodeID
 	client   *KVClient
+	cfg      Config // template shared by every replica (rejoin tests reuse it)
+}
+
+func (tc *testChain) get(id transport.NodeID) *Replica {
+	tc.mu.RLock()
+	defer tc.mu.RUnlock()
+	return tc.replicas[id]
+}
+
+func (tc *testChain) put(id transport.NodeID, rep *Replica) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.replicas[id] = rep
 }
 
 func newTestChain(t *testing.T, mode Mode, n int, strict bool) *testChain {
@@ -35,27 +50,29 @@ func newTestChain(t *testing.T, mode Mode, n int, strict bool) *testChain {
 	}
 	reg := NewKVRegistry()
 	tc := &testChain{tr: tr, mgr: mgr, replicas: make(map[transport.NodeID]*Replica), order: ids}
+	tc.cfg = Config{
+		Mode:      mode,
+		HeapSize:  8 << 20,
+		Alpha:     0.5,
+		Strict:    strict,
+		Registry:  reg,
+		Transport: tr,
+		Manager:   mgr,
+		Setup:     KVSetup,
+	}
 	for _, id := range ids {
-		rep, err := NewReplica(id, Config{
-			Mode:      mode,
-			HeapSize:  8 << 20,
-			Alpha:     0.5,
-			Strict:    strict,
-			Registry:  reg,
-			Transport: tr,
-			Manager:   mgr,
-			Setup:     KVSetup,
-		})
+		rep, err := NewReplica(id, tc.cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		tc.replicas[id] = rep
 	}
 	tc.client = NewKVClient(func() *Replica {
-		head := mgr.View().Head()
-		return tc.replicas[head]
+		return tc.get(mgr.View().Head())
 	})
 	t.Cleanup(func() {
+		tc.mu.Lock()
+		defer tc.mu.Unlock()
 		for _, rep := range tc.replicas {
 			rep.Close()
 		}

@@ -139,29 +139,48 @@ func NewKVRegistry() *Registry {
 	return reg
 }
 
+// ErrNoHead reports that the client's head resolver found no live head
+// replica — the chain is mid-repair. Like a redirect it unwraps to
+// ErrNotHead so retry loops treat both the same way.
+var ErrNoHead = fmt.Errorf("chain: no live head replica (%w)", ErrNotHead)
+
 // KVClient runs KV operations against a chain's head.
 type KVClient struct {
 	head func() *Replica
 }
 
-// NewKVClient builds a client resolving the head dynamically.
+// NewKVClient builds a client resolving the head dynamically. The resolver
+// may return nil while the chain is repairing; operations then fail with
+// ErrNoHead instead of panicking.
 func NewKVClient(head func() *Replica) *KVClient {
 	return &KVClient{head: head}
 }
 
 // Put stores key=val through the chain.
 func (c *KVClient) Put(key uint64, val []byte) error {
-	return c.head().Submit("put", EncodeKV(key, val))
+	h := c.head()
+	if h == nil {
+		return ErrNoHead
+	}
+	return h.Submit("put", EncodeKV(key, val))
 }
 
 // Delete removes key through the chain.
 func (c *KVClient) Delete(key uint64) error {
-	return c.head().Submit("delete", EncodeKey(key))
+	h := c.head()
+	if h == nil {
+		return ErrNoHead
+	}
+	return h.Submit("delete", EncodeKey(key))
 }
 
 // Get reads key at the tail.
 func (c *KVClient) Get(key uint64) ([]byte, bool, error) {
-	payload, err := c.head().Read("get", EncodeKey(key))
+	h := c.head()
+	if h == nil {
+		return nil, false, ErrNoHead
+	}
+	payload, err := h.Read("get", EncodeKey(key))
 	if err != nil {
 		return nil, false, err
 	}

@@ -3,6 +3,7 @@ package chain
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"kaminotx/internal/heap"
 	"kaminotx/internal/membership"
@@ -23,6 +24,20 @@ func (r *Replica) onViewChange(v membership.View) {
 	stillMember := v.Index(r.id) >= 0
 	r.mu.Unlock()
 	if !stillMember {
+		// Removed from the chain: quiesce. Without this the executor
+		// keeps applying and forwarding with a stale view and the node
+		// keeps serving fetches as if it were a member — a zombie. Stop
+		// the pipeline, leave the transport, drop the membership watch
+		// (a replacement with the same NodeID must not drive this
+		// corpse), and redirect any clients still blocked in Submit.
+		if old.Index(r.id) >= 0 {
+			if r.watchCancel != nil {
+				r.watchCancel()
+			}
+			r.stopExecutor()
+			r.cfg.Transport.Unregister(r.id)
+			r.failWaiters(r.redirect(v))
+		}
 		return
 	}
 
@@ -32,7 +47,18 @@ func (r *Replica) onViewChange(v membership.View) {
 	isTail := v.Tail() == r.id
 
 	if isHead && !wasHead {
-		if err := r.promoteToHead(); err != nil {
+		// Promote at a transaction boundary. pool.Promote closes the
+		// in-place engine and reopens it as Kamino-Tx over the same heap;
+		// doing that under a live executor strands whatever intent the
+		// executor is mid-way through, and the reopened engine would roll
+		// it back against a just-created (empty) backup. The pipeline also
+		// must not assign sequence numbers until promoteToHead has rebuilt
+		// numbering from the persistent cursors.
+		r.stopExecutor()
+		r.pool.Drain()
+		err := r.promoteToHead()
+		r.startExecutor()
+		if err != nil {
 			r.fatal(fmt.Errorf("chain: head promotion: %w", err))
 			return
 		}
@@ -78,8 +104,21 @@ func (r *Replica) promoteToHead() error {
 	if err != nil {
 		return err
 	}
-	r.headMu.Lock()
+	// Sequence numbering must resume after every number this replica has
+	// ever seen, not just what is still in flight. After a reboot wiped
+	// lastExec and the in-flight queue is empty (all acked), deriving
+	// nextSeq from in-flight records alone would restart numbering at 1
+	// and every new operation would be silently dropped by the replicas'
+	// duplicate-seq filters. The queues' LastSeq cursors are persistent
+	// (pqueue header hOffSeq) and monotone — floor on both.
 	maxSeq := lastExec
+	if s := r.getInflight().LastSeq(); s > maxSeq {
+		maxSeq = s
+	}
+	if s := r.getInput().LastSeq(); s > maxSeq {
+		maxSeq = s
+	}
+	r.headMu.Lock()
 	for _, rec := range recs {
 		if rec.Seq > maxSeq {
 			maxSeq = rec.Seq
@@ -101,6 +140,22 @@ func (r *Replica) promoteToHead() error {
 	}
 	r.headMu.Unlock()
 
+	// An acknowledgment can race with the rebuild above: delivered between
+	// the in-flight snapshot and the lock re-admission, its AckThrough
+	// truncated the queue but its completeThrough found no locks to
+	// release yet. Reconcile against the queue now that the locks exist —
+	// anything no longer in flight is complete. An ack landing after this
+	// point sees the populated lock table and releases normally.
+	left, err := r.getInflight().All()
+	if err != nil {
+		return err
+	}
+	if len(left) == 0 {
+		r.completeThrough(maxSeq)
+	} else if floor := left[0].Seq; floor > 0 {
+		r.completeThrough(floor - 1)
+	}
+
 	view := r.currentView()
 	if succ, ok := view.Successor(r.id); ok {
 		for _, rec := range recs {
@@ -113,30 +168,205 @@ func (r *Replica) promoteToHead() error {
 	} else {
 		// Single-node chain: everything in flight is trivially
 		// complete.
-		if err := r.getInflight().DropThrough(maxSeq); err != nil {
+		if err := r.getInflight().AckThrough(maxSeq); err != nil {
 			return err
 		}
 		r.completeThrough(maxSeq)
 	}
-	return nil
+	// A replica promoted mid-stream inherits its middle-era input backlog:
+	// records accepted but not yet executed and forwarded. They must be
+	// fully drained before the pipeline restarts, because the head's
+	// batcher is a second writer to the same engine — admission control
+	// knows nothing about backlog keys, so batcher and executor
+	// transactions would interleave in the engine lock table (an AB-BA
+	// deadlock on shared hash-bucket objects even for disjoint keys) and
+	// break the allocation-order determinism the neighbour-copy recovery
+	// protocol needs. Draining after the in-flight resends keeps the
+	// successor's input queue in ascending sequence order.
+	return r.drainInputBacklog()
+}
+
+// drainInputBacklog synchronously executes and forwards every record still
+// in the input queue, exactly as the executor/forwarder pipeline would.
+// Callers must hold the pipeline stopped: this is the single writer while
+// it runs.
+func (r *Replica) drainInputBacklog() error {
+	cur := r.getInput().Cursor()
+	for {
+		batch := make([]pqueue.Record, 0, r.cfg.BatchOps)
+		bytes := 0
+		for len(batch) < r.cfg.BatchOps && bytes < r.cfg.BatchBytes {
+			rec, err := cur.Next()
+			if errors.Is(err, pqueue.ErrEmpty) {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			batch = append(batch, rec)
+			bytes += len(rec.Args)
+		}
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := r.executeBatch(batch); err != nil {
+			return err
+		}
+		if err := r.forwardBatch(batch); err != nil {
+			return err
+		}
+	}
 }
 
 // ackAllInflight lets a newly promoted tail acknowledge all forwarded
-// transactions to the head.
+// transactions to the head. The acknowledgment is a Call, not a
+// fire-and-forget Send: only once the head has actually processed it may
+// the records leave the in-flight queue. A lost ack used to truncate the
+// queue anyway, permanently leaking the head's admission locks for those
+// sequence numbers; now the records are retained and the repair ticker
+// (reacker) retries until a head confirms.
 func (r *Replica) ackAllInflight(v membership.View) {
 	recs, err := r.getInflight().All()
 	if err != nil {
 		r.fatal(err)
 		return
 	}
-	for _, rec := range recs {
-		_ = r.cfg.Transport.Send(v.Head(), &transport.Message{
-			Kind: transport.KindTailAck, From: r.id, ViewID: v.ID, Seq: rec.Seq, Trace: rec.Trace,
+	if len(recs) == 0 {
+		return
+	}
+	last := recs[len(recs)-1]
+	if _, err := r.cfg.Transport.Call(v.Head(), &transport.Message{
+		Kind: transport.KindTailAck, From: r.id, ViewID: v.ID, Seq: last.Seq, Trace: last.Trace,
+	}); err != nil {
+		// Head unreachable (mid-repair): keep the records; retry later.
+		return
+	}
+	r.cTailAcks.Add(uint64(len(recs)))
+	if err := r.getInflight().AckThrough(last.Seq); err != nil {
+		r.fatal(err)
+	}
+}
+
+// reackIfExecuted regenerates the tail acknowledgment for a duplicate
+// delivery: upstream resends only what it has not seen complete, so if
+// this tail has already executed seq the original ack (or the cleanup it
+// triggers) was lost — answer it again rather than dropping the duplicate
+// silently and stranding the head's admission locks.
+func (r *Replica) reackIfExecuted(seq uint64) {
+	view := r.currentView()
+	if view.Head() == r.id {
+		return
+	}
+	if r.lastExecSeq() < seq {
+		return
+	}
+	if view.Tail() != r.id {
+		// A middle receiving a duplicate it has already executed is being
+		// probed by an upstream repair resend; silently dropping it would
+		// strand the sender. Two cases. If this replica's in-flight queue
+		// has acked past seq, the cleanup chain already certified that the
+		// tail acknowledged it — answer with a cleanup to the predecessor,
+		// deliberately including the head: the steady-state chain stops
+		// cleanups short of the head (it hears the tail ack directly), but
+		// a promoted head whose tail ack died with its predecessor has
+		// only this path left to release its re-admitted admission locks.
+		// Otherwise the record is still in flight here — pass the probe
+		// downstream so the tail can regenerate the acknowledgment.
+		if r.getInflight().Acked() >= seq {
+			if pred, ok := view.Predecessor(r.id); ok {
+				_ = r.cfg.Transport.Send(pred, &transport.Message{
+					Kind: transport.KindCleanup, From: r.id, ViewID: view.ID, Seq: seq,
+				})
+			}
+			return
+		}
+		succ, ok := view.Successor(r.id)
+		if !ok {
+			return
+		}
+		recs, err := r.getInflight().All()
+		if err != nil {
+			return
+		}
+		for _, rec := range recs {
+			if rec.Seq == seq {
+				_ = r.cfg.Transport.Send(succ, &transport.Message{
+					Kind: transport.KindOp, From: r.id, ViewID: view.ID,
+					Seq: rec.Seq, Name: rec.Name, Args: rec.Args, Trace: rec.Trace,
+				})
+				r.cResends.Add(1)
+				return
+			}
+		}
+		return
+	}
+	_ = r.cfg.Transport.Send(view.Head(), &transport.Message{
+		Kind: transport.KindTailAck, From: r.id, ViewID: view.ID, Seq: seq,
+	})
+	r.cTailAcks.Add(1)
+	if pred, ok := view.Predecessor(r.id); ok && pred != view.Head() {
+		_ = r.cfg.Transport.Send(pred, &transport.Message{
+			Kind: transport.KindCleanup, From: r.id, ViewID: view.ID, Seq: seq,
 		})
 	}
-	if len(recs) > 0 {
-		if err := r.getInflight().DropThrough(recs[len(recs)-1].Seq); err != nil {
-			r.fatal(err)
+}
+
+// reacker is the per-incarnation repair ticker. A tail holding retained
+// in-flight records (an ack the head never confirmed) re-acknowledges them
+// every ResendInterval until one lands. A head whose oldest in-flight
+// record has made no progress between two ticks re-drives the queue down
+// the chain: one-shot acks and cleanups can be lost across a view change
+// (addressed to a head that died before delivery), and without a retry
+// the admission locks for those records would be stranded forever.
+func (r *Replica) reacker(stop chan struct{}) {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.ResendInterval)
+	defer t.Stop()
+	var stalledFloor uint64
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		view := r.currentView()
+		if view.Head() == r.id {
+			recs, err := r.getInflight().All()
+			if err != nil || len(recs) == 0 {
+				stalledFloor = 0
+				continue
+			}
+			floor := recs[0].Seq
+			if floor == stalledFloor {
+				// Re-drive only the oldest prefix: a stranded record
+				// blocks the floor, and its regenerated ack releases the
+				// whole prefix at once, so convergence does not need the
+				// full queue. (A legitimately stalled chain — a donor
+				// frozen for state transfer — can back up thousands of
+				// records; resending them all every tick turns the
+				// repair ticker into a storm that starves the transfer.)
+				if succ, ok := view.Successor(r.id); ok {
+					n := len(recs)
+					if n > 16 {
+						n = 16
+					}
+					for _, rec := range recs[:n] {
+						_ = r.cfg.Transport.Send(succ, &transport.Message{
+							Kind: transport.KindOp, From: r.id, ViewID: view.ID,
+							Seq: rec.Seq, Name: rec.Name, Args: rec.Args, Trace: rec.Trace,
+						})
+					}
+					r.cResends.Add(uint64(n))
+				}
+			}
+			stalledFloor = floor
+			continue
+		}
+		if view.Tail() != r.id {
+			continue
+		}
+		if !r.getInflight().Empty() {
+			r.ackAllInflight(view)
 		}
 	}
 }
@@ -214,7 +444,16 @@ func (r *Replica) reboot(crash func() error) error {
 	believed := r.view.ID
 	r.mu.Unlock()
 
-	// The crashed process stops serving and executing.
+	// The crashed process stops serving and executing. A snapshot frozen
+	// for a joiner dies with the power: invalidate the nonce so stale
+	// chunk fetches fail instead of reading a post-crash heap.
+	r.snapMu.Lock()
+	if r.snapTimer != nil {
+		r.snapTimer.Stop()
+		r.snapTimer = nil
+	}
+	r.snapNonce = 0
+	r.snapMu.Unlock()
 	r.stopExecutor()
 	r.cfg.Transport.Unregister(r.id)
 
@@ -242,9 +481,18 @@ func (r *Replica) reboot(crash func() error) error {
 	if err != nil {
 		return fmt.Errorf("chain: rejoin: %w", err)
 	}
+	// The volatile executed counter did not survive, but the input queue
+	// did: everything that ever left it was executed first, so its floor
+	// (LastSeq when empty, else the oldest remaining record minus one)
+	// is a sound lower bound. Restoring 0 instead would make a rebooted
+	// tail refuse to re-acknowledge duplicates it has long executed.
+	floor, err := executedFloor(inputQ)
+	if err != nil {
+		return err
+	}
 	r.mu.Lock()
 	r.view = view
-	r.lastExec = 0
+	r.lastExec = floor
 	r.mu.Unlock()
 
 	// Resolve incomplete transactions.

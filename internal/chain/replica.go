@@ -73,6 +73,19 @@ type Config struct {
 	// local engine (see kamino.Options.GroupCommit).
 	GroupCommit bool
 
+	// ResendInterval paces the repair ticker: a tail with retained
+	// in-flight records re-acknowledges them to the head at this
+	// interval until the acknowledgment is confirmed (lost-ack healing).
+	// Default 25ms.
+	ResendInterval time.Duration
+	// SnapTimeout bounds how long a donor stays frozen serving a state
+	// snapshot: if the joiner vanishes mid-transfer, the watchdog
+	// releases the snapshot and resumes the pipeline. Default 10s.
+	SnapTimeout time.Duration
+	// StateChunkBytes caps one state-transfer chunk fetched by a joining
+	// replica. Default 256 KiB.
+	StateChunkBytes int
+
 	Registry  *Registry
 	Transport transport.Transport
 	Manager   *membership.Manager
@@ -116,6 +129,15 @@ func (c Config) withDefaults() Config {
 	if c.BatchBytes <= 0 {
 		c.BatchBytes = 256 << 10
 	}
+	if c.ResendInterval == 0 {
+		c.ResendInterval = 25 * time.Millisecond
+	}
+	if c.SnapTimeout == 0 {
+		c.SnapTimeout = 10 * time.Second
+	}
+	if c.StateChunkBytes <= 0 {
+		c.StateChunkBytes = 256 << 10
+	}
 	return c
 }
 
@@ -153,11 +175,21 @@ type Replica struct {
 	lastExec uint64
 	promoted bool // head engine active (initial head or promoted later)
 
-	notify   chan struct{}
-	submitCh chan *submitReq // head: admitted submissions awaiting a batch
-	stopMu   sync.Mutex
-	stop     chan struct{}
-	wg       sync.WaitGroup
+	notify      chan struct{}
+	submitCh    chan *submitReq // head: admitted submissions awaiting a batch
+	stopMu      sync.Mutex
+	stop        chan struct{}
+	wg          sync.WaitGroup
+	watchCancel func() // removes this replica's membership watcher
+
+	// Donor-side state-transfer snapshot (see rejoin.go): while a
+	// snapshot is frozen the pipeline is stopped and chunk fetches are
+	// validated against the nonce; the watchdog resumes the donor if the
+	// joiner vanishes mid-transfer.
+	snapMu    sync.Mutex
+	snapNonce uint64
+	snapCtr   uint64
+	snapTimer *time.Timer
 
 	// Head state.
 	headMu   sync.Mutex
@@ -190,8 +222,25 @@ func NewReplica(id transport.NodeID, cfg Config) (*Replica, error) {
 	if view.Index(id) < 0 {
 		return nil, fmt.Errorf("chain: %s is not in the initial view", id)
 	}
-	isHead := view.Head() == id
+	r, err := newReplicaCore(id, cfg, view.Head() == id, true)
+	if err != nil {
+		return nil, err
+	}
+	r.view = view
+	r.promoted = view.Head() == id
+	if err := r.goLive(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
 
+// newReplicaCore builds a replica's pool, persistent queues, and
+// observability but leaves it offline: no transport handler, no membership
+// watcher, no pipeline. NewReplica brings members online immediately;
+// JoinAsTail (rejoin.go) keeps a replacement replica offline until state
+// transfer has filled its heap. runSetup is false for joiners, whose
+// application state arrives as a copied image instead of from Setup.
+func newReplicaCore(id transport.NodeID, cfg Config, isHead, runSetup bool) (*Replica, error) {
 	var mode kamino.Mode
 	switch cfg.Mode {
 	case ModeKamino:
@@ -224,7 +273,7 @@ func NewReplica(id transport.NodeID, cfg Config) (*Replica, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Setup != nil {
+	if cfg.Setup != nil && runSetup {
 		if err := cfg.Setup(pool); err != nil {
 			return nil, err
 		}
@@ -278,8 +327,6 @@ func NewReplica(id transport.NodeID, cfg Config) (*Replica, error) {
 		cBatches:    o.Counter("batches"),
 		cBatchOps:   o.Counter("batch_ops"),
 		cSplits:     o.Counter("batch_splits"),
-		view:        view,
-		promoted:    isHead,
 		notify:      make(chan struct{}, 1),
 		submitCh:    make(chan *submitReq, 1024),
 		lockedBy:    make(map[uint64]struct{}),
@@ -296,17 +343,29 @@ func NewReplica(id transport.NodeID, cfg Config) (*Replica, error) {
 	// downstream chain is the bottleneck.
 	o.Gauge("input_records", func() uint64 { return queueLen(r.getInput()) })
 	o.Gauge("inflight_records", func() uint64 { return queueLen(r.getInflight()) })
+	// Queue-truncation telemetry: live ring occupancy and the high-water
+	// mark prove the acknowledged-prefix pruning keeps the logs bounded.
+	o.Gauge("inputq_bytes", func() uint64 { return r.getInput().Occupied() })
+	o.Gauge("inputq_highwater", func() uint64 { return r.getInput().HighWater() })
+	o.Gauge("inflightq_bytes", func() uint64 { return r.getInflight().Occupied() })
+	o.Gauge("inflightq_highwater", func() uint64 { return r.getInflight().HighWater() })
 	if cfg.Trace != nil {
 		r.tr = cfg.Trace.Tracer("chain/" + string(id))
 		r.traceBase = fnv64a(string(id)) &^ 0xFFFFFFFF
 	}
 	r.lockCond = sync.NewCond(&r.headMu)
-	if err := cfg.Transport.Register(id, r.handle); err != nil {
-		return nil, err
-	}
-	cfg.Manager.Watch(r.onViewChange)
-	r.startExecutor()
 	return r, nil
+}
+
+// goLive puts a constructed replica on the air: transport handler,
+// membership watcher, pipeline.
+func (r *Replica) goLive() error {
+	if err := r.cfg.Transport.Register(r.id, r.handle); err != nil {
+		return err
+	}
+	r.watchCancel = r.cfg.Manager.Watch(r.onViewChange)
+	r.startExecutor()
+	return nil
 }
 
 // queueLen samples a persistent queue's record count for a gauge; a
@@ -340,6 +399,57 @@ func (r *Replica) Pool() *kamino.Pool { return r.pool }
 // ("chain/<id>"): per-hop forward, ack, cleanup, dedup, fetch, and resend
 // counters. The local engine's registry is separate — see Pool().Obs().
 func (r *Replica) Obs() *obs.Registry { return r.obs }
+
+// LastExec returns the highest locally executed sequence number.
+func (r *Replica) LastExec() uint64 { return r.lastExecSeq() }
+
+// LockedKeys returns how many admission-lock keys the head currently
+// holds. After every in-flight transaction completes it must return to 0;
+// the view-change conformance tests assert exactly that (no lock leaks).
+func (r *Replica) LockedKeys() int {
+	r.headMu.Lock()
+	defer r.headMu.Unlock()
+	return len(r.lockedBy)
+}
+
+// QueueStats reports the replica's persistent-queue ring occupancy and
+// high-water marks in bytes (input, in-flight). The chaos experiment uses
+// them to prove acknowledged-prefix truncation keeps the logs bounded.
+func (r *Replica) QueueStats() (inputBytes, inputHigh, inflightBytes, inflightHigh uint64) {
+	in, fl := r.getInput(), r.getInflight()
+	return in.Occupied(), in.HighWater(), fl.Occupied(), fl.HighWater()
+}
+
+// DebugState summarizes the repair-relevant state — execution floor,
+// sequence counter, queue spans, and the admission-lock table — in one
+// line. The chaos experiment prints it for every replica when client
+// progress wedges, so a leaked admission lock names its owner instead of
+// hanging the run.
+func (r *Replica) DebugState() string {
+	recs, _ := r.getInflight().All()
+	var flFloor, flLast uint64
+	if len(recs) > 0 {
+		flFloor, flLast = recs[0].Seq, recs[len(recs)-1].Seq
+	}
+	r.headMu.Lock()
+	locked := make([]uint64, 0, len(r.lockedBy))
+	for k := range r.lockedBy {
+		locked = append(locked, k)
+	}
+	seqs := make([]uint64, 0, len(r.seqLocks))
+	for s := range r.seqLocks {
+		seqs = append(seqs, s)
+	}
+	nextSeq := r.nextSeq
+	waiters := len(r.waiters)
+	r.headMu.Unlock()
+	sort.Slice(locked, func(i, j int) bool { return locked[i] < locked[j] })
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return fmt.Sprintf(
+		"lastExec=%d nextSeq=%d input.last=%d inflight=%d[%d..%d] waiters=%d lockedKeys=%v lockSeqs=%v",
+		r.lastExecSeq(), nextSeq, r.getInput().LastSeq(), len(recs), flFloor, flLast,
+		waiters, locked, seqs)
+}
 
 // IsHead reports whether this replica currently heads the chain.
 func (r *Replica) IsHead() bool {
@@ -384,10 +494,11 @@ func (r *Replica) startExecutor() {
 	stop := r.stop
 	r.stopMu.Unlock()
 	fwd := make(chan pqueue.Record, 1024)
-	r.wg.Add(3)
+	r.wg.Add(4)
 	go r.executor(stop, fwd)
 	go r.forwarder(stop, fwd)
 	go r.batcher(stop)
+	go r.reacker(stop)
 }
 
 func (r *Replica) currentView() membership.View {
@@ -396,11 +507,75 @@ func (r *Replica) currentView() membership.View {
 	return r.view
 }
 
-// Close stops the replica.
+// Close stops the replica. Clients blocked in Submit are failed with a
+// redirect so they can retry against the chain's current head.
 func (r *Replica) Close() error {
+	if r.watchCancel != nil {
+		r.watchCancel()
+	}
 	r.stopExecutor()
 	r.cfg.Transport.Unregister(r.id)
+	r.failWaiters(&RedirectError{ViewID: r.cfg.Manager.View().ID, Head: r.cfg.Manager.View().Head()})
 	return r.pool.Close()
+}
+
+// failWaiters errors every pending head submission — both those already
+// assigned a sequence number (waiters) and those still queued for the
+// batcher — releasing their admission locks. Used when this replica stops
+// being able to complete them: removal from the view, or Close.
+func (r *Replica) failWaiters(err error) {
+	r.headMu.Lock()
+	var dones []chan error
+	for seq, ch := range r.waiters {
+		dones = append(dones, ch)
+		delete(r.waiters, seq)
+		delete(r.seqTrace, seq)
+		for _, k := range r.seqLocks[seq] {
+			delete(r.lockedBy, k)
+		}
+		delete(r.seqLocks, seq)
+	}
+	r.lockCond.Broadcast()
+	r.headMu.Unlock()
+	for _, ch := range dones {
+		ch <- err
+	}
+	// Admitted submissions the batcher never picked up.
+	for {
+		select {
+		case req := <-r.submitCh:
+			r.releaseKeys(req.keys)
+			req.done <- err
+		default:
+			return
+		}
+	}
+}
+
+// lastExecSeq returns the highest locally executed sequence number.
+func (r *Replica) lastExecSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastExec
+}
+
+// executedFloor derives the executed prefix from a persistent input queue:
+// records leave the input queue only after execution and forwarding, so if
+// the queue is empty everything ever enqueued (LastSeq) has executed, and
+// otherwise everything before its oldest record has. Reboot restores
+// lastExec from this — the volatile counter does not survive a crash.
+func executedFloor(q *pqueue.Queue) (uint64, error) {
+	rec, err := q.Peek()
+	if errors.Is(err, pqueue.ErrEmpty) {
+		return q.LastSeq(), nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	if rec.Seq == 0 {
+		return 0, nil
+	}
+	return rec.Seq - 1, nil
 }
 
 func (r *Replica) kick() {
@@ -431,15 +606,41 @@ func (r *Replica) Err() error {
 // ErrNotHead reports a Submit on a non-head replica.
 var ErrNotHead = errors.New("chain: not the head")
 
+// RedirectError tells a client its operation reached a non-head replica
+// (or a head that lost headship mid-operation) and names the view the
+// client should retry against. errors.Is(err, ErrNotHead) matches it, so
+// callers that only care about "wrong node" keep working.
+type RedirectError struct {
+	// ViewID is the view current when the redirect was issued.
+	ViewID uint64
+	// Head is that view's head — where to retry.
+	Head transport.NodeID
+}
+
+// Error implements error.
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("chain: not the head (view %d, head %s)", e.ViewID, e.Head)
+}
+
+// Is reports ErrNotHead equivalence for errors.Is.
+func (e *RedirectError) Is(target error) bool { return target == ErrNotHead }
+
+// redirect builds the RedirectError for the current view.
+func (r *Replica) redirect(v membership.View) error {
+	return &RedirectError{ViewID: v.ID, Head: v.Head()}
+}
+
 // Submit executes a registered write operation through the chain and waits
-// until the tail acknowledges it. Only the head accepts submissions.
+// until the tail acknowledges it. Only the head accepts submissions;
+// elsewhere a RedirectError carries the current view so the client can
+// retry against the real head instead of silently failing.
 func (r *Replica) Submit(name string, args []byte) error {
 	if err := r.Err(); err != nil {
 		return err
 	}
 	view := r.currentView()
 	if view.Head() != r.id {
-		return ErrNotHead
+		return r.redirect(view)
 	}
 	fn, keysFn, err := r.cfg.Registry.write(name)
 	if err != nil {
@@ -457,10 +658,43 @@ func (r *Replica) Submit(name string, args []byte) error {
 	// number, and forwards — possibly coalesced with concurrent
 	// submissions into one downstream message and one in-flight-queue
 	// persist. The batcher is single-threaded, so downstream execution
-	// order equals head execution order.
+	// order equals head execution order. The stop-channel select covers a
+	// dead pipeline with a full submit channel: instead of blocking on a
+	// handoff nobody will drain, the client gets a redirect and retries.
+	// Once handed off, the request always gets an answer: a live batcher
+	// completes it, a reboot's re-drive completes it after recovery, and
+	// removal or Close fails it through failWaiters.
+	r.stopMu.Lock()
+	stop := r.stop
+	r.stopMu.Unlock()
 	req := &submitReq{name: name, args: args, fn: fn, keys: keys, done: make(chan error, 1)}
-	r.submitCh <- req
-	return <-req.done
+	select {
+	case r.submitCh <- req:
+	case <-stop:
+		r.releaseKeys(keys)
+		return r.redirect(r.currentView())
+	}
+	for {
+		select {
+		case err := <-req.done:
+			return err
+		case <-stop:
+			// This pipeline incarnation died under us. A rebooting head
+			// stays the head and its recovery re-drives the in-flight
+			// set, so keep waiting on the next incarnation; a replica
+			// that lost headship can never complete us — redirect.
+			view := r.currentView()
+			if view.Head() != r.id {
+				return r.redirect(view)
+			}
+			r.stopMu.Lock()
+			stop = r.stop
+			r.stopMu.Unlock()
+			// The closed channel is replaced only when the executor
+			// restarts; avoid spinning until it does.
+			time.Sleep(time.Millisecond)
+		}
+	}
 }
 
 // batcher is the head's submission loop: it drains admitted submissions
@@ -683,11 +917,12 @@ func (r *Replica) completeThrough(ackSeq uint64) {
 }
 
 // Read executes a registered read operation at the tail and returns its
-// payload.
+// payload. Like Submit, a non-head returns a RedirectError naming the
+// current head.
 func (r *Replica) Read(name string, args []byte) ([]byte, error) {
 	view := r.currentView()
 	if view.Head() != r.id {
-		return nil, ErrNotHead
+		return nil, r.redirect(view)
 	}
 	if view.Tail() == r.id {
 		fn, err := r.cfg.Registry.read(name)
@@ -762,6 +997,10 @@ func (r *Replica) handle(msg *transport.Message) *transport.Message {
 	case transport.KindOp:
 		if msg.Seq <= r.getInput().LastSeq() {
 			r.cDedup.Add(1)
+			// A duplicate means upstream never saw this prefix complete;
+			// if this tail already executed it, the original ack was
+			// lost — regenerate it instead of staying silent.
+			r.reackIfExecuted(msg.Seq)
 			return nil // duplicate delivery after repair/resend
 		}
 		if err := r.getInput().Enqueue(pqueue.Record{Seq: msg.Seq, Trace: msg.Trace, Name: msg.Name, Args: msg.Args}); err != nil {
@@ -784,6 +1023,7 @@ func (r *Replica) handle(msg *transport.Message) *transport.Message {
 			recs = append(recs, pqueue.Record{Seq: op.Seq, Trace: op.Trace, Name: op.Name, Args: op.Args})
 		}
 		if len(recs) == 0 {
+			r.reackIfExecuted(msg.Seq)
 			return nil
 		}
 		if err := in.AppendBatch(recs); err != nil {
@@ -793,26 +1033,47 @@ func (r *Replica) handle(msg *transport.Message) *transport.Message {
 		r.kick()
 	case transport.KindTailAck:
 		// Head: every transaction up to msg.Seq is complete; release the
-		// clients and the admission locks, and clean the in-flight
-		// prefix (tail acks cover batches, so this is a range).
+		// clients and the admission locks, and truncate the acknowledged
+		// in-flight prefix (tail acks cover batches, so this is a range).
+		// AckThrough persists the completion floor so a rebooted head
+		// knows these are done rather than merely forwarded.
 		r.cAcksRecv.Add(1)
-		if err := r.getInflight().DropThrough(msg.Seq); err != nil {
+		if err := r.getInflight().AckThrough(msg.Seq); err != nil {
 			r.fatal(err)
 		}
 		r.completeThrough(msg.Seq)
 	case transport.KindCleanup:
 		r.cCleanups.Add(1)
-		if err := r.getInflight().DropThrough(msg.Seq); err != nil {
+		if err := r.getInflight().AckThrough(msg.Seq); err != nil {
 			r.fatal(err)
 		}
+		// A cleanup certifies the tail acknowledged everything through
+		// msg.Seq. On a middle that only truncates the in-flight queue, but
+		// a promoted head may be holding re-admitted admission locks for
+		// these very records while the tail's direct ack was addressed to
+		// the dead predecessor (stale view) and lost — the cleanup arriving
+		// here is the surviving copy of that completion signal, so release
+		// the locks too (no-op on replicas holding none).
+		r.completeThrough(msg.Seq)
 		view := r.currentView()
-		if pred, ok := view.Predecessor(r.id); ok && pred != view.Head() {
+		// Propagate upstream including the head. The head normally learns
+		// completion from the tail ack and this hop is a cheap no-op
+		// there, but after a failover the ack may have died with the old
+		// head — the cleanup chain is then the only route that can reach
+		// the promoted head and release its re-admitted admission locks.
+		if pred, ok := view.Predecessor(r.id); ok {
 			_ = r.cfg.Transport.Send(pred, &transport.Message{
 				Kind: transport.KindCleanup, From: r.id, ViewID: view.ID, Seq: msg.Seq,
 			})
 		}
 	case transport.KindFetch:
 		return r.serveFetch(msg)
+	case transport.KindStateSnap:
+		return r.serveStateSnap(msg)
+	case transport.KindStateChunk:
+		return r.serveStateChunk(msg)
+	case transport.KindStateDone:
+		return r.serveStateDone(msg)
 	case transport.KindRead:
 		fn, err := r.cfg.Registry.read(msg.Name)
 		if err != nil {

@@ -63,7 +63,14 @@ func (v View) clone() View {
 type Manager struct {
 	mu       sync.Mutex
 	view     View
-	watchers []func(View)
+	watchers []watcher
+	watchSeq uint64
+}
+
+// watcher is one registered view-change callback with its cancel handle.
+type watcher struct {
+	id uint64
+	fn func(View)
 }
 
 // Errors.
@@ -96,16 +103,36 @@ func (m *Manager) View() View {
 }
 
 // Watch registers a callback invoked (without the manager lock) after each
-// view change with the new view.
-func (m *Manager) Watch(fn func(View)) {
+// view change with the new view. The returned cancel function removes the
+// watcher; a replaced replica must cancel before a new incarnation with the
+// same NodeID registers, or view changes would keep driving the dead one.
+func (m *Manager) Watch(fn func(View)) (cancel func()) {
 	m.mu.Lock()
-	m.watchers = append(m.watchers, fn)
+	m.watchSeq++
+	id := m.watchSeq
+	m.watchers = append(m.watchers, watcher{id: id, fn: fn})
 	m.mu.Unlock()
+	return func() {
+		m.mu.Lock()
+		for i, w := range m.watchers {
+			if w.id == id {
+				m.watchers = append(m.watchers[:i], m.watchers[i+1:]...)
+				break
+			}
+		}
+		m.mu.Unlock()
+	}
 }
 
+// changed notifies every watcher of the new view. The watcher slice is
+// snapshotted under mu — Watch appends concurrently — and the callbacks run
+// without the lock so they may call back into the manager.
 func (m *Manager) changed(v View) {
-	for _, w := range m.watchers {
-		w(v.clone())
+	m.mu.Lock()
+	ws := append([]watcher(nil), m.watchers...)
+	m.mu.Unlock()
+	for _, w := range ws {
+		w.fn(v.clone())
 	}
 }
 

@@ -2,6 +2,10 @@ package membership
 
 import (
 	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"kaminotx/internal/transport"
@@ -125,4 +129,75 @@ func TestRejoin(t *testing.T) {
 	if _, err := m.Rejoin("m1", 99); err == nil {
 		t.Error("future view accepted")
 	}
+}
+
+func TestWatchDeliversAndCancelStops(t *testing.T) {
+	m, err := New(nodes("a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	cancel := m.Watch(func(v View) { got = append(got, v.ID) })
+	if _, err := m.ReportFailure("b"); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("watcher saw %v, want [2]", got)
+	}
+	cancel()
+	if _, err := m.AddTail("d"); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("cancelled watcher still notified: %v", got)
+	}
+}
+
+// TestWatchersConcurrentWithChanges registers and cancels watchers while
+// view changes fire from other goroutines. Before changed() snapshotted the
+// watcher slice under the lock, this raced (Watch's append vs changed's
+// iteration) and corrupted the slice; run with -race to enforce.
+func TestWatchersConcurrentWithChanges(t *testing.T) {
+	m, err := New(nodes("a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Churn membership: grow and shrink the tail repeatedly.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			id := transport.NodeID(fmt.Sprintf("x%d", i))
+			if _, err := m.AddTail(id); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := m.ReportFailure(id); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		close(stop)
+	}()
+	// Concurrently register watchers and cancel them.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var n atomic.Uint64
+				cancel := m.Watch(func(View) { n.Add(1) })
+				runtime.Gosched()
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -29,6 +29,7 @@ const (
 	hOffHead  = 16 // u64 logical byte offset of oldest record
 	hOffTail  = 24 // u64 logical byte offset past newest record
 	hOffSeq   = 32 // u64 highest sequence number ever enqueued
+	hOffAcked = 40 // u64 highest sequence number acknowledged complete
 
 	// record header: total u32 (aligned length incl. header), seq u64,
 	// trace u64, nameLen u16, argsLen u32
@@ -52,6 +53,8 @@ type Queue struct {
 	head    uint64 // logical offsets; physical = offset % cap + hdrSize
 	tail    uint64
 	lastSeq uint64 // highest seq ever enqueued (duplicate-delivery filter)
+	acked   uint64 // highest seq acknowledged globally complete (persistent)
+	hiWater uint64 // max bytes ever occupied (volatile; resets on Attach)
 }
 
 // Errors.
@@ -111,7 +114,14 @@ func Attach(reg *nvm.Region) (*Queue, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Queue{reg: reg, cap: capacity, head: head, tail: tail, lastSeq: lastSeq}, nil
+	acked, err := reg.Load64(hOffAcked)
+	if err != nil {
+		return nil, err
+	}
+	if acked > lastSeq {
+		return nil, fmt.Errorf("pqueue: corrupt acked cursor %d > lastSeq %d", acked, lastSeq)
+	}
+	return &Queue{reg: reg, cap: capacity, head: head, tail: tail, lastSeq: lastSeq, acked: acked}, nil
 }
 
 // LastSeq returns the highest sequence number ever enqueued (persistent).
@@ -120,6 +130,75 @@ func (q *Queue) LastSeq() uint64 {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.lastSeq
+}
+
+// SeedSeq durably raises the duplicate-delivery floor to at least seq
+// without enqueuing anything. A replica that joins after state transfer
+// seeds its queues with the snapshot's sequence number so re-forwarded
+// records already covered by the transferred image are dropped as
+// duplicates rather than re-executed.
+func (q *Queue) SeedSeq(seq uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if seq <= q.lastSeq {
+		return nil
+	}
+	q.lastSeq = seq
+	if err := q.reg.Store64(hOffSeq, q.lastSeq); err != nil {
+		return err
+	}
+	return q.reg.Persist(hOffSeq, 8)
+}
+
+// Acked returns the highest sequence number recorded as globally complete
+// (persistent; see AckThrough).
+func (q *Queue) Acked() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.acked
+}
+
+// AckThrough records that every sequence number <= seq is globally complete
+// and prunes the acknowledged prefix from the front of the queue (OnvaKV's
+// head-prunable file, applied to the ring: the acked cursor persists first,
+// then the head cursor moves past every record it covers, so a crash
+// between the two re-prunes rather than resurrects). Unlike DropThrough,
+// the floor survives reboots: recovery can tell "forwarded but maybe
+// incomplete" from "confirmed complete" instead of re-acknowledging blindly.
+func (q *Queue) AckThrough(seq uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if seq > q.acked {
+		q.acked = seq
+		if err := q.reg.Store64(hOffAcked, q.acked); err != nil {
+			return err
+		}
+		if err := q.reg.Persist(hOffAcked, 8); err != nil {
+			return err
+		}
+	}
+	return q.dropThroughLocked(seq)
+}
+
+// Occupied returns the bytes currently held by queued records.
+func (q *Queue) Occupied() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.tail - q.head
+}
+
+// HighWater returns the maximum byte occupancy ever observed by this queue
+// handle (volatile: Attach restarts the watermark). The chaos experiment
+// reports it to prove truncation keeps the logs bounded.
+func (q *Queue) HighWater() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.hiWater
+}
+
+// Capacity returns the ring's data capacity in bytes.
+func (q *Queue) Capacity() uint64 {
+	return q.cap
 }
 
 func recSize(r Record) uint64 {
@@ -234,6 +313,9 @@ func (q *Queue) AppendBatch(recs []Record) error {
 		return err
 	}
 	q.tail += total
+	if occ := q.tail - q.head; occ > q.hiWater {
+		q.hiWater = occ
+	}
 	if err := q.reg.Store64(hOffTail, q.tail); err != nil {
 		return err
 	}
@@ -309,6 +391,10 @@ func (q *Queue) Dequeue() (Record, error) {
 func (q *Queue) DropThrough(seq uint64) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	return q.dropThroughLocked(seq)
+}
+
+func (q *Queue) dropThroughLocked(seq uint64) error {
 	for q.head != q.tail {
 		r, sz, err := q.decodeAt(q.head)
 		if err != nil {

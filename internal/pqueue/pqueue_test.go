@@ -353,3 +353,158 @@ func TestCursorClampsToHead(t *testing.T) {
 		t.Fatalf("next = %+v %v, want seq 6", r, err)
 	}
 }
+
+func TestAckThroughPersistsAcrossReattach(t *testing.T) {
+	reg, err := nvm.New(8192, nvm.Options{Mode: nvm.ModeStrict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Format(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 10; i++ {
+		if err := q.Enqueue(Record{Seq: i, Name: "op"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.AckThrough(6); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Acked(); got != 6 {
+		t.Fatalf("Acked = %d, want 6", got)
+	}
+	if r, err := q.Peek(); err != nil || r.Seq != 7 {
+		t.Fatalf("Peek after AckThrough(6) = %+v %v", r, err)
+	}
+	// Unlike DropThrough, the floor survives a power cycle: recovery can
+	// distinguish confirmed-complete from merely-forwarded.
+	if err := reg.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Attach(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q2.Acked(); got != 6 {
+		t.Fatalf("Acked after reattach = %d, want 6", got)
+	}
+	if r, err := q2.Peek(); err != nil || r.Seq != 7 {
+		t.Fatalf("Peek after reattach = %+v %v", r, err)
+	}
+}
+
+func TestAckThroughMonotone(t *testing.T) {
+	q := newQueue(t, 8192)
+	for i := uint64(1); i <= 5; i++ {
+		if err := q.Enqueue(Record{Seq: i, Name: "op"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.AckThrough(4); err != nil {
+		t.Fatal(err)
+	}
+	// A late, lower ack must not regress the floor.
+	if err := q.AckThrough(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Acked(); got != 4 {
+		t.Fatalf("Acked after regressing ack = %d, want 4", got)
+	}
+	if r, err := q.Peek(); err != nil || r.Seq != 5 {
+		t.Fatalf("Peek = %+v %v, want seq 5", r, err)
+	}
+}
+
+func TestSeedSeqRaisesDuplicateFloor(t *testing.T) {
+	reg, err := nvm.New(4096, nvm.Options{Mode: nvm.ModeStrict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Format(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.SeedSeq(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.LastSeq(); got != 100 {
+		t.Fatalf("LastSeq after SeedSeq(100) = %d", got)
+	}
+	// Seeding lower is a no-op.
+	if err := q.SeedSeq(50); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.LastSeq(); got != 100 {
+		t.Fatalf("LastSeq after SeedSeq(50) = %d", got)
+	}
+	// The floor is durable: a crashed joiner must still drop re-forwarded
+	// records the transferred image already covers.
+	if err := reg.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Attach(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q2.LastSeq(); got != 100 {
+		t.Fatalf("LastSeq after reattach = %d, want 100", got)
+	}
+}
+
+func TestOccupiedAndHighWater(t *testing.T) {
+	q := newQueue(t, 8192)
+	if q.Occupied() != 0 || q.HighWater() != 0 {
+		t.Fatalf("fresh queue occupied=%d high=%d", q.Occupied(), q.HighWater())
+	}
+	for i := uint64(1); i <= 8; i++ {
+		if err := q.Enqueue(Record{Seq: i, Name: "op", Args: make([]byte, 64)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := q.Occupied()
+	if full == 0 || q.HighWater() != full {
+		t.Fatalf("occupied=%d high=%d after enqueues", full, q.HighWater())
+	}
+	// Truncation shrinks occupancy but the watermark records the peak.
+	if err := q.AckThrough(8); err != nil {
+		t.Fatal(err)
+	}
+	if q.Occupied() != 0 {
+		t.Fatalf("occupied=%d after full ack", q.Occupied())
+	}
+	if q.HighWater() != full {
+		t.Fatalf("high-water %d changed by truncation, want %d", q.HighWater(), full)
+	}
+	if q.Capacity() == 0 || q.HighWater() > q.Capacity() {
+		t.Fatalf("capacity=%d high=%d", q.Capacity(), q.HighWater())
+	}
+}
+
+func TestAttachRejectsAckedBeyondSeq(t *testing.T) {
+	reg, err := nvm.New(4096, nvm.Options{Mode: nvm.ModeStrict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Format(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(Record{Seq: 3, Name: "op"}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the header: an acked floor ahead of every assigned sequence
+	// number is impossible and must be rejected, not trusted.
+	if err := reg.Store64(hOffAcked, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Persist(hOffAcked, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(reg); err == nil {
+		t.Fatal("Attach accepted acked > lastSeq")
+	}
+}

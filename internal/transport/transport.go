@@ -41,8 +41,19 @@ const (
 	// KindOpBatch carries several transactions down the chain in one
 	// message (the head or a forwarding replica coalesced them). Seq is
 	// the batch's highest sequence number; the per-op fields live in
-	// Batch. Appended last so earlier kinds keep their gob values.
+	// Batch. Appended so earlier kinds keep their gob values.
 	KindOpBatch
+	// KindStateSnap asks a donor replica to freeze at a transaction
+	// boundary and describe a heap snapshot for a joining replica: the
+	// reply carries Snap (a nonce naming the frozen snapshot), Len (heap
+	// image bytes), Seq (the snapshot's covered sequence floor), and
+	// Batch (the donor's unexecuted input-queue suffix beyond Seq).
+	KindStateSnap
+	// KindStateChunk fetches Len bytes at offset Off of snapshot Snap's
+	// heap image; the reply returns them in Payload.
+	KindStateChunk
+	// KindStateDone releases snapshot Snap, resuming the donor.
+	KindStateDone
 )
 
 // BatchedOp is one operation inside a KindOpBatch message, in chain order.
@@ -83,6 +94,13 @@ type Message struct {
 	// Read / generic reply payload.
 	Payload []byte
 	Err     string
+
+	// State-transfer fields (KindStateSnap / KindStateChunk /
+	// KindStateDone): Snap names one frozen snapshot on the donor, Off and
+	// Len select a byte range of its heap image.
+	Snap uint64
+	Off  uint64
+	Len  uint64
 }
 
 // Error converts a reply's Err field to an error.

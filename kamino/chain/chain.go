@@ -10,7 +10,10 @@
 package chain
 
 import (
+	"errors"
 	"fmt"
+	"strings"
+	"sync"
 	"time"
 
 	ichain "kaminotx/internal/chain"
@@ -70,15 +73,29 @@ type Options struct {
 	// events and local engine events; head-minted trace ids correlate
 	// one transaction across the whole chain.
 	Trace *trace.Recorder
+	// RetryWindow bounds how long the KV methods retry through view
+	// changes (failed head, repairing chain) before surfacing the
+	// redirect error to the caller. Default 5s; negative disables
+	// retries entirely.
+	RetryWindow time.Duration
 }
 
 // Cluster is one replicated KV chain living in this process.
 type Cluster struct {
-	tr       *transport.InProc
-	mgr      *membership.Manager
+	tr  *transport.InProc
+	mgr *membership.Manager
+
+	// mu guards replicas and nextID: clients resolve the head, chaos
+	// schedules kill/rejoin replicas, and Obs/Err scan the map — all
+	// concurrently.
+	mu       sync.RWMutex
 	replicas map[transport.NodeID]*ichain.Replica
-	order    []transport.NodeID
-	client   *ichain.KVClient
+	nextID   int
+
+	order  []transport.NodeID
+	client *ichain.KVClient
+	cfg    ichain.Config // template shared by New and AddReplica
+	retry  time.Duration
 }
 
 // New builds and starts a cluster.
@@ -102,9 +119,17 @@ func New(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 	reg := ichain.NewKVRegistry()
-	c := &Cluster{tr: tr, mgr: mgr, replicas: make(map[transport.NodeID]*ichain.Replica), order: ids}
-	for _, id := range ids {
-		rep, err := ichain.NewReplica(id, ichain.Config{
+	retry := opts.RetryWindow
+	if retry == 0 {
+		retry = 5 * time.Second
+	}
+	c := &Cluster{
+		tr: tr, mgr: mgr,
+		replicas: make(map[transport.NodeID]*ichain.Replica),
+		nextID:   opts.Replicas,
+		order:    ids,
+		retry:    retry,
+		cfg: ichain.Config{
 			Mode:         opts.Mode,
 			HeapSize:     opts.HeapSize,
 			Alpha:        opts.Alpha,
@@ -120,7 +145,10 @@ func New(opts Options) (*Cluster, error) {
 			Manager:      mgr,
 			Setup:        ichain.KVSetup,
 			Trace:        opts.Trace,
-		})
+		},
+	}
+	for _, id := range ids {
+		rep, err := ichain.NewReplica(id, c.cfg)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -128,20 +156,56 @@ func New(opts Options) (*Cluster, error) {
 		c.replicas[id] = rep
 	}
 	c.client = ichain.NewKVClient(func() *ichain.Replica {
-		return c.replicas[mgr.View().Head()]
+		head := mgr.View().Head()
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return c.replicas[head]
 	})
 	return c, nil
 }
 
+// retriable reports errors worth retrying across a view change: the head
+// moved (redirect), the chain has no resolvable head yet, or a message hit
+// a just-removed node.
+func retriable(err error) bool {
+	return errors.Is(err, ichain.ErrNotHead) || errors.Is(err, transport.ErrUnknownNode)
+}
+
+// withRetry re-runs op through transient view-change errors until the
+// cluster's retry window expires. Operations are idempotent (registered KV
+// writes; tail reads), so re-running one that may already have committed
+// is safe.
+func (c *Cluster) withRetry(op func() error) error {
+	deadline := time.Now().Add(c.retry)
+	for {
+		err := op()
+		if err == nil || !retriable(err) || time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // Put stores key=val through the chain; it returns once the tail has
-// acknowledged (the operation is then durable on every replica).
-func (c *Cluster) Put(key uint64, val []byte) error { return c.client.Put(key, val) }
+// acknowledged (the operation is then durable on every replica). Redirects
+// from a failed-over head are retried within Options.RetryWindow.
+func (c *Cluster) Put(key uint64, val []byte) error {
+	return c.withRetry(func() error { return c.client.Put(key, val) })
+}
 
 // Get reads key at the tail (linearizable with respect to completed Puts).
-func (c *Cluster) Get(key uint64) ([]byte, bool, error) { return c.client.Get(key) }
+func (c *Cluster) Get(key uint64) (val []byte, ok bool, err error) {
+	err = c.withRetry(func() error {
+		val, ok, err = c.client.Get(key)
+		return err
+	})
+	return val, ok, err
+}
 
 // Delete removes key through the chain.
-func (c *Cluster) Delete(key uint64) error { return c.client.Delete(key) }
+func (c *Cluster) Delete(key uint64) error {
+	return c.withRetry(func() error { return c.client.Delete(key) })
+}
 
 // Members returns the current chain membership, head first.
 func (c *Cluster) Members() []string {
@@ -159,6 +223,8 @@ func (c *Cluster) Members() []string {
 // by its engine registry (phase latencies, engine counters, NVM gauges).
 func (c *Cluster) Obs() []*obs.Registry {
 	v := c.mgr.View()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var out []*obs.Registry
 	for _, id := range v.Members {
 		rep, ok := c.replicas[id]
@@ -168,6 +234,80 @@ func (c *Cluster) Obs() []*obs.Registry {
 		out = append(out, rep.Obs(), rep.Pool().Obs())
 	}
 	return out
+}
+
+// DebugState returns one line per live replica, in chain order,
+// summarizing its repair-relevant state (execution floor, queue spans,
+// admission-lock table). Intended for wedge diagnostics: when client
+// progress stalls, the output names the replica holding a leaked lock.
+func (c *Cluster) DebugState() string {
+	v := c.mgr.View()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var b strings.Builder
+	for i, id := range v.Members {
+		rep, ok := c.replicas[id]
+		if !ok {
+			continue
+		}
+		role := "middle"
+		switch {
+		case i == 0:
+			role = "head"
+		case i == len(v.Members)-1:
+			role = "tail"
+		}
+		fmt.Fprintf(&b, "%s (%s): %s\n", id, role, rep.DebugState())
+	}
+	return b.String()
+}
+
+// QueueStat reports one replica's persistent-queue ring occupancy and
+// high-water marks, in bytes.
+type QueueStat struct {
+	ID                          string
+	InputBytes, InputHigh       uint64
+	InflightBytes, InflightHigh uint64
+}
+
+// QueueStats returns the live replicas' queue occupancy in current chain
+// order. The chaos experiment samples it to show acknowledged-prefix
+// truncation keeps the durable logs bounded under failures.
+func (c *Cluster) QueueStats() []QueueStat {
+	v := c.mgr.View()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []QueueStat
+	for _, id := range v.Members {
+		rep, ok := c.replicas[id]
+		if !ok {
+			continue
+		}
+		inB, inH, flB, flH := rep.QueueStats()
+		out = append(out, QueueStat{
+			ID: string(id), InputBytes: inB, InputHigh: inH,
+			InflightBytes: flB, InflightHigh: flH,
+		})
+	}
+	return out
+}
+
+// AddReplica builds a fresh replica, catches it up by state transfer from
+// the chain's current tail (writes stall during the copy), and joins it to
+// the chain as the new tail. It returns the new replica's member id.
+func (c *Cluster) AddReplica() (string, error) {
+	c.mu.Lock()
+	id := transport.NodeID(fmt.Sprintf("replica-%d", c.nextID))
+	c.nextID++
+	c.mu.Unlock()
+	rep, err := ichain.JoinAsTail(id, c.cfg)
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	c.replicas[id] = rep
+	c.mu.Unlock()
+	return string(id), nil
 }
 
 // KillReplica fail-stops a replica (by current chain position) and repairs
@@ -182,8 +322,13 @@ func (c *Cluster) KillReplica(position int) error {
 	if _, err := c.mgr.ReportFailure(id); err != nil {
 		return err
 	}
+	c.mu.Lock()
 	rep := c.replicas[id]
 	delete(c.replicas, id)
+	c.mu.Unlock()
+	if rep == nil {
+		return nil
+	}
 	return rep.Close()
 }
 
@@ -194,11 +339,19 @@ func (c *Cluster) RebootReplica(position int) error {
 	if position < 0 || position >= len(v.Members) {
 		return fmt.Errorf("chain: position %d out of range", position)
 	}
-	return c.replicas[v.Members[position]].Reboot()
+	c.mu.RLock()
+	rep := c.replicas[v.Members[position]]
+	c.mu.RUnlock()
+	if rep == nil {
+		return fmt.Errorf("chain: no live replica at position %d", position)
+	}
+	return rep.Reboot()
 }
 
 // Err surfaces the first fatal replica error, if any.
 func (c *Cluster) Err() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	for _, rep := range c.replicas {
 		if err := rep.Err(); err != nil {
 			return err
@@ -209,12 +362,18 @@ func (c *Cluster) Err() error {
 
 // Close shuts the cluster down.
 func (c *Cluster) Close() error {
-	var first error
+	c.mu.Lock()
+	reps := make([]*ichain.Replica, 0, len(c.replicas))
 	for id, rep := range c.replicas {
+		reps = append(reps, rep)
+		delete(c.replicas, id)
+	}
+	c.mu.Unlock()
+	var first error
+	for _, rep := range reps {
 		if err := rep.Close(); err != nil && first == nil {
 			first = err
 		}
-		delete(c.replicas, id)
 	}
 	c.tr.Close()
 	return first

@@ -171,10 +171,14 @@ func (p *Pool) makeEngine(fresh bool) error {
 	default:
 		err = fmt.Errorf("kamino: unknown mode %q", p.opts.Mode)
 	}
-	if err == nil {
-		p.attachTrace()
+	if err != nil {
+		// Leave no typed-nil engine behind: Close checks p.eng == nil to
+		// decide whether there is an engine to drain.
+		p.eng = nil
+		return err
 	}
-	return err
+	p.attachTrace()
+	return nil
 }
 
 // attachTrace registers this engine incarnation with the pool's trace
@@ -316,6 +320,29 @@ func (p *Pool) crash(keep func(line int) bool) error {
 	return nil
 }
 
+// Reload reopens the pool's engine over the current region contents and
+// re-reads the root pointer from the heap header. Chain replicas use it
+// after state transfer: the main region has just been overwritten with a
+// donor's heap image, so every volatile engine structure (allocator
+// cursors, lock tables, caches) must be rebuilt from the new image. Unlike
+// Crash it loses nothing and needs no Strict mode — the regions are kept
+// exactly as written.
+func (p *Pool) Reload() error {
+	p.eng.Drain()
+	if err := p.eng.Close(); err != nil {
+		return err
+	}
+	if err := p.makeEngine(false); err != nil {
+		return err
+	}
+	root, err := p.eng.Heap().Root()
+	if err != nil {
+		return err
+	}
+	p.root = root
+	return nil
+}
+
 // Promote converts an in-place chain-replica pool into a Kamino-Tx pool
 // with its own backup — the paper's head-promotion step (§5.2: "the new
 // head goes through its Log Manager's intent logs [and] creates a local
@@ -373,6 +400,11 @@ func (p *Pool) InPlaceEngine() *inplace.Engine {
 
 // Close drains, checkpoints (if file-backed) and shuts the pool down.
 func (p *Pool) Close() error {
+	if p.eng == nil {
+		// A failed crash-reopen or reload left no live engine; there is
+		// nothing to drain or checkpoint.
+		return nil
+	}
 	p.eng.Drain()
 	if p.opts.Dir != "" {
 		if err := p.Checkpoint(); err != nil {
