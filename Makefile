@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race doccheck check bench bench-json benchdiff
+.PHONY: build test vet race doccheck check bench bench-json benchdiff chaos-smoke audit-overhead
 
 build:
 	$(GO) build ./...
@@ -46,3 +46,29 @@ bench-json: build
 
 benchdiff: bench-json
 	$(GO) run ./tools/benchdiff . out
+
+# chaos-smoke runs the chaos kill-rebuild-rejoin schedule with the full
+# observability stack armed: the online invariant auditor fails the run
+# on any persist-order violation the moment it happens, and the NVM
+# flight recorder black-boxes every reboot into out/flight. Retrieved
+# records are decoded (tools/blackbox) into the log.
+chaos-smoke: build
+	$(GO) run ./cmd/kaminobench -experiment chaos -keys 2000 -ops 500 -threads 2 -audit-live -blackbox-dir out/flight
+	@if ls out/flight/*.json >/dev/null 2>&1; then $(GO) run ./tools/blackbox -tail 20 out/flight/*.json; fi
+
+# audit-overhead enforces the observability cost bound: fig12 with the
+# online auditor and trace recorder enabled must stay within 10% of a
+# plain run. Three plain/audited pairs are interleaved (so slow periods
+# of a shared host hit both sides), merged best-of per cell, and gated on
+# the per-experiment geometric mean — single smoke-sized cells on a
+# loaded runner swing far more than any usable threshold, the aggregate
+# does not. The gate is throughput-only (-metric throughput): the
+# harness is a closed loop, so mean latency is throughput's reciprocal,
+# and the best-of merge gives it the noise of both metrics.
+audit-overhead: build
+	for i in 1 2 3; do \
+		$(GO) run ./cmd/kaminobench -experiment fig12 -keys 2000 -ops 500 -threads 2 -bench-out out/plain$$i || exit 1; \
+		$(GO) run ./cmd/kaminobench -experiment fig12 -keys 2000 -ops 500 -threads 2 -bench-out out/audited$$i -audit-live || exit 1; \
+	done
+	$(GO) run ./tools/benchdiff -threshold 10 -geomean -metric throughput \
+		out/plain1,out/plain2,out/plain3 out/audited1,out/audited2,out/audited3

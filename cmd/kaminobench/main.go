@@ -16,10 +16,21 @@
 // exit as Chrome trace_event JSON (open in chrome://tracing or Perfetto)
 // or, when the filename ends in .jsonl, as one JSON event per line. With
 // -audit, the recorded events are checked against the Kamino-Tx safety
-// invariants and violations fail the run. With -metrics-addr, the live
+// invariants and violations fail the run; -audit-live runs the same
+// checks incrementally while the experiments execute, printing each
+// violation the moment it happens. With -metrics-addr, the live
 // observability hub is served at /, Prometheus text exposition at
 // /metrics, the time-series ring at /series, the trace ring at /trace,
-// and pprof profiles at /debug/pprof/.
+// pprof profiles at /debug/pprof/, liveness and readiness at /healthz
+// and /readyz, and structured introspection at /debug/chain,
+// /debug/locks, /debug/queues and /debug/trace/tail.
+//
+// With -blackbox-dir DIR, chaos-experiment replica pools reserve an NVM
+// flight-recorder region: crashes persist the trace tail, obs snapshot
+// and chain debug state into the image, recovery retrieves the record,
+// and the harness copies it into DIR as JSON (decode with
+// tools/blackbox). A panic during any experiment also dumps a
+// process-level flight record into DIR before re-panicking.
 //
 // With -bench-out DIR, every experiment additionally writes a
 // machine-readable BENCH_<experiment>.json artifact into DIR — config,
@@ -31,6 +42,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -41,7 +53,9 @@ import (
 	"runtime"
 	"runtime/debug"
 	rpprof "runtime/pprof"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"kaminotx/internal/bench"
@@ -92,6 +106,8 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "record events and write them here at exit (.json = Chrome trace_event, .jsonl = JSON lines)")
 		traceBuf    = flag.Int("trace-buf", 0, "trace ring-buffer capacity in events (0 = default)")
 		audit       = flag.Bool("audit", false, "audit recorded events against the Kamino-Tx safety invariants (implies recording)")
+		auditLive   = flag.Bool("audit-live", false, "audit events online while experiments run, reporting violations as they happen (implies recording)")
+		blackboxDir = flag.String("blackbox-dir", "", "enable the NVM flight recorder on chaos replica pools and copy retrieved records into this directory (implies recording)")
 		list        = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -121,9 +137,29 @@ func main() {
 		Out:              os.Stdout,
 	}
 	var recorder *trace.Recorder
-	if *traceOut != "" || *audit {
+	if *traceOut != "" || *audit || *auditLive || *blackboxDir != "" {
 		recorder = trace.NewRecorder(*traceBuf)
 		cfg.Trace = recorder
+	}
+	if *blackboxDir != "" {
+		cfg.Blackbox = true
+		cfg.FlightDir = *blackboxDir
+	}
+	var auditor *trace.OnlineAuditor
+	var auditReg *obs.Registry
+	switch {
+	case *auditLive:
+		auditReg = obs.New("audit")
+		auditor = trace.AttachOnline(recorder, trace.OnlineOptions{
+			Obs: auditReg,
+			OnViolation: func(v trace.Violation) {
+				fmt.Fprintf(os.Stderr, "audit-live: %s\n", v)
+			},
+		})
+		cfg.AuditMode = "online"
+		cfg.AuditViolations = func() int { return int(auditor.Stats().Violations) }
+	case *audit:
+		cfg.AuditMode = "post"
 	}
 	var srv *http.Server
 	var sampler *series.Sampler
@@ -136,16 +172,29 @@ func main() {
 		sampler = series.New(hub, series.Options{})
 		cfg.Series = sampler
 		sampler.Start()
+		if auditReg != nil {
+			hub.Set(auditReg.Name(), auditReg)
+		}
 	}
+	startTime := time.Now()
+	var ready atomic.Bool
 	if *metricsAddr != "" {
 		hub := cfg.Metrics
+		dbg := obs.NewDebugHub()
+		cfg.Debug = dbg
 		mux := http.NewServeMux()
 		mux.Handle("/", hub)
 		mux.Handle("/metrics", hub.PromHandler())
 		mux.Handle("/series", sampler)
 		if recorder != nil {
 			mux.Handle("/trace", trace.Handler(recorder))
+			mux.Handle("/debug/trace/tail", traceTailHandler(recorder))
 		}
+		mux.Handle("/healthz", obs.HealthHandler(startTime))
+		mux.Handle("/readyz", obs.ReadyHandler(ready.Load))
+		mux.Handle("/debug/chain", dbg.Handler("chain"))
+		mux.Handle("/debug/locks", dbg.Handler("locks"))
+		mux.Handle("/debug/queues", dbg.Handler("queues"))
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -170,7 +219,8 @@ func main() {
 		}
 		fmt.Printf("metrics: live registry snapshots at http://%s/ (JSON; ?label=substr filters),"+
 			" Prometheus text at /metrics, time series at /series, trace ring at /trace,"+
-			" pprof at /debug/pprof/\n", display)
+			" pprof at /debug/pprof/, health at /healthz and /readyz,"+
+			" introspection at /debug/{chain,locks,queues,trace/tail}\n", display)
 	}
 	fmt.Printf("kaminobench: keys=%d value=%dB ops/thread=%d threads=%d cpus=%d\n",
 		*keys, *valueSize, *ops, *threads, runtime.NumCPU())
@@ -191,6 +241,7 @@ func main() {
 		}
 	}
 
+	ready.Store(true)
 	ran := 0
 	for _, e := range experiments {
 		if !want[e.name] {
@@ -209,6 +260,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	auditFailed := false
+	if auditor != nil {
+		violations := auditor.Close()
+		st := auditor.Stats()
+		if len(violations) == 0 {
+			fmt.Printf("audit-live: %d events audited online, all safety invariants hold\n", st.Events)
+		} else {
+			fmt.Fprintf(os.Stderr, "audit-live: %d violation(s) in %d events\n", st.Violations, st.Events)
+			auditFailed = true
+		}
+	}
 	if sampler != nil {
 		sampler.Stop()
 	}
@@ -225,11 +287,69 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if auditFailed {
+		os.Exit(1)
+	}
+}
+
+// traceTailHandler serves the most recent events of the trace ring as
+// JSON (?n=COUNT bounds the tail, default 256) — a cheap live peek at
+// what the experiment is doing right now, unlike /trace which exports
+// the entire retained ring.
+func traceTailHandler(rec *trace.Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 256
+		if s := req.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec.Tail(n)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// dumpPanicRecord writes a process-level flight record (trace tail, hub
+// snapshots, panic value and stack) into the blackbox directory so a
+// crashed experiment leaves the same post-mortem evidence a replica
+// crash does. Best-effort: the panic is re-raised by the caller either
+// way.
+func dumpPanicRecord(cfg bench.Config, name string, r any) {
+	if cfg.FlightDir == "" {
+		return
+	}
+	fr := trace.BuildFlightRecord(cfg.Trace, "panic", 4096)
+	fr.Actor = "kaminobench/" + name
+	fr.Note = fmt.Sprintf("%v\n\n%s", r, debug.Stack())
+	if cfg.Metrics != nil {
+		fr.Obs = cfg.Metrics.Snapshots()
+	}
+	raw, err := fr.Encode()
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(cfg.FlightDir, 0o755); err != nil {
+		return
+	}
+	path := filepath.Join(cfg.FlightDir, "panic-"+name+".json")
+	if os.WriteFile(path, raw, 0o644) == nil {
+		fmt.Fprintf(os.Stderr, "kaminobench: panic flight record: %s\n", path)
+	}
 }
 
 // runOne executes one experiment, optionally capturing its BENCH_*.json
 // artifact (-bench-out) and CPU/heap profiles (-profile-dir).
 func runOne(cfg bench.Config, name string, run func(bench.Config) error, benchOut, profileDir string) error {
+	defer func() {
+		if r := recover(); r != nil {
+			dumpPanicRecord(cfg, name, r)
+			panic(r)
+		}
+	}()
 	if profileDir != "" {
 		if err := os.MkdirAll(profileDir, 0o755); err != nil {
 			return fmt.Errorf("profile dir: %w", err)

@@ -2,11 +2,14 @@ package bench
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
 
+	"kaminotx/internal/obs"
 	"kaminotx/internal/stats"
+	"kaminotx/internal/trace"
 	chainpkg "kaminotx/kamino/chain"
 )
 
@@ -29,6 +32,9 @@ const (
 	// rather than hiding behind another client's progress.
 	chaosWorkers = 6
 	chaosSpan    = 64
+	// chaosFlightTail bounds the trace tail captured into watchdog flight
+	// records (matches the in-NVM recorder's tail budget).
+	chaosFlightTail = 2048
 )
 
 // chaosValue encodes write counter ctr for key: verification decodes the
@@ -143,6 +149,7 @@ func (c Config) chaosRun(replicas int) (chaosReport, error) {
 		BatchDelay:   batchDelay,
 		GroupCommit:  c.ChainGroupCommit,
 		Trace:        c.Trace,
+		Blackbox:     c.Blackbox,
 		RetryWindow:  10 * time.Second,
 	})
 	if err != nil {
@@ -150,6 +157,15 @@ func (c Config) chaosRun(replicas int) (chaosReport, error) {
 	}
 	defer cl.Close()
 	c.observeChain(cl)
+
+	// Stall watchdog: if a probe sees the chain wedge (admission stuck,
+	// backup lag growing without bound, queues near capacity), it dumps a
+	// flight record while the run is still live — the 30s wedge timeout
+	// below only diagnoses total hangs, after the interesting state is
+	// mostly gone.
+	wd := c.chaosWatchdog(cl)
+	wd.Start()
+	defer wd.Stop()
 
 	var rep chaosReport
 	sampleQueues := func() {
@@ -216,6 +232,10 @@ func (c Config) chaosRun(replicas int) (chaosReport, error) {
 		}
 		rep.rejoins = append(rep.rejoins, time.Since(t0))
 		sampleQueues()
+		// Republish the registry set: the kill retired one replica's
+		// actors and the rejoin minted fresh ones; the owner-group sweep
+		// drops the dead incarnations from the hub.
+		c.observeChain(cl)
 		return nil
 	}
 	settle := func() { time.Sleep(50 * time.Millisecond) }
@@ -227,6 +247,19 @@ func (c Config) chaosRun(replicas int) (chaosReport, error) {
 	settle()
 	if err := cl.RebootReplica(0); err != nil { // head power-cycle (§5.3)
 		return fail(fmt.Errorf("chaos: head reboot: %w", err))
+	}
+	c.observeChain(cl)
+	// The reboot ran the crash path, so with the flight recorder enabled
+	// the rebooted head retrieved a black-box record from its image; copy
+	// it out for post-mortem tooling before later kills destroy the pool.
+	for _, fr := range cl.FlightRecords() {
+		path, err := c.writeFlightRecord("reboot-"+fr.ID, fr.Raw)
+		if err != nil {
+			return fail(fmt.Errorf("chaos: write flight record for %s: %w", fr.ID, err))
+		}
+		if path != "" {
+			fmt.Fprintf(c.Out, "chaos: flight record from rebooted %s: %s\n", fr.ID, path)
+		}
 	}
 	settle()
 	if err := killRejoin(len(cl.Members()) - 1); err != nil { // tail
@@ -244,6 +277,12 @@ func (c Config) chaosRun(replicas int) (chaosReport, error) {
 		return chaosReport{}, err
 	}
 	elapsed := time.Since(start).Seconds()
+	// Stop the watchdog before verification: the read-back loop makes no
+	// write progress by design, which a stall probe would misread.
+	wd.Stop()
+	for _, a := range wd.Alarms() {
+		fmt.Fprintf(c.Out, "chaos: WATCHDOG %s\n", a)
+	}
 	sampleQueues()
 	if err := cl.Err(); err != nil {
 		return chaosReport{}, fmt.Errorf("chaos: replica error after schedule: %w", err)
@@ -298,6 +337,87 @@ func (c Config) chaosRun(replicas int) (chaosReport, error) {
 	return rep, nil
 }
 
+// chaosWatchdog wires the reusable stall watchdog to a live cluster with
+// the three probes the chaos schedule can wedge: head admission making no
+// progress while locks are held, the backup applier falling monotonically
+// behind, and a persistent queue filling toward capacity. An alarm dumps
+// a flight record (trace tail + obs snapshots + structured chain state)
+// into FlightDir so the wedge is diagnosable even if the run later hangs.
+func (c Config) chaosWatchdog(cl *chainpkg.Cluster) *obs.Watchdog {
+	wd := obs.NewWatchdog(250*time.Millisecond, func(a obs.Alarm) {
+		fr := trace.BuildFlightRecord(c.Trace, "watchdog:"+a.Probe, chaosFlightTail)
+		fr.Actor = "chaos"
+		fr.Note = a.Detail
+		for _, r := range cl.Obs() {
+			fr.Obs = append(fr.Obs, r.Snapshot())
+		}
+		if chain, err := json.Marshal(cl.DebugInfos()); err == nil {
+			fr.Chain = chain
+		}
+		raw, err := fr.Encode()
+		if err != nil {
+			return
+		}
+		if path, werr := c.writeFlightRecord("watchdog-"+a.Probe, raw); werr == nil && path != "" {
+			fmt.Fprintf(c.Out, "chaos: watchdog %s fired: %s (flight record: %s)\n", a.Probe, a.Detail, path)
+		}
+	})
+	// 10 ticks at 250ms: two and a half seconds of held locks or waiters
+	// with zero executed transactions is a wedge, not a slow batch.
+	wd.Add(obs.StallProbe("admission-stuck", func() (uint64, uint64) {
+		infos := cl.DebugInfos()
+		if len(infos) == 0 {
+			return 0, 0
+		}
+		head := infos[0].Info
+		return head.LastExec, uint64(len(head.LockedKeys) + head.Waiters)
+	}, 10))
+	// The head engine's backup_pending_txs gauge growing strictly for ten
+	// straight samples means the asynchronous backup applier stopped
+	// keeping up — the paper's bounded-lag claim (§4) is breaking.
+	wd.Add(obs.GrowthProbe("backup-lag", func() uint64 {
+		regs := cl.Obs()
+		if len(regs) < 2 {
+			return 0
+		}
+		return regs[1].Snapshot().Gauges["backup_pending_txs"]
+	}, 10))
+	// Acknowledged-prefix truncation should keep persistent queues far
+	// below capacity; 80% occupancy on any queue means truncation stopped.
+	wd.Add(obs.ThresholdProbe("queue-high-water", func() uint64 {
+		var worst uint64
+		for _, qs := range cl.QueueStats() {
+			if qs.InputCap > 0 {
+				if pct := qs.InputBytes * 100 / qs.InputCap; pct > worst {
+					worst = pct
+				}
+			}
+			if qs.InflightCap > 0 {
+				if pct := qs.InflightBytes * 100 / qs.InflightCap; pct > worst {
+					worst = pct
+				}
+			}
+		}
+		return worst
+	}, 80))
+	return wd
+}
+
+// auditColumn renders the run's audit mode for the chaos table: the
+// mode name, with the online auditor's live violation count appended
+// ("online:0" is the healthy steady state; anything else failed the run
+// long before this table printed).
+func (c Config) auditColumn() string {
+	mode := c.AuditMode
+	if mode == "" {
+		mode = "off"
+	}
+	if c.AuditViolations != nil {
+		return fmt.Sprintf("%s:%d", mode, c.AuditViolations())
+	}
+	return mode
+}
+
 // Chaos reproduces the repair guarantees under fire: scripted kill /
 // reboot / rebuild schedules against chains of length 3 and 5 under live
 // partitioned write traffic. Expected shape: zero acknowledged writes lost
@@ -308,19 +428,19 @@ func Chaos(cfg Config) error {
 	cfg = cfg.WithDefaults()
 	header(cfg.Out, "Chaos: kill-rebuild-rejoin under live load, Kamino-Tx-Chain (strict, batched)",
 		"expected shape: zero acknowledged writes lost; bounded queues; availability dips only during state transfer")
-	fmt.Fprintf(cfg.Out, "%-9s %9s %7s %7s %7s %12s %12s %12s %10s %10s\n",
-		"replicas", "ops", "fails", "avail", "keys-ok", "rejoin-avg", "rejoin-max", "stall-max", "inq-high", "flq-high")
+	fmt.Fprintf(cfg.Out, "%-9s %9s %7s %7s %7s %12s %12s %12s %10s %10s %10s\n",
+		"replicas", "ops", "fails", "avail", "keys-ok", "rejoin-avg", "rejoin-max", "stall-max", "inq-high", "flq-high", "audit")
 	for _, n := range []int{3, 5} {
 		rep, err := cfg.chaosRun(n)
 		if err != nil {
 			return err
 		}
 		mean, max := rep.rejoinStats()
-		fmt.Fprintf(cfg.Out, "%-9d %9d %7d %6.2f%% %7d %12s %12s %12s %9dK %9dK\n",
+		fmt.Fprintf(cfg.Out, "%-9d %9d %7d %6.2f%% %7d %12s %12s %12s %9dK %9dK %10s\n",
 			n, rep.ops, rep.fails, 100*rep.availability(), rep.checked,
 			mean.Round(time.Millisecond), max.Round(time.Millisecond),
 			rep.result.Max.Round(time.Millisecond),
-			rep.inHigh>>10, rep.flHigh>>10)
+			rep.inHigh>>10, rep.flHigh>>10, cfg.auditColumn())
 	}
 	cfg.printBreakdown()
 	return nil

@@ -1,0 +1,23 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// writeFlightRecord stores one encoded flight record as
+// FlightDir/<name>.json (the tools/blackbox input format) and returns
+// the path. With FlightDir unset it is a silent no-op.
+func (c Config) writeFlightRecord(name string, raw []byte) (string, error) {
+	if c.FlightDir == "" || len(raw) == 0 {
+		return "", nil
+	}
+	if err := os.MkdirAll(c.FlightDir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(c.FlightDir, name+".json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

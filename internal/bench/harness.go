@@ -72,6 +72,27 @@ type Config struct {
 	// Trace, if set, records device and transaction lifecycle events of
 	// every pool an experiment creates (kaminobench -trace-out / -audit).
 	Trace *trace.Recorder
+	// Debug, if set, receives live introspection sources — the current
+	// chain cluster's structured replica state ("chain"), admission-lock
+	// tables ("locks") and queue occupancy ("queues") — for the
+	// kaminobench /debug/* endpoints.
+	Debug *obs.DebugHub
+	// Blackbox enables the NVM flight recorder on the chaos experiment's
+	// replica pools (kaminobench -blackbox-dir): head reboots persist
+	// the trace tail, obs snapshot and chain debug state into the image.
+	Blackbox bool
+	// FlightDir, when non-empty, receives retrieved and watchdog-dumped
+	// flight records as <name>.json files (tools/blackbox decodes them).
+	FlightDir string
+	// AuditMode names the run's trace-audit mode for the reports that
+	// surface it (the chaos table's audit column): "off" when unaudited,
+	// "post" for an exit-time replay (kaminobench -audit), "online" for
+	// the live auditor (-audit-live). Empty reads as "off".
+	AuditMode string
+	// AuditViolations, if set, reports how many violations the online
+	// auditor has recorded so far, so long-running experiments can print
+	// a live count instead of waiting for the exit-time summary.
+	AuditViolations func() int
 
 	// agg accumulates per-engine obs snapshots over one experiment for
 	// the phase-breakdown table printed at its end.

@@ -92,21 +92,55 @@ func (c Config) collect(p *kamino.Pool) {
 	}
 }
 
-// observeChain and collectChain do the same for a replicated cluster: each
-// replica contributes its chain-protocol registry and its engine registry.
+// observeChain does the same for a replicated cluster: each replica
+// contributes its chain-protocol registry and its engine registry.
+// Publication goes through the hub's owner-group mechanism, so calling
+// observeChain again after a view change (kill, rejoin, reboot,
+// failover) atomically retires the labels of replicas and engine
+// incarnations that no longer exist — crash-loop schedules must not
+// accumulate dead actors in /metrics and /series. It also registers the
+// cluster's live introspection sources for the /debug/* endpoints.
 func (c Config) observeChain(cl *chainpkg.Cluster) {
-	if c.Metrics == nil {
-		return
-	}
-	seen := map[string]int{}
-	for _, r := range cl.Obs() {
-		label := r.Name()
-		if n := seen[label]; n > 0 {
-			label = fmt.Sprintf("%s#%d", label, n)
+	if c.Metrics != nil {
+		seen := map[string]int{}
+		var entries []obs.HubEntry
+		for _, r := range cl.Obs() {
+			label := r.Name()
+			if n := seen[label]; n > 0 {
+				label = fmt.Sprintf("%s#%d", label, n)
+			}
+			seen[r.Name()]++
+			entries = append(entries, obs.HubEntry{Label: label, Reg: r})
 		}
-		seen[r.Name()]++
-		c.Metrics.Set(label, r)
+		c.Metrics.Publish("chain", entries)
 	}
+	if c.Debug != nil {
+		c.Debug.Register("chain", "cluster", func() any { return cl.DebugInfos() })
+		c.Debug.Register("queues", "cluster", func() any { return cl.QueueStats() })
+		c.Debug.Register("locks", "cluster", func() any { return lockTables(cl) })
+	}
+}
+
+// lockTable is the /debug/locks view of one replica: just the admission
+// lock state, extracted from its DebugInfo.
+type lockTable struct {
+	ID         string   `json:"id"`
+	Role       string   `json:"role"`
+	Waiters    int      `json:"waiters"`
+	LockedKeys []uint64 `json:"locked_keys"`
+	LockSeqs   []uint64 `json:"lock_seqs"`
+}
+
+func lockTables(cl *chainpkg.Cluster) []lockTable {
+	infos := cl.DebugInfos()
+	out := make([]lockTable, 0, len(infos))
+	for _, rd := range infos {
+		out = append(out, lockTable{
+			ID: rd.ID, Role: rd.Role, Waiters: rd.Info.Waiters,
+			LockedKeys: rd.Info.LockedKeys, LockSeqs: rd.Info.LockSeqs,
+		})
+	}
+	return out
 }
 
 func (c Config) collectChain(cl *chainpkg.Cluster) {

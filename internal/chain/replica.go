@@ -1,6 +1,7 @@
 package chain
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -102,6 +103,12 @@ type Config struct {
 	// KindTailAck message and in the persistent queues, so one
 	// transaction's events correlate across all replicas.
 	Trace *trace.Recorder
+
+	// Blackbox enables each replica pool's NVM flight recorder: Reboot
+	// and RebootPartial persist the trace tail, obs snapshot, and this
+	// replica's structured DebugInfo into the image before the simulated
+	// power failure (see kamino.Options.Blackbox). Requires Strict.
+	Blackbox bool
 }
 
 func (c Config) withDefaults() Config {
@@ -269,6 +276,7 @@ func newReplicaCore(id transport.NodeID, cfg Config, isHead, runSetup bool) (*Re
 		Strict:            cfg.Strict,
 		GroupCommit:       cfg.GroupCommit,
 		Trace:             cfg.Trace,
+		Blackbox:          cfg.Blackbox,
 	})
 	if err != nil {
 		return nil, err
@@ -353,6 +361,17 @@ func newReplicaCore(id transport.NodeID, cfg Config, isHead, runSetup bool) (*Re
 		r.tr = cfg.Trace.Tracer("chain/" + string(id))
 		r.traceBase = fnv64a(string(id)) &^ 0xFFFFFFFF
 	}
+	// Crash-time flight records carry this replica's structured debug
+	// state. The callback runs inside pool.Crash during a reboot, after
+	// the executor stopped and with no replica locks held, so sampling
+	// DebugInfo here is deadlock-free.
+	pool.SetCrashContext(func() []byte {
+		buf, err := json.Marshal(r.DebugInfo())
+		if err != nil {
+			return nil
+		}
+		return buf
+	})
 	r.lockCond = sync.NewCond(&r.headMu)
 	return r, nil
 }
@@ -420,12 +439,47 @@ func (r *Replica) QueueStats() (inputBytes, inputHigh, inflightBytes, inflightHi
 	return in.Occupied(), in.HighWater(), fl.Occupied(), fl.HighWater()
 }
 
-// DebugState summarizes the repair-relevant state — execution floor,
-// sequence counter, queue spans, and the admission-lock table — in one
-// line. The chaos experiment prints it for every replica when client
-// progress wedges, so a leaked admission lock names its owner instead of
-// hanging the run.
-func (r *Replica) DebugState() string {
+// DebugInfo is the structured repair-relevant state of a replica:
+// execution floor, sequence counter, queue spans, and the admission-lock
+// table. It serializes to JSON for the /debug/chain endpoint and rides
+// inside crash-time flight records; String() renders the historical
+// one-line form.
+type DebugInfo struct {
+	// LastExec is the highest locally executed sequence number.
+	LastExec uint64 `json:"last_exec"`
+	// NextSeq is the head's next sequence number to mint (0 off-head).
+	NextSeq uint64 `json:"next_seq"`
+	// InputLast is the input queue's last appended sequence number.
+	InputLast uint64 `json:"input_last"`
+	// Inflight counts un-acknowledged records in the in-flight queue;
+	// InflightFloor/InflightLast bound their sequence span (0/0 when
+	// empty).
+	Inflight      int    `json:"inflight"`
+	InflightFloor uint64 `json:"inflight_floor"`
+	InflightLast  uint64 `json:"inflight_last"`
+	// Waiters counts transactions parked on admission locks.
+	Waiters int `json:"waiters"`
+	// LockedKeys are the admission-lock keys currently held, sorted;
+	// LockSeqs the sequence numbers holding them, sorted.
+	LockedKeys []uint64 `json:"locked_keys"`
+	// LockSeqs are the sequence numbers holding admission locks, sorted.
+	LockSeqs []uint64 `json:"lock_seqs"`
+}
+
+// String renders the info as the one-line form the chaos wedge dump has
+// always printed.
+func (d DebugInfo) String() string {
+	return fmt.Sprintf(
+		"lastExec=%d nextSeq=%d input.last=%d inflight=%d[%d..%d] waiters=%d lockedKeys=%v lockSeqs=%v",
+		d.LastExec, d.NextSeq, d.InputLast, d.Inflight, d.InflightFloor, d.InflightLast,
+		d.Waiters, d.LockedKeys, d.LockSeqs)
+}
+
+// DebugInfo samples the replica's repair-relevant state. Safe to call at
+// any point where the replica's queues exist, including from the pool's
+// crash-context callback during a reboot (no replica locks are held
+// around the pool crash).
+func (r *Replica) DebugInfo() DebugInfo {
 	recs, _ := r.getInflight().All()
 	var flFloor, flLast uint64
 	if len(recs) > 0 {
@@ -445,10 +499,39 @@ func (r *Replica) DebugState() string {
 	r.headMu.Unlock()
 	sort.Slice(locked, func(i, j int) bool { return locked[i] < locked[j] })
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	return fmt.Sprintf(
-		"lastExec=%d nextSeq=%d input.last=%d inflight=%d[%d..%d] waiters=%d lockedKeys=%v lockSeqs=%v",
-		r.lastExecSeq(), nextSeq, r.getInput().LastSeq(), len(recs), flFloor, flLast,
-		waiters, locked, seqs)
+	return DebugInfo{
+		LastExec:      r.lastExecSeq(),
+		NextSeq:       nextSeq,
+		InputLast:     r.getInput().LastSeq(),
+		Inflight:      len(recs),
+		InflightFloor: flFloor,
+		InflightLast:  flLast,
+		Waiters:       waiters,
+		LockedKeys:    locked,
+		LockSeqs:      seqs,
+	}
+}
+
+// DebugState renders DebugInfo as one line — the chaos experiment prints
+// it for every replica when client progress wedges, so a leaked
+// admission lock names its owner instead of hanging the run.
+func (r *Replica) DebugState() string { return r.DebugInfo().String() }
+
+// QueueUsage reports one persistent queue ring's occupancy in bytes.
+type QueueUsage struct {
+	Occupied  uint64 `json:"occupied_bytes"`
+	HighWater uint64 `json:"high_water_bytes"`
+	Capacity  uint64 `json:"capacity_bytes"`
+}
+
+// QueueUsage samples both queue rings (input, in-flight) with their
+// capacities — the /debug/queues endpoint and the queue high-water
+// watchdog probe read this.
+func (r *Replica) QueueUsage() (input, inflight QueueUsage) {
+	in, fl := r.getInput(), r.getInflight()
+	input = QueueUsage{Occupied: in.Occupied(), HighWater: in.HighWater(), Capacity: in.Capacity()}
+	inflight = QueueUsage{Occupied: fl.Occupied(), HighWater: fl.HighWater(), Capacity: fl.Capacity()}
+	return input, inflight
 }
 
 // IsHead reports whether this replica currently heads the chain.

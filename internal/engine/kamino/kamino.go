@@ -582,7 +582,6 @@ func (e *Engine) Begin() (engine.Tx, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.trc().TxBegin(tl.TxID())
 	return &tx{e: e, tl: tl, writeSet: make(map[heap.ObjID]wsEntry)}, nil
 }
 
@@ -598,6 +597,7 @@ type tx struct {
 	e        *Engine
 	tl       *intentlog.TxLog
 	done     bool
+	began    bool // TxBegin emitted (first write intent)
 	writeSet map[heap.ObjID]wsEntry
 	reads    []heap.ObjID
 	frees    []heap.ObjID
@@ -606,11 +606,27 @@ type tx struct {
 func (t *tx) ID() uint64             { return t.tl.TxID() }
 func (t *tx) owner() locktable.Owner { return locktable.Owner(t.tl.TxID()) }
 
+// traceBegin emits the transaction's TxBegin marker ahead of its first
+// traced lifecycle event. Deferring it off Begin keeps read-only
+// transactions out of the trace entirely: they touch no NVM (the intent
+// slot header is lazily initialized too), hold no pending state, and no
+// auditor rule consumes a transaction without a write intent — so their
+// events would be pure recording cost at audit-overhead time.
+func (t *tx) traceBegin(tr *trace.Tracer) {
+	if !t.began {
+		t.began = true
+		tr.TxBegin(t.ID())
+	}
+}
+
 // lockObj acquires obj's write lock, attributing any blocking on a prior
 // transaction's unreconciled write-set to the dependent-stall phase.
 func (t *tx) lockObj(obj heap.ObjID) {
 	if t.e.locks.TryLock(uint64(obj), t.owner()) {
-		t.e.trc().LockAcquire(t.ID(), uint64(obj))
+		if tr := t.e.trc(); tr != nil {
+			t.traceBegin(tr)
+			tr.LockAcquire(t.ID(), uint64(obj))
+		}
 		return
 	}
 	t.e.depWaits.Add(1)
@@ -619,6 +635,7 @@ func (t *tx) lockObj(obj heap.ObjID) {
 	d := time.Since(start)
 	t.e.phStall.Observe(d)
 	if tr := t.e.trc(); tr != nil {
+		t.traceBegin(tr)
 		tr.LockAcquire(t.ID(), uint64(obj))
 		tr.Span(string(obs.PhaseDependentStall), t.ID(), d)
 	}
@@ -724,7 +741,10 @@ func (t *tx) Alloc(size int) (heap.ObjID, error) {
 		return heap.Nil, err
 	}
 	t.e.locks.Lock(uint64(obj), t.owner())
-	t.e.trc().LockAcquire(t.ID(), uint64(obj))
+	if tr := t.e.trc(); tr != nil {
+		t.traceBegin(tr)
+		tr.LockAcquire(t.ID(), uint64(obj))
+	}
 	if err := t.e.timedAppend(t.tl, intentlog.Entry{
 		Op:    intentlog.OpAlloc,
 		Class: uint32(cls),
@@ -788,6 +808,22 @@ func (t *tx) Commit() error {
 	}
 	if t.e.closed.Load() {
 		return fmt.Errorf("kamino: engine closed")
+	}
+	if len(t.writeSet) == 0 {
+		// Read-only fast path: nothing was logged (the intent slot
+		// header was never written), nothing needs flushing, fencing,
+		// a commit marker or the backup applier. Drop the read locks
+		// and hand the slot back — the transaction leaves no durable
+		// state and no trace events behind.
+		if err := t.tl.Release(); err != nil {
+			return err
+		}
+		for _, obj := range t.reads {
+			t.e.locks.RUnlock(uint64(obj), t.owner())
+		}
+		t.done = true
+		t.e.commits.Add(1)
+		return nil
 	}
 	reg := t.e.heap.Region()
 	start := time.Now()
@@ -894,6 +930,8 @@ func (t *tx) Abort() error {
 	}
 	t.done = true
 	t.e.aborts.Add(1)
-	tr.Abort(t.ID())
+	if t.began {
+		tr.Abort(t.ID())
+	}
 	return nil
 }

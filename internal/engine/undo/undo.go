@@ -217,7 +217,6 @@ func (e *Engine) Begin() (engine.Tx, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.trc().TxBegin(tl.TxID())
 	return &tx{e: e, tl: tl, writeSet: make(map[heap.ObjID]bool)}, nil
 }
 
@@ -225,6 +224,7 @@ type tx struct {
 	e        *Engine
 	tl       *intentlog.TxLog
 	done     bool
+	began    bool                // TxBegin emitted (first write intent)
 	writeSet map[heap.ObjID]bool // true if allocated by this tx
 	reads    []heap.ObjID
 	frees    []heap.ObjID
@@ -232,6 +232,17 @@ type tx struct {
 
 func (t *tx) ID() uint64             { return t.tl.TxID() }
 func (t *tx) owner() locktable.Owner { return locktable.Owner(t.tl.TxID()) }
+
+// traceBegin emits the transaction's TxBegin marker ahead of its first
+// traced lifecycle event, so read-only transactions (which touch no NVM
+// and feed no auditor rule) stay out of the trace entirely. See the
+// kamino engine's traceBegin for the rationale.
+func (t *tx) traceBegin(tr *trace.Tracer) {
+	if !t.began {
+		t.began = true
+		tr.TxBegin(t.ID())
+	}
+}
 
 // Add copies obj's old contents into the undo log before admitting writes.
 // This copy is the critical-path cost Kamino-Tx eliminates.
@@ -243,7 +254,10 @@ func (t *tx) Add(obj heap.ObjID) error {
 		return nil
 	}
 	if t.e.locks.TryLock(uint64(obj), t.owner()) {
-		t.e.trc().LockAcquire(t.ID(), uint64(obj))
+		if tr := t.e.trc(); tr != nil {
+			t.traceBegin(tr)
+			tr.LockAcquire(t.ID(), uint64(obj))
+		}
 	} else {
 		t.e.depWaits.Add(1)
 		stallStart := time.Now()
@@ -251,6 +265,7 @@ func (t *tx) Add(obj heap.ObjID) error {
 		d := time.Since(stallStart)
 		t.e.phStall.Observe(d)
 		if tr := t.e.trc(); tr != nil {
+			t.traceBegin(tr)
 			tr.LockAcquire(t.ID(), uint64(obj))
 			tr.Span(string(obs.PhaseDependentStall), t.ID(), d)
 		}
@@ -345,13 +360,17 @@ func (t *tx) Alloc(size int) (heap.ObjID, error) {
 	}
 	if tr := t.e.trc(); tr != nil {
 		off, n := t.tl.EntryRange(t.tl.Len() - 1)
+		t.traceBegin(tr) // the intent entry is this tx's first traced event
 		tr.IntentAppend(t.ID(), uint64(obj), off, n, intentlog.OpAlloc.String())
 	}
 	if err := t.e.heap.CommitAlloc(obj); err != nil {
 		return heap.Nil, err
 	}
 	t.e.locks.Lock(uint64(obj), t.owner())
-	t.e.trc().LockAcquire(t.ID(), uint64(obj))
+	if tr := t.e.trc(); tr != nil {
+		t.traceBegin(tr)
+		tr.LockAcquire(t.ID(), uint64(obj))
+	}
 	t.writeSet[obj] = true
 	return obj, nil
 }
@@ -399,6 +418,17 @@ func (t *tx) finish() {
 func (t *tx) Commit() error {
 	if t.done {
 		return engine.ErrTxDone
+	}
+	if len(t.writeSet) == 0 {
+		// Read-only fast path: no undo entries, no header, no heap
+		// dirt — release the read locks and the slot without touching
+		// the device or the trace (see the kamino engine's Commit).
+		if err := t.tl.Release(); err != nil {
+			return err
+		}
+		t.finish()
+		t.e.commits.Add(1)
+		return nil
 	}
 	reg := t.e.heap.Region()
 	start := time.Now()
@@ -461,6 +491,8 @@ func (t *tx) Abort() error {
 	}
 	t.finish()
 	t.e.aborts.Add(1)
-	t.e.trc().Abort(t.ID())
+	if t.began {
+		t.e.trc().Abort(t.ID())
+	}
 	return nil
 }

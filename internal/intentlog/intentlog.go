@@ -410,6 +410,7 @@ type TxLog struct {
 	txid     uint64
 	n        int
 	dataUsed int
+	inited   bool // slot header durably initialized (first append)
 	released bool
 }
 
@@ -420,7 +421,7 @@ type TxLog struct {
 // mutexes; the global wait lock is taken only once every shard is empty.
 func (l *Log) Begin() (*TxLog, error) {
 	if slot, ok := l.tryAcquire(); ok {
-		return l.initSlot(slot)
+		return l.newTx(slot), nil
 	}
 	l.waitMu.Lock()
 	for {
@@ -429,7 +430,7 @@ func (l *Log) Begin() (*TxLog, error) {
 		// Wait parks (returnSlot signals under waitMu).
 		if slot, ok := l.tryAcquire(); ok {
 			l.waitMu.Unlock()
-			return l.initSlot(slot)
+			return l.newTx(slot), nil
 		}
 		l.waitCond.Wait()
 	}
@@ -442,30 +443,43 @@ func (l *Log) TryBegin() (*TxLog, error) {
 	if !ok {
 		return nil, ErrLogFull
 	}
-	return l.initSlot(slot)
+	return l.newTx(slot), nil
 }
 
-func (l *Log) initSlot(slot int) (*TxLog, error) {
-	txid := l.nextTxID.Add(1)
-	off := l.slotOff(slot)
-	if err := l.reg.Store64(off+sOffTxID, txid); err != nil {
-		return nil, err
+// newTx binds a claimed slot to a fresh transaction id. The slot's
+// durable header is NOT touched here: it is initialized lazily by the
+// first append (ensureInit), so a transaction that never logs anything —
+// the read-only case, the bulk of most workloads — claims and returns
+// its slot without a single device operation. The durable image of such
+// a slot stays whatever the last logging transaction left (a freed or
+// empty header), which recovery already resolves to a no-op.
+func (l *Log) newTx(slot int) *TxLog {
+	return &TxLog{l: l, slot: slot, txid: l.nextTxID.Add(1)}
+}
+
+// ensureInit durably initializes the slot header (Running state, txid,
+// zeroed counters) before the transaction's first slot write. The header
+// is one cache line: assembling it in a buffer and issuing one store +
+// one persist has the same failure atomicity as field-by-field stores
+// (the line persists as a unit either way) at a quarter of the device
+// writes. It must run before any entry or data-area write so a crash
+// can never expose stale header fields alongside new payload.
+func (t *TxLog) ensureInit() error {
+	if t.inited {
+		return nil
 	}
-	if err := l.reg.Store32(off+sOffNEnt, 0); err != nil {
-		return nil, err
+	off := t.l.slotOff(t.slot)
+	var hdr [sOffDataUse + 4]byte
+	binary.LittleEndian.PutUint32(hdr[sOffState:], uint32(StateRunning))
+	binary.LittleEndian.PutUint64(hdr[sOffTxID:], t.txid)
+	if err := t.l.reg.Write(off, hdr[:]); err != nil {
+		return err
 	}
-	if err := l.reg.Store32(off+sOffDataUse, 0); err != nil {
-		return nil, err
+	if err := t.l.reg.Persist(off, slotHdrSize); err != nil {
+		return err
 	}
-	if err := l.reg.Store32(off+sOffState, uint32(StateRunning)); err != nil {
-		return nil, err
-	}
-	// The slot header is one cache line: a single persist makes the
-	// Running state, txid and zeroed counters durable atomically.
-	if err := l.reg.Persist(off, slotHdrSize); err != nil {
-		return nil, err
-	}
-	return &TxLog{l: l, slot: slot, txid: txid}, nil
+	t.inited = true
+	return nil
 }
 
 // TxID returns the transaction's id.
@@ -489,6 +503,9 @@ func (t *TxLog) EntryRange(i int) (off, n int) {
 func (t *TxLog) Append(e Entry) error {
 	if t.n >= t.l.cfg.EntriesPerSlot {
 		return ErrEntriesFull
+	}
+	if err := t.ensureInit(); err != nil {
+		return err
 	}
 	off := t.l.entryOff(t.slot, t.n)
 	var buf [entrySize]byte
@@ -527,6 +544,9 @@ func (t *TxLog) AppendWithData(e Entry, data []byte) (Entry, error) {
 	if t.dataUsed+len(data) > t.l.cfg.DataBytesPerSlot {
 		return Entry{}, ErrDataFull
 	}
+	if err := t.ensureInit(); err != nil {
+		return Entry{}, err
+	}
 	doff := t.l.dataOff(t.slot) + t.dataUsed
 	if err := t.l.reg.Write(doff, data); err != nil {
 		return Entry{}, err
@@ -557,6 +577,9 @@ func (t *TxLog) ReserveData(n int) (regionOff int, dataOff uint32, err error) {
 	if t.dataUsed+n > t.l.cfg.DataBytesPerSlot {
 		return 0, 0, ErrDataFull
 	}
+	if err := t.ensureInit(); err != nil {
+		return 0, 0, err
+	}
 	doff := t.l.dataOff(t.slot) + t.dataUsed
 	o := uint32(t.dataUsed)
 	t.dataUsed += n
@@ -583,10 +606,29 @@ func (t *TxLog) Data(dataOff uint32, n int) ([]byte, error) {
 
 // SetState durably transitions the slot to s (Committed or Aborted). The
 // one-line slot header makes this the transaction's atomic commit point.
+//
+// For an empty transaction (no entries, no data — the read-only case)
+// the state word is stored but not flushed: recovery treats a slot with
+// zero entries identically whether the crash image reads Running or s —
+// there is nothing to roll either way — so durability of the transition
+// buys nothing, and read-heavy workloads would pay a flush+fence per
+// transaction for it. The volatile store keeps PendingSlots and other
+// live introspection consistent.
 func (t *TxLog) SetState(s State) error {
+	if !t.inited {
+		// Nothing was ever logged and the header was never written:
+		// the slot's durable and volatile images both predate this
+		// transaction, and recovery would treat them identically with
+		// or without this transition. Writing the state word here would
+		// actually corrupt the view (it may tag another, freed header).
+		return nil
+	}
 	off := t.l.slotOff(t.slot)
 	if err := t.l.reg.Store32(off+sOffState, uint32(s)); err != nil {
 		return err
+	}
+	if t.n == 0 && t.dataUsed == 0 {
+		return nil
 	}
 	return t.l.reg.Persist(off+sOffState, 4)
 }
@@ -602,35 +644,59 @@ func (t *TxLog) SetState(s State) error {
 //
 // All TxLogs must belong to this log.
 func (l *Log) SetStateBatch(ts []*TxLog, s State) error {
+	flushed := 0
 	for _, t := range ts {
 		if t.l != l {
 			return errors.New("intentlog: SetStateBatch across logs")
+		}
+		if !t.inited {
+			continue // nothing logged, header never written: see SetState
 		}
 		off := l.slotOff(t.slot)
 		if err := l.reg.Store32(off+sOffState, uint32(s)); err != nil {
 			return err
 		}
+		if t.n == 0 && t.dataUsed == 0 {
+			continue // empty transaction: see SetState
+		}
 		if err := l.reg.Flush(off+sOffState, 4); err != nil {
 			return err
 		}
+		flushed++
 	}
-	l.reg.Fence()
+	if flushed > 0 {
+		l.reg.Fence()
+	}
 	return nil
 }
 
 // Release durably frees the slot and returns it to the allocatable pool.
 // Called once the transaction's effects are fully reconciled (backup synced
 // for Kamino, undo data discarded for baselines).
+//
+// An empty transaction's release is volatile-only (as in SetState): the
+// crash image may then still read Running or Committed with zero
+// entries, which recovery resolves to a freed slot with no effects —
+// exactly what a durable Free would have produced. The next writer of
+// the slot re-persists the whole header line in initSlot before any of
+// its entries can become visible.
 func (t *TxLog) Release() error {
 	if t.released {
+		return nil
+	}
+	if !t.inited {
+		t.released = true
+		t.l.returnSlot(t.slot)
 		return nil
 	}
 	off := t.l.slotOff(t.slot)
 	if err := t.l.reg.Store32(off+sOffState, uint32(StateFree)); err != nil {
 		return err
 	}
-	if err := t.l.reg.Persist(off+sOffState, 4); err != nil {
-		return err
+	if t.n > 0 || t.dataUsed > 0 {
+		if err := t.l.reg.Persist(off+sOffState, 4); err != nil {
+			return err
+		}
 	}
 	t.released = true
 	t.l.returnSlot(t.slot)

@@ -293,6 +293,13 @@ func TestTxIDsMonotonicAcrossReattach(t *testing.T) {
 	l := newLog(t, smallCfg)
 	tx, _ := l.Begin()
 	id1 := tx.TxID()
+	// The txid high-water mark is pinned by logging transactions only:
+	// an empty transaction never writes its header (lazy init), leaves
+	// no durable artifact naming its id, and so may see it reused after
+	// a reattach. Append one entry to make this id durable.
+	if err := tx.Append(Entry{Op: OpWrite, Obj: 1}); err != nil {
+		t.Fatal(err)
+	}
 	if err := tx.SetState(StateCommitted); err != nil {
 		t.Fatal(err)
 	}

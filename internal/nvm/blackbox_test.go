@@ -1,0 +1,124 @@
+package nvm
+
+import (
+	"bytes"
+	"testing"
+)
+
+func newTestBlackbox(t *testing.T, payloadCap int) *Blackbox {
+	t.Helper()
+	bb, err := NewBlackbox(payloadCap, Options{Mode: ModeStrict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bb
+}
+
+func TestBlackboxRoundTrip(t *testing.T) {
+	bb := newTestBlackbox(t, 4096)
+	if _, ok := bb.Retrieve(); ok {
+		t.Fatal("empty blackbox retrieved a record")
+	}
+	rec := bytes.Repeat([]byte("flight"), 100)
+	if err := bb.Store(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := bb.Retrieve()
+	if !ok || !bytes.Equal(got, rec) {
+		t.Fatalf("retrieve after store: ok=%v len=%d want %d", ok, len(got), len(rec))
+	}
+	// Replacement: a second Store fully supersedes the first.
+	rec2 := []byte("second record, shorter")
+	if err := bb.Store(rec2); err != nil {
+		t.Fatal(err)
+	}
+	got, ok = bb.Retrieve()
+	if !ok || !bytes.Equal(got, rec2) {
+		t.Fatalf("retrieve after replace: ok=%v got %q", ok, got)
+	}
+	if err := bb.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := bb.Retrieve(); ok {
+		t.Fatal("cleared blackbox still retrieves")
+	}
+}
+
+// A stored record is flushed and fenced, so it must survive both full
+// crashes and partial crashes regardless of the keep function: the
+// whole point of a black box is being readable after the accident.
+func TestBlackboxSurvivesCrash(t *testing.T) {
+	rec := bytes.Repeat([]byte{0xAB}, 500)
+	for name, keep := range map[string]func(int) bool{
+		"full":         nil,
+		"partial-none": func(int) bool { return false },
+		"partial-even": func(line int) bool { return line%2 == 0 },
+		"partial-all":  func(int) bool { return true },
+	} {
+		bb := newTestBlackbox(t, 1024)
+		if err := bb.Store(rec); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := bb.Crash(keep); err != nil {
+			t.Fatalf("%s: crash: %v", name, err)
+		}
+		got, ok := bb.Retrieve()
+		if !ok || !bytes.Equal(got, rec) {
+			t.Fatalf("%s: record did not survive crash (ok=%v)", name, ok)
+		}
+	}
+}
+
+// An interrupted Store must never validate: the header is invalidated
+// before payload bytes move, so a crash mid-write yields ok=false, not
+// a torn record.
+func TestBlackboxTornStoreDetected(t *testing.T) {
+	bb := newTestBlackbox(t, 1024)
+	if err := bb.Store(bytes.Repeat([]byte{1}, 256)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the dangerous window: header invalidated and new payload
+	// partially written, then power loss before the new header publish.
+	if err := bb.Region().Store64(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bb.Region().Persist(0, blackboxHeaderSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := bb.Region().Write(blackboxHeaderSize, bytes.Repeat([]byte{2}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bb.Crash(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := bb.Retrieve(); ok {
+		t.Fatal("torn store validated after crash")
+	}
+}
+
+// Corrupting the stored payload must fail the CRC, not return garbage.
+func TestBlackboxCorruptionDetected(t *testing.T) {
+	bb := newTestBlackbox(t, 1024)
+	if err := bb.Store(bytes.Repeat([]byte{7}, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bb.Region().Write(blackboxHeaderSize+17, []byte{0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := bb.Retrieve(); ok {
+		t.Fatal("corrupted payload passed CRC validation")
+	}
+}
+
+func TestBlackboxLimits(t *testing.T) {
+	bb := newTestBlackbox(t, 128)
+	if err := bb.Store(make([]byte, 129)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	if _, err := NewBlackbox(128, Options{Mode: ModeFast}); err == nil {
+		t.Fatal("fast-mode blackbox accepted (crash semantics need strict)")
+	}
+	if _, err := NewBlackbox(0, Options{Mode: ModeStrict}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}

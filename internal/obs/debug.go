@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// DebugHub collects live introspection sources, grouped by category
+// ("chain", "locks", "queues"), for the /debug/* endpoints. Each source
+// is a closure returning a JSON-serializable value sampled at request
+// time, so the endpoints always reflect the current owner of a label —
+// registering the same (category, label) again replaces the source.
+type DebugHub struct {
+	mu   sync.Mutex
+	cats map[string]*debugCat
+}
+
+type debugCat struct {
+	order []string
+	fns   map[string]func() any
+}
+
+// NewDebugHub creates an empty hub.
+func NewDebugHub() *DebugHub {
+	return &DebugHub{cats: make(map[string]*debugCat)}
+}
+
+// Register publishes fn under (category, label), replacing any previous
+// source there. fn runs on the serving goroutine and must be safe to
+// call at any time, including after its subject shut down.
+func (h *DebugHub) Register(category, label string, fn func() any) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := h.cats[category]
+	if c == nil {
+		c = &debugCat{fns: make(map[string]func() any)}
+		h.cats[category] = c
+	}
+	if _, ok := c.fns[label]; !ok {
+		c.order = append(c.order, label)
+	}
+	c.fns[label] = fn
+}
+
+// Remove unpublishes (category, label).
+func (h *DebugHub) Remove(category, label string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := h.cats[category]
+	if c == nil {
+		return
+	}
+	if _, ok := c.fns[label]; !ok {
+		return
+	}
+	delete(c.fns, label)
+	for i, l := range c.order {
+		if l == label {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Sample evaluates every source in category, keyed by label.
+func (h *DebugHub) Sample(category string) map[string]any {
+	h.mu.Lock()
+	var labels []string
+	fns := map[string]func() any{}
+	if c := h.cats[category]; c != nil {
+		labels = append(labels, c.order...)
+		for l, fn := range c.fns {
+			fns[l] = fn
+		}
+	}
+	h.mu.Unlock()
+	out := make(map[string]any, len(labels))
+	for _, l := range labels {
+		out[l] = fns[l]()
+	}
+	return out
+}
+
+// Handler serves category's current samples as an indented JSON object
+// keyed by label.
+func (h *DebugHub) Handler(category string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, h.Sample(category))
+	})
+}
+
+// HealthHandler serves a liveness document: the process is up and its
+// serving loop responds. start anchors the reported uptime.
+func HealthHandler(start time.Time) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"uptime_s": int64(time.Since(start).Seconds()),
+		})
+	})
+}
+
+// ReadyHandler serves a readiness document: 200 once ready() reports
+// true (experiments running, surfaces mounted), 503 before that.
+func ReadyHandler(ready func() bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		ok := ready == nil || ready()
+		code := http.StatusOK
+		if !ok {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, map[string]any{"ready": ok})
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestDebugHubRegisterSampleRemove(t *testing.T) {
+	h := NewDebugHub()
+	if s := h.Sample("chain"); len(s) != 0 {
+		t.Fatalf("empty hub sampled %v", s)
+	}
+	h.Register("chain", "cluster", func() any { return map[string]int{"replicas": 3} })
+	h.Register("chain", "cluster", func() any { return map[string]int{"replicas": 5} })
+	s := h.Sample("chain")
+	if len(s) != 1 {
+		t.Fatalf("re-register must replace, got %v", s)
+	}
+	if got := s["cluster"].(map[string]int)["replicas"]; got != 5 {
+		t.Fatalf("stale source survived re-register: %d", got)
+	}
+	h.Remove("chain", "cluster")
+	h.Remove("chain", "missing") // no-op
+	if s := h.Sample("chain"); len(s) != 0 {
+		t.Fatalf("removed source still sampled: %v", s)
+	}
+}
+
+func TestDebugHubHandler(t *testing.T) {
+	h := NewDebugHub()
+	h.Register("queues", "r0", func() any { return map[string]uint64{"occupied": 42} })
+	rec := httptest.NewRecorder()
+	h.Handler("queues").ServeHTTP(rec, httptest.NewRequest("GET", "/debug/queues", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var got map[string]map[string]uint64
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["r0"]["occupied"] != 42 {
+		t.Fatalf("body %s", rec.Body)
+	}
+}
+
+func TestHealthAndReadyHandlers(t *testing.T) {
+	rec := httptest.NewRecorder()
+	HealthHandler(time.Now()).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+	var health map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("healthz body %v", health)
+	}
+
+	ready := false
+	h := ReadyHandler(func() bool { return ready })
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("not-ready status %d, want 503", rec.Code)
+	}
+	ready = true
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("ready status %d, want 200", rec.Code)
+	}
+}
+
+// Publish must sweep labels an owner stops publishing: republishing the
+// chain's registry set after a view change retires dead engine
+// incarnations instead of accumulating them forever.
+func TestHubPublishSweepsStaleLabels(t *testing.T) {
+	h := NewHub()
+	r1, r2, r3 := New("chain/r0"), New("kamino#1"), New("kamino#2")
+	h.Publish("chain", []HubEntry{{Label: "chain/r0", Reg: r1}, {Label: "kamino#1", Reg: r2}})
+	if got := h.Labels(); len(got) != 2 {
+		t.Fatalf("labels after first publish: %v", got)
+	}
+	// View change: kamino#1 died, kamino#2 replaced it.
+	h.Publish("chain", []HubEntry{{Label: "chain/r0", Reg: r1}, {Label: "kamino#2", Reg: r3}})
+	got := h.Labels()
+	if len(got) != 2 {
+		t.Fatalf("stale label not swept: %v", got)
+	}
+	for _, l := range got {
+		if l == "kamino#1" {
+			t.Fatalf("dead incarnation survived republish: %v", got)
+		}
+	}
+	// Labels set manually (other owners) are untouched by the sweep.
+	solo := New("solo")
+	h.Set("solo", solo)
+	h.Publish("chain", nil) // owner retires entirely
+	got = h.Labels()
+	if len(got) != 1 || got[0] != "solo" {
+		t.Fatalf("owner retirement wrong: %v", got)
+	}
+}

@@ -16,11 +16,15 @@ type Hub struct {
 	mu    sync.Mutex
 	regs  map[string]*Registry
 	order []string
+	// owners tracks which labels each Publish owner currently exposes,
+	// so republishing an owner's set retires labels that no longer
+	// exist (dead pool incarnations, removed replicas).
+	owners map[string][]string
 }
 
 // NewHub creates an empty hub.
 func NewHub() *Hub {
-	return &Hub{regs: make(map[string]*Registry)}
+	return &Hub{regs: make(map[string]*Registry), owners: make(map[string][]string)}
 }
 
 // Set publishes r under label, replacing any previous registry there.
@@ -37,6 +41,10 @@ func (h *Hub) Set(label string, r *Registry) {
 func (h *Hub) Remove(label string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.removeLocked(label)
+}
+
+func (h *Hub) removeLocked(label string) {
 	if _, ok := h.regs[label]; !ok {
 		return
 	}
@@ -47,6 +55,56 @@ func (h *Hub) Remove(label string) {
 			break
 		}
 	}
+}
+
+// HubEntry names one registry in an owner's Publish set.
+type HubEntry struct {
+	Label string
+	Reg   *Registry
+}
+
+// Publish atomically replaces the set of registries exposed by owner:
+// entries not previously published are added, entries republished are
+// updated in place, and labels the owner published before but omits now
+// are removed. Components whose registry population changes over time
+// (a chain cluster across kills, rejoins and reboots; pools across
+// crash incarnations) republish their full current set after each
+// change so snapshots never accumulate dead actors. Publish(owner, nil)
+// retires the owner entirely.
+func (h *Hub) Publish(owner string, entries []HubEntry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	current := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		current[e.Label] = true
+	}
+	for _, old := range h.owners[owner] {
+		if !current[old] {
+			h.removeLocked(old)
+		}
+	}
+	labels := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if _, ok := h.regs[e.Label]; !ok {
+			h.order = append(h.order, e.Label)
+		}
+		h.regs[e.Label] = e.Reg
+		labels = append(labels, e.Label)
+	}
+	if len(labels) == 0 {
+		delete(h.owners, owner)
+	} else {
+		h.owners[owner] = labels
+	}
+}
+
+// Labels returns the currently published labels in publication order.
+func (h *Hub) Labels() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, len(h.order))
+	copy(out, h.order)
+	return out
 }
 
 // Snapshots captures every published registry, in publication order.

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Alarm describes one watchdog firing.
+type Alarm struct {
+	// Probe names the probe that fired.
+	Probe string `json:"probe"`
+	// Detail explains what the probe observed.
+	Detail string `json:"detail"`
+	// At is when the alarm fired.
+	At time.Time `json:"at"`
+}
+
+// String renders the alarm as one line.
+func (a Alarm) String() string {
+	return fmt.Sprintf("watchdog[%s]: %s", a.Probe, a.Detail)
+}
+
+// Probe is one stall/pathology detector evaluated on each watchdog
+// tick. Check returns fire=true (with a human-readable detail) to raise
+// an alarm. Probes keep their own tick-to-tick state; Check is never
+// called concurrently.
+type Probe interface {
+	// Name identifies the probe in alarms.
+	Name() string
+	// Check evaluates the probe once.
+	Check() (detail string, fire bool)
+}
+
+// Watchdog periodically evaluates a set of probes and reports alarms —
+// the generalized form of the chaos harness's wedge detector, reusable
+// by any long-running surface (bench loops, the metrics listener, CI
+// smokes). Each probe fires at most once per Start/Stop cycle so a
+// stuck system produces one actionable alarm, not a tick-rate flood.
+type Watchdog struct {
+	interval time.Duration
+	onAlarm  func(Alarm)
+
+	mu     sync.Mutex
+	probes []Probe
+	fired  map[string]bool
+	alarms []Alarm
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// NewWatchdog creates a watchdog ticking at interval (minimum 10ms).
+// onAlarm, when non-nil, runs on the watchdog goroutine for each alarm
+// — typically to dump a flight record.
+func NewWatchdog(interval time.Duration, onAlarm func(Alarm)) *Watchdog {
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	return &Watchdog{
+		interval: interval,
+		onAlarm:  onAlarm,
+		fired:    map[string]bool{},
+	}
+}
+
+// Add registers a probe. Safe before Start or while running.
+func (w *Watchdog) Add(p Probe) {
+	w.mu.Lock()
+	w.probes = append(w.probes, p)
+	w.mu.Unlock()
+}
+
+// Start launches the tick loop. A second Start without Stop is a no-op.
+func (w *Watchdog) Start() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stop != nil {
+		return
+	}
+	w.stop = make(chan struct{})
+	w.done = make(chan struct{})
+	go w.loop(w.stop, w.done)
+}
+
+func (w *Watchdog) loop(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			w.Tick()
+		}
+	}
+}
+
+// Tick evaluates every probe once. The loop calls it at the configured
+// interval; tests can call it directly without Start.
+func (w *Watchdog) Tick() {
+	w.mu.Lock()
+	probes := make([]Probe, len(w.probes))
+	copy(probes, w.probes)
+	w.mu.Unlock()
+	for _, p := range probes {
+		w.mu.Lock()
+		skip := w.fired[p.Name()]
+		w.mu.Unlock()
+		if skip {
+			continue
+		}
+		detail, fire := p.Check()
+		if !fire {
+			continue
+		}
+		a := Alarm{Probe: p.Name(), Detail: detail, At: time.Now()}
+		w.mu.Lock()
+		w.fired[p.Name()] = true
+		w.alarms = append(w.alarms, a)
+		w.mu.Unlock()
+		if w.onAlarm != nil {
+			w.onAlarm(a)
+		}
+	}
+}
+
+// Stop halts the tick loop and joins it. The alarm history survives.
+func (w *Watchdog) Stop() {
+	w.mu.Lock()
+	stop, done := w.stop, w.done
+	w.stop, w.done = nil, nil
+	w.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Alarms returns a copy of the alarms raised so far.
+func (w *Watchdog) Alarms() []Alarm {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Alarm, len(w.alarms))
+	copy(out, w.alarms)
+	return out
+}
+
+// StallProbe fires when a system has pending work but its progress
+// counter has not advanced for ticks consecutive checks — the
+// admission-floor-stuck shape: lock holders exist, completions frozen.
+func StallProbe(name string, sample func() (progress, pending uint64), ticks int) Probe {
+	if ticks < 1 {
+		ticks = 1
+	}
+	return &stallProbe{name: name, sample: sample, need: ticks}
+}
+
+type stallProbe struct {
+	name   string
+	sample func() (progress, pending uint64)
+	need   int
+
+	last    uint64
+	primed  bool
+	stalled int
+}
+
+func (p *stallProbe) Name() string { return p.name }
+
+func (p *stallProbe) Check() (string, bool) {
+	progress, pending := p.sample()
+	if !p.primed || progress != p.last || pending == 0 {
+		p.last, p.primed, p.stalled = progress, true, 0
+		return "", false
+	}
+	p.stalled++
+	if p.stalled < p.need {
+		return "", false
+	}
+	return fmt.Sprintf("no progress for %d ticks (progress=%d, pending=%d)", p.stalled, progress, pending), true
+}
+
+// GrowthProbe fires when a value has grown strictly monotonically for
+// ticks consecutive checks — the backup-lag-diverging shape: a queue
+// that only ever gets deeper.
+func GrowthProbe(name string, sample func() uint64, ticks int) Probe {
+	if ticks < 1 {
+		ticks = 1
+	}
+	return &growthProbe{name: name, sample: sample, need: ticks}
+}
+
+type growthProbe struct {
+	name   string
+	sample func() uint64
+	need   int
+
+	last    uint64
+	primed  bool
+	growing int
+}
+
+func (p *growthProbe) Name() string { return p.name }
+
+func (p *growthProbe) Check() (string, bool) {
+	v := p.sample()
+	grew := p.primed && v > p.last
+	p.last, p.primed = v, true
+	if !grew {
+		p.growing = 0
+		return "", false
+	}
+	p.growing++
+	if p.growing < p.need {
+		return "", false
+	}
+	return fmt.Sprintf("grew monotonically for %d ticks (now %d)", p.growing, v), true
+}
+
+// ThresholdProbe fires as soon as a sampled value reaches limit — the
+// queue-high-water-breach shape.
+func ThresholdProbe(name string, sample func() uint64, limit uint64) Probe {
+	return &thresholdProbe{name: name, sample: sample, limit: limit}
+}
+
+type thresholdProbe struct {
+	name   string
+	sample func() uint64
+	limit  uint64
+}
+
+func (p *thresholdProbe) Name() string { return p.name }
+
+func (p *thresholdProbe) Check() (string, bool) {
+	v := p.sample()
+	if v < p.limit {
+		return "", false
+	}
+	return fmt.Sprintf("value %d reached limit %d", v, p.limit), true
+}

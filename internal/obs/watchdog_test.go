@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStallProbe(t *testing.T) {
+	var progress, pending uint64
+	p := StallProbe("stall", func() (uint64, uint64) { return progress, pending }, 3)
+
+	// No pending work: frozen progress is idle, not a stall.
+	for i := 0; i < 10; i++ {
+		if _, fire := p.Check(); fire {
+			t.Fatal("fired with no pending work")
+		}
+	}
+	// Pending work but progress advancing: healthy.
+	pending = 5
+	for i := 0; i < 10; i++ {
+		progress++
+		if _, fire := p.Check(); fire {
+			t.Fatal("fired while progressing")
+		}
+	}
+	// Pending work, frozen progress: fires on the configured tick.
+	for i := 0; i < 2; i++ {
+		if _, fire := p.Check(); fire {
+			t.Fatalf("fired after %d stalled ticks, want 3", i+1)
+		}
+	}
+	detail, fire := p.Check()
+	if !fire {
+		t.Fatal("did not fire after 3 stalled ticks")
+	}
+	if !strings.Contains(detail, "no progress") {
+		t.Fatalf("detail %q", detail)
+	}
+	// Progress resumes: the stall counter resets.
+	progress++
+	if _, fire := p.Check(); fire {
+		t.Fatal("fired after progress resumed")
+	}
+}
+
+func TestGrowthProbe(t *testing.T) {
+	var v uint64
+	p := GrowthProbe("growth", func() uint64 { return v }, 3)
+	// Flat or shrinking: never fires.
+	for i := 0; i < 5; i++ {
+		if _, fire := p.Check(); fire {
+			t.Fatal("fired on flat value")
+		}
+	}
+	// Growth interrupted by a dip: counter resets, no fire.
+	v = 1
+	p.Check()
+	v = 2
+	p.Check()
+	v = 1
+	p.Check()
+	v = 2
+	p.Check()
+	v = 3
+	if _, fire := p.Check(); fire {
+		t.Fatal("fired after an interrupted growth streak")
+	}
+	// Strictly monotonic for the full window: fires.
+	v = 4
+	if _, fire := p.Check(); !fire {
+		t.Fatal("did not fire after 3 consecutive growth ticks")
+	}
+}
+
+func TestThresholdProbe(t *testing.T) {
+	var v uint64 = 50
+	p := ThresholdProbe("thresh", func() uint64 { return v }, 80)
+	if _, fire := p.Check(); fire {
+		t.Fatal("fired below limit")
+	}
+	v = 80
+	if _, fire := p.Check(); !fire {
+		t.Fatal("did not fire at limit")
+	}
+}
+
+// Each probe fires at most once per Start/Stop cycle: a stuck system
+// produces one actionable alarm, not a flood.
+func TestWatchdogFiresOnce(t *testing.T) {
+	var fired []Alarm
+	w := NewWatchdog(time.Hour, func(a Alarm) { fired = append(fired, a) })
+	w.Add(ThresholdProbe("hot", func() uint64 { return 100 }, 1))
+	w.Add(ThresholdProbe("cold", func() uint64 { return 0 }, 1))
+	for i := 0; i < 5; i++ {
+		w.Tick()
+	}
+	if len(fired) != 1 || fired[0].Probe != "hot" {
+		t.Fatalf("onAlarm calls = %v, want exactly one for 'hot'", fired)
+	}
+	alarms := w.Alarms()
+	if len(alarms) != 1 || alarms[0].Probe != "hot" {
+		t.Fatalf("alarms = %v", alarms)
+	}
+	if !strings.Contains(alarms[0].String(), "watchdog[hot]") {
+		t.Fatalf("alarm string %q", alarms[0])
+	}
+}
+
+// The background loop must tick probes and join cleanly on Stop.
+func TestWatchdogLoop(t *testing.T) {
+	ch := make(chan struct{}, 1)
+	w := NewWatchdog(10*time.Millisecond, func(Alarm) {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	})
+	w.Add(ThresholdProbe("always", func() uint64 { return 1 }, 1))
+	w.Start()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog loop never ticked")
+	}
+	w.Stop()
+	w.Stop() // idempotent
+	if len(w.Alarms()) != 1 {
+		t.Fatalf("alarms = %v", w.Alarms())
+	}
+}

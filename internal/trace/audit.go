@@ -17,6 +17,10 @@
 // and every Crash/CrashPartial resets all derived state (post-crash
 // recovery runs before tracers are re-attached, so its repairs are not
 // in the stream).
+//
+// The same per-engine state machine (auditState.step) backs two
+// consumers: the post-hoc Audit/AuditAll below, and the incremental
+// OnlineAuditor (online.go) that checks events as they are recorded.
 package trace
 
 import (
@@ -67,6 +71,10 @@ type Policy struct {
 	RequireBackup bool
 }
 
+// checksAnything reports whether the policy enables at least one rule
+// (the online auditor skips actors that check nothing).
+func (p Policy) checksAnything() bool { return p.RequireIntent || p.RequireBackup }
+
 // PolicyFor derives the invariant set from an actor label minted by the
 // pool ("<engine-name>#<n>").
 func PolicyFor(actor string) Policy {
@@ -86,73 +94,197 @@ func PolicyFor(actor string) Policy {
 }
 
 // lineState tracks the persistence of one cache line relative to its
-// last store. Absent lines are durable (no un-persisted store seen).
+// last store. Durable lines carry no un-persisted store.
 type lineState uint8
 
 const (
-	lineDirty   lineState = iota // stored, not yet flushed
+	lineDurable lineState = iota // no un-persisted store
+	lineDirty                    // stored, not yet flushed
 	linePending                  // flushed, fence not yet issued
 )
 
+// auditState is the per-engine invariant state machine. Only the log
+// region's line persistence is tracked — both intent rules query the
+// log region and nothing else — and per-transaction state retires at
+// commit/abort, so memory stays bounded for long online runs.
 type auditState struct {
-	p Policy
-	// lines[region][line] — persistence of the last store per line.
-	lines map[string]map[int]lineState
+	p         Policy
+	logRegion string
+	// logLines — persistence of the last store per log-region line,
+	// indexed by line number (grown on demand; out-of-range lines are
+	// durable). A dense slice instead of a map: line marking is the
+	// auditor's hottest loop.
+	logLines []lineState
+	// touched — the non-durable lines, unordered, no duplicates; lets
+	// fences sweep only what a fence can change and lets rangeDurable
+	// short-circuit when everything is durable.
+	touched []int
 	// known transactions (TxBegin in the stream); events for unknown
 	// txs are skipped so a wrapped ring cannot fabricate violations.
 	known map[uint64]bool
-	// intents[tx] — objects covered by a durable intent entry.
+	// intents[tx] — objects covered by a durable intent entry. Inner
+	// maps are allocated on first IntentAppend, not at TxBegin:
+	// read-only transactions never touch the log, and a map allocation
+	// per transaction is pure GC churn at read-heavy event rates.
 	intents map[uint64]map[uint64]bool
 	// dirtyBy[obj] — tx whose in-place stores are not yet reconciled.
 	dirtyBy map[uint64]uint64
 	// fresh[obj] — allocated this epoch and not yet backed up: its
 	// alloc intent is the consistent copy, so rules 2/3 are satisfied
-	// without a BackupSync.
+	// without a BackupSync. Tracked only under RequireBackup policies
+	// (nothing queries it otherwise, and unbounded growth would defeat
+	// the online auditor's memory bound).
 	fresh map[uint64]bool
 }
 
 func newAuditState(p Policy) *auditState {
 	return &auditState{
-		p:       p,
-		lines:   map[string]map[int]lineState{},
-		known:   map[uint64]bool{},
-		intents: map[uint64]map[uint64]bool{},
-		dirtyBy: map[uint64]uint64{},
-		fresh:   map[uint64]bool{},
+		p:         p,
+		logRegion: p.Actor + "/log",
+		known:     map[uint64]bool{},
+		intents:   map[uint64]map[uint64]bool{},
+		dirtyBy:   map[uint64]uint64{},
+		fresh:     map[uint64]bool{},
 	}
 }
 
 // reset drops all derived state (crash boundary).
 func (s *auditState) reset() {
-	s.lines = map[string]map[int]lineState{}
+	for _, line := range s.touched {
+		s.logLines[line] = lineDurable
+	}
+	s.touched = s.touched[:0]
 	s.known = map[uint64]bool{}
 	s.intents = map[uint64]map[uint64]bool{}
 	s.dirtyBy = map[uint64]uint64{}
 	s.fresh = map[uint64]bool{}
 }
 
-func (s *auditState) regionLines(region string) map[int]lineState {
-	m := s.lines[region]
-	if m == nil {
-		m = map[int]lineState{}
-		s.lines[region] = m
+// markLine transitions one log line to dirty, growing the slice and
+// registering the line as touched on a durable→dirty edge.
+func (s *auditState) markLine(line int) {
+	for line >= len(s.logLines) {
+		s.logLines = append(s.logLines, lineDurable)
 	}
-	return m
+	if s.logLines[line] == lineDurable {
+		s.touched = append(s.touched, line)
+	}
+	s.logLines[line] = lineDirty
 }
 
-// rangeDurable reports whether every line of [off, off+n) in region is
+// rangeDurable reports whether every log-region line of [off, off+n) is
 // durable, naming the first offending line otherwise.
-func (s *auditState) rangeDurable(region string, off, n int) (bool, int) {
-	m := s.lines[region]
-	if m == nil || n <= 0 {
+func (s *auditState) rangeDurable(off, n int) (bool, int) {
+	if len(s.touched) == 0 || n <= 0 {
 		return true, 0
 	}
 	for line := off / lineSize; line <= (off+n-1)/lineSize; line++ {
-		if _, bad := m[line]; bad {
+		if line < len(s.logLines) && s.logLines[line] != lineDurable {
 			return false, line
 		}
 	}
 	return true, 0
+}
+
+// step feeds one event through the state machine, reporting violations
+// through add. The caller routes only this engine's events here (the
+// engine actor itself and its "<actor>/<region>" device actors).
+func (s *auditState) step(e *Event, add func(e *Event, rule, msg string)) {
+	switch e.Kind {
+	case KindWrite:
+		if e.Actor != s.logRegion {
+			return
+		}
+		for line := e.Off / lineSize; line <= (e.Off+e.Len-1)/lineSize && e.Len > 0; line++ {
+			s.markLine(line)
+		}
+	case KindFlush:
+		if e.Actor != s.logRegion {
+			return
+		}
+		for line := e.Off / lineSize; line <= (e.Off+e.Len-1)/lineSize && e.Len > 0; line++ {
+			if line < len(s.logLines) && s.logLines[line] == lineDirty {
+				s.logLines[line] = linePending
+			}
+		}
+	case KindFence:
+		if e.Actor != s.logRegion {
+			return
+		}
+		// Sweep only the non-durable lines; pending ones become durable
+		// and leave the touched set (swap-remove keeps it compact).
+		for i := 0; i < len(s.touched); {
+			line := s.touched[i]
+			if s.logLines[line] == linePending {
+				s.logLines[line] = lineDurable
+				s.touched[i] = s.touched[len(s.touched)-1]
+				s.touched = s.touched[:len(s.touched)-1]
+				continue
+			}
+			i++
+		}
+	case KindCrash, KindCrashPartial:
+		// After any power failure the volatile view reverts to
+		// (a subset of) the durable image: content and durable
+		// state coincide again, and recovery is not traced. A crash
+		// event from any of the engine's regions resets everything.
+		s.reset()
+
+	case KindTxBegin:
+		s.known[e.TxID] = true
+	case KindIntentAppend:
+		if !s.known[e.TxID] {
+			return
+		}
+		m := s.intents[e.TxID]
+		if m == nil {
+			m = make(map[uint64]bool, 4)
+			s.intents[e.TxID] = m
+		}
+		m[e.Obj] = true
+		if e.Phase == "alloc" && s.p.RequireBackup {
+			s.fresh[e.Obj] = true
+		}
+		if s.p.RequireIntent {
+			if ok, line := s.rangeDurable(e.Off, e.Len); !ok {
+				add(e, "intent-not-durable", fmt.Sprintf(
+					"intent entry [%d,+%d) reported durable but log line %d was never fenced", e.Off, e.Len, line))
+			}
+		}
+	case KindInPlaceWrite:
+		if !s.known[e.TxID] {
+			return
+		}
+		if s.p.RequireIntent && !s.intents[e.TxID][e.Obj] {
+			add(e, "store-without-intent",
+				"in-place heap store before any durable intent entry for the object")
+		}
+		if s.p.RequireBackup {
+			if by := s.dirtyBy[e.Obj]; by != 0 && by != e.TxID && !s.fresh[e.Obj] {
+				add(e, "store-without-copy", fmt.Sprintf(
+					"in-place store while the backup still lags tx %d's modification — no consistent copy exists", by))
+			}
+			s.dirtyBy[e.Obj] = e.TxID
+		}
+	case KindLockAcquire:
+		if s.p.RequireBackup && s.known[e.TxID] {
+			if by := s.dirtyBy[e.Obj]; by != 0 && by != e.TxID && !s.fresh[e.Obj] {
+				add(e, "dependent-not-blocked", fmt.Sprintf(
+					"lock granted while tx %d's modification is not yet reconciled to the backup", by))
+			}
+		}
+	case KindBackupSync:
+		delete(s.dirtyBy, e.Obj)
+		delete(s.fresh, e.Obj)
+	case KindRollback:
+		// A rolled-back object is restored (or, for a fresh alloc,
+		// gone); either way nothing about it remains unreconciled.
+		delete(s.dirtyBy, e.Obj)
+		delete(s.fresh, e.Obj)
+	case KindCommitMarker, KindAbort:
+		delete(s.intents, e.TxID)
+		delete(s.known, e.TxID)
+	}
 }
 
 // Audit replays events against one engine's policy and returns every
@@ -160,90 +292,16 @@ func (s *auditState) rangeDurable(region string, off, n int) (bool, int) {
 // matched by the "<actor>/<region>" label convention.
 func Audit(events []Event, p Policy) []Violation {
 	s := newAuditState(p)
-	logRegion := p.Actor + "/log"
 	var out []Violation
-	add := func(e Event, rule, msg string) {
+	add := func(e *Event, rule, msg string) {
 		out = append(out, Violation{Seq: e.Seq, Rule: rule, Actor: p.Actor, TxID: e.TxID, Obj: e.Obj, Msg: msg})
 	}
-
-	for _, e := range events {
+	for i := range events {
+		e := &events[i]
 		if e.Actor != p.Actor && !strings.HasPrefix(e.Actor, p.Actor+"/") {
 			continue
 		}
-		switch e.Kind {
-		case KindWrite:
-			m := s.regionLines(e.Actor)
-			for line := e.Off / lineSize; line <= (e.Off+e.Len-1)/lineSize && e.Len > 0; line++ {
-				m[line] = lineDirty
-			}
-		case KindFlush:
-			m := s.lines[e.Actor]
-			for line := e.Off / lineSize; m != nil && line <= (e.Off+e.Len-1)/lineSize && e.Len > 0; line++ {
-				if st, ok := m[line]; ok && st == lineDirty {
-					m[line] = linePending
-				}
-			}
-		case KindFence:
-			m := s.lines[e.Actor]
-			for line, st := range m {
-				if st == linePending {
-					delete(m, line)
-				}
-			}
-		case KindCrash, KindCrashPartial:
-			// After any power failure the volatile view reverts to
-			// (a subset of) the durable image: content and durable
-			// state coincide again, and recovery is not traced.
-			s.reset()
-
-		case KindTxBegin:
-			s.known[e.TxID] = true
-			s.intents[e.TxID] = map[uint64]bool{}
-		case KindIntentAppend:
-			if !s.known[e.TxID] {
-				continue
-			}
-			s.intents[e.TxID][e.Obj] = true
-			if e.Phase == "alloc" {
-				s.fresh[e.Obj] = true
-			}
-			if s.p.RequireIntent {
-				if ok, line := s.rangeDurable(logRegion, e.Off, e.Len); !ok {
-					add(e, "intent-not-durable", fmt.Sprintf(
-						"intent entry [%d,+%d) reported durable but log line %d was never fenced", e.Off, e.Len, line))
-				}
-			}
-		case KindInPlaceWrite:
-			if !s.known[e.TxID] {
-				continue
-			}
-			if s.p.RequireIntent && !s.intents[e.TxID][e.Obj] {
-				add(e, "store-without-intent",
-					"in-place heap store before any durable intent entry for the object")
-			}
-			if s.p.RequireBackup {
-				if by := s.dirtyBy[e.Obj]; by != 0 && by != e.TxID && !s.fresh[e.Obj] {
-					add(e, "store-without-copy", fmt.Sprintf(
-						"in-place store while the backup still lags tx %d's modification — no consistent copy exists", by))
-				}
-				s.dirtyBy[e.Obj] = e.TxID
-			}
-		case KindLockAcquire:
-			if s.p.RequireBackup && s.known[e.TxID] {
-				if by := s.dirtyBy[e.Obj]; by != 0 && by != e.TxID && !s.fresh[e.Obj] {
-					add(e, "dependent-not-blocked", fmt.Sprintf(
-						"lock granted while tx %d's modification is not yet reconciled to the backup", by))
-				}
-			}
-		case KindBackupSync:
-			delete(s.dirtyBy, e.Obj)
-			delete(s.fresh, e.Obj)
-		case KindRollback:
-			delete(s.dirtyBy, e.Obj)
-		case KindCommitMarker, KindAbort:
-			delete(s.intents, e.TxID)
-			delete(s.known, e.TxID)
-		}
+		s.step(e, add)
 	}
 	return out
 }

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"kaminotx/internal/obs"
+)
+
+// FlightRecordVersion is the current encoding version.
+const FlightRecordVersion = 1
+
+// FlightRecord is the black-box record persisted into NVM when a pool
+// crashes (and written to disk on panic or watchdog alarm): the tail of
+// the trace ring, an obs registry snapshot, and — when the pool backs a
+// chain replica — the replica's structured debug state. Recovery
+// retrieves it so post-mortems can see what the process was doing in
+// its final moments, not just what the durable image ended up as.
+type FlightRecord struct {
+	// Version is FlightRecordVersion at capture time.
+	Version int `json:"version"`
+	// Actor labels the crashing component (engine actor, replica id, or
+	// process label for panic records).
+	Actor string `json:"actor,omitempty"`
+	// Reason is what triggered the capture: "crash", "crash_partial",
+	// "panic", or "watchdog:<probe>".
+	Reason string `json:"reason"`
+	// WallNS is the capture wall-clock time (UnixNano).
+	WallNS int64 `json:"wall_ns"`
+	// Total and Dropped describe the recorder at capture: how many
+	// events were ever emitted and how many the ring had already lost.
+	Total   uint64 `json:"events_total"`
+	Dropped uint64 `json:"events_dropped"`
+	// Events is the retained tail of the trace ring, oldest first.
+	Events []Event `json:"events"`
+	// Obs holds registry snapshots captured with the record.
+	Obs []obs.Snapshot `json:"obs,omitempty"`
+	// Chain is the replica's structured DebugState (chain.DebugInfo as
+	// JSON), captured through the pool's crash-context callback. Held as
+	// raw JSON because trace cannot import chain.
+	Chain json.RawMessage `json:"chain,omitempty"`
+	// Note is free-form context: the panic value and stack for panic
+	// records, the probe detail for watchdog records.
+	Note string `json:"note,omitempty"`
+}
+
+// BuildFlightRecord captures the recorder's current tail (up to tail
+// events; tail <= 0 keeps everything retained) into a record with the
+// given reason. A nil recorder yields a record with no events, so
+// capture paths need no conditionals.
+func BuildFlightRecord(rec *Recorder, reason string, tail int) FlightRecord {
+	fr := FlightRecord{
+		Version: FlightRecordVersion,
+		Reason:  reason,
+		WallNS:  time.Now().UnixNano(),
+	}
+	if rec != nil {
+		fr.Events = rec.Tail(tail)
+		fr.Total = rec.Total()
+		fr.Dropped = rec.Dropped()
+	}
+	return fr
+}
+
+// Encode serializes the record for blackbox storage.
+func (fr *FlightRecord) Encode() ([]byte, error) {
+	return json.Marshal(fr)
+}
+
+// DecodeFlightRecord parses a record previously produced by Encode.
+func DecodeFlightRecord(b []byte) (*FlightRecord, error) {
+	var fr FlightRecord
+	if err := json.Unmarshal(b, &fr); err != nil {
+		return nil, fmt.Errorf("trace: flight record: %w", err)
+	}
+	if fr.Version != FlightRecordVersion {
+		return nil, fmt.Errorf("trace: flight record version %d (want %d)", fr.Version, FlightRecordVersion)
+	}
+	return &fr, nil
+}
+
+// WriteText prints the record as a human-readable post-mortem: header,
+// obs summary, chain state, then the event timeline oldest-first.
+func (fr *FlightRecord) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "flight record v%d — reason=%s", fr.Version, fr.Reason)
+	if fr.Actor != "" {
+		fmt.Fprintf(w, " actor=%s", fr.Actor)
+	}
+	fmt.Fprintf(w, " captured=%s\n", time.Unix(0, fr.WallNS).UTC().Format(time.RFC3339Nano))
+	fmt.Fprintf(w, "events: %d retained of %d emitted (%d lost to ring wrap)\n",
+		len(fr.Events), fr.Total, fr.Dropped)
+	if fr.Note != "" {
+		fmt.Fprintf(w, "note: %s\n", fr.Note)
+	}
+	if len(fr.Chain) > 0 {
+		fmt.Fprintf(w, "chain: %s\n", compactJSON(fr.Chain))
+	}
+	for _, s := range fr.Obs {
+		fmt.Fprintf(w, "obs[%s]:", s.Name)
+		for _, name := range s.SortedCounterNames() {
+			fmt.Fprintf(w, " %s=%d", name, s.Counters[name])
+		}
+		for _, name := range s.SortedGaugeNames() {
+			fmt.Fprintf(w, " %s=%d", name, s.Gauges[name])
+		}
+		fmt.Fprintln(w)
+	}
+	if len(fr.Events) > 0 {
+		fmt.Fprintln(w, "timeline (oldest first):")
+		for _, e := range fr.Events {
+			writeTimelineEvent(w, e)
+		}
+	}
+}
+
+// compactJSON re-renders raw JSON without whitespace; invalid input is
+// passed through verbatim.
+func compactJSON(raw json.RawMessage) string {
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return string(raw)
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return string(raw)
+	}
+	return string(b)
+}
+
+// writeTimelineEvent renders one event as a timeline line.
+func writeTimelineEvent(w io.Writer, e Event) {
+	fmt.Fprintf(w, "  %10d %12.3fms %-14s %-18s", e.Seq, float64(e.At)/1e6, e.Kind, e.Actor)
+	switch e.Kind {
+	case KindWrite, KindFlush:
+		fmt.Fprintf(w, " [%d,+%d)", e.Off, e.Len)
+	case KindIntentAppend:
+		fmt.Fprintf(w, " tx=%d obj=%d op=%s log[%d,+%d)", e.TxID, e.Obj, e.Phase, e.Off, e.Len)
+	case KindInPlaceWrite:
+		fmt.Fprintf(w, " tx=%d obj=%d main[%d,+%d)", e.TxID, e.Obj, e.Off, e.Len)
+	case KindTxBegin, KindCommitMarker, KindAbort:
+		fmt.Fprintf(w, " tx=%d", e.TxID)
+	case KindLockAcquire, KindBackupSync, KindRollback:
+		fmt.Fprintf(w, " tx=%d obj=%d", e.TxID, e.Obj)
+	case KindSpan:
+		fmt.Fprintf(w, " tx=%d phase=%s dur=%s", e.TxID, e.Phase, time.Duration(e.Dur))
+	case KindChainForward, KindChainApply, KindChainAck:
+		fmt.Fprintf(w, " trace=%d seq=%d", e.Trace, e.Obj)
+	case KindChainBatch:
+		fmt.Fprintf(w, " lastSeq=%d ops=%d", e.Obj, e.Len)
+	}
+	fmt.Fprintln(w)
+}

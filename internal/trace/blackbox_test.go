@@ -1,0 +1,92 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"kaminotx/internal/obs"
+	"kaminotx/internal/trace"
+)
+
+// Flight records must round-trip through Encode/Decode with events, obs
+// snapshots and the raw chain state intact, and WriteText must render
+// every section of the post-mortem.
+func TestFlightRecordRoundTrip(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	tr := rec.Tracer("kamino#1")
+	tr.TxBegin(7)
+	tr.IntentAppend(7, 4096, 0, 64, "write")
+	tr.InPlaceWrite(7, 4096, 4096, 64)
+	tr.CommitMarker(7)
+
+	reg := obs.New("kamino#1")
+	reg.Counter("tx_committed").Inc()
+
+	fr := trace.BuildFlightRecord(rec, "crash", 2048)
+	fr.Actor = "kamino#1"
+	fr.Obs = []obs.Snapshot{reg.Snapshot()}
+	fr.Chain = json.RawMessage(`{"last_exec":41,"waiters":0}`)
+	fr.Note = "test capture"
+
+	raw, err := fr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.DecodeFlightRecord(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != trace.FlightRecordVersion || got.Reason != "crash" || got.Actor != "kamino#1" {
+		t.Fatalf("header mangled: %+v", got)
+	}
+	if len(got.Events) != 4 || got.Events[0].Kind != trace.KindTxBegin {
+		t.Fatalf("events mangled: %v", got.Events)
+	}
+	if got.Total != 4 {
+		t.Fatalf("total = %d, want 4", got.Total)
+	}
+	if len(got.Obs) != 1 || got.Obs[0].Counters["tx_committed"] != 1 {
+		t.Fatalf("obs snapshot mangled: %+v", got.Obs)
+	}
+	if !bytes.Contains(got.Chain, []byte("last_exec")) {
+		t.Fatalf("chain state mangled: %s", got.Chain)
+	}
+
+	var out strings.Builder
+	got.WriteText(&out)
+	text := out.String()
+	for _, want := range []string{"reason=crash", "kamino#1", "tx_committed", "last_exec", "tx_begin", "commit_marker", "test capture"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("post-mortem text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// A nil recorder still yields a decodable (empty-timeline) record, so
+// capture paths need no conditionals.
+func TestFlightRecordNilRecorder(t *testing.T) {
+	fr := trace.BuildFlightRecord(nil, "panic", 0)
+	raw, err := fr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.DecodeFlightRecord(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 0 || got.Reason != "panic" {
+		t.Fatalf("bad empty record: %+v", got)
+	}
+}
+
+// Version skew and garbage must be rejected, not misparsed.
+func TestFlightRecordDecodeErrors(t *testing.T) {
+	if _, err := trace.DecodeFlightRecord([]byte("not json")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	if _, err := trace.DecodeFlightRecord([]byte(`{"version":99,"reason":"crash"}`)); err == nil {
+		t.Fatal("future version decoded")
+	}
+}

@@ -1,0 +1,335 @@
+package trace
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"kaminotx/internal/obs"
+)
+
+// OnlineOptions configures an OnlineAuditor.
+type OnlineOptions struct {
+	// FailFast stops invariant checking after the first violation: the
+	// auditor keeps draining (so emitters never block on a tripped
+	// auditor) but does no further state-machine work. Err() and the
+	// recorded violation are retained either way.
+	FailFast bool
+	// OnViolation, when set, is called from the audit goroutine for each
+	// violation as it is found (at most once under FailFast). It must not
+	// emit trace events or call back into the auditor.
+	OnViolation func(Violation)
+	// Obs, when set, receives streaming counters: audit_events,
+	// audit_violations, and one audit_violation_<rule> counter per rule.
+	Obs *obs.Registry
+	// Buffer is the batch-channel depth (default 64 batches). When the
+	// audit goroutine falls this far behind, event emitters block until
+	// it catches up — backpressure instead of gaps, because a gap in the
+	// stream would fabricate violations.
+	Buffer int
+	// Delivery selects how events reach the checker. DeliveryAsync runs
+	// the dedicated audit goroutine fed in batches. DeliveryInline
+	// checks each batch synchronously in the emitting goroutine instead.
+	// DeliveryAuto (the default) picks inline on a single-P process:
+	// with no parallel headroom the goroutine cannot overlap with the
+	// workload, and its presence alone stretches every spin-wait cycle
+	// in the engines' Gosched-based waiting.
+	Delivery SinkDelivery
+	// Policy overrides the per-actor policy derivation (default
+	// PolicyFor). Actors whose policy enables no rule are skipped
+	// entirely.
+	Policy func(actor string) Policy
+}
+
+// OnlineStats describes an auditor's progress and current state size.
+type OnlineStats struct {
+	// Events is the number of events processed so far.
+	Events uint64
+	// Violations counts every violation found (even those beyond the
+	// retention cap).
+	Violations uint64
+	// Actors is the number of engine actors being tracked.
+	Actors int
+	// LiveTxs and LiveObjects count the per-transaction and per-object
+	// entries currently held across all actors — the working set that
+	// commit/abort/backup-sync retirement keeps bounded.
+	LiveTxs     int
+	LiveObjects int
+}
+
+// maxRetainedViolations caps the violations kept in memory; the counter
+// keeps counting past it.
+const maxRetainedViolations = 4096
+
+// OnlineAuditor checks the persist-order invariants incrementally, as
+// events are recorded, instead of replaying a ring after the run. It
+// consumes the Recorder's sink (every event, in emission order, batched)
+// on its own goroutine; per-transaction state retires at commit/abort
+// and per-object state at backup-sync, so memory stays bounded on
+// arbitrarily long runs. Unlike post-hoc Audit it never misses events to
+// ring wrap-around.
+type OnlineAuditor struct {
+	rec    *Recorder
+	opts   OnlineOptions
+	inline bool
+
+	ch   chan []Event
+	done chan struct{}
+
+	delivered atomic.Uint64 // events handed to the channel
+	processed atomic.Uint64 // events consumed by the audit goroutine
+	nviol     atomic.Uint64
+	tripped   atomic.Bool
+
+	states map[string]*auditState // engine actor -> state
+	route  map[string]*auditState // raw event actor -> state (nil: skip)
+
+	// Two-entry routing cache (guarded by mu): the stream alternates
+	// between an engine actor and its region actors in tight runs, so
+	// most events resolve without the route map lookup. Actor strings
+	// are interned by their tracers, making the equality checks pointer
+	// comparisons.
+	cActor [2]string
+	cState [2]*auditState
+	cOK    [2]bool
+
+	mu         sync.Mutex
+	violations []Violation
+
+	cEvents *obs.Counter
+	cViol   *obs.Counter
+	cRule   map[string]*obs.Counter
+}
+
+// AttachOnline installs an online auditor on rec and starts its audit
+// goroutine. Exactly one sink can be attached to a recorder at a time;
+// attaching replaces any previous sink. Call Close to detach and join.
+func AttachOnline(rec *Recorder, opts OnlineOptions) *OnlineAuditor {
+	if opts.Buffer <= 0 {
+		opts.Buffer = 64
+	}
+	if opts.Policy == nil {
+		opts.Policy = PolicyFor
+	}
+	a := &OnlineAuditor{
+		rec:    rec,
+		opts:   opts,
+		ch:     make(chan []Event, opts.Buffer),
+		done:   make(chan struct{}),
+		states: make(map[string]*auditState),
+		route:  make(map[string]*auditState),
+		cRule:  make(map[string]*obs.Counter),
+	}
+	if opts.Obs != nil {
+		a.cEvents = opts.Obs.Counter("audit_events")
+		a.cViol = opts.Obs.Counter("audit_violations")
+		opts.Obs.Gauge("audit_live_txs", func() uint64 {
+			return uint64(a.Stats().LiveTxs)
+		})
+		opts.Obs.Gauge("audit_live_objects", func() uint64 {
+			return uint64(a.Stats().LiveObjects)
+		})
+	}
+	a.inline = opts.Delivery == DeliveryInline ||
+		(opts.Delivery == DeliveryAuto && runtime.GOMAXPROCS(0) == 1)
+	// Filter before sinking: event classes the rules provably ignore
+	// never leave the emission path, roughly halving hand-off and audit
+	// volume. Keep crashes (they reset state) and all lifecycle kinds;
+	// device persistence matters only on log regions (both intent rules
+	// query the log region and nothing else).
+	rec.SetSinkFilter(auditRelevant)
+	if a.inline {
+		// Check in the emitting goroutine; the recorder's flusher would
+		// be one more scheduler participant for no overlap.
+		rec.SetSinkDelivery(DeliveryInline)
+		rec.SetSink(func(batch []Event) {
+			a.delivered.Add(uint64(len(batch)))
+			a.processBatch(batch)
+		})
+		return a
+	}
+	rec.SetSinkDelivery(DeliveryAsync)
+	go a.run()
+	rec.SetSink(func(batch []Event) {
+		a.delivered.Add(uint64(len(batch)))
+		a.ch <- batch
+	})
+	return a
+}
+
+// auditRelevant reports whether the persist-order rules can possibly
+// consume e (see auditState.step): spans and chain hops never, device
+// persistence only on log regions.
+func auditRelevant(e Event) bool {
+	switch e.Kind {
+	case KindWrite, KindFlush, KindFence:
+		return strings.HasSuffix(e.Actor, "/log")
+	case KindSpan, KindChainForward, KindChainApply, KindChainBatch, KindChainAck:
+		return false
+	}
+	return true
+}
+
+func (a *OnlineAuditor) run() {
+	defer close(a.done)
+	for batch := range a.ch {
+		a.processBatch(batch)
+	}
+}
+
+// processBatch feeds one delivered batch through the state machines (a
+// no-op once FailFast has tripped) and advances the progress counters.
+func (a *OnlineAuditor) processBatch(batch []Event) {
+	if !a.tripped.Load() {
+		a.mu.Lock()
+		for i := range batch {
+			e := &batch[i]
+			// Inline batches are unfiltered ring views; shed the event
+			// classes no rule consumes before touching the routing cache.
+			switch e.Kind {
+			case KindSpan, KindChainForward, KindChainApply, KindChainBatch, KindChainAck:
+				continue
+			}
+			var st *auditState
+			switch {
+			case a.cOK[0] && e.Actor == a.cActor[0]:
+				st = a.cState[0]
+			case a.cOK[1] && e.Actor == a.cActor[1]:
+				st = a.cState[1]
+			default:
+				var hit bool
+				if st, hit = a.route[e.Actor]; !hit {
+					st = a.resolveLocked(e.Actor)
+				}
+				a.cActor[1], a.cState[1], a.cOK[1] = a.cActor[0], a.cState[0], a.cOK[0]
+				a.cActor[0], a.cState[0], a.cOK[0] = e.Actor, st, true
+			}
+			if st == nil {
+				continue
+			}
+			st.step(e, a.addViolation)
+			if a.opts.FailFast && a.tripped.Load() {
+				break
+			}
+		}
+		a.mu.Unlock()
+	}
+	if a.cEvents != nil {
+		a.cEvents.Add(uint64(len(batch)))
+	}
+	a.processed.Add(uint64(len(batch)))
+}
+
+// resolveLocked builds the routing entry for a new actor label: device
+// actors ("kamino#1/log") share their engine's state; actors whose
+// policy checks nothing route to nil and cost one map hit thereafter.
+func (a *OnlineAuditor) resolveLocked(actor string) *auditState {
+	engine := actor
+	if i := strings.LastIndexByte(actor, '/'); i >= 0 {
+		engine = actor[:i]
+	}
+	var st *auditState
+	if p := a.opts.Policy(engine); p.checksAnything() {
+		st = a.states[engine]
+		if st == nil {
+			st = newAuditState(p)
+			a.states[engine] = st
+		}
+	}
+	a.route[actor] = st
+	return st
+}
+
+// addViolation records one breach (audit goroutine only, a.mu held).
+func (a *OnlineAuditor) addViolation(e *Event, rule, msg string) {
+	if a.tripped.Load() && a.opts.FailFast {
+		return
+	}
+	v := Violation{Seq: e.Seq, Rule: rule, TxID: e.TxID, Obj: e.Obj, Msg: msg}
+	// Device-rule breaches carry the region actor; report the engine.
+	v.Actor = e.Actor
+	if i := strings.LastIndexByte(v.Actor, '/'); i >= 0 {
+		v.Actor = v.Actor[:i]
+	}
+	a.nviol.Add(1)
+	if len(a.violations) < maxRetainedViolations {
+		a.violations = append(a.violations, v)
+	}
+	if a.cViol != nil {
+		a.cViol.Inc()
+		c := a.cRule[rule]
+		if c == nil {
+			c = a.opts.Obs.Counter("audit_violation_" + rule)
+			a.cRule[rule] = c
+		}
+		c.Inc()
+	}
+	if a.opts.FailFast {
+		a.tripped.Store(true)
+	}
+	if a.opts.OnViolation != nil {
+		a.opts.OnViolation(v)
+	}
+}
+
+// Flush pushes any partially filled recorder batch to the auditor and
+// waits until every event emitted so far has been audited. Use it to
+// make "caught live" assertions deterministic mid-run.
+func (a *OnlineAuditor) Flush() {
+	a.rec.FlushSink()
+	for a.processed.Load() < a.delivered.Load() {
+		runtime.Gosched()
+	}
+}
+
+// Violations returns a copy of the violations retained so far (capped at
+// maxRetainedViolations; Stats().Violations counts all of them).
+func (a *OnlineAuditor) Violations() []Violation {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Violation, len(a.violations))
+	copy(out, a.violations)
+	return out
+}
+
+// Err returns nil if no violation has been found, or an error describing
+// the first one.
+func (a *OnlineAuditor) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("trace: online audit: %d violation(s), first: %s", a.nviol.Load(), a.violations[0])
+}
+
+// Stats reports progress and the size of the retained working set.
+func (a *OnlineAuditor) Stats() OnlineStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := OnlineStats{
+		Events:     a.processed.Load(),
+		Violations: a.nviol.Load(),
+		Actors:     len(a.states),
+	}
+	for _, s := range a.states {
+		st.LiveTxs += len(s.known)
+		st.LiveObjects += len(s.dirtyBy) + len(s.fresh)
+	}
+	return st
+}
+
+// Close detaches the auditor from the recorder, audits everything
+// already emitted, joins the goroutine, and returns the retained
+// violations. The recorder remains usable (un-sinked) afterwards.
+func (a *OnlineAuditor) Close() []Violation {
+	a.rec.SetSink(nil) // flushes the pending batch to us first
+	a.rec.SetSinkFilter(nil)
+	if !a.inline {
+		close(a.ch)
+		<-a.done
+	}
+	return a.Violations()
+}

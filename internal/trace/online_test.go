@@ -1,0 +1,268 @@
+package trace_test
+
+import (
+	"sync"
+	"testing"
+
+	"kaminotx/internal/nvm"
+	"kaminotx/internal/obs"
+	"kaminotx/internal/trace"
+)
+
+// tracedEngine bundles one actor's tracer and log/heap regions wired
+// into a shared recorder, so tests can drive the real device hooks.
+type tracedEngine struct {
+	tr   *trace.Tracer
+	logR *nvm.Region
+	heap *nvm.Region
+}
+
+func newTracedEngine(t *testing.T, rec *trace.Recorder, actor string) *tracedEngine {
+	t.Helper()
+	logR, err := nvm.New(1<<16, nvm.Options{Mode: nvm.ModeStrict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logR.SetTracer(rec.Tracer(actor + "/log"))
+	heap, err := nvm.New(1<<16, nvm.Options{Mode: nvm.ModeStrict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap.SetTracer(rec.Tracer(actor + "/main"))
+	return &tracedEngine{tr: rec.Tracer(actor), logR: logR, heap: heap}
+}
+
+// correctTx runs one protocol-respecting transaction: intent appended,
+// flushed and FENCED before the in-place heap store.
+func (e *tracedEngine) correctTx(t *testing.T, txid uint64, logOff int, obj uint64) {
+	t.Helper()
+	entry := make([]byte, 32)
+	e.tr.TxBegin(txid)
+	e.tr.LockAcquire(txid, obj)
+	if err := e.logR.Write(logOff, entry); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.logR.Flush(logOff, len(entry)); err != nil {
+		t.Fatal(err)
+	}
+	e.logR.Fence()
+	e.tr.IntentAppend(txid, obj, logOff, len(entry), "write")
+	if err := e.heap.Write(int(obj), entry); err != nil {
+		t.Fatal(err)
+	}
+	e.tr.InPlaceWrite(txid, obj, int(obj), len(entry))
+	e.tr.CommitMarker(txid)
+}
+
+// buggyTx seeds the persist-order bug: the intent entry is flushed but
+// the fence is skipped, so the heap store races ahead of a durable
+// intent.
+func (e *tracedEngine) buggyTx(t *testing.T, txid uint64, logOff int, obj uint64) {
+	t.Helper()
+	entry := make([]byte, 32)
+	e.tr.TxBegin(txid)
+	e.tr.LockAcquire(txid, obj)
+	if err := e.logR.Write(logOff, entry); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.logR.Flush(logOff, len(entry)); err != nil {
+		t.Fatal(err)
+	}
+	e.tr.IntentAppend(txid, obj, logOff, len(entry), "write")
+	if err := e.heap.Write(int(obj), entry); err != nil {
+		t.Fatal(err)
+	}
+	e.tr.InPlaceWrite(txid, obj, int(obj), len(entry))
+	e.tr.CommitMarker(txid)
+}
+
+// The online auditor must flag a seeded intent-before-store violation
+// while the run is still in progress — not at teardown.
+func TestOnlineAuditorCatchesSeededBugLive(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	reg := obs.New("audit")
+	a := trace.AttachOnline(rec, trace.OnlineOptions{Obs: reg})
+	eng := newTracedEngine(t, rec, "undo#1")
+
+	eng.correctTx(t, 1, 0, 4096)
+	a.Flush()
+	if err := a.Err(); err != nil {
+		t.Fatalf("correct ordering flagged: %v", err)
+	}
+
+	eng.buggyTx(t, 2, 64, 8192)
+	a.Flush() // the run is still live: no Close, recorder still attached
+	if err := a.Err(); err == nil {
+		t.Fatal("seeded fence-skip not caught mid-run")
+	}
+	vs := a.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("want exactly one violation, got %v", vs)
+	}
+	if vs[0].Rule != "intent-not-durable" || vs[0].TxID != 2 || vs[0].Obj != 8192 {
+		t.Fatalf("wrong violation: %+v", vs[0])
+	}
+	if vs[0].Actor != "undo#1" {
+		t.Fatalf("violation actor %q, want engine actor undo#1", vs[0].Actor)
+	}
+
+	// Later correct traffic must not add violations, and Close returns
+	// the same single violation.
+	eng.correctTx(t, 3, 128, 12288)
+	if vs := a.Close(); len(vs) != 1 {
+		t.Fatalf("violations after close = %v, want the original one", vs)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["audit_violations"] != 1 {
+		t.Fatalf("audit_violations = %d, want 1", snap.Counters["audit_violations"])
+	}
+	if snap.Counters["audit_violation_intent-not-durable"] != 1 {
+		t.Fatalf("per-rule counter missing: %v", snap.Counters)
+	}
+	if snap.Counters["audit_events"] == 0 {
+		t.Fatal("audit_events counter not streaming")
+	}
+}
+
+// The post-hoc auditor replays the ring, so a violation that wraps out
+// of the buffer is invisible to it. The online auditor consumes the
+// sink (every event, before wrap-around can drop it) and must still
+// hold the violation after the ring has long since lost the evidence.
+func TestOnlineAuditorSeesThroughRingWrap(t *testing.T) {
+	rec := trace.NewRecorder(1024) // minimum ring: easy to wrap
+	a := trace.AttachOnline(rec, trace.OnlineOptions{})
+	eng := newTracedEngine(t, rec, "undo#1")
+
+	eng.buggyTx(t, 1, 0, 4096)
+
+	// Flood the ring with benign unaudited traffic until the buggy
+	// transaction's events are gone from the buffer.
+	filler := rec.Tracer("nolog#1")
+	for i := uint64(0); rec.Dropped() < 32; i++ {
+		filler.TxBegin(i)
+		filler.CommitMarker(i)
+	}
+
+	if post := trace.AuditAll(rec.Events()); len(post) != 0 {
+		t.Fatalf("post-hoc audit unexpectedly sees the wrapped violation: %v", post)
+	}
+	vs := a.Close()
+	if len(vs) != 1 || vs[0].Rule != "intent-not-durable" {
+		t.Fatalf("online auditor lost the wrapped violation: %v", vs)
+	}
+}
+
+// Concurrent emitters (one engine actor each) must audit cleanly under
+// the race detector, and per-transaction state must retire at commit so
+// the working set returns to zero.
+func TestOnlineAuditorConcurrentEmitters(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	a := trace.AttachOnline(rec, trace.OnlineOptions{})
+
+	const engines = 4
+	const txs = 50
+	engs := make([]*tracedEngine, engines)
+	for i := range engs {
+		engs[i] = newTracedEngine(t, rec, "undo#"+string(rune('1'+i)))
+	}
+	var wg sync.WaitGroup
+	for i, e := range engs {
+		wg.Add(1)
+		go func(i int, e *tracedEngine) {
+			defer wg.Done()
+			for n := 0; n < txs; n++ {
+				e.correctTx(t, uint64(n+1), n*64, uint64(4096+n*64))
+			}
+		}(i, e)
+	}
+	wg.Wait()
+	a.Flush()
+
+	st := a.Stats()
+	if st.Violations != 0 {
+		t.Fatalf("clean concurrent run produced violations: %v", a.Violations())
+	}
+	if st.Actors != engines {
+		t.Fatalf("actors tracked = %d, want %d", st.Actors, engines)
+	}
+	if st.LiveTxs != 0 {
+		t.Fatalf("LiveTxs = %d after all commits, want 0 (commit must retire tx state)", st.LiveTxs)
+	}
+	// The sink filter strips audit-irrelevant classes (main-region device
+	// traffic), so the auditor sees a subset of the emission stream — but
+	// never more than was emitted, and never nothing.
+	if got := rec.Total(); st.Events == 0 || st.Events > got {
+		t.Fatalf("auditor processed %d events, recorder emitted %d", st.Events, got)
+	}
+	a.Close()
+}
+
+// Async delivery runs the checker on its own goroutine behind the
+// emission-time filter and copied batches — a different code path from
+// the inline default on a single-P host, so exercise it explicitly:
+// concurrent clean traffic plus one seeded violation, caught despite
+// the hand-off, with Flush draining the pipeline deterministically and
+// Close joining the goroutine.
+func TestOnlineAuditorAsyncDelivery(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	a := trace.AttachOnline(rec, trace.OnlineOptions{Delivery: trace.DeliveryAsync})
+
+	const engines = 3
+	engs := make([]*tracedEngine, engines)
+	for i := range engs {
+		engs[i] = newTracedEngine(t, rec, "undo#"+string(rune('1'+i)))
+	}
+	var wg sync.WaitGroup
+	for _, e := range engs {
+		wg.Add(1)
+		go func(e *tracedEngine) {
+			defer wg.Done()
+			for n := 0; n < 40; n++ {
+				e.correctTx(t, uint64(n+1), n*64, uint64(4096+n*64))
+			}
+		}(e)
+	}
+	wg.Wait()
+	a.Flush()
+	if err := a.Err(); err != nil {
+		t.Fatalf("clean async run flagged: %v", err)
+	}
+	st := a.Stats()
+	if st.Events == 0 || st.Events > rec.Total() {
+		t.Fatalf("async auditor processed %d of %d emitted events", st.Events, rec.Total())
+	}
+	if st.LiveTxs != 0 {
+		t.Fatalf("LiveTxs = %d after all commits, want 0", st.LiveTxs)
+	}
+
+	engs[0].buggyTx(t, 1000, 8192, 16384)
+	a.Flush() // must drain both the recorder batch and the audit channel
+	if err := a.Err(); err == nil {
+		t.Fatal("async delivery lost the seeded violation")
+	}
+	vs := a.Close()
+	if len(vs) != 1 || vs[0].Rule != "intent-not-durable" || vs[0].TxID != 1000 {
+		t.Fatalf("async violations = %v, want tx 1000's intent-not-durable", vs)
+	}
+}
+
+// FailFast stops the state machine after the first violation: later
+// breaches are neither checked nor recorded.
+func TestOnlineAuditorFailFast(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	var live []trace.Violation
+	a := trace.AttachOnline(rec, trace.OnlineOptions{
+		FailFast:    true,
+		OnViolation: func(v trace.Violation) { live = append(live, v) },
+	})
+	eng := newTracedEngine(t, rec, "undo#1")
+	eng.buggyTx(t, 1, 0, 4096)
+	eng.buggyTx(t, 2, 64, 8192)
+	vs := a.Close()
+	if len(vs) != 1 || vs[0].TxID != 1 {
+		t.Fatalf("fail-fast retained %v, want only tx 1's violation", vs)
+	}
+	if len(live) != 1 {
+		t.Fatalf("OnViolation called %d times under fail-fast, want 1", len(live))
+	}
+}

@@ -1,0 +1,183 @@
+package kamino
+
+import (
+	"strings"
+	"testing"
+
+	"kaminotx/internal/trace"
+)
+
+func blackboxPool(t *testing.T, mode Mode) (*Pool, *trace.Recorder) {
+	t.Helper()
+	rec := trace.NewRecorder(0)
+	p, err := Create(Options{
+		Mode:     mode,
+		HeapSize: 1 << 20,
+		Strict:   true,
+		Trace:    rec,
+		Blackbox: true,
+	})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p, rec
+}
+
+// crashMidTx commits one update, leaves a second transaction open, and
+// crashes — the acceptance scenario: the flight record must capture the
+// process's final moments including the in-flight transaction.
+func crashMidTx(t *testing.T, p *Pool, partial bool) {
+	t.Helper()
+	if err := p.Update(func(tx *Tx) error {
+		if err := tx.Add(p.Root()); err != nil {
+			return err
+		}
+		return tx.SetUint64(p.Root(), 0, 777)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := p.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Add(p.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetUint64(p.Root(), 0, 666); err != nil {
+		t.Fatal(err)
+	}
+	if partial {
+		err = p.CrashPartial(42)
+	} else {
+		err = p.Crash()
+	}
+	if err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+}
+
+func TestFlightRecordAcrossCrash(t *testing.T) {
+	p, _ := blackboxPool(t, ModeSimple)
+	p.SetCrashContext(func() []byte { return []byte(`{"replica":"test-r0"}`) })
+	crashMidTx(t, p, false)
+
+	fr := p.FlightRecord()
+	if fr == nil {
+		t.Fatal("no flight record after crash with Blackbox enabled")
+	}
+	if fr.Reason != "crash" {
+		t.Fatalf("reason = %q, want crash", fr.Reason)
+	}
+	if len(fr.Events) == 0 {
+		t.Fatal("flight record has no trace events")
+	}
+	// The in-flight transaction's begin must be in the tail, and the
+	// crash itself is the last thing the dying incarnation saw.
+	var sawBegin, sawCrash bool
+	for _, e := range fr.Events {
+		switch e.Kind {
+		case trace.KindTxBegin:
+			sawBegin = true
+		case trace.KindCrash:
+			sawCrash = true
+		}
+	}
+	if !sawBegin || !sawCrash {
+		t.Fatalf("tail missing tx_begin(%v) or crash(%v) events", sawBegin, sawCrash)
+	}
+	if len(fr.Obs) == 0 || fr.Obs[0].Counters["commits"] == 0 {
+		t.Fatalf("obs snapshot missing the dying incarnation's counters: %+v", fr.Obs)
+	}
+	if !strings.Contains(string(fr.Chain), "test-r0") {
+		t.Fatalf("crash context not captured: %s", fr.Chain)
+	}
+
+	// Raw bytes round-trip through the tools/blackbox decode path.
+	raw := p.FlightRecordBytes()
+	dec, err := trace.DecodeFlightRecord(raw)
+	if err != nil {
+		t.Fatalf("decode raw record: %v", err)
+	}
+	if dec.Reason != "crash" || len(dec.Events) != len(fr.Events) {
+		t.Fatalf("raw record diverges from decoded: %+v", dec)
+	}
+
+	// The new incarnation exposes recovery telemetry.
+	snap := p.Obs().Snapshot()
+	if snap.Gauges["last_crash_unix_ns"] == 0 {
+		t.Fatal("last_crash_unix_ns gauge not exported after recovery")
+	}
+	if snap.Counters["flight_records"] != 1 {
+		t.Fatalf("flight_records = %d, want 1", snap.Counters["flight_records"])
+	}
+
+	// And recovery itself is unharmed by the blackbox machinery.
+	var v uint64
+	if err := p.View(func(tx *Tx) error {
+		var err error
+		v, err = tx.Uint64(p.Root(), 0)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v != 777 {
+		t.Fatalf("recovered value = %d, want 777", v)
+	}
+}
+
+// CrashPartial uses the weaker loss model, but the fenced blackbox
+// record must survive it identically, tagged with the partial reason.
+func TestFlightRecordAcrossCrashPartial(t *testing.T) {
+	p, _ := blackboxPool(t, ModeUndo)
+	crashMidTx(t, p, true)
+	fr := p.FlightRecord()
+	if fr == nil {
+		t.Fatal("no flight record after partial crash")
+	}
+	if fr.Reason != "crash_partial" {
+		t.Fatalf("reason = %q, want crash_partial", fr.Reason)
+	}
+	if len(fr.Events) == 0 {
+		t.Fatal("flight record empty after partial crash")
+	}
+}
+
+// Consecutive crashes each replace the record: the retrieved one always
+// describes the most recent incarnation's death.
+func TestFlightRecordReplacedEachCrash(t *testing.T) {
+	p, _ := blackboxPool(t, ModeSimple)
+	crashMidTx(t, p, false)
+	first := p.FlightRecord()
+	if err := p.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	second := p.FlightRecord()
+	if second == nil || second == first {
+		t.Fatal("second crash did not produce a fresh record")
+	}
+	if second.WallNS < first.WallNS {
+		t.Fatalf("second record older than first: %d < %d", second.WallNS, first.WallNS)
+	}
+	snap := p.Obs().Snapshot()
+	if snap.Counters["flight_records"] != 1 {
+		t.Fatalf("flight_records on fresh incarnation = %d, want 1", snap.Counters["flight_records"])
+	}
+}
+
+// Without Blackbox the crash path must stay exactly as before: no
+// record, no gauges, no extra region.
+func TestNoFlightRecordWithoutBlackbox(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	p, err := Create(Options{Mode: ModeSimple, HeapSize: 1 << 20, Strict: true, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	if err := p.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if p.FlightRecord() != nil || p.FlightRecordBytes() != nil {
+		t.Fatal("flight record produced with Blackbox disabled")
+	}
+}

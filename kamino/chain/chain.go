@@ -73,6 +73,12 @@ type Options struct {
 	// events and local engine events; head-minted trace ids correlate
 	// one transaction across the whole chain.
 	Trace *trace.Recorder
+	// Blackbox enables each replica pool's NVM flight recorder:
+	// RebootReplica persists the trace tail, obs snapshot, and the
+	// replica's structured DebugInfo into the image before the simulated
+	// power failure; FlightRecords retrieves what recovery found.
+	// Requires Strict.
+	Blackbox bool
 	// RetryWindow bounds how long the KV methods retry through view
 	// changes (failed head, repairing chain) before surfacing the
 	// redirect error to the caller. Default 5s; negative disables
@@ -145,6 +151,7 @@ func New(opts Options) (*Cluster, error) {
 			Manager:      mgr,
 			Setup:        ichain.KVSetup,
 			Trace:        opts.Trace,
+			Blackbox:     opts.Blackbox,
 		},
 	}
 	for _, id := range ids {
@@ -236,15 +243,23 @@ func (c *Cluster) Obs() []*obs.Registry {
 	return out
 }
 
-// DebugState returns one line per live replica, in chain order,
-// summarizing its repair-relevant state (execution floor, queue spans,
-// admission-lock table). Intended for wedge diagnostics: when client
-// progress stalls, the output names the replica holding a leaked lock.
-func (c *Cluster) DebugState() string {
+// ReplicaDebug pairs one live replica's identity and chain role with its
+// structured debug state; the /debug/chain endpoint serializes a slice
+// of these.
+type ReplicaDebug struct {
+	ID   string           `json:"id"`
+	Role string           `json:"role"`
+	Info ichain.DebugInfo `json:"info"`
+}
+
+// DebugInfos samples every live replica's structured repair-relevant
+// state (execution floor, queue spans, admission-lock table), in current
+// chain order.
+func (c *Cluster) DebugInfos() []ReplicaDebug {
 	v := c.mgr.View()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	var b strings.Builder
+	var out []ReplicaDebug
 	for i, id := range v.Members {
 		rep, ok := c.replicas[id]
 		if !ok {
@@ -257,22 +272,39 @@ func (c *Cluster) DebugState() string {
 		case i == len(v.Members)-1:
 			role = "tail"
 		}
-		fmt.Fprintf(&b, "%s (%s): %s\n", id, role, rep.DebugState())
+		out = append(out, ReplicaDebug{ID: string(id), Role: role, Info: rep.DebugInfo()})
+	}
+	return out
+}
+
+// DebugState returns one line per live replica, in chain order,
+// summarizing its repair-relevant state (execution floor, queue spans,
+// admission-lock table). Intended for wedge diagnostics: when client
+// progress stalls, the output names the replica holding a leaked lock.
+func (c *Cluster) DebugState() string {
+	var b strings.Builder
+	for _, rd := range c.DebugInfos() {
+		fmt.Fprintf(&b, "%s (%s): %s\n", rd.ID, rd.Role, rd.Info)
 	}
 	return b.String()
 }
 
-// QueueStat reports one replica's persistent-queue ring occupancy and
-// high-water marks, in bytes.
+// QueueStat reports one replica's persistent-queue ring occupancy,
+// high-water marks, and ring capacities, in bytes.
 type QueueStat struct {
-	ID                          string
-	InputBytes, InputHigh       uint64
-	InflightBytes, InflightHigh uint64
+	ID            string `json:"id"`
+	InputBytes    uint64 `json:"input_bytes"`
+	InputHigh     uint64 `json:"input_high"`
+	InputCap      uint64 `json:"input_cap"`
+	InflightBytes uint64 `json:"inflight_bytes"`
+	InflightHigh  uint64 `json:"inflight_high"`
+	InflightCap   uint64 `json:"inflight_cap"`
 }
 
 // QueueStats returns the live replicas' queue occupancy in current chain
 // order. The chaos experiment samples it to show acknowledged-prefix
-// truncation keeps the durable logs bounded under failures.
+// truncation keeps the durable logs bounded under failures, and the
+// high-water watchdog probe compares occupancy against capacity.
 func (c *Cluster) QueueStats() []QueueStat {
 	v := c.mgr.View()
 	c.mu.RLock()
@@ -283,10 +315,44 @@ func (c *Cluster) QueueStats() []QueueStat {
 		if !ok {
 			continue
 		}
-		inB, inH, flB, flH := rep.QueueStats()
+		in, fl := rep.QueueUsage()
 		out = append(out, QueueStat{
-			ID: string(id), InputBytes: inB, InputHigh: inH,
-			InflightBytes: flB, InflightHigh: flH,
+			ID: string(id), InputBytes: in.Occupied, InputHigh: in.HighWater,
+			InflightBytes: fl.Occupied, InflightHigh: fl.HighWater,
+			InputCap: in.Capacity, InflightCap: fl.Capacity,
+		})
+	}
+	return out
+}
+
+// FlightRecord pairs a replica id with the black-box record its pool
+// retrieved after its most recent reboot.
+type FlightRecord struct {
+	// ID is the replica's member id.
+	ID string
+	// Record is the decoded record; Raw its stored encoding (the
+	// tools/blackbox decoder's input format).
+	Record *trace.FlightRecord
+	Raw    []byte
+}
+
+// FlightRecords collects the black-box records of every live replica
+// that has one (Options.Blackbox set and at least one reboot survived),
+// in current chain order.
+func (c *Cluster) FlightRecords() []FlightRecord {
+	v := c.mgr.View()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []FlightRecord
+	for _, id := range v.Members {
+		rep, ok := c.replicas[id]
+		if !ok || rep.Pool().FlightRecord() == nil {
+			continue
+		}
+		out = append(out, FlightRecord{
+			ID:     string(id),
+			Record: rep.Pool().FlightRecord(),
+			Raw:    rep.Pool().FlightRecordBytes(),
 		})
 	}
 	return out

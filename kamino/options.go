@@ -116,6 +116,19 @@ type Options struct {
 	// "/log". With Trace nil the hot path pays at most one atomic nil
 	// check per would-be event.
 	Trace *trace.Recorder
+
+	// Blackbox reserves a small extra NVM region as a crash-time flight
+	// recorder: Crash/CrashPartial persist the tail of the trace ring,
+	// an obs registry snapshot and any registered crash context (chain
+	// debug state) into it before rewinding the images, and the
+	// post-crash reopen retrieves the record (Pool.FlightRecord) and
+	// exports a last_crash gauge. Requires Strict (like Crash itself);
+	// most useful together with Trace. Default off.
+	Blackbox bool
+
+	// BlackboxBytes caps the encoded flight-record payload; records are
+	// trimmed (oldest events first) to fit. Default 1 MiB.
+	BlackboxBytes int
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -152,6 +165,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.LogDataBytesPerSlot == 0 {
 		o.LogDataBytesPerSlot = 64 << 10
+	}
+	if o.BlackboxBytes == 0 {
+		o.BlackboxBytes = 1 << 20
 	}
 	// ApplierWorkers and Shards zero values flow through to the engine,
 	// which picks GOMAXPROCS-scaled defaults.

@@ -38,6 +38,7 @@ import (
 	"kaminotx/internal/heap"
 	"kaminotx/internal/nvm"
 	"kaminotx/internal/obs"
+	"kaminotx/internal/trace"
 )
 
 // ObjID identifies a persistent object; it doubles as the persistent
@@ -57,6 +58,17 @@ type Pool struct {
 	root ObjID
 
 	mainReg, backupReg, logReg *nvm.Region
+
+	// bb is the crash-time flight recorder (Options.Blackbox); engActor
+	// labels the current engine incarnation in its records. crashCtx,
+	// when set, contributes extra JSON context (chain debug state) to
+	// each record. lastFlight/lastFlightRaw hold the record retrieved by
+	// the most recent post-crash reopen.
+	bb            *nvm.Blackbox
+	engActor      string
+	crashCtx      func() []byte
+	lastFlight    *trace.FlightRecord
+	lastFlightRaw []byte
 }
 
 // Create builds a fresh pool per opts and allocates its root object.
@@ -131,6 +143,17 @@ func (p *Pool) makeRegions() error {
 			return err
 		}
 	}
+	if p.opts.Blackbox && p.opts.Strict {
+		// The flight recorder's own stores must not pay the simulated
+		// flush latency: capture happens inside an already-crashed
+		// process, not on any transaction's critical path.
+		bopts := ropts
+		bopts.Latency = nvm.LatencyModel{}
+		p.bb, err = nvm.NewBlackbox(p.opts.BlackboxBytes, bopts)
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -190,6 +213,7 @@ func (p *Pool) attachTrace() {
 		return
 	}
 	actor := fmt.Sprintf("%s#%d", p.eng.Name(), rec.NextActorID())
+	p.engActor = actor
 	p.eng.SetTracer(rec.Tracer(actor))
 	p.mainReg.SetTracer(rec.Tracer(actor + "/main"))
 	if p.backupReg != nil {
@@ -309,6 +333,17 @@ func (p *Pool) crash(keep func(line int) bool) error {
 			return err
 		}
 	}
+	// Capture the flight record after the data regions crashed (so the
+	// DevCrash events are the tail of the timeline) and before the new
+	// engine incarnation exists (so the obs snapshot belongs to the one
+	// that died). The blackbox itself crashes last: everything Store
+	// persisted is fenced, so the record survives either loss model.
+	if p.bb != nil {
+		p.storeFlightRecord(keep != nil)
+		if err := p.bb.Crash(keep); err != nil {
+			return err
+		}
+	}
 	if err := p.makeEngine(false); err != nil {
 		return err
 	}
@@ -317,8 +352,86 @@ func (p *Pool) crash(keep func(line int) bool) error {
 		return err
 	}
 	p.root = root
+	p.retrieveFlightRecord()
 	return nil
 }
+
+// flightTailEvents bounds how many trace events a flight record starts
+// with; storeFlightRecord halves it until the encoding fits the
+// blackbox.
+const flightTailEvents = 2048
+
+// storeFlightRecord persists the dying incarnation's black-box record.
+// Capture is best-effort: a record that cannot be encoded or stored must
+// not turn a survivable simulated crash into a pool failure.
+func (p *Pool) storeFlightRecord(partial bool) {
+	reason := "crash"
+	if partial {
+		reason = "crash_partial"
+	}
+	fr := trace.BuildFlightRecord(p.opts.Trace, reason, flightTailEvents)
+	fr.Actor = p.engActor
+	if fr.Actor == "" {
+		fr.Actor = p.eng.Name()
+	}
+	fr.Obs = []obs.Snapshot{p.eng.Obs().Snapshot()}
+	if p.crashCtx != nil {
+		fr.Chain = p.crashCtx()
+	}
+	for {
+		buf, err := fr.Encode()
+		if err != nil {
+			return
+		}
+		if len(buf) <= p.bb.Capacity() {
+			_ = p.bb.Store(buf)
+			return
+		}
+		if len(fr.Events) == 0 {
+			return
+		}
+		drop := len(fr.Events)/2 + 1
+		fr.Events = fr.Events[drop:]
+	}
+}
+
+// retrieveFlightRecord detects a stored record after a crash-reopen and
+// exposes it (FlightRecord) plus a last_crash gauge on the new engine
+// incarnation's registry.
+func (p *Pool) retrieveFlightRecord() {
+	if p.bb == nil {
+		return
+	}
+	raw, ok := p.bb.Retrieve()
+	if !ok {
+		return
+	}
+	fr, err := trace.DecodeFlightRecord(raw)
+	if err != nil {
+		return
+	}
+	p.lastFlightRaw = raw
+	p.lastFlight = fr
+	at := uint64(fr.WallNS)
+	p.eng.Obs().Gauge("last_crash_unix_ns", func() uint64 { return at })
+	p.eng.Obs().Counter("flight_records").Inc()
+}
+
+// SetCrashContext registers a callback that contributes extra context to
+// crash-time flight records as raw JSON — chain replicas hand their
+// structured DebugInfo in through this. fn runs during Crash, after the
+// engine closed and the data regions rewound; it must not start
+// transactions on this pool.
+func (p *Pool) SetCrashContext(fn func() []byte) { p.crashCtx = fn }
+
+// FlightRecord returns the black-box record retrieved after the most
+// recent Crash/CrashPartial, or nil when there is none (Blackbox off, or
+// no crash yet this incarnation).
+func (p *Pool) FlightRecord() *trace.FlightRecord { return p.lastFlight }
+
+// FlightRecordBytes returns the raw encoded form of FlightRecord — what
+// the tools/blackbox decoder consumes. Nil when FlightRecord is nil.
+func (p *Pool) FlightRecordBytes() []byte { return p.lastFlightRaw }
 
 // Reload reopens the pool's engine over the current region contents and
 // re-reads the root pointer from the heap header. Chain replicas use it

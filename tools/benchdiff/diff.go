@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -11,6 +12,66 @@ import (
 
 	"kaminotx/internal/bench"
 )
+
+// loadSide loads one side of the comparison: a comma-separated list of
+// paths (files or directories), merged best-of per cell. A single path
+// loads as-is; with several, each experiment's cells keep the highest
+// throughput and lowest mean latency seen for that cell across the runs.
+// Interleaved repeated runs plus best-of merging is the measurement
+// protocol for hosts whose speed drifts over minutes (shared VMs):
+// as long as every config lands at least one run in a fast period, the
+// per-cell best approximates the machine's true capability and the
+// drift periods drop out of the comparison.
+func loadSide(arg string) (map[string]*bench.Artifact, error) {
+	paths := strings.Split(arg, ",")
+	merged, err := loadArtifacts(paths[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, path := range paths[1:] {
+		next, err := loadArtifacts(path)
+		if err != nil {
+			return nil, err
+		}
+		for name, art := range next {
+			prev, ok := merged[name]
+			if !ok {
+				merged[name] = art
+				continue
+			}
+			if prev.Config != art.Config {
+				return nil, fmt.Errorf("%s: runs of experiment %q have differing configs (%+v vs %+v) — best-of merge would be meaningless",
+					path, name, prev.Config, art.Config)
+			}
+			mergeBest(prev, art)
+		}
+	}
+	return merged, nil
+}
+
+// mergeBest folds art's cells into dst, keeping per cell the highest
+// throughput and the lowest nonzero mean latency.
+func mergeBest(dst, art *bench.Artifact) {
+	idx := make(map[string]int, len(dst.Cells))
+	for i, c := range dst.Cells {
+		idx[c.Key()] = i
+	}
+	for _, c := range art.Cells {
+		i, ok := idx[c.Key()]
+		if !ok {
+			idx[c.Key()] = len(dst.Cells)
+			dst.Cells = append(dst.Cells, c)
+			continue
+		}
+		best := &dst.Cells[i]
+		if c.OpsPerSec > best.OpsPerSec {
+			best.OpsPerSec = c.OpsPerSec
+		}
+		if c.Mean > 0 && (best.Mean == 0 || c.Mean < best.Mean) {
+			best.Mean = c.Mean
+		}
+	}
+}
 
 // loadArtifacts reads one BENCH_*.json file, or every one inside a
 // directory, keyed by experiment name.
@@ -60,16 +121,44 @@ type cellDelta struct {
 	Regressed  bool
 }
 
+// aggDelta is one experiment's aggregate comparison: the geometric mean
+// of the per-cell throughput and mean-latency ratios. Sign conventions
+// match cellDelta (positive OpsPct = NEW faster, positive MeanPct = NEW
+// slower).
+type aggDelta struct {
+	Experiment string
+	Cells      int
+	OpsPct     float64
+	MeanPct    float64
+	Regressed  bool
+}
+
 // report is the outcome of one diff: the aligned deltas, the cells present
 // on only one side, and the subset of deltas beyond the threshold.
 type report struct {
 	threshold   float64
+	geomean     bool
+	opsOnly     bool // gate throughput deltas only (-metric throughput)
 	deltas      []cellDelta
+	aggregates  []aggDelta
 	regressions []cellDelta
+	aggRegs     int
 	baseOnly    []string // "experiment: key" present only in BASE
 	curOnly     []string
 	missingExp  []string // experiments present on one side only
 	configNotes []string // config mismatches per experiment
+}
+
+// failed reports whether the gate should fail: in geomean mode an
+// experiment aggregate regressed, otherwise any single cell did.
+func (r *report) failed() bool {
+	if r.threshold <= 0 {
+		return false
+	}
+	if r.geomean {
+		return r.aggRegs > 0
+	}
+	return len(r.regressions) > 0
 }
 
 // pctChange returns the percent change from base to cur, 0 when base is 0.
@@ -80,11 +169,20 @@ func pctChange(base, cur float64) float64 {
 	return (cur - base) / base * 100
 }
 
-// diffArtifacts aligns two artifact sets and computes per-cell deltas. A
-// cell regresses when its throughput drops, or its mean latency rises, by
-// more than thresholdPct percent (ignored when thresholdPct <= 0).
-func diffArtifacts(base, cur map[string]*bench.Artifact, thresholdPct float64) *report {
-	rep := &report{threshold: thresholdPct}
+// diffArtifacts aligns two artifact sets and computes per-cell deltas
+// plus a per-experiment aggregate (geometric mean of the cell ratios).
+// With geomean false, a cell regresses when its throughput drops, or its
+// mean latency rises, by more than thresholdPct percent; with geomean
+// true only the experiment aggregates are gated — single cells may swing
+// arbitrarily. Aggregate gating is the mode for noisy hosts (shared CI
+// runners, single-CPU boxes), where scheduler and steal-time jitter
+// routinely pushes individual cells of two identical runs past any
+// usable threshold while the aggregate stays stable. thresholdPct <= 0
+// disables gating in both modes. opsOnly drops the mean-latency deltas
+// from the gate (they stay in the report): for closed-loop artifacts
+// latency is throughput's reciprocal, not an independent measurement.
+func diffArtifacts(base, cur map[string]*bench.Artifact, thresholdPct float64, geomean, opsOnly bool) *report {
+	rep := &report{threshold: thresholdPct, geomean: geomean, opsOnly: opsOnly}
 	names := make([]string, 0, len(base))
 	for name := range base {
 		names = append(names, name)
@@ -105,6 +203,8 @@ func diffArtifacts(base, cur map[string]*bench.Artifact, thresholdPct float64) *
 		for _, cell := range c.Cells {
 			curCells[cell.Key()] = cell
 		}
+		var opsLogSum, meanLogSum float64
+		var opsN, meanN int
 		seen := make(map[string]bool, len(b.Cells))
 		for _, bc := range b.Cells {
 			key := bc.Key()
@@ -127,11 +227,33 @@ func diffArtifacts(base, cur map[string]*bench.Artifact, thresholdPct float64) *
 				CurMean:    cc.Mean,
 				MeanPct:    pctChange(float64(bc.Mean), float64(cc.Mean)),
 			}
-			if thresholdPct > 0 && (d.OpsPct < -thresholdPct || d.MeanPct > thresholdPct) {
+			if bc.OpsPerSec > 0 && cc.OpsPerSec > 0 {
+				opsLogSum += math.Log(cc.OpsPerSec / bc.OpsPerSec)
+				opsN++
+			}
+			if bc.Mean > 0 && cc.Mean > 0 {
+				meanLogSum += math.Log(float64(cc.Mean) / float64(bc.Mean))
+				meanN++
+			}
+			if !geomean && thresholdPct > 0 && (d.OpsPct < -thresholdPct || (!opsOnly && d.MeanPct > thresholdPct)) {
 				d.Regressed = true
 				rep.regressions = append(rep.regressions, d)
 			}
 			rep.deltas = append(rep.deltas, d)
+		}
+		if opsN > 0 || meanN > 0 {
+			agg := aggDelta{Experiment: name, Cells: opsN}
+			if opsN > 0 {
+				agg.OpsPct = (math.Exp(opsLogSum/float64(opsN)) - 1) * 100
+			}
+			if meanN > 0 {
+				agg.MeanPct = (math.Exp(meanLogSum/float64(meanN)) - 1) * 100
+			}
+			if geomean && thresholdPct > 0 && (agg.OpsPct < -thresholdPct || (!opsOnly && agg.MeanPct > thresholdPct)) {
+				agg.Regressed = true
+				rep.aggRegs++
+			}
+			rep.aggregates = append(rep.aggregates, agg)
 		}
 		for _, cc := range c.Cells {
 			if !seen[cc.Key()] {
@@ -178,11 +300,29 @@ func (r *report) write(w io.Writer) {
 			d.Experiment, truncKey(d.Key, 44), d.BaseOps, d.CurOps, d.OpsPct,
 			fmtDur(d.BaseMean), fmtDur(d.CurMean), d.MeanPct, mark)
 	}
+	if len(r.aggregates) > 0 {
+		fmt.Fprintln(w)
+		for _, a := range r.aggregates {
+			mark := ""
+			if a.Regressed {
+				mark = "  << REGRESSION"
+			}
+			fmt.Fprintf(w, "geomean %-12s (%d cells): throughput %+.1f%%, mean latency %+.1f%%%s\n",
+				a.Experiment, a.Cells, a.OpsPct, a.MeanPct, mark)
+		}
+	}
 	if r.threshold > 0 {
-		if len(r.regressions) > 0 {
+		switch {
+		case r.geomean && r.aggRegs > 0:
+			fmt.Fprintf(w, "\n%d of %d experiment aggregates regressed beyond %.1f%%\n",
+				r.aggRegs, len(r.aggregates), r.threshold)
+		case r.geomean:
+			fmt.Fprintf(w, "\nall %d experiment aggregates within %.1f%% (per-cell deltas are informational)\n",
+				len(r.aggregates), r.threshold)
+		case len(r.regressions) > 0:
 			fmt.Fprintf(w, "\n%d of %d cells regressed beyond %.1f%%\n",
 				len(r.regressions), len(r.deltas), r.threshold)
-		} else {
+		default:
 			fmt.Fprintf(w, "\nall %d cells within %.1f%%\n", len(r.deltas), r.threshold)
 		}
 	}

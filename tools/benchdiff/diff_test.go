@@ -25,7 +25,7 @@ func fixture(opsA, opsB float64, meanA, meanB time.Duration) map[string]*bench.A
 
 func TestSelfCompareIsAllZero(t *testing.T) {
 	base := fixture(1000, 500, time.Millisecond, 2*time.Millisecond)
-	rep := diffArtifacts(base, base, 5)
+	rep := diffArtifacts(base, base, 5, false, false)
 	if len(rep.regressions) != 0 {
 		t.Fatalf("self-compare found regressions: %+v", rep.regressions)
 	}
@@ -42,7 +42,7 @@ func TestSelfCompareIsAllZero(t *testing.T) {
 func TestThroughputDropRegresses(t *testing.T) {
 	base := fixture(1000, 500, time.Millisecond, 2*time.Millisecond)
 	cur := fixture(900, 500, time.Millisecond, 2*time.Millisecond) // kamino -10%
-	rep := diffArtifacts(base, cur, 5)
+	rep := diffArtifacts(base, cur, 5, false, false)
 	if len(rep.regressions) != 1 {
 		t.Fatalf("got %d regressions, want 1: %+v", len(rep.regressions), rep.deltas)
 	}
@@ -50,11 +50,11 @@ func TestThroughputDropRegresses(t *testing.T) {
 		t.Errorf("wrong cell flagged: %+v", rep.regressions[0])
 	}
 	// Same drop under a looser gate passes.
-	if rep := diffArtifacts(base, cur, 15); len(rep.regressions) != 0 {
+	if rep := diffArtifacts(base, cur, 15, false, false); len(rep.regressions) != 0 {
 		t.Errorf("10%% drop regressed a 15%% gate: %+v", rep.regressions)
 	}
 	// Threshold 0 is report-only: nothing ever regresses.
-	if rep := diffArtifacts(base, cur, 0); len(rep.regressions) != 0 {
+	if rep := diffArtifacts(base, cur, 0, false, false); len(rep.regressions) != 0 {
 		t.Errorf("report-only mode flagged regressions: %+v", rep.regressions)
 	}
 }
@@ -62,15 +62,77 @@ func TestThroughputDropRegresses(t *testing.T) {
 func TestLatencyRiseRegresses(t *testing.T) {
 	base := fixture(1000, 500, time.Millisecond, 2*time.Millisecond)
 	cur := fixture(1000, 500, 2*time.Millisecond, 2*time.Millisecond) // kamino mean +100%
-	rep := diffArtifacts(base, cur, 50)
+	rep := diffArtifacts(base, cur, 50, false, false)
 	if len(rep.regressions) != 1 {
 		t.Fatalf("latency rise not flagged: %+v", rep.deltas)
 	}
 	// A throughput gain alongside must not mask it; and a latency *drop*
 	// never regresses.
 	cur = fixture(1000, 500, time.Microsecond, 2*time.Millisecond)
-	if rep := diffArtifacts(base, cur, 50); len(rep.regressions) != 0 {
+	if rep := diffArtifacts(base, cur, 50, false, false); len(rep.regressions) != 0 {
 		t.Errorf("latency improvement flagged: %+v", rep.regressions)
+	}
+}
+
+// Geomean mode gates the per-experiment aggregate, not single cells:
+// opposite swings that cancel must pass a gate either cell alone would
+// fail, and a uniform drop beyond the threshold must still fail.
+func TestGeomeanGatesAggregateNotCells(t *testing.T) {
+	base := fixture(1000, 500, time.Millisecond, time.Millisecond)
+	// One cell -20%, the other +25%: ratios 0.8 and 1.25, geomean exactly
+	// 1.0. Per-cell gating at 10% fails; aggregate gating passes.
+	noisy := fixture(800, 625, time.Millisecond, time.Millisecond)
+	if rep := diffArtifacts(base, noisy, 10, false, false); len(rep.regressions) != 1 {
+		t.Fatalf("per-cell mode should flag the -20%% cell: %+v", rep.deltas)
+	}
+	rep := diffArtifacts(base, noisy, 10, true, false)
+	if rep.failed() {
+		t.Fatalf("cancelling swings failed the geomean gate: %+v", rep.aggregates)
+	}
+	if len(rep.aggregates) != 1 || rep.aggregates[0].Cells != 2 {
+		t.Fatalf("aggregates = %+v, want one over 2 cells", rep.aggregates)
+	}
+	if got := rep.aggregates[0].OpsPct; got < -0.01 || got > 0.01 {
+		t.Errorf("geomean of 0.8×1.25 should be ~0%%, got %+.2f%%", got)
+	}
+
+	// A uniform -15% drop regresses the aggregate at 10%.
+	down := fixture(850, 425, time.Millisecond, time.Millisecond)
+	rep = diffArtifacts(base, down, 10, true, false)
+	if !rep.failed() || rep.aggRegs != 1 {
+		t.Fatalf("uniform -15%% passed the geomean gate: %+v", rep.aggregates)
+	}
+
+	// A uniform latency rise regresses it too, even with flat throughput.
+	slow := fixture(1000, 500, 2*time.Millisecond, 2*time.Millisecond)
+	rep = diffArtifacts(base, slow, 50, true, false)
+	if !rep.failed() {
+		t.Fatalf("+100%% latency passed a 50%% geomean gate: %+v", rep.aggregates)
+	}
+
+	// The report names the mode and the aggregate line.
+	var buf bytes.Buffer
+	rep.write(&buf)
+	if out := buf.String(); !strings.Contains(out, "geomean fig12") ||
+		!strings.Contains(out, "experiment aggregates regressed") {
+		t.Errorf("geomean report missing aggregate lines:\n%s", out)
+	}
+}
+
+// -metric throughput drops latency from the gate in both modes: a pure
+// latency rise passes, a throughput drop still fails.
+func TestThroughputOnlyMetric(t *testing.T) {
+	base := fixture(1000, 500, time.Millisecond, time.Millisecond)
+	slow := fixture(1000, 500, 2*time.Millisecond, 2*time.Millisecond)
+	if rep := diffArtifacts(base, slow, 50, false, true); rep.failed() {
+		t.Fatalf("latency-only rise failed a throughput-only per-cell gate: %+v", rep.regressions)
+	}
+	if rep := diffArtifacts(base, slow, 50, true, true); rep.failed() {
+		t.Fatalf("latency-only rise failed a throughput-only geomean gate: %+v", rep.aggregates)
+	}
+	down := fixture(800, 400, time.Millisecond, time.Millisecond)
+	if rep := diffArtifacts(base, down, 10, true, true); !rep.failed() {
+		t.Fatalf("-20%% throughput passed a throughput-only geomean gate: %+v", rep.aggregates)
 	}
 }
 
@@ -80,7 +142,7 @@ func TestAlignmentWarnings(t *testing.T) {
 	cur["fig12"].Cells = cur["fig12"].Cells[:1] // undo cell missing in NEW
 	cur["fig12"].Config.Keys = 2000             // config drift
 	cur["chainscale"] = &bench.Artifact{Schema: bench.ArtifactSchema, Experiment: "chainscale"}
-	rep := diffArtifacts(base, cur, 0)
+	rep := diffArtifacts(base, cur, 0, false, false)
 	var buf bytes.Buffer
 	rep.write(&buf)
 	out := buf.String()
@@ -95,6 +157,49 @@ func TestAlignmentWarnings(t *testing.T) {
 	}
 	if len(rep.deltas) != 1 {
 		t.Errorf("got %d aligned deltas, want 1", len(rep.deltas))
+	}
+}
+
+// A comma-separated side merges repeated runs best-of per cell: highest
+// throughput and lowest mean latency win, so one fast-period run per
+// config is enough to cancel host drift.
+func TestLoadSideMergesBestOf(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	runA := fixture(1000, 500, 2*time.Millisecond, 4*time.Millisecond)["fig12"]
+	runB := fixture(800, 600, time.Millisecond, 5*time.Millisecond)["fig12"]
+	if _, err := bench.WriteArtifact(dirA, runA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bench.WriteArtifact(dirB, runB); err != nil {
+		t.Fatal(err)
+	}
+	arts, err := loadSide(dirA + "," + dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := arts["fig12"].Cells
+	if len(cells) != 2 {
+		t.Fatalf("merged cells = %+v", cells)
+	}
+	// Cell 0 (kamino): ops 1000 from run A, mean 1ms from run B.
+	if cells[0].OpsPerSec != 1000 || cells[0].Mean != time.Millisecond {
+		t.Errorf("kamino best-of = %+v, want ops 1000 mean 1ms", cells[0])
+	}
+	// Cell 1 (undo): ops 600 from run B, mean 4ms from run A.
+	if cells[1].OpsPerSec != 600 || cells[1].Mean != 4*time.Millisecond {
+		t.Errorf("undo best-of = %+v, want ops 600 mean 4ms", cells[1])
+	}
+
+	// Config drift across the merged runs is an error, not a silent
+	// apples-to-oranges best-of.
+	dirC := t.TempDir()
+	runC := fixture(1, 1, time.Millisecond, time.Millisecond)["fig12"]
+	runC.Config.Keys = 9999
+	if _, err := bench.WriteArtifact(dirC, runC); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSide(dirA + "," + dirC); err == nil {
+		t.Error("config drift across merged runs not rejected")
 	}
 }
 
