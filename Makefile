@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race doccheck check bench bench-json benchdiff chaos-smoke audit-overhead
+.PHONY: build test vet race doccheck check bench bench-json benchdiff chaos-smoke audit-overhead serve-smoke
 
 build:
 	$(GO) build ./...
@@ -25,9 +25,11 @@ race:
 	$(GO) test -race ./internal/stats/... ./internal/workload/... ./internal/engine/... ./internal/obs/... ./internal/trace/... ./kamino/... ./internal/locktable/... ./internal/heap/... ./internal/intentlog/... ./internal/nvm/... ./internal/pbtree/... ./internal/chain/... ./internal/membership/... ./internal/pqueue/...
 
 # doccheck fails if any exported identifier under internal/ or kamino/
-# lacks a godoc comment (see tools/doccheck for the exact rules).
+# lacks a godoc comment, or any package — including the cmd/ and tools/
+# commands — lacks a package-level doc comment (see tools/doccheck for
+# the exact rules).
 doccheck:
-	$(GO) run ./tools/doccheck internal kamino
+	$(GO) run ./tools/doccheck cmd internal kamino tools
 
 # check is the full gate: tier-1 build+test plus vet, the race pass, and
 # the godoc-coverage check.
@@ -42,7 +44,7 @@ bench: build
 # checked-in baselines.
 BENCH_JSON_FLAGS = -keys 2000 -ops 500 -threads 2 -bench-out out
 bench-json: build
-	$(GO) run ./cmd/kaminobench -experiment fig12,chainscale,threadscale,chaos $(BENCH_JSON_FLAGS)
+	$(GO) run ./cmd/kaminobench -experiment fig12,chainscale,threadscale,chaos,serve $(BENCH_JSON_FLAGS)
 
 benchdiff: bench-json
 	$(GO) run ./tools/benchdiff . out
@@ -65,6 +67,25 @@ chaos-smoke: build
 # does not. The gate is throughput-only (-metric throughput): the
 # harness is a closed loop, so mean latency is throughput's reciprocal,
 # and the best-of merge gives it the noise of both metrics.
+# serve-smoke exercises the network service end to end with real
+# processes: kaminod serves a file-backed store, kaminoload preloads and
+# drives a short open-loop sweep (writing out/serve/BENCH_serve.json),
+# then SIGTERM drains the server — the target fails unless kaminod exits
+# 0 (clean drain + checkpoint) and the artifact parses.
+serve-smoke: build
+	rm -rf out/serve && mkdir -p out/serve
+	$(GO) build -o out/serve/kaminod ./cmd/kaminod
+	$(GO) build -o out/serve/kaminoload ./cmd/kaminoload
+	./out/serve/kaminod -dir out/serve/db -addr 127.0.0.1:17070 -metrics-addr 127.0.0.1:17071 & \
+	KPID=$$!; \
+	sleep 1; \
+	./out/serve/kaminoload -addr 127.0.0.1:17070 -preload -keys 2000 -value 256 \
+		-rates 2000,5000 -duration 1s -bench-out out/serve || { kill $$KPID; exit 1; }; \
+	kill -TERM $$KPID; \
+	wait $$KPID || { echo "serve-smoke: kaminod did not exit cleanly"; exit 1; }
+	$(GO) run ./tools/benchdiff out/serve/BENCH_serve.json out/serve/BENCH_serve.json >/dev/null
+	@echo "serve-smoke: clean drain, artifact well-formed"
+
 audit-overhead: build
 	for i in 1 2 3; do \
 		$(GO) run ./cmd/kaminobench -experiment fig12 -keys 2000 -ops 500 -threads 2 -bench-out out/plain$$i || exit 1; \

@@ -84,6 +84,7 @@ var experiments = []struct {
 	{"chainscale", "chain throughput vs hop batch size and chain length", bench.ChainScaling},
 	{"threadscale", "throughput vs threads and concurrency shard count", bench.ThreadScale},
 	{"chaos", "kill-rebuild-rejoin schedules under live chain load", bench.Chaos},
+	{"serve", "network service: pipelining, latency under load, drain audit", bench.Serve},
 }
 
 func main() {

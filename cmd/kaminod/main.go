@@ -1,0 +1,227 @@
+// Command kaminod serves a persistent key-value store over TCP: the
+// kamino engines behind a network API, with per-connection pipelining,
+// cross-connection write batching, multi-tenant keyspaces, admission
+// control that sheds overload, and graceful drain on SIGTERM.
+//
+//	kaminod -dir /var/lib/kamino -addr :7070 -metrics-addr :8080
+//
+// The first start against an empty directory creates the store (pick the
+// engine with -mode); later starts reopen the checkpointed pool. SIGTERM
+// or SIGINT triggers a graceful drain: the listener closes, /readyz
+// flips to 503, in-flight requests finish, the pool checkpoints, and the
+// process exits 0. Operators: see OPERATIONS.md at the repo root.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"kaminotx/internal/kvstore"
+	"kaminotx/internal/obs"
+	"kaminotx/internal/server"
+	"kaminotx/kamino"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7070", "KV service listen address")
+		dir         = flag.String("dir", "", "pool directory (required; created on first start)")
+		mode        = flag.String("mode", string(kamino.ModeSimple), "engine for a new store: "+kamino.ModeNames())
+		heap        = flag.Int("heap", 64<<20, "heap size for a new store")
+		shards      = flag.Int("shards", 0, "engine concurrency shards (0 = auto)")
+		groupCommit = flag.Bool("group-commit", false, "enable intent-log group commit (new store)")
+		tenantsFlag = flag.String("tenants", "", "comma-separated tenant names to register at startup")
+		autoTenant  = flag.Bool("auto-tenant", false, "register unknown tenant names on first use")
+		defTenant   = flag.String("default-tenant", "default", "tenant used by requests with no tenant name")
+		window      = flag.Int("window", 64, "per-connection pipeline window (in-flight requests)")
+		maxInflight = flag.Int("max-inflight", 1024, "server-wide admission budget before shedding")
+		batchOps    = flag.Int("batch-ops", 32, "max write operations coalesced per engine transaction (1 disables)")
+		batchDelay  = flag.Duration("batch-delay", 0, "how long the batcher waits for company after a write")
+		maxValue    = flag.Int("max-value", 1<<20, "largest accepted put payload in bytes")
+		metricsAddr = flag.String("metrics-addr", "", "HTTP address for /metrics, /healthz, /readyz, /debug/pprof ('' = off)")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "kaminod: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := checkMode(kamino.Mode(*mode)); err != nil {
+		fatal(err)
+	}
+
+	pool, store, err := open(*dir, kamino.Options{
+		Mode:        kamino.Mode(*mode),
+		HeapSize:    *heap,
+		Shards:      *shards,
+		GroupCommit: *groupCommit,
+		Dir:         *dir,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	logf("pool open: dir=%s engine=%s", *dir, pool.Mode())
+
+	var tenantNames []string
+	if *tenantsFlag != "" {
+		for _, name := range strings.Split(*tenantsFlag, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				tenantNames = append(tenantNames, name)
+			}
+		}
+	}
+	srvReg := obs.New("server")
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		pool.Close()
+		fatal(err)
+	}
+	srv, err := server.New(ln, server.Options{
+		Store:         store,
+		Window:        *window,
+		MaxInflight:   *maxInflight,
+		BatchOps:      *batchOps,
+		BatchDelay:    *batchDelay,
+		MaxValueBytes: *maxValue,
+		DefaultTenant: *defTenant,
+		Tenants:       tenantNames,
+		AutoTenant:    *autoTenant,
+		Obs:           srvReg,
+	})
+	if err != nil {
+		ln.Close()
+		pool.Close()
+		fatal(err)
+	}
+	logf("serving KV protocol on %s (tenants: %s)", ln.Addr(), strings.Join(srv.Tenants().Names(), ", "))
+
+	// Checkpoint before taking traffic (no concurrent writers yet). The
+	// simulated NVM is memory-held and reaches disk only at checkpoints,
+	// so without this a process killed before its first clean shutdown
+	// would leave an empty directory — and the next start would silently
+	// create a brand-new store, discarding the original -mode and
+	// registered tenants. After this, a hard kill rolls back to the last
+	// checkpoint but always reopens the same store.
+	if err := pool.Checkpoint(); err != nil {
+		srv.Close()
+		pool.Close()
+		fatal(fmt.Errorf("startup checkpoint: %w", err))
+	}
+	logf("startup checkpoint written: %s", *dir)
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		hub := obs.NewHub()
+		hub.Set("server", srvReg)
+		hub.Set(pool.Obs().Name(), pool.Obs())
+		mux := http.NewServeMux()
+		mux.Handle("/", hub)
+		mux.Handle("/metrics", hub.PromHandler())
+		mux.Handle("/healthz", obs.HealthHandler(time.Now()))
+		mux.Handle("/readyz", obs.ReadyHandler(func() bool { return !srv.Draining() }))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(fmt.Errorf("metrics listener: %w", err))
+		}
+		metricsSrv = &http.Server{Handler: mux}
+		go func() {
+			if err := metricsSrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				logf("metrics server: %v", err)
+			}
+		}()
+		logf("metrics on http://%s/ (snapshots), /metrics, /healthz, /readyz, /debug/pprof/", mln.Addr())
+	}
+
+	// Serve until a signal starts the drain. SIGTERM and SIGINT both
+	// mean "finish what you took, persist, exit cleanly".
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+	select {
+	case sig := <-sigc:
+		logf("received %s: draining (timeout %s)", sig, *drainWait)
+	case err := <-serveErr:
+		pool.Close()
+		fatal(fmt.Errorf("accept loop: %w", err))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		logf("drain incomplete: %v (in-flight work may be lost)", err)
+	} else {
+		logf("drain complete: all acknowledged work durable")
+	}
+	srv.Close()
+	if metricsSrv != nil {
+		metricsSrv.Close()
+	}
+	if err := pool.Close(); err != nil { // checkpoints into -dir
+		fatal(fmt.Errorf("closing pool: %w", err))
+	}
+	logf("checkpoint written: %s", *dir)
+}
+
+// open reopens an existing pool directory or creates a fresh store.
+func open(dir string, opts kamino.Options) (*kamino.Pool, *kvstore.Store, error) {
+	if _, err := os.Stat(dir + "/pool.json"); err == nil {
+		pool, err := kamino.Open(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		store, err := kvstore.Open(pool)
+		if err != nil {
+			pool.Close()
+			return nil, nil, err
+		}
+		return pool, store, nil
+	}
+	pool, err := kamino.Create(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	store, err := kvstore.Create(pool, 0)
+	if err != nil {
+		pool.Close()
+		return nil, nil, err
+	}
+	return pool, store, nil
+}
+
+// checkMode rejects engines that cannot back a durable network store:
+// nolog tears data on crash or abort, and inplace is the chain-replica
+// engine (no abort; recovery needs a chain neighbour — use kaminochain).
+func checkMode(mode kamino.Mode) error {
+	switch mode {
+	case kamino.ModeNoLog:
+		return fmt.Errorf("mode %q is the unsafe benchmark baseline (crashes and aborts tear data); it cannot back a durable store", mode)
+	case kamino.ModeInPlace:
+		return fmt.Errorf("mode %q is the chain-replica engine (no abort, recovery needs a chain neighbour); use kaminochain instead", mode)
+	}
+	return nil
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "kaminod: "+format+"\n", args...)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kaminod:", err)
+	os.Exit(1)
+}

@@ -23,7 +23,7 @@ import (
 func main() {
 	var (
 		dir  = flag.String("dir", "", "pool directory (required)")
-		mode = flag.String("mode", string(kamino.ModeSimple), "engine for a new store: kamino-simple, kamino-dynamic, undo, cow")
+		mode = flag.String("mode", string(kamino.ModeSimple), "engine for a new store: "+kamino.ModeNames())
 		size = flag.Int("heap", 64<<20, "heap size for a new store")
 	)
 	flag.Usage = func() {
@@ -42,6 +42,9 @@ func main() {
 		os.Exit(2)
 	}
 
+	if err := checkMode(kamino.Mode(*mode)); err != nil {
+		fatal(err)
+	}
 	pool, store, err := open(*dir, kamino.Mode(*mode), *size)
 	if err != nil {
 		fatal(err)
@@ -139,6 +142,20 @@ func open(dir string, mode kamino.Mode, size int) (*kamino.Pool, *kvstore.Store,
 		return nil, nil, err
 	}
 	return pool, store, nil
+}
+
+// checkMode rejects engines that cannot back a durable standalone store:
+// nolog tears data on crash or abort, and inplace is the chain-replica
+// engine, which cannot abort and needs a chain neighbour to recover
+// incomplete transactions (use kaminochain for that deployment).
+func checkMode(mode kamino.Mode) error {
+	switch mode {
+	case kamino.ModeNoLog:
+		return fmt.Errorf("mode %q is the unsafe benchmark baseline (crashes and aborts tear data); it cannot back a durable store", mode)
+	case kamino.ModeInPlace:
+		return fmt.Errorf("mode %q is the chain-replica engine (no abort, recovery needs a chain neighbour); use kaminochain instead", mode)
+	}
+	return nil
 }
 
 func parseKey(s string) uint64 {

@@ -1,0 +1,158 @@
+// Command kaminoload is an open-loop load generator for kaminod: it
+// offers requests at a FIXED arrival rate regardless of how fast the
+// server answers, and measures each operation's latency from its
+// scheduled arrival time — so server stalls show up in the latency
+// distribution instead of being hidden by a slowed-down client
+// (coordinated omission). Sweeping -rates produces a latency-under-load
+// curve; -rate 0 runs closed-loop at -window outstanding per connection
+// and measures capacity instead.
+//
+//	kaminoload -addr localhost:7070 -preload -rates 5000,10000,20000
+//	kaminoload -addr localhost:7070 -rate 10000 -duration 10s -mix b
+//
+// With -bench-out DIR the sweep is also written as BENCH_serve.json
+// through the same artifact pipeline as kaminobench (cells keyed on the
+// requested rates).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"kaminotx/internal/bench"
+	"kaminotx/internal/loadgen"
+	"kaminotx/internal/workload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "localhost:7070", "kaminod address")
+		tenant    = flag.String("tenant", "", "tenant keyspace ('' = server default)")
+		conns     = flag.Int("conns", 4, "client connections")
+		rate      = flag.Float64("rate", 0, "total offered ops/sec (0 = closed loop at -window)")
+		rates     = flag.String("rates", "", "comma-separated ops/sec sweep (overrides -rate)")
+		duration  = flag.Duration("duration", 2*time.Second, "offered-load duration per rate")
+		keys      = flag.Uint64("keys", 10_000, "keyspace size reads and updates draw from")
+		valueSize = flag.Int("value", 100, "put payload bytes")
+		mixFlag   = flag.String("mix", "a", "YCSB mix letter (a, b, c, d, f)")
+		window    = flag.Int("window", 256, "max outstanding requests per connection")
+		preload   = flag.Bool("preload", false, "fill keys 0..keys-1 before measuring")
+		seed      = flag.Int64("seed", 1, "workload generator seed")
+		benchOut  = flag.String("bench-out", "", "directory for the BENCH_serve.json artifact ('' = off)")
+	)
+	flag.Parse()
+	mix, err := workload.MixFor(strings.ToUpper(*mixFlag)[0])
+	if err != nil {
+		fatal(err)
+	}
+	sweep, err := parseRates(*rates, *rate)
+	if err != nil {
+		fatal(err)
+	}
+	if *preload {
+		fmt.Printf("preloading %d keys of %dB over %d connections...\n", *keys, *valueSize, *conns)
+		start := time.Now()
+		if err := loadgen.Preload(*addr, *tenant, *keys, *valueSize, *conns); err != nil {
+			fatal(fmt.Errorf("preload: %w", err))
+		}
+		fmt.Printf("preload done in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Printf("%-10s %10s %10s %9s %9s %9s %9s %7s %7s\n",
+		"offered/s", "issued", "achieved", "p50", "p90", "p99", "max", "shed", "errors")
+	var cells []bench.Cell
+	for _, r := range sweep {
+		res, err := loadgen.Run(loadgen.Config{
+			Addr:      *addr,
+			Tenant:    *tenant,
+			Conns:     *conns,
+			Rate:      r,
+			Window:    *window,
+			Duration:  *duration,
+			Keys:      *keys,
+			ValueSize: *valueSize,
+			Mix:       mix,
+			Seed:      *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		label := fmt.Sprintf("%.0f", r)
+		if r == 0 {
+			label = fmt.Sprintf("closed/%d", *window)
+		}
+		fmt.Printf("%-10s %10d %10.0f %9s %9s %9s %9s %7d %7d\n",
+			label, res.Issued, res.Throughput,
+			res.Hist.Percentile(50).Round(time.Microsecond),
+			res.Hist.Percentile(90).Round(time.Microsecond),
+			res.Hist.Percentile(99).Round(time.Microsecond),
+			res.Hist.Max().Round(time.Microsecond),
+			res.Busy, res.Errors)
+		cell := bench.Cell{
+			Engine:   "kaminod",
+			Workload: "serve-load",
+			Threads:  *conns,
+			Params: map[string]float64{
+				"rate":      r,
+				"shed_info": float64(res.Busy),
+			},
+			OpsPerSec: res.Throughput,
+			Mean:      res.Hist.Mean(),
+			P50:       res.Hist.Percentile(50),
+			P90:       res.Hist.Percentile(90),
+			P99:       res.Hist.Percentile(99),
+			Max:       res.Hist.Max(),
+		}
+		cells = append(cells, cell)
+	}
+
+	if *benchOut != "" {
+		art := &bench.Artifact{
+			Schema:     bench.ArtifactSchema,
+			Experiment: "serve",
+			Config: bench.ArtifactConfig{
+				Keys:      int(*keys),
+				ValueSize: *valueSize,
+				Threads:   *conns,
+			},
+			Cells: cells,
+		}
+		path, err := bench.WriteArtifact(*benchOut, art)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("artifact: %s\n", path)
+	}
+}
+
+// parseRates resolves the sweep: -rates wins, else the single -rate.
+func parseRates(rates string, rate float64) ([]float64, error) {
+	if rates == "" {
+		return []float64{rate}, nil
+	}
+	var out []float64
+	for _, s := range strings.Split(rates, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q: %w", s, err)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-rates given but empty")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kaminoload:", err)
+	os.Exit(1)
+}

@@ -88,7 +88,10 @@ type Cell struct {
 	// Params carries experiment-specific dimensions (chainscale's replicas
 	// and batch size, worstcase's object size) and derived per-op costs
 	// (fences_per_op). Dimension keys participate in Key; derived metrics
-	// (by convention suffixed _per_op or _ns) do not.
+	// (by convention suffixed _per_op, _ns, or _info) do not. The _info
+	// suffix marks run-dependent observations — serve's calibrated offered
+	// rate, its drain-audit counts — that would misalign cells across runs
+	// if they keyed them.
 	Params map[string]float64 `json:"params,omitempty"`
 
 	OpsPerSec float64       `json:"ops_per_sec,omitempty"`
@@ -121,7 +124,8 @@ func (c Cell) Key() string {
 	}
 	names := make([]string, 0, len(c.Params))
 	for name := range c.Params {
-		if strings.HasSuffix(name, "_per_op") || strings.HasSuffix(name, "_ns") {
+		if strings.HasSuffix(name, "_per_op") || strings.HasSuffix(name, "_ns") ||
+			strings.HasSuffix(name, "_info") {
 			continue
 		}
 		names = append(names, name)

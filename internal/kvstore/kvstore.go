@@ -7,10 +7,14 @@ package kvstore
 
 import (
 	"fmt"
+	"sort"
 
 	"kaminotx/internal/pbtree"
 	"kaminotx/kamino"
 )
+
+// KV is one key-value pair returned by Scan.
+type KV = pbtree.KV
 
 // Store is a transactional persistent key-value store.
 type Store struct {
@@ -85,6 +89,36 @@ func (s *Store) Scan(start uint64, max int) ([]pbtree.KV, error) { return s.tree
 
 // Count returns the number of keys (O(n)).
 func (s *Store) Count() (int, error) { return s.tree.Count() }
+
+// Op is one operation of an ApplyBatch call.
+type Op struct {
+	// Key addresses the record.
+	Key uint64
+	// Value is the payload to store (ignored for deletes).
+	Value []byte
+	// Delete removes Key instead of storing Value.
+	Delete bool
+}
+
+// ApplyBatch applies key-disjoint operations as ONE engine transaction —
+// one intent-log slot, one commit persist, one backup reconciliation —
+// sorting them by key first (any serialization of concurrent key-disjoint
+// operations is valid, and ascending leaf order keeps the underlying
+// latching deadlock-free). It inherits pbtree.ApplyBatch's contract: the
+// caller must be the store's only concurrent writer (readers are fine),
+// keys must be unique within the batch, and a batch that would split a
+// tree node aborts, unchanged, with pbtree.ErrBatchNeedsSplit — callers
+// fall back to per-operation Insert/Delete, which split correctly. The
+// server's batcher (internal/server) halves the batch on any abort, so
+// splits and log-slot overflows converge to per-op execution.
+func (s *Store) ApplyBatch(ops []Op) error {
+	bops := make([]pbtree.BatchOp, len(ops))
+	for i, op := range ops {
+		bops[i] = pbtree.BatchOp{Key: op.Key, Value: op.Value, Delete: op.Delete}
+	}
+	sort.Slice(bops, func(i, j int) bool { return bops[i].Key < bops[j].Key })
+	return s.tree.ApplyBatch(bops)
+}
 
 // Tree exposes the underlying B+Tree for invariant checks in tests.
 func (s *Store) Tree() *pbtree.Tree { return s.tree }

@@ -1,0 +1,297 @@
+// Package loadgen drives a kaminod server with generated load and
+// measures latency without coordinated omission.
+//
+// In open-loop mode (Rate > 0) each connection issues requests on a
+// fixed arrival schedule — request n is DUE at start + n/rate,
+// independent of how the server is keeping up — and every latency sample
+// is measured from that scheduled arrival time, not from when the client
+// finally managed to send. A server that stalls therefore accrues the
+// stall into every sample scheduled during it, exactly as real clients
+// would experience it; a closed-loop generator would instead politely
+// stop offering load and hide the stall (coordinated omission).
+//
+// In closed-loop mode (Rate == 0) each connection keeps Window requests
+// outstanding at all times and latency is measured from issue; this
+// measures the server's capacity rather than its behaviour at a given
+// offered rate, and is what the serve benchmark uses for calibration and
+// for the pipelining (window=1 vs window=N) comparison.
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"kaminotx/internal/server"
+	"kaminotx/internal/stats"
+	"kaminotx/internal/transport"
+	"kaminotx/internal/workload"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Addr is the kaminod server address. Required.
+	Addr string
+	// Tenant is the keyspace to drive ("" = server default).
+	Tenant string
+	// Conns is the number of client connections. Default 4.
+	Conns int
+	// Rate is the TOTAL offered ops/sec across all connections (open
+	// loop). 0 selects closed-loop mode.
+	Rate float64
+	// Window bounds outstanding requests per connection: the pipeline
+	// depth in closed-loop mode, an overload backstop in open-loop mode.
+	// Default 256.
+	Window int
+	// Duration is how long to offer load. Default 1s.
+	Duration time.Duration
+	// Keys is the preloaded keyspace size reads and updates draw from.
+	// Default 1000.
+	Keys uint64
+	// ValueSize is the put payload size. Default 100.
+	ValueSize int
+	// Mix is the YCSB operation mix. Default 50/50 read/update (YCSB A).
+	Mix workload.Mix
+	// Seed makes runs reproducible. Same seed, same arrival keys.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Conns == 0 {
+		c.Conns = 4
+	}
+	if c.Window == 0 {
+		c.Window = 256
+	}
+	if c.Duration == 0 {
+		c.Duration = time.Second
+	}
+	if c.Keys == 0 {
+		c.Keys = 1000
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = 100
+	}
+	if c.Mix == (workload.Mix{}) {
+		c.Mix = workload.MixA
+	}
+	return c
+}
+
+// Result is one load run's outcome.
+type Result struct {
+	// Issued counts requests sent (open loop: arrivals that fit the
+	// schedule horizon).
+	Issued uint64
+	// OK, Busy, Errors partition the completions: successes, explicit
+	// admission sheds, and everything else (including transport loss).
+	OK, Busy, Errors uint64
+	// Elapsed spans first send to last completion.
+	Elapsed time.Duration
+	// Hist holds successful operations' latencies, measured from
+	// scheduled arrival (open loop) or issue (closed loop).
+	Hist *stats.Histogram
+	// Throughput is OK completions per second of Elapsed.
+	Throughput float64
+	// OfferedRate is Issued over the configured duration (open loop).
+	OfferedRate float64
+}
+
+// timed pairs an in-flight call with the arrival it is accountable to.
+type timed struct {
+	call  *server.Call
+	sched time.Time
+}
+
+// connResult is one connection's tally before merging.
+type connResult struct {
+	issued, ok, busy, errs uint64
+	hist                   stats.Histogram
+	last                   time.Time
+	err                    error
+}
+
+// Run executes one load run against a serving kaminod.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	ks := workload.NewKeyState(cfg.Keys)
+	results := make([]connResult, cfg.Conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = runConn(cfg, ks, i, start)
+		}(i)
+	}
+	wg.Wait()
+	res := &Result{Hist: &stats.Histogram{}}
+	end := start
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			return nil, r.err
+		}
+		res.Issued += r.issued
+		res.OK += r.ok
+		res.Busy += r.busy
+		res.Errors += r.errs
+		res.Hist.Merge(&r.hist)
+		if r.last.After(end) {
+			end = r.last
+		}
+	}
+	res.Elapsed = end.Sub(start)
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.OK) / res.Elapsed.Seconds()
+	}
+	res.OfferedRate = float64(res.Issued) / cfg.Duration.Seconds()
+	return res, nil
+}
+
+// runConn is one connection's send loop plus its in-order collector.
+func runConn(cfg Config, ks *workload.KeyState, idx int, start time.Time) connResult {
+	var r connResult
+	c, err := server.Dial(cfg.Addr)
+	if err != nil {
+		r.err = fmt.Errorf("loadgen: conn %d: %w", idx, err)
+		return r
+	}
+	defer c.Close()
+	gen := workload.NewGenerator(cfg.Mix, ks, cfg.Seed+int64(idx)*7919)
+	val := make([]byte, cfg.ValueSize)
+	sem := make(chan struct{}, cfg.Window)
+	inflight := make(chan timed, cfg.Window)
+	var cwg sync.WaitGroup
+	cwg.Add(1)
+	go func() { // collector: completions arrive in request order
+		defer cwg.Done()
+		for tc := range inflight {
+			<-tc.call.Done
+			now := time.Now()
+			lat := now.Sub(tc.sched)
+			<-sem
+			r.last = now
+			switch {
+			case tc.call.Err != nil:
+				r.errs++
+			case tc.call.Resp.Status == transport.KVOK:
+				r.ok++
+				r.hist.Record(lat)
+			case tc.call.Resp.Status == transport.KVErrBusy:
+				r.busy++
+			default:
+				r.errs++
+			}
+		}
+	}()
+
+	perConn := cfg.Rate / float64(cfg.Conns)
+	deadline := start.Add(cfg.Duration)
+	for n := uint64(0); ; n++ {
+		var sched time.Time
+		if cfg.Rate > 0 {
+			// Open loop: arrival n is due at a fixed point regardless of
+			// server progress; never skip, never delay past due time.
+			sched = start.Add(time.Duration(float64(n) / perConn * float64(time.Second)))
+			if sched.After(deadline) {
+				break
+			}
+			if d := time.Until(sched); d > 0 {
+				time.Sleep(d)
+			}
+		} else {
+			// Closed loop: issue as soon as a window slot frees.
+			if !time.Now().Before(deadline) {
+				break
+			}
+			sched = time.Now()
+		}
+		sem <- struct{}{} // overload backstop; waiting counts into latency
+		req := nextReq(gen, cfg.Tenant, val)
+		call, err := c.Send(req)
+		if err != nil {
+			<-sem
+			r.errs++
+			break // transport dead: collector drains what's in flight
+		}
+		r.issued++
+		inflight <- timed{call: call, sched: sched}
+	}
+	close(inflight)
+	cwg.Wait()
+	return r
+}
+
+// nextReq maps one YCSB op onto the wire protocol.
+func nextReq(gen *workload.Generator, tenant string, val []byte) *transport.KVRequest {
+	op := gen.Next()
+	switch op.Kind {
+	case workload.OpRead:
+		return &transport.KVRequest{Kind: transport.KVGet, Tenant: tenant, Key: op.Key}
+	default:
+		// Updates, inserts and RMWs are all puts on the wire (the server
+		// has no server-side RMW; kaminoload approximates it as a blind
+		// write of the generated value).
+		workload.Value(op.Key, val)
+		return &transport.KVRequest{Kind: transport.KVPut, Tenant: tenant, Key: op.Key, Value: val}
+	}
+}
+
+// Preload fills the tenant's keyspace with keys 0..keys-1 using pipelined
+// puts, so reads during a run hit existing records.
+func Preload(addr, tenant string, keys uint64, valueSize, conns int) error {
+	if conns <= 0 {
+		conns = 4
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	per := (keys + uint64(conns) - 1) / uint64(conns)
+	for i := 0; i < conns; i++ {
+		lo, hi := uint64(i)*per, (uint64(i)+1)*per
+		if hi > keys {
+			hi = keys
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			c, err := server.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			val := make([]byte, valueSize)
+			calls := make([]*server.Call, 0, hi-lo)
+			for k := lo; k < hi; k++ {
+				workload.Value(k, val)
+				call, err := c.Send(&transport.KVRequest{Kind: transport.KVPut, Tenant: tenant, Key: k, Value: val})
+				if err != nil {
+					errs <- err
+					return
+				}
+				calls = append(calls, call)
+				if len(calls) >= 128 { // bounded pipeline
+					if _, err := calls[0].Wait(); err != nil {
+						errs <- err
+						return
+					}
+					calls = calls[1:]
+				}
+			}
+			for _, call := range calls {
+				if _, err := call.Wait(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}

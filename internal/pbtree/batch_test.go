@@ -1,0 +1,152 @@
+package pbtree
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"kaminotx/kamino"
+)
+
+func TestApplyBatchBasic(t *testing.T) {
+	tree := newTree(t, kamino.ModeSimple, 8)
+	// Seed keys so the batch exercises update, insert-into-room, delete.
+	for i := uint64(0); i < 40; i += 2 {
+		if err := tree.Put(i, []byte(fmt.Sprintf("seed-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ops := []BatchOp{
+		{Key: 0, Value: []byte("updated-0")},
+		{Key: 2, Delete: true},
+		{Key: 3, Value: []byte("new-3")},
+		{Key: 4, Value: []byte("updated-4")},
+		{Key: 100, Delete: true}, // absent: a no-op, not an error
+	}
+	if err := tree.ApplyBatch(ops); err != nil {
+		t.Fatalf("ApplyBatch: %v", err)
+	}
+	for _, want := range []struct {
+		key   uint64
+		val   string
+		found bool
+	}{
+		{0, "updated-0", true},
+		{2, "", false},
+		{3, "new-3", true},
+		{4, "updated-4", true},
+		{6, "seed-6", true},
+		{100, "", false},
+	} {
+		v, ok, err := tree.Get(want.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != want.found || (ok && string(v) != want.val) {
+			t.Errorf("Get(%d) = %q %v, want %q %v", want.key, v, ok, want.val, want.found)
+		}
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after batch: %v", err)
+	}
+}
+
+func TestApplyBatchRejectsUnsortedOrDuplicate(t *testing.T) {
+	tree := newTree(t, kamino.ModeSimple, 8)
+	if err := tree.ApplyBatch([]BatchOp{{Key: 2}, {Key: 1}}); err == nil {
+		t.Error("descending keys accepted")
+	}
+	if err := tree.ApplyBatch([]BatchOp{{Key: 1}, {Key: 1}}); err == nil {
+		t.Error("duplicate keys accepted")
+	}
+}
+
+// TestApplyBatchNeedsSplit fills a leaf, then checks an insert into it
+// aborts the WHOLE batch with ErrBatchNeedsSplit and no partial effects,
+// even for operations that preceded the overflowing one.
+func TestApplyBatchNeedsSplit(t *testing.T) {
+	const order = 4
+	tree := newTree(t, kamino.ModeSimple, order)
+	// Widely spaced keys stay in one leaf until it is full.
+	for i := uint64(0); i < order; i++ {
+		if err := tree.Put(i*10, []byte("seed")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := tree.ApplyBatch([]BatchOp{
+		{Key: 0, Value: []byte("rewritten")}, // update: fine on its own
+		{Key: 5, Value: []byte("overflow")},  // new key, full leaf
+	})
+	if !errors.Is(err, ErrBatchNeedsSplit) {
+		t.Fatalf("err = %v, want ErrBatchNeedsSplit", err)
+	}
+	// The abort must have rolled back the update too.
+	v, ok, _ := tree.Get(0)
+	if !ok || string(v) != "seed" {
+		t.Errorf("aborted batch leaked a write: Get(0) = %q %v", v, ok)
+	}
+	if _, ok, _ := tree.Get(5); ok {
+		t.Error("aborted batch inserted key 5")
+	}
+	// Deletes never split: a pure-delete batch on the full leaf is fine.
+	if err := tree.ApplyBatch([]BatchOp{{Key: 10, Delete: true}}); err != nil {
+		t.Fatalf("delete batch: %v", err)
+	}
+}
+
+// TestApplyBatchWithConcurrentReaders runs one batching writer against
+// hammering readers (the exact contract the server relies on: single
+// writer, any number of Get/Scan). Run under -race this also checks the
+// read-latched descent against the leaf write latches.
+func TestApplyBatchWithConcurrentReaders(t *testing.T) {
+	tree := newTree(t, kamino.ModeSimple, 16)
+	const keys = 400
+	for i := uint64(0); i < keys; i++ {
+		if err := tree.Put(i, []byte{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	readErrs := make(chan error, 4)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			k := seed
+			for !stop.Load() {
+				if _, _, err := tree.Get(k % keys); err != nil {
+					readErrs <- err
+					return
+				}
+				if _, err := tree.Scan(k%keys, 10); err != nil {
+					readErrs <- err
+					return
+				}
+				k += 7
+			}
+		}(uint64(r))
+	}
+	for round := 0; round < 50; round++ {
+		ops := make([]BatchOp, 0, 16)
+		for i := 0; i < 16; i++ {
+			ops = append(ops, BatchOp{Key: uint64(round*16+i) % keys, Value: []byte{byte(round)}})
+		}
+		// Keys are ascending and unique by construction.
+		if err := tree.ApplyBatch(ops); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-readErrs:
+		t.Fatalf("reader: %v", err)
+	default:
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

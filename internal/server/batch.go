@@ -1,0 +1,156 @@
+package server
+
+import (
+	"errors"
+	"time"
+
+	"kaminotx/internal/kvstore"
+	"kaminotx/internal/transport"
+)
+
+// wreq is one admitted write on its way to the batcher.
+type wreq struct {
+	p      *pending
+	key    uint64 // root-store (tenant-prefixed) key
+	value  []byte
+	delete bool
+}
+
+// batcher is the server's single writer: it pulls admitted writes from
+// every connection in arrival order, coalesces runs of key-disjoint puts
+// into one engine transaction each (one intent-log slot, one commit
+// persist, one backup reconciliation for the whole run), and executes
+// deletes and same-key repeats as the batch boundaries between runs, so
+// per-key order is exactly arrival order. A batch that aborts — a leaf
+// split the fast path refuses, or any engine error — is split in half
+// and retried, converging on per-operation execution through the
+// ordinary split-capable path (the chain hop batcher's shape, PR 3).
+func (s *Server) batcher() {
+	defer s.batchWG.Done()
+	var carry *wreq // first write of the NEXT batch (forced a boundary)
+	for {
+		var first *wreq
+		if carry != nil {
+			first, carry = carry, nil
+		} else {
+			select {
+			case first = <-s.writeCh:
+			case <-s.stop:
+				s.drainWrites()
+				return
+			}
+		}
+		batch := []*wreq{first}
+		if !first.delete && s.opts.BatchOps > 1 {
+			carry = s.gather(&batch)
+		}
+		s.applyReqs(batch)
+	}
+}
+
+// gather extends batch with immediately-available key-disjoint puts until
+// a cap is hit or a boundary op (delete, or a key already in the batch)
+// arrives; the boundary op is returned to seed the next batch.
+func (s *Server) gather(batch *[]*wreq) *wreq {
+	keys := map[uint64]bool{(*batch)[0].key: true}
+	bytes := len((*batch)[0].value)
+	var timer <-chan time.Time
+	if s.opts.BatchDelay > 0 {
+		timer = time.After(s.opts.BatchDelay)
+	}
+	for len(*batch) < s.opts.BatchOps && bytes < s.opts.BatchBytes {
+		var w *wreq
+		if timer != nil {
+			select {
+			case w = <-s.writeCh:
+			case <-timer:
+			}
+		} else {
+			select {
+			case w = <-s.writeCh:
+			default:
+			}
+		}
+		if w == nil {
+			break
+		}
+		if w.delete || keys[w.key] {
+			return w // boundary: preserves per-key arrival order
+		}
+		keys[w.key] = true
+		bytes += len(w.value)
+		*batch = append(*batch, w)
+	}
+	return nil
+}
+
+// applyReqs executes a run of writes, halving on abort like the chain's
+// hop batcher: a full-batch transaction that fails (leaf split needed,
+// log slot overflow, any engine error) retries as two half batches, down
+// to single operations through the normal split-capable path, where a
+// residual failure is that one operation's own error.
+func (s *Server) applyReqs(batch []*wreq) {
+	if len(batch) == 1 {
+		s.applyOne(batch[0])
+		return
+	}
+	ops := make([]kvstore.Op, len(batch))
+	for i, w := range batch {
+		ops[i] = kvstore.Op{Key: w.key, Value: w.value, Delete: w.delete}
+	}
+	s.writeMu.Lock()
+	err := s.opts.Store.ApplyBatch(ops)
+	s.writeMu.Unlock()
+	if err == nil {
+		s.cBatches.Inc()
+		s.cBatchOps.Add(uint64(len(batch)))
+		for _, w := range batch {
+			s.ackWrite(w, false)
+		}
+		return
+	}
+	s.cSplits.Inc()
+	mid := len(batch) / 2
+	s.applyReqs(batch[:mid])
+	s.applyReqs(batch[mid:])
+}
+
+// applyOne executes a single write through the ordinary engine path.
+func (s *Server) applyOne(w *wreq) {
+	s.writeMu.Lock()
+	var found bool
+	var err error
+	if w.delete {
+		found, err = s.opts.Store.Delete(w.key)
+	} else {
+		err = s.opts.Store.Update(w.key, w.value)
+	}
+	s.writeMu.Unlock()
+	if err != nil {
+		s.fail(w.p, transport.KVErrInternal, err)
+		return
+	}
+	s.ackWrite(w, found)
+}
+
+// ackWrite acknowledges a durably committed write.
+func (s *Server) ackWrite(w *wreq, found bool) {
+	s.finish(w.p, func(r *transport.KVResponse) {
+		r.Status = transport.KVOK
+		r.Found = found
+	})
+}
+
+// drainWrites answers writes still queued at Close with a shutdown error
+// (a graceful Drain leaves this queue empty; this path is the abortive
+// Close's cleanup so no response slot is left hanging).
+func (s *Server) drainWrites() {
+	for {
+		select {
+		case w := <-s.writeCh:
+			s.fail(w.p, transport.KVErrShutdown, errors.New("server closed"))
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,525 @@
+// Package server implements the network-facing KV service core behind
+// cmd/kaminod: a concurrent TCP server exposing the kvstore API (get, put,
+// delete, scan, count) over any kamino engine, speaking the gob-framed
+// request/response protocol of internal/transport's kvwire layer.
+//
+// Design (one connection, front to back):
+//
+//   - the reader goroutine decodes requests and reserves each one a slot
+//     in a bounded in-order queue (the per-connection pipeline window);
+//     when the window is full the decode loop stalls, which backpressures
+//     the client through TCP instead of buffering unboundedly;
+//   - admission is a server-wide token budget: a request that cannot get
+//     a token is SHED with an explicit busy error rather than queued, so
+//     overload degrades into fast failures, not latency collapse;
+//   - reads (get/scan/count) execute concurrently, each after the
+//     connection's latest preceding write completed (per-connection
+//     read-your-writes); writes flow into a single server-wide batcher
+//     that coalesces key-disjoint operations from ALL connections into
+//     one engine transaction per batch (one intent-log slot, one commit
+//     persist, one backup reconciliation), splitting in half on abort
+//     like the chain's hop batcher (PR 3) until single operations
+//     execute through the ordinary split-capable path;
+//   - the writer goroutine completes slots strictly in request order, so
+//     a client can pipeline arbitrarily and match responses positionally.
+//
+// Tenancy: every request names a tenant; the server maps it to a
+// kvstore.PrefixedStore over one shared root store (48-bit tenant-local
+// keys, 16-bit tenant prefix, durable tenant registry — see
+// internal/kvstore/prefix.go).
+//
+// Shutdown: Drain stops accepting connections, rejects new requests with
+// a shutdown error, waits for every in-flight request to complete and its
+// response to be written, and returns; the owner then checkpoints and
+// closes the pool. Readiness endpoints flip as soon as draining starts.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kaminotx/internal/kvstore"
+	"kaminotx/internal/obs"
+	"kaminotx/internal/transport"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Store is the root store all tenants share. Required.
+	Store *kvstore.Store
+
+	// Window bounds each connection's pipelined in-flight requests; a
+	// full window stalls the connection's decode loop (TCP
+	// backpressure). Default 64.
+	Window int
+
+	// MaxInflight is the server-wide admission budget: requests beyond
+	// it are shed with KVErrBusy instead of queued. Default 1024.
+	MaxInflight int
+
+	// BatchOps caps how many write operations the batcher coalesces
+	// into one engine transaction. Default 32; 1 disables batching.
+	BatchOps int
+
+	// BatchBytes caps a batch's total value payload. Default 256 KiB.
+	BatchBytes int
+
+	// BatchDelay is how long the batcher waits for company after the
+	// first write of a batch. Default 0 (never wait: batches form only
+	// from genuinely concurrent writes).
+	BatchDelay time.Duration
+
+	// MaxValueBytes rejects larger put payloads as bad requests before
+	// they reach the engine. Default 1 MiB.
+	MaxValueBytes int
+
+	// DefaultTenant is the keyspace used by requests with an empty
+	// tenant name. Default "default".
+	DefaultTenant string
+
+	// Tenants are keyspaces to register at startup (in addition to any
+	// already in the store's durable registry).
+	Tenants []string
+
+	// AutoTenant registers unknown tenant names on first use instead of
+	// rejecting them.
+	AutoTenant bool
+
+	// Obs, if set, receives the server's counters and gauges
+	// (connections, admission queue depth, shed/served counters, batch
+	// sizes and splits).
+	Obs *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window == 0 {
+		o.Window = 64
+	}
+	if o.MaxInflight == 0 {
+		o.MaxInflight = 1024
+	}
+	if o.BatchOps == 0 {
+		o.BatchOps = 32
+	}
+	if o.BatchBytes == 0 {
+		o.BatchBytes = 256 << 10
+	}
+	if o.MaxValueBytes == 0 {
+		o.MaxValueBytes = 1 << 20
+	}
+	if o.DefaultTenant == "" {
+		o.DefaultTenant = "default"
+	}
+	return o
+}
+
+// Server serves the KV protocol on one listener.
+type Server struct {
+	opts    Options
+	ln      net.Listener
+	tenants *kvstore.Tenants
+
+	// writeMu serializes every writer of the root store: the batcher's
+	// transactions and tenant registration (kvstore.ApplyBatch requires
+	// a single concurrent writer).
+	writeMu sync.Mutex
+
+	admit   chan struct{} // admission tokens (buffered MaxInflight)
+	writeCh chan *wreq    // admitted writes, in arrival order
+
+	draining atomic.Bool
+	stop     chan struct{} // closed by Close: stops batcher and accept loop
+	closed   atomic.Bool
+
+	reqWG  sync.WaitGroup // in-flight requests (accepted, not yet completed)
+	connWG sync.WaitGroup // live connection handlers
+	batchWG sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	// metrics
+	nConns    atomic.Int64
+	cOps      map[transport.KVKind]*obs.Counter
+	cShed     *obs.Counter
+	cRejected *obs.Counter
+	cBatches  *obs.Counter
+	cBatchOps *obs.Counter
+	cSplits   *obs.Counter
+}
+
+// New builds a Server over ln. The listener is owned by the server from
+// here on (Drain and Close close it). Tenants named in opts are
+// registered durably before serving starts.
+func New(ln net.Listener, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if opts.Store == nil {
+		return nil, errors.New("server: Options.Store is required")
+	}
+	tenants, err := kvstore.LoadTenants(opts.Store)
+	if err != nil {
+		return nil, fmt.Errorf("server: loading tenant registry: %w", err)
+	}
+	s := &Server{
+		opts:    opts,
+		ln:      ln,
+		tenants: tenants,
+		admit:   make(chan struct{}, opts.MaxInflight),
+		writeCh: make(chan *wreq, opts.MaxInflight),
+		stop:    make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+		cOps:    make(map[transport.KVKind]*obs.Counter),
+	}
+	for _, name := range append([]string{opts.DefaultTenant}, opts.Tenants...) {
+		if _, err := tenants.Ensure(name); err != nil {
+			return nil, fmt.Errorf("server: registering tenant %q: %w", name, err)
+		}
+	}
+	s.initObs()
+	s.batchWG.Add(1)
+	go s.batcher()
+	return s, nil
+}
+
+// initObs registers the server's counters and gauges.
+func (s *Server) initObs() {
+	reg := s.opts.Obs
+	if reg == nil {
+		reg = obs.New("server")
+	}
+	for _, k := range []transport.KVKind{transport.KVPing, transport.KVGet, transport.KVPut,
+		transport.KVDelete, transport.KVScan, transport.KVCount} {
+		s.cOps[k] = reg.Counter("ops_" + k.String())
+	}
+	s.cShed = reg.Counter("shed")
+	s.cRejected = reg.Counter("rejected")
+	s.cBatches = reg.Counter("batches")
+	s.cBatchOps = reg.Counter("batched_ops")
+	s.cSplits = reg.Counter("batch_splits")
+	reg.Gauge("connections", func() uint64 { return uint64(s.nConns.Load()) })
+	reg.Gauge("admitted_inflight", func() uint64 { return uint64(len(s.admit)) })
+	reg.Gauge("write_queue_depth", func() uint64 { return uint64(len(s.writeCh)) })
+	reg.Gauge("draining", func() uint64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Tenants exposes the tenant registry (for the owner's introspection).
+func (s *Server) Tenants() *kvstore.Tenants { return s.tenants }
+
+// Draining reports whether a drain has started (readyz wiring).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Serve accepts connections until the listener closes (via Drain or
+// Close). It always returns a non-nil error; after a clean drain the
+// error is net.ErrClosed.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return err
+		}
+		if s.draining.Load() {
+			conn.Close()
+			continue
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.nConns.Add(1)
+		s.connWG.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// pending is one request's slot in its connection's in-order response
+// queue. finish completes it exactly once.
+type pending struct {
+	resp  transport.KVResponse
+	done  chan struct{}
+	once  sync.Once
+	token bool // holds an admission token until finished
+}
+
+// finish fills in the response and releases the slot's resources.
+func (s *Server) finish(p *pending, fill func(*transport.KVResponse)) {
+	p.once.Do(func() {
+		fill(&p.resp)
+		if p.token {
+			<-s.admit
+		}
+		s.reqWG.Done()
+		close(p.done)
+	})
+}
+
+// fail is finish with just a status and error text.
+func (s *Server) fail(p *pending, st transport.KVStatus, err error) {
+	s.finish(p, func(r *transport.KVResponse) {
+		r.Status = st
+		if err != nil {
+			r.Err = err.Error()
+		}
+	})
+}
+
+// serveConn runs one connection: a decode loop dispatching into the
+// pipeline, and a writer draining completed slots in request order.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		s.nConns.Add(-1)
+		s.connWG.Done()
+	}()
+	order := make(chan *pending, s.opts.Window)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: responses in request order
+		defer wg.Done()
+		bw := bufio.NewWriter(conn)
+		enc := transport.NewKVEncoder(bw)
+		for p := range order {
+			<-p.done
+			if err := enc.Response(&p.resp); err != nil {
+				break
+			}
+			if len(order) == 0 {
+				if err := bw.Flush(); err != nil {
+					break
+				}
+			}
+		}
+		bw.Flush()
+		conn.Close() // unblocks the reader if it outlives us
+		// Drain remaining slots so their finishers never block.
+		for p := range order {
+			<-p.done
+		}
+	}()
+
+	dec := transport.NewKVDecoder(bufio.NewReader(conn))
+	var lastWrite *pending // read-your-writes barrier, per connection
+	for {
+		var req transport.KVRequest
+		if err := dec.Request(&req); err != nil {
+			break
+		}
+		s.reqWG.Add(1)
+		p := &pending{done: make(chan struct{})}
+		p.resp.ID = req.ID
+		order <- p // blocks when the window is full: TCP backpressure
+		lastWrite = s.dispatch(&req, p, lastWrite)
+	}
+	close(order)
+	wg.Wait()
+	conn.Close()
+}
+
+// dispatch routes one decoded request. It returns the connection's new
+// read-your-writes barrier (the pending of its latest write).
+func (s *Server) dispatch(req *transport.KVRequest, p *pending, lastWrite *pending) *pending {
+	if c, ok := s.cOps[req.Kind]; ok {
+		c.Inc()
+	}
+	if s.draining.Load() {
+		s.cRejected.Inc()
+		s.fail(p, transport.KVErrShutdown, errors.New("server draining"))
+		return lastWrite
+	}
+	if req.Kind == transport.KVPing {
+		s.finish(p, func(r *transport.KVResponse) { r.Status = transport.KVOK })
+		return lastWrite
+	}
+	ps, err := s.tenant(req.Tenant)
+	if err != nil {
+		s.fail(p, transport.KVErrBadRequest, err)
+		return lastWrite
+	}
+	// Admission: overload sheds instead of queueing.
+	select {
+	case s.admit <- struct{}{}:
+		p.token = true
+	default:
+		s.cShed.Inc()
+		s.fail(p, transport.KVErrBusy, errors.New("admission queue full"))
+		return lastWrite
+	}
+	switch req.Kind {
+	case transport.KVPut, transport.KVDelete:
+		if req.Kind == transport.KVPut && len(req.Value) > s.opts.MaxValueBytes {
+			s.fail(p, transport.KVErrBadRequest,
+				fmt.Errorf("value %d bytes exceeds limit %d", len(req.Value), s.opts.MaxValueBytes))
+			return lastWrite
+		}
+		gkey, err := ps.Global(req.Key)
+		if err != nil {
+			s.fail(p, transport.KVErrBadRequest, err)
+			return lastWrite
+		}
+		w := &wreq{p: p, key: gkey, value: req.Value, delete: req.Kind == transport.KVDelete}
+		s.writeCh <- w // buffered to MaxInflight: token holders never block
+		return p
+	case transport.KVGet, transport.KVScan, transport.KVCount:
+		barrier := lastWrite
+		go s.runRead(req, p, ps, barrier)
+		return lastWrite
+	default:
+		s.fail(p, transport.KVErrBadRequest, fmt.Errorf("unknown request kind %d", req.Kind))
+		return lastWrite
+	}
+}
+
+// runRead executes a read after the connection's preceding write (if any)
+// has been acknowledged, so a connection reads its own writes.
+func (s *Server) runRead(req *transport.KVRequest, p *pending, ps *kvstore.PrefixedStore, barrier *pending) {
+	if barrier != nil {
+		<-barrier.done
+	}
+	switch req.Kind {
+	case transport.KVGet:
+		v, ok, err := ps.Read(req.Key)
+		if err != nil {
+			s.readFail(p, err)
+			return
+		}
+		s.finish(p, func(r *transport.KVResponse) {
+			r.Status = transport.KVOK
+			r.Found = ok
+			r.Value = v
+		})
+	case transport.KVScan:
+		max := req.Max
+		if max <= 0 || max > 10_000 {
+			max = 10_000
+		}
+		kvs, err := ps.Scan(req.Key, max)
+		if err != nil {
+			s.readFail(p, err)
+			return
+		}
+		s.finish(p, func(r *transport.KVResponse) {
+			r.Status = transport.KVOK
+			r.Keys = make([]uint64, len(kvs))
+			r.Values = make([][]byte, len(kvs))
+			for i, kv := range kvs {
+				r.Keys[i] = kv.Key
+				r.Values[i] = kv.Value
+			}
+		})
+	case transport.KVCount:
+		n, err := ps.Count()
+		if err != nil {
+			s.readFail(p, err)
+			return
+		}
+		s.finish(p, func(r *transport.KVResponse) {
+			r.Status = transport.KVOK
+			r.N = n
+		})
+	}
+}
+
+// readFail maps a read error to its response status.
+func (s *Server) readFail(p *pending, err error) {
+	if errors.Is(err, kvstore.ErrKeyRange) {
+		s.fail(p, transport.KVErrBadRequest, err)
+		return
+	}
+	s.fail(p, transport.KVErrInternal, err)
+}
+
+// tenant resolves a request's tenant name to its store view.
+func (s *Server) tenant(name string) (*kvstore.PrefixedStore, error) {
+	if name == "" {
+		name = s.opts.DefaultTenant
+	}
+	if ps, ok := s.tenants.Lookup(name); ok {
+		return ps, nil
+	}
+	if !s.opts.AutoTenant {
+		return nil, fmt.Errorf("unknown tenant %q", name)
+	}
+	// Tenant registration writes the registry through the root store;
+	// serialize it against the batcher like any other writer.
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return s.tenants.Ensure(name)
+}
+
+// Drain gracefully shuts the server down: stop accepting connections,
+// reject requests that arrive from now on, wait until every in-flight
+// request has completed AND its response has been handed to the kernel,
+// then close the remaining connections. The store is untouched — the
+// caller owns checkpoint/close. Returns ctx.Err() if the context expires
+// first (in-flight work keeps completing in the background).
+func (s *Server) Drain(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		s.ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	// Every response slot is complete; writers flush as their queues
+	// drain. Closing the read sides unblocks decode loops so handlers
+	// exit; writers then flush and close fully.
+	s.connMu.Lock()
+	for conn := range s.conns {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.CloseRead()
+		} else {
+			conn.Close()
+		}
+	}
+	s.connMu.Unlock()
+	waitConns := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(waitConns)
+	}()
+	select {
+	case <-waitConns:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Close tears the server down without waiting for in-flight work:
+// listener and connections close, the batcher stops after answering
+// queued writes with a shutdown error. Call after Drain for a graceful
+// exit, or alone in tests.
+func (s *Server) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	s.draining.Store(true)
+	s.ln.Close()
+	close(s.stop)
+	s.batchWG.Wait()
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+}

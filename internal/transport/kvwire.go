@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// KV service wire protocol (kaminod / kaminoload): the same gob framing the
+// chain transport uses, with request/response kinds for the KV API instead
+// of chain protocol messages. One connection carries a stream of
+// gob-encoded KVRequest values and a stream of KVResponse values; the
+// server answers every request exactly once, IN REQUEST ORDER, so a client
+// may pipeline arbitrarily many requests and match responses positionally
+// (the echoed ID is a cross-check, not a reordering mechanism).
+
+// KVKind discriminates KV service requests.
+type KVKind uint8
+
+// KV request kinds.
+const (
+	// KVPing answers immediately; used for liveness and RTT probes.
+	KVPing KVKind = iota
+	// KVGet reads Key.
+	KVGet
+	// KVPut stores Value under Key. Acknowledged only after the backing
+	// transaction committed durably.
+	KVPut
+	// KVDelete removes Key.
+	KVDelete
+	// KVScan returns up to Max pairs starting at Key.
+	KVScan
+	// KVCount returns the tenant's key count.
+	KVCount
+)
+
+// String names the kind for logs and metrics.
+func (k KVKind) String() string {
+	switch k {
+	case KVPing:
+		return "ping"
+	case KVGet:
+		return "get"
+	case KVPut:
+		return "put"
+	case KVDelete:
+		return "delete"
+	case KVScan:
+		return "scan"
+	case KVCount:
+		return "count"
+	default:
+		return fmt.Sprintf("kvkind(%d)", uint8(k))
+	}
+}
+
+// KVStatus classifies a response for the client's retry logic.
+type KVStatus uint8
+
+// KV response statuses.
+const (
+	// KVOK is success.
+	KVOK KVStatus = iota
+	// KVErrBusy sheds the request: the server's admission queue was full.
+	// The operation was NOT executed; back off and retry.
+	KVErrBusy
+	// KVErrShutdown rejects the request: the server is draining. The
+	// operation was NOT executed; reconnect elsewhere or later.
+	KVErrShutdown
+	// KVErrBadRequest rejects a malformed request (unknown tenant, key out
+	// of range, oversized value, unknown kind). Retrying cannot succeed.
+	KVErrBadRequest
+	// KVErrInternal reports an engine failure executing the operation.
+	KVErrInternal
+)
+
+// String names the status.
+func (s KVStatus) String() string {
+	switch s {
+	case KVOK:
+		return "ok"
+	case KVErrBusy:
+		return "busy"
+	case KVErrShutdown:
+		return "shutdown"
+	case KVErrBadRequest:
+		return "bad-request"
+	case KVErrInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("kvstatus(%d)", uint8(s))
+	}
+}
+
+// KVRequest is one client request.
+type KVRequest struct {
+	// ID is a client-chosen correlation id echoed in the response.
+	ID uint64
+	// Kind selects the operation.
+	Kind KVKind
+	// Tenant names the keyspace ("" = the default tenant).
+	Tenant string
+	// Key is the tenant-local key (48 usable bits).
+	Key uint64
+	// Value is the payload for KVPut.
+	Value []byte
+	// Max bounds a KVScan's result count.
+	Max int
+}
+
+// KVResponse is one server response.
+type KVResponse struct {
+	// ID echoes the request's correlation id.
+	ID uint64
+	// Status classifies the outcome.
+	Status KVStatus
+	// Err carries the failure detail for non-OK statuses.
+	Err string
+	// Found reports presence for KVGet / KVDelete.
+	Found bool
+	// Value is KVGet's result.
+	Value []byte
+	// Keys and Values are KVScan's result pairs (parallel slices).
+	Keys []uint64
+	// Values holds the scan payloads.
+	Values [][]byte
+	// N is KVCount's result.
+	N int
+}
+
+// Error converts a response's status and detail to an error (nil for OK).
+func (r *KVResponse) Error() error {
+	if r.Status == KVOK {
+		return nil
+	}
+	if r.Err != "" {
+		return fmt.Errorf("kv: %s: %s", r.Status, r.Err)
+	}
+	return fmt.Errorf("kv: %s", r.Status)
+}
+
+// KVEncoder writes one side's stream of KV frames. Safe for a single
+// writer; callers serialize.
+type KVEncoder struct{ enc *gob.Encoder }
+
+// NewKVEncoder wraps w in a gob stream.
+func NewKVEncoder(w io.Writer) *KVEncoder { return &KVEncoder{enc: gob.NewEncoder(w)} }
+
+// Request writes one request frame.
+func (e *KVEncoder) Request(req *KVRequest) error { return e.enc.Encode(req) }
+
+// Response writes one response frame.
+func (e *KVEncoder) Response(resp *KVResponse) error { return e.enc.Encode(resp) }
+
+// KVDecoder reads one side's stream of KV frames.
+type KVDecoder struct{ dec *gob.Decoder }
+
+// NewKVDecoder wraps r in a gob stream.
+func NewKVDecoder(r io.Reader) *KVDecoder { return &KVDecoder{dec: gob.NewDecoder(r)} }
+
+// Request reads one request frame.
+func (d *KVDecoder) Request(req *KVRequest) error { return d.dec.Decode(req) }
+
+// Response reads one response frame.
+func (d *KVDecoder) Response(resp *KVResponse) error { return d.dec.Decode(resp) }

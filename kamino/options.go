@@ -39,6 +39,26 @@ const (
 	ModeInPlace Mode = "inplace"
 )
 
+// Modes lists every supported engine mode, in the order the paper
+// presents them. CLI tools build their -mode usage text and validation
+// from this list so it cannot drift from the engine set.
+func Modes() []Mode {
+	return []Mode{ModeSimple, ModeDynamic, ModeUndo, ModeCoW, ModeNoLog, ModeInPlace}
+}
+
+// ModeNames renders Modes for usage strings: "kamino-simple,
+// kamino-dynamic, undo, cow, nolog, inplace".
+func ModeNames() string {
+	names := ""
+	for i, m := range Modes() {
+		if i > 0 {
+			names += ", "
+		}
+		names += string(m)
+	}
+	return names
+}
+
 // Options configures Create.
 type Options struct {
 	// Mode selects the atomicity mechanism. Default ModeSimple.
