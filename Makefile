@@ -20,9 +20,10 @@ vet:
 # partitioned intent log / striped NVM line mutexes are all touched from
 # multiple goroutines. The chain, membership, and persistent-queue
 # packages ride along: their view-change and watcher tests only catch the
-# historical races under the detector.
+# historical races under the detector. The server package covers the
+# slow-request ring and the per-request phase handoffs.
 race:
-	$(GO) test -race ./internal/stats/... ./internal/workload/... ./internal/engine/... ./internal/obs/... ./internal/trace/... ./kamino/... ./internal/locktable/... ./internal/heap/... ./internal/intentlog/... ./internal/nvm/... ./internal/pbtree/... ./internal/chain/... ./internal/membership/... ./internal/pqueue/...
+	$(GO) test -race ./internal/stats/... ./internal/workload/... ./internal/engine/... ./internal/obs/... ./internal/trace/... ./kamino/... ./internal/locktable/... ./internal/heap/... ./internal/intentlog/... ./internal/nvm/... ./internal/pbtree/... ./internal/chain/... ./internal/membership/... ./internal/pqueue/... ./internal/server/...
 
 # doccheck fails if any exported identifier under internal/ or kamino/
 # lacks a godoc comment, or any package — including the cmd/ and tools/
@@ -68,23 +69,32 @@ chaos-smoke: build
 # harness is a closed loop, so mean latency is throughput's reciprocal,
 # and the best-of merge gives it the noise of both metrics.
 # serve-smoke exercises the network service end to end with real
-# processes: kaminod serves a file-backed store, kaminoload preloads and
-# drives a short open-loop sweep (writing out/serve/BENCH_serve.json),
-# then SIGTERM drains the server — the target fails unless kaminod exits
-# 0 (clean drain + checkpoint) and the artifact parses.
+# processes: kaminod serves a file-backed store with tracing and the
+# slow-request ring armed, kaminoload preloads and drives a short
+# open-loop sweep with per-phase breakdowns (writing
+# out/serve/BENCH_serve.json), /debug/requests must answer with valid
+# JSON holding at least one captured request, then SIGTERM drains the
+# server — the target fails unless kaminod exits 0 (clean drain +
+# checkpoint + Chrome trace export) and the artifact parses.
 serve-smoke: build
 	rm -rf out/serve && mkdir -p out/serve
 	$(GO) build -o out/serve/kaminod ./cmd/kaminod
 	$(GO) build -o out/serve/kaminoload ./cmd/kaminoload
-	./out/serve/kaminod -dir out/serve/db -addr 127.0.0.1:17070 -metrics-addr 127.0.0.1:17071 & \
+	./out/serve/kaminod -dir out/serve/db -addr 127.0.0.1:17070 -metrics-addr 127.0.0.1:17071 \
+		-trace-out out/serve/trace.json -slow-requests 32 -slow-threshold 250ms & \
 	KPID=$$!; \
 	sleep 1; \
 	./out/serve/kaminoload -addr 127.0.0.1:17070 -preload -keys 2000 -value 256 \
-		-rates 2000,5000 -duration 1s -bench-out out/serve || { kill $$KPID; exit 1; }; \
+		-rates 2000,5000 -duration 1s -breakdown -bench-out out/serve || { kill $$KPID; exit 1; }; \
+	curl -fsS http://127.0.0.1:17071/debug/requests -o out/serve/requests.json || { kill $$KPID; exit 1; }; \
+	jq -e '.records | length >= 1' out/serve/requests.json >/dev/null || \
+		{ echo "serve-smoke: /debug/requests empty or not JSON"; kill $$KPID; exit 1; }; \
 	kill -TERM $$KPID; \
 	wait $$KPID || { echo "serve-smoke: kaminod did not exit cleanly"; exit 1; }
+	test -s out/serve/trace.json && jq -e '.traceEvents | length >= 1' out/serve/trace.json >/dev/null || \
+		{ echo "serve-smoke: Chrome trace export missing or empty"; exit 1; }
 	$(GO) run ./tools/benchdiff out/serve/BENCH_serve.json out/serve/BENCH_serve.json >/dev/null
-	@echo "serve-smoke: clean drain, artifact well-formed"
+	@echo "serve-smoke: clean drain, slow-request ring served, trace exported, artifact well-formed"
 
 audit-overhead: build
 	for i in 1 2 3; do \

@@ -196,6 +196,7 @@ func main() {
 		mux.Handle("/debug/chain", dbg.Handler("chain"))
 		mux.Handle("/debug/locks", dbg.Handler("locks"))
 		mux.Handle("/debug/queues", dbg.Handler("queues"))
+		mux.Handle("/debug/requests", dbg.Handler("requests"))
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -221,7 +222,7 @@ func main() {
 		fmt.Printf("metrics: live registry snapshots at http://%s/ (JSON; ?label=substr filters),"+
 			" Prometheus text at /metrics, time series at /series, trace ring at /trace,"+
 			" pprof at /debug/pprof/, health at /healthz and /readyz,"+
-			" introspection at /debug/{chain,locks,queues,trace/tail}\n", display)
+			" introspection at /debug/{chain,locks,queues,requests,trace/tail}\n", display)
 	}
 	fmt.Printf("kaminobench: keys=%d value=%dB ops/thread=%d threads=%d cpus=%d\n",
 		*keys, *valueSize, *ops, *threads, runtime.NumCPU())
@@ -305,7 +306,7 @@ func traceTailHandler(rec *trace.Recorder) http.Handler {
 				n = v
 			}
 		}
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rec.Tail(n)); err != nil {

@@ -28,6 +28,7 @@ import (
 	"kaminotx/internal/kvstore"
 	"kaminotx/internal/obs"
 	"kaminotx/internal/server"
+	"kaminotx/internal/trace"
 	"kaminotx/kamino"
 )
 
@@ -47,8 +48,12 @@ func main() {
 		batchOps    = flag.Int("batch-ops", 32, "max write operations coalesced per engine transaction (1 disables)")
 		batchDelay  = flag.Duration("batch-delay", 0, "how long the batcher waits for company after a write")
 		maxValue    = flag.Int("max-value", 1<<20, "largest accepted put payload in bytes")
-		metricsAddr = flag.String("metrics-addr", "", "HTTP address for /metrics, /healthz, /readyz, /debug/pprof ('' = off)")
+		metricsAddr = flag.String("metrics-addr", "", "HTTP address for /metrics, /healthz, /readyz, /debug/requests, /debug/pprof ('' = off)")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event export of request+engine spans here on shutdown ('' = tracing off)")
+		traceBuf    = flag.Int("trace-buf", 1<<18, "trace recorder ring capacity (events)")
+		slowN       = flag.Int("slow-requests", 32, "slow-request ring size served at /debug/requests")
+		slowThresh  = flag.Duration("slow-threshold", 0, "wall-time threshold arming the slow-request watchdog alarm (0 = off)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -60,12 +65,17 @@ func main() {
 		fatal(err)
 	}
 
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder(*traceBuf)
+	}
 	pool, store, err := open(*dir, kamino.Options{
 		Mode:        kamino.Mode(*mode),
 		HeapSize:    *heap,
 		Shards:      *shards,
 		GroupCommit: *groupCommit,
 		Dir:         *dir,
+		Trace:       rec,
 	})
 	if err != nil {
 		fatal(err)
@@ -97,6 +107,12 @@ func main() {
 		Tenants:       tenantNames,
 		AutoTenant:    *autoTenant,
 		Obs:           srvReg,
+		Trace:         rec,
+		SlowN:         *slowN,
+		SlowThreshold: *slowThresh,
+		OnSlowAlarm: func(a obs.Alarm) {
+			logf("slow request alarm: %s", a.Detail)
+		},
 	})
 	if err != nil {
 		ln.Close()
@@ -129,6 +145,7 @@ func main() {
 		mux.Handle("/metrics", hub.PromHandler())
 		mux.Handle("/healthz", obs.HealthHandler(time.Now()))
 		mux.Handle("/readyz", obs.ReadyHandler(func() bool { return !srv.Draining() }))
+		mux.Handle("/debug/requests", srv.Slow().Handler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -144,7 +161,7 @@ func main() {
 				logf("metrics server: %v", err)
 			}
 		}()
-		logf("metrics on http://%s/ (snapshots), /metrics, /healthz, /readyz, /debug/pprof/", mln.Addr())
+		logf("metrics on http://%s/ (snapshots), /metrics, /healthz, /readyz, /debug/requests, /debug/pprof/", mln.Addr())
 	}
 
 	// Serve until a signal starts the drain. SIGTERM and SIGINT both
@@ -176,6 +193,26 @@ func main() {
 		fatal(fmt.Errorf("closing pool: %w", err))
 	}
 	logf("checkpoint written: %s", *dir)
+	if rec != nil {
+		if err := writeTrace(*traceOut, rec); err != nil {
+			fatal(fmt.Errorf("trace export: %w", err))
+		}
+		logf("trace written: %s (%d events, %d dropped)", *traceOut, rec.Total(), rec.Dropped())
+	}
+}
+
+// writeTrace dumps the recorder's ring as a Chrome trace_event file
+// (load into chrome://tracing or https://ui.perfetto.dev).
+func writeTrace(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, rec.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // open reopens an existing pool directory or creates a fresh store.
@@ -185,6 +222,9 @@ func open(dir string, opts kamino.Options) (*kamino.Pool, *kvstore.Store, error)
 		if err != nil {
 			return nil, nil, err
 		}
+		// Open rebuilds options from pool.json, which carries no
+		// recorder; attach before the store sees traffic.
+		pool.SetTrace(opts.Trace)
 		store, err := kvstore.Open(pool)
 		if err != nil {
 			pool.Close()

@@ -25,6 +25,8 @@ import (
 
 	"kaminotx/internal/bench"
 	"kaminotx/internal/loadgen"
+	"kaminotx/internal/stats"
+	"kaminotx/internal/transport"
 	"kaminotx/internal/workload"
 )
 
@@ -43,6 +45,7 @@ func main() {
 		preload   = flag.Bool("preload", false, "fill keys 0..keys-1 before measuring")
 		seed      = flag.Int64("seed", 1, "workload generator seed")
 		benchOut  = flag.String("bench-out", "", "directory for the BENCH_serve.json artifact ('' = off)")
+		breakdown = flag.Bool("breakdown", false, "request per-phase latency attribution from the server and print where tail time went")
 	)
 	flag.Parse()
 	mix, err := workload.MixFor(strings.ToUpper(*mixFlag)[0])
@@ -77,6 +80,7 @@ func main() {
 			ValueSize: *valueSize,
 			Mix:       mix,
 			Seed:      *seed,
+			Breakdown: *breakdown,
 		})
 		if err != nil {
 			fatal(err)
@@ -105,9 +109,13 @@ func main() {
 			P50:       res.Hist.Percentile(50),
 			P90:       res.Hist.Percentile(90),
 			P99:       res.Hist.Percentile(99),
+			P999:      res.Hist.Percentile(99.9),
 			Max:       res.Hist.Max(),
 		}
 		cells = append(cells, cell)
+		if *breakdown {
+			cells = append(cells, printAttribution(res, r, *conns)...)
+		}
 	}
 
 	if *benchOut != "" {
@@ -127,6 +135,46 @@ func main() {
 		}
 		fmt.Printf("artifact: %s\n", path)
 	}
+}
+
+// printAttribution reports where one rate's time went — the server's
+// per-phase split plus the network+queue remainder it cannot see — and
+// returns one latency-only cell per component so -bench-out artifacts
+// carry the phases for benchdiff.
+func printAttribution(res *loadgen.Result, rate float64, conns int) []bench.Cell {
+	type comp struct {
+		name string
+		h    *stats.Histogram
+	}
+	comps := []comp{{"net_queue", res.NetQueue}}
+	for _, ph := range []transport.KVPhase{transport.KVPhaseAdmissionWait,
+		transport.KVPhaseBatchWait, transport.KVPhaseEngineTxn, transport.KVPhaseOrderWait} {
+		comps = append(comps, comp{ph.String(), res.Phase[ph]})
+	}
+	fmt.Printf("  %-14s %10s %10s %10s\n", "component", "p50", "p99", "p999")
+	var cells []bench.Cell
+	for _, cp := range comps {
+		if cp.h == nil || cp.h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("  %-14s %10s %10s %10s\n", cp.name,
+			cp.h.Percentile(50).Round(time.Microsecond),
+			cp.h.Percentile(99).Round(time.Microsecond),
+			cp.h.Percentile(99.9).Round(time.Microsecond))
+		cells = append(cells, bench.Cell{
+			Engine:   "kaminod",
+			Workload: "serve-phase/" + cp.name,
+			Threads:  conns,
+			Params:   map[string]float64{"rate": rate},
+			Mean:     cp.h.Mean(),
+			P50:      cp.h.Percentile(50),
+			P90:      cp.h.Percentile(90),
+			P99:      cp.h.Percentile(99),
+			P999:     cp.h.Percentile(99.9),
+			Max:      cp.h.Max(),
+		})
+	}
+	return cells
 }
 
 // parseRates resolves the sweep: -rates wins, else the single -rate.

@@ -99,6 +99,7 @@ type Cell struct {
 	P50       time.Duration `json:"p50_ns,omitempty"`
 	P90       time.Duration `json:"p90_ns,omitempty"`
 	P99       time.Duration `json:"p99_ns,omitempty"`
+	P999      time.Duration `json:"p999_ns,omitempty"`
 	Max       time.Duration `json:"max_ns,omitempty"`
 }
 
@@ -109,6 +110,7 @@ func (c Cell) withResult(r Result) Cell {
 	c.P50 = r.P50
 	c.P90 = r.P90
 	c.P99 = r.P99
+	c.P999 = r.P999
 	c.Max = r.Max
 	return c
 }

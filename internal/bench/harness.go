@@ -184,6 +184,7 @@ type Result struct {
 	P50       time.Duration
 	P90       time.Duration
 	P99       time.Duration
+	P999      time.Duration
 	Max       time.Duration
 }
 
@@ -195,6 +196,7 @@ func resultFrom(h *stats.Histogram, opsPerSec float64) Result {
 		P50:       h.Percentile(50),
 		P90:       h.Percentile(90),
 		P99:       h.Percentile(99),
+		P999:      h.Percentile(99.9),
 		Max:       h.Max(),
 	}
 }

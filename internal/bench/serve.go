@@ -11,6 +11,9 @@ import (
 	"kaminotx/internal/loadgen"
 	"kaminotx/internal/obs"
 	"kaminotx/internal/server"
+	"kaminotx/internal/stats"
+	"kaminotx/internal/trace"
+	"kaminotx/internal/transport"
 	"kaminotx/internal/workload"
 	"kaminotx/kamino"
 )
@@ -18,7 +21,7 @@ import (
 // Serve measures the network service end to end: an in-process kaminod
 // core on a loopback listener, driven by the open-loop generator.
 //
-// Three measurements, in order:
+// Four measurements, in order:
 //
 //  1. Pipelining: closed-loop throughput at window=1 (one request per
 //     RTT, the naive client) versus window=64 (pipelined) at the same
@@ -27,8 +30,16 @@ import (
 //  2. Latency under load: an open-loop arrival-rate sweep at fixed
 //     fractions of the measured capacity (cells key on the load
 //     fraction; the calibrated absolute rate is recorded as a derived
-//     _info param so runs align in benchdiff).
-//  3. Drain audit: writers stream puts while the server drains; every
+//     _info param so runs align in benchdiff), with the server's
+//     per-phase response breakdown aggregated into an attribution
+//     table — where p50/p99/p999 time went: network+queue vs
+//     admission_wait / batch_wait / engine_txn / order_wait — and one
+//     latency-only cell per (load, component).
+//  3. Tracing overhead: interleaved plain/traced closed-loop capacity
+//     pairs, best-of per side; the full tracing stack (server spans,
+//     req_tx links, response breakdowns, client spans) must stay
+//     within 10% of plain throughput. The report flags a shortfall.
+//  4. Drain audit: writers stream puts while the server drains; every
 //     acknowledged put must be present after closing the pool,
 //     reopening it from its checkpoint directory and re-reading — a
 //     lost key fails the experiment.
@@ -80,6 +91,7 @@ func Serve(c Config) error {
 		BatchDelay: 50 * time.Microsecond,
 		Tenants:    []string{"audit"},
 		Obs:        srvReg,
+		Trace:      c.Trace,
 	})
 	if err != nil {
 		ln.Close()
@@ -88,6 +100,9 @@ func Serve(c Config) error {
 	go srv.Serve()
 	defer srv.Close()
 	addr := srv.Addr().String()
+	if c.Debug != nil {
+		c.Debug.Register("requests", "server", func() any { return srv.Slow().Dump() })
+	}
 
 	conns := c.Threads
 	if conns < 2 {
@@ -147,19 +162,28 @@ func Serve(c Config) error {
 	}
 
 	// 2. Latency under load: open-loop sweep at fractions of the
-	// closed-loop capacity just measured.
+	// closed-loop capacity just measured, with the server's per-phase
+	// breakdown on every response so each fraction's tail decomposes
+	// into network+queue vs server phases.
 	capacity := pipe.Throughput
 	fmt.Fprintf(c.Out, "serve: latency under load (capacity %.0f ops/s, open loop):\n", capacity)
 	fmt.Fprintf(c.Out, "  %-6s %9s %9s %8s %8s %8s %7s %7s\n",
 		"load", "offered/s", "achieved", "p50", "p90", "p99", "shed", "errors")
+	type loadRun struct {
+		f float64
+		r *loadgen.Result
+	}
+	var loadRuns []loadRun
 	for _, f := range []float64{0.25, 0.5, 0.75, 1.0} {
 		cfg := common
 		cfg.Rate = capacity * f
 		cfg.Window = 256
+		cfg.Breakdown = true
 		r, err := loadgen.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("serve: load %.2f: %w", f, err)
 		}
+		loadRuns = append(loadRuns, loadRun{f, r})
 		fmt.Fprintf(c.Out, "  %-6.2f %9.0f %9.0f %8s %8s %8s %7d %7d\n",
 			f, r.OfferedRate, r.Throughput,
 			r.Hist.Percentile(50).Round(time.Microsecond),
@@ -174,6 +198,98 @@ func Serve(c Config) error {
 				"shed_info":    float64(r.Busy),
 			},
 		}.withResult(resultFrom(r.Hist, r.Throughput)))
+	}
+
+	// Attribution: where did each load fraction's time go? One latency-
+	// only cell per (load, component) so benchdiff tracks the phases
+	// across runs; net+queue is the end-to-end remainder the server
+	// cannot see (wire, kernel, client scheduling — and, near
+	// saturation, open-loop schedule lag).
+	fmt.Fprintf(c.Out, "serve: attribution (p50/p99/p999 per phase):\n")
+	fmt.Fprintf(c.Out, "  %-6s %-10s %10s %10s %10s\n", "load", "component", "p50", "p99", "p999")
+	for _, lr := range loadRuns {
+		type comp struct {
+			name string
+			h    *stats.Histogram
+		}
+		comps := []comp{{"net_queue", lr.r.NetQueue}}
+		for _, ph := range []transport.KVPhase{transport.KVPhaseAdmissionWait,
+			transport.KVPhaseBatchWait, transport.KVPhaseEngineTxn, transport.KVPhaseOrderWait} {
+			comps = append(comps, comp{ph.String(), lr.r.Phase[ph]})
+		}
+		for _, cp := range comps {
+			if cp.h == nil || cp.h.Count() == 0 {
+				continue
+			}
+			fmt.Fprintf(c.Out, "  %-6.2f %-10s %10s %10s %10s\n",
+				lr.f, cp.name,
+				cp.h.Percentile(50).Round(time.Microsecond),
+				cp.h.Percentile(99).Round(time.Microsecond),
+				cp.h.Percentile(99.9).Round(time.Microsecond))
+			c.recordCell(Cell{
+				Engine: string(mode), Workload: "serve-phase/" + cp.name, Threads: conns,
+				Params: map[string]float64{"load": lr.f},
+			}.withResult(resultFrom(cp.h, 0)))
+		}
+	}
+
+	// Tracing overhead: interleaved plain/traced capacity pairs (slow
+	// periods of a shared host hit both sides), best-of per side, the
+	// PR 7 protocol. Traced runs have the full stack on: server spans +
+	// req_tx links, response breakdowns, client span recording. The
+	// slow-request ring is always on (both sides pay it). Budget: ≤10%.
+	rec := c.Trace
+	if rec == nil {
+		rec = trace.NewRecorder(1 << 16)
+	}
+	var bestPlain, bestTraced float64
+	for i := 0; i < 3; i++ {
+		srv.SetTracer(nil)
+		plainCfg := common
+		plainCfg.Window = 64
+		plain, err := loadgen.Run(plainCfg)
+		if err != nil {
+			return fmt.Errorf("serve: overhead plain run: %w", err)
+		}
+		srv.SetTracer(rec.Tracer("server"))
+		tracedCfg := common
+		tracedCfg.Window = 64
+		tracedCfg.Breakdown = true
+		tracedCfg.Trace = rec
+		traced, err := loadgen.Run(tracedCfg)
+		if err != nil {
+			return fmt.Errorf("serve: overhead traced run: %w", err)
+		}
+		if plain.Throughput > bestPlain {
+			bestPlain = plain.Throughput
+		}
+		if traced.Throughput > bestTraced {
+			bestTraced = traced.Throughput
+		}
+	}
+	// Leave the server in its configured tracing state for the drain
+	// audit (attached only when the harness was given a recorder).
+	if c.Trace != nil {
+		srv.SetTracer(c.Trace.Tracer("server"))
+	} else {
+		srv.SetTracer(nil)
+	}
+	overheadPct := 0.0
+	if bestPlain > 0 {
+		overheadPct = (bestPlain - bestTraced) / bestPlain * 100
+	}
+	overheadVerdict := "ok (<=10%)"
+	if overheadPct > 10 {
+		overheadVerdict = "SHORTFALL (>10%)"
+	}
+	fmt.Fprintf(c.Out, "serve: tracing overhead: plain %.0f ops/s, traced %.0f ops/s -> %.1f%% %s\n",
+		bestPlain, bestTraced, overheadPct, overheadVerdict)
+	for traced, ops := range map[float64]float64{0: bestPlain, 1: bestTraced} {
+		c.recordCell(Cell{
+			Engine: string(mode), Workload: "serve-overhead", Threads: conns,
+			Params:    map[string]float64{"traced": traced, "overhead_pct_info": overheadPct},
+			OpsPerSec: ops,
+		})
 	}
 
 	// 3. Drain audit: acknowledged writes must survive drain + reopen.

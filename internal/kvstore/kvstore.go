@@ -81,8 +81,16 @@ func (s *Store) ReadModifyWrite(key uint64, fn func(old []byte, found bool) ([]b
 	return s.tree.Modify(key, fn)
 }
 
+// UpdateT is Update returning the engine transaction id that executed
+// the write, for joining service-level traces to engine emissions.
+func (s *Store) UpdateT(key uint64, value []byte) (uint64, error) { return s.tree.PutT(key, value) }
+
 // Delete removes key.
 func (s *Store) Delete(key uint64) (bool, error) { return s.tree.Delete(key) }
+
+// DeleteT is Delete returning the engine transaction id that executed
+// the removal.
+func (s *Store) DeleteT(key uint64) (bool, uint64, error) { return s.tree.DeleteT(key) }
 
 // Scan returns up to max pairs starting at key (YCSB SCAN).
 func (s *Store) Scan(start uint64, max int) ([]pbtree.KV, error) { return s.tree.Scan(start, max) }
@@ -112,12 +120,19 @@ type Op struct {
 // server's batcher (internal/server) halves the batch on any abort, so
 // splits and log-slot overflows converge to per-op execution.
 func (s *Store) ApplyBatch(ops []Op) error {
+	_, err := s.ApplyBatchT(ops)
+	return err
+}
+
+// ApplyBatchT is ApplyBatch returning the engine transaction id that
+// executed (or aborted) the batch.
+func (s *Store) ApplyBatchT(ops []Op) (uint64, error) {
 	bops := make([]pbtree.BatchOp, len(ops))
 	for i, op := range ops {
 		bops[i] = pbtree.BatchOp{Key: op.Key, Value: op.Value, Delete: op.Delete}
 	}
 	sort.Slice(bops, func(i, j int) bool { return bops[i].Key < bops[j].Key })
-	return s.tree.ApplyBatch(bops)
+	return s.tree.ApplyBatchT(bops)
 }
 
 // Tree exposes the underlying B+Tree for invariant checks in tests.

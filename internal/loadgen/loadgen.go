@@ -24,6 +24,7 @@ import (
 
 	"kaminotx/internal/server"
 	"kaminotx/internal/stats"
+	"kaminotx/internal/trace"
 	"kaminotx/internal/transport"
 	"kaminotx/internal/workload"
 )
@@ -54,6 +55,13 @@ type Config struct {
 	Mix workload.Mix
 	// Seed makes runs reproducible. Same seed, same arrival keys.
 	Seed int64
+	// Breakdown asks the server for its per-phase latency split on every
+	// response and aggregates it into Result.Phase: end-to-end latency
+	// decomposes into server phases plus the network+queue remainder.
+	Breakdown bool
+	// Trace attaches a recorder to every connection's client, minting
+	// end-to-end trace ids and recording client_req spans.
+	Trace *trace.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +103,17 @@ type Result struct {
 	Throughput float64
 	// OfferedRate is Issued over the configured duration (open loop).
 	OfferedRate float64
+	// Phase holds per-phase latency histograms aggregated from the
+	// servers' response breakdowns, indexed by transport.KVPhase (nil
+	// without Config.Breakdown). Phase[KVPhaseRespWrite] stays empty: a
+	// response cannot carry its own encode time.
+	Phase []*stats.Histogram
+	// NetQueue is the network + client-queue remainder per successful
+	// op: end-to-end latency minus the server phases the response
+	// attributed (clamped at zero), nil without Config.Breakdown. Under
+	// open-loop overload this inherits the schedule lag that
+	// coordinated-omission-safe measurement charges to each arrival.
+	NetQueue *stats.Histogram
 }
 
 // timed pairs an in-flight call with the arrival it is accountable to.
@@ -107,6 +126,8 @@ type timed struct {
 type connResult struct {
 	issued, ok, busy, errs uint64
 	hist                   stats.Histogram
+	phase                  [transport.KVPhaseCount]stats.Histogram
+	netq                   stats.Histogram
 	last                   time.Time
 	err                    error
 }
@@ -127,6 +148,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 	wg.Wait()
 	res := &Result{Hist: &stats.Histogram{}}
+	if cfg.Breakdown {
+		res.Phase = make([]*stats.Histogram, transport.KVPhaseCount)
+		for i := range res.Phase {
+			res.Phase[i] = &stats.Histogram{}
+		}
+		res.NetQueue = &stats.Histogram{}
+	}
 	end := start
 	for i := range results {
 		r := &results[i]
@@ -138,6 +166,12 @@ func Run(cfg Config) (*Result, error) {
 		res.Busy += r.busy
 		res.Errors += r.errs
 		res.Hist.Merge(&r.hist)
+		if cfg.Breakdown {
+			for j := range r.phase {
+				res.Phase[j].Merge(&r.phase[j])
+			}
+			res.NetQueue.Merge(&r.netq)
+		}
 		if r.last.After(end) {
 			end = r.last
 		}
@@ -159,6 +193,9 @@ func runConn(cfg Config, ks *workload.KeyState, idx int, start time.Time) connRe
 		return r
 	}
 	defer c.Close()
+	if cfg.Trace != nil {
+		c.EnableTracing(cfg.Trace)
+	}
 	gen := workload.NewGenerator(cfg.Mix, ks, cfg.Seed+int64(idx)*7919)
 	val := make([]byte, cfg.ValueSize)
 	sem := make(chan struct{}, cfg.Window)
@@ -179,6 +216,26 @@ func runConn(cfg Config, ks *workload.KeyState, idx int, start time.Time) connRe
 			case tc.call.Resp.Status == transport.KVOK:
 				r.ok++
 				r.hist.Record(lat)
+				if ns := tc.call.Resp.PhaseNs; cfg.Breakdown && len(ns) > 0 {
+					var serverNs int64
+					for j, v := range ns {
+						if j < len(r.phase) {
+							r.phase[j].Record(time.Duration(v))
+						}
+						// decode includes the server's idle wait for the
+						// request bytes — that is network time, not server
+						// time, so only the post-decode phases subtract
+						// from the end-to-end sample.
+						if j != int(transport.KVPhaseDecode) {
+							serverNs += v
+						}
+					}
+					nq := lat - time.Duration(serverNs)
+					if nq < 0 {
+						nq = 0
+					}
+					r.netq.Record(nq)
+				}
 			case tc.call.Resp.Status == transport.KVErrBusy:
 				r.busy++
 			default:
@@ -210,6 +267,7 @@ func runConn(cfg Config, ks *workload.KeyState, idx int, start time.Time) connRe
 		}
 		sem <- struct{}{} // overload backstop; waiting counts into latency
 		req := nextReq(gen, cfg.Tenant, val)
+		req.Breakdown = cfg.Breakdown
 		call, err := c.Send(req)
 		if err != nil {
 			<-sem

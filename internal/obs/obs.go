@@ -65,6 +65,25 @@ const (
 	// asynchronous backup roll-forward: the window during which a
 	// dependent transaction on the same objects would stall.
 	PhaseBackupLag Phase = "backup_lag"
+
+	// Server request phases: the network service path's per-request
+	// latency breakdown (internal/server). They tile a request's server
+	// wall time; the names match transport.KVPhase.
+
+	// PhaseServeDecode is the gob decode of a request frame (includes
+	// connection idle time waiting for bytes).
+	PhaseServeDecode Phase = "decode"
+	// PhaseServeAdmission is decode-end to admission-token acquired.
+	PhaseServeAdmission Phase = "admission_wait"
+	// PhaseServeBatchWait is token-acquired to engine-transaction start
+	// (write-batcher queueing, or the read-your-writes barrier).
+	PhaseServeBatchWait Phase = "batch_wait"
+	// PhaseServeEngineTxn is the engine call executing the request.
+	PhaseServeEngineTxn Phase = "engine_txn"
+	// PhaseServeOrderWait is completion to response-writer dequeue.
+	PhaseServeOrderWait Phase = "order_wait"
+	// PhaseServeRespWrite is the response encode + flush.
+	PhaseServeRespWrite Phase = "resp_write"
 )
 
 // phaseOrder fixes breakdown-table display order to critical-path order.
@@ -78,6 +97,12 @@ var phaseOrder = []Phase{
 	PhaseCopyBack,
 	PhaseBackupSync,
 	PhaseBackupLag,
+	PhaseServeDecode,
+	PhaseServeAdmission,
+	PhaseServeBatchWait,
+	PhaseServeEngineTxn,
+	PhaseServeOrderWait,
+	PhaseServeRespWrite,
 }
 
 // Counter is a monotonically increasing event counter.

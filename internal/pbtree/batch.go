@@ -43,9 +43,18 @@ var ErrBatchNeedsSplit = errors.New("pbtree: batch requires a node split")
 // the caller falls back to per-operation execution. Deletes never
 // restructure (removal is lazy, as in Delete).
 func (t *Tree) ApplyBatch(ops []BatchOp) error {
+	_, err := t.ApplyBatchT(ops)
+	return err
+}
+
+// ApplyBatchT is ApplyBatch returning the engine transaction id that
+// executed (or aborted) the batch, for correlating the batch with the
+// trace stream. The id is 0 when validation fails before a transaction
+// begins.
+func (t *Tree) ApplyBatchT(ops []BatchOp) (uint64, error) {
 	for i := 1; i < len(ops); i++ {
 		if ops[i].Key <= ops[i-1].Key {
-			return errors.New("pbtree: batch keys must be unique and ascending")
+			return 0, errors.New("pbtree: batch keys must be unique and ascending")
 		}
 	}
 	// held maps the leaves this batch has write-latched (and possibly
@@ -55,7 +64,7 @@ func (t *Tree) ApplyBatch(ops []BatchOp) error {
 	held := make(map[kamino.ObjID]bool)
 	var un unlockers
 	defer un.runAll()
-	return t.pool.Update(func(tx *kamino.Tx) error {
+	return t.pool.UpdateT(func(tx *kamino.Tx) error {
 		for i := range ops {
 			if err := t.batchOne(tx, &un, held, &ops[i]); err != nil {
 				return err

@@ -217,27 +217,41 @@ func (t *Tree) Put(key uint64, val []byte) error {
 	return t.Modify(key, func([]byte, bool) ([]byte, error) { return val, nil })
 }
 
+// PutT is Put returning the engine transaction id that installed the
+// value (the last attempt's id when root splits forced retries).
+func (t *Tree) PutT(key uint64, val []byte) (uint64, error) {
+	return t.ModifyT(key, func([]byte, bool) ([]byte, error) { return val, nil })
+}
+
 // Modify atomically installs fn(currentValue, found) as key's new value in
 // a single transaction — the read-modify-write primitive YCSB workload F
 // exercises. fn returning an error aborts the transaction.
 func (t *Tree) Modify(key uint64, fn func(old []byte, found bool) ([]byte, error)) error {
+	_, err := t.ModifyT(key, fn)
+	return err
+}
+
+// ModifyT is Modify returning the engine transaction id of the attempt
+// that installed the value (root-split transactions along the way are
+// not reported; the id identifies the write itself).
+func (t *Tree) ModifyT(key uint64, fn func(old []byte, found bool) ([]byte, error)) (uint64, error) {
 	for {
-		retry, err := t.tryPut(key, fn)
+		txid, retry, err := t.tryPut(key, fn)
 		if err != nil {
-			return err
+			return txid, err
 		}
 		if !retry {
-			return nil
+			return txid, nil
 		}
 	}
 }
 
 // tryPut performs one insert attempt; it reports retry=true when the root
 // was full and had to be split (the operation restarts afterwards).
-func (t *Tree) tryPut(key uint64, fn func([]byte, bool) ([]byte, error)) (retry bool, err error) {
+func (t *Tree) tryPut(key uint64, fn func([]byte, bool) ([]byte, error)) (txid uint64, retry bool, err error) {
 	var un unlockers
 	defer un.runAll()
-	err = t.pool.Update(func(tx *kamino.Tx) error {
+	txid, err = t.pool.UpdateT(func(tx *kamino.Tx) error {
 		t.rootLatch.RLock()
 		rootObj, err := t.rootPtr()
 		if err != nil {
@@ -269,7 +283,7 @@ func (t *Tree) tryPut(key uint64, fn func([]byte, bool) ([]byte, error)) (retry 
 		t.rootLatch.RUnlock()
 		return t.descendPut(tx, &un, rootObj, root, false, key, fn)
 	})
-	return retry, err
+	return txid, retry, err
 }
 
 // splitRoot splits a full root in its own transaction under the exclusive
@@ -523,10 +537,17 @@ func (t *Tree) putInLeaf(tx *kamino.Tx, leafObj kamino.ObjID, key uint64, fn fun
 // each parent as soon as the child is latched) so the target leaf cannot be
 // split out from under the operation.
 func (t *Tree) Delete(key uint64) (bool, error) {
+	deleted, _, err := t.DeleteT(key)
+	return deleted, err
+}
+
+// DeleteT is Delete returning the engine transaction id that executed
+// the removal (the transaction commits empty when the key was absent).
+func (t *Tree) DeleteT(key uint64) (bool, uint64, error) {
 	var deleted bool
 	var un unlockers
 	defer un.runAll()
-	err := t.pool.Update(func(tx *kamino.Tx) error {
+	txid, err := t.pool.UpdateT(func(tx *kamino.Tx) error {
 		t.rootLatch.RLock()
 		cur, err := t.rootPtr()
 		if err != nil {
@@ -577,7 +598,7 @@ func (t *Tree) Delete(key uint64) (bool, error) {
 		deleted = true
 		return nil
 	})
-	return deleted, err
+	return deleted, txid, err
 }
 
 // KV is one key-value pair returned by Scan.

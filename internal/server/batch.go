@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"kaminotx/internal/kvstore"
+	"kaminotx/internal/obs"
 	"kaminotx/internal/transport"
 )
 
@@ -98,12 +99,16 @@ func (s *Server) applyReqs(batch []*wreq) {
 	for i, w := range batch {
 		ops[i] = kvstore.Op{Key: w.key, Value: w.value, Delete: w.delete}
 	}
+	s.markEngineStart(batch)
 	s.writeMu.Lock()
-	err := s.opts.Store.ApplyBatch(ops)
+	e0 := time.Now()
+	txid, err := s.opts.Store.ApplyBatchT(ops)
+	engineNs := time.Since(e0).Nanoseconds()
 	s.writeMu.Unlock()
 	if err == nil {
 		s.cBatches.Inc()
 		s.cBatchOps.Add(uint64(len(batch)))
+		s.markEngineDone(batch, engineNs, txid)
 		for _, w := range batch {
 			s.ackWrite(w, false)
 		}
@@ -117,20 +122,53 @@ func (s *Server) applyReqs(batch []*wreq) {
 
 // applyOne executes a single write through the ordinary engine path.
 func (s *Server) applyOne(w *wreq) {
+	one := []*wreq{w}
+	s.markEngineStart(one)
 	s.writeMu.Lock()
+	e0 := time.Now()
 	var found bool
 	var err error
+	var txid uint64
 	if w.delete {
-		found, err = s.opts.Store.Delete(w.key)
+		found, txid, err = s.opts.Store.DeleteT(w.key)
 	} else {
-		err = s.opts.Store.Update(w.key, w.value)
+		txid, err = s.opts.Store.UpdateT(w.key, w.value)
 	}
+	engineNs := time.Since(e0).Nanoseconds()
 	s.writeMu.Unlock()
+	s.markEngineDone(one, engineNs, txid)
 	if err != nil {
 		s.fail(w.p, transport.KVErrInternal, err)
 		return
 	}
 	s.ackWrite(w, found)
+}
+
+// markEngineStart closes each member's batch_wait phase (token in hand
+// to engine-transaction start: write-queue time plus batch formation).
+func (s *Server) markEngineStart(batch []*wreq) {
+	tr := s.tracer.Load()
+	for _, w := range batch {
+		p := w.p
+		p.batchNs = time.Since(p.start).Nanoseconds() - p.admitNs
+		p.batchLen = len(batch)
+		tr.SpanTrace(string(obs.PhaseServeBatchWait), p.trace, time.Duration(p.batchNs))
+	}
+}
+
+// markEngineDone records the shared engine-transaction duration on every
+// member (each waited on the whole transaction) and links each traced
+// request to the engine transaction id that executed it.
+func (s *Server) markEngineDone(batch []*wreq, engineNs int64, txid uint64) {
+	tr := s.tracer.Load()
+	for _, w := range batch {
+		p := w.p
+		p.engineNs = engineNs
+		tr.SpanTrace(string(obs.PhaseServeEngineTxn), p.trace, time.Duration(engineNs))
+		if p.trace != 0 && txid != 0 {
+			tr.ReqLink(p.trace, txid)
+		}
+	}
 }
 
 // ackWrite acknowledges a durably committed write.

@@ -46,6 +46,7 @@ import (
 
 	"kaminotx/internal/kvstore"
 	"kaminotx/internal/obs"
+	"kaminotx/internal/trace"
 	"kaminotx/internal/transport"
 )
 
@@ -95,6 +96,31 @@ type Options struct {
 	// (connections, admission queue depth, shed/served counters, batch
 	// sizes and splits).
 	Obs *obs.Registry
+
+	// Trace, if set, receives per-request phase spans (actor "server",
+	// keyed by end-to-end trace id) and request-to-transaction link
+	// events joining each write to the engine transaction that executed
+	// it. SetTracer attaches or detaches a recorder at runtime.
+	Trace *trace.Recorder
+
+	// SlowN is the slow-request ring's capacity: the N slowest recent
+	// requests retained for /debug/requests. Default 32.
+	SlowN int
+
+	// SlowWindow bounds how long a slow-request record stays current;
+	// older entries are evicted at snapshot/insert time so the ring
+	// shows recent tail behaviour, not startup artifacts. Default 10m.
+	SlowWindow time.Duration
+
+	// SlowThreshold, when positive, arms a watchdog probe: the first
+	// request whose server wall time exceeds it raises a latched alarm
+	// (the obs watchdog's first-incident convention) carrying the slow
+	// ring's worst record, delivered to OnSlowAlarm.
+	SlowThreshold time.Duration
+
+	// OnSlowAlarm receives the slow-request alarm (nil = alarm is only
+	// retained in SlowAlarms). Called from the watchdog tick goroutine.
+	OnSlowAlarm func(obs.Alarm)
 }
 
 func (o Options) withDefaults() Options {
@@ -115,6 +141,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DefaultTenant == "" {
 		o.DefaultTenant = "default"
+	}
+	if o.SlowN == 0 {
+		o.SlowN = 32
+	}
+	if o.SlowWindow == 0 {
+		o.SlowWindow = 10 * time.Minute
 	}
 	return o
 }
@@ -145,6 +177,7 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 
 	// metrics
+	reg       *obs.Registry // opts.Obs, or a private registry when unset
 	nConns    atomic.Int64
 	cOps      map[transport.KVKind]*obs.Counter
 	cShed     *obs.Counter
@@ -152,7 +185,27 @@ type Server struct {
 	cBatches  *obs.Counter
 	cBatchOps *obs.Counter
 	cSplits   *obs.Counter
+	cSlow     *obs.Counter
+	orderHW   atomic.Int64 // high-water of any connection's order-queue depth
+
+	// request-phase attribution (always on; nanosecond timestamps are
+	// cheap next to a network round trip)
+	pPhase    [transport.KVPhaseCount]*obs.PhaseStat
+	pKindWall map[transport.KVKind]*obs.PhaseStat
+	tenantMu  sync.RWMutex
+	pTenWall  map[string]*obs.PhaseStat // capped; overflow pools in "_other"
+
+	// tracing (dynamic: SetTracer attaches/detaches at runtime)
+	tracer   atomic.Pointer[trace.Tracer]
+	traceSeq atomic.Uint64
+
+	slow *SlowLog
+	wd   *obs.Watchdog
 }
+
+// maxTenantTimers bounds per-tenant wall-time label cardinality in the
+// hub; tenants beyond it share the "_other" timer.
+const maxTenantTimers = 16
 
 // New builds a Server over ln. The listener is owned by the server from
 // here on (Drain and Close close it). Tenants named in opts are
@@ -167,14 +220,20 @@ func New(ln net.Listener, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("server: loading tenant registry: %w", err)
 	}
 	s := &Server{
-		opts:    opts,
-		ln:      ln,
-		tenants: tenants,
-		admit:   make(chan struct{}, opts.MaxInflight),
-		writeCh: make(chan *wreq, opts.MaxInflight),
-		stop:    make(chan struct{}),
-		conns:   make(map[net.Conn]struct{}),
-		cOps:    make(map[transport.KVKind]*obs.Counter),
+		opts:      opts,
+		ln:        ln,
+		tenants:   tenants,
+		admit:     make(chan struct{}, opts.MaxInflight),
+		writeCh:   make(chan *wreq, opts.MaxInflight),
+		stop:      make(chan struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		cOps:      make(map[transport.KVKind]*obs.Counter),
+		pKindWall: make(map[transport.KVKind]*obs.PhaseStat),
+		pTenWall:  make(map[string]*obs.PhaseStat),
+		slow:      NewSlowLog(opts.SlowN, opts.SlowWindow),
+	}
+	if opts.Trace != nil {
+		s.tracer.Store(opts.Trace.Tracer("server"))
 	}
 	for _, name := range append([]string{opts.DefaultTenant}, opts.Tenants...) {
 		if _, err := tenants.Ensure(name); err != nil {
@@ -182,9 +241,39 @@ func New(ln net.Listener, opts Options) (*Server, error) {
 		}
 	}
 	s.initObs()
+	if opts.SlowThreshold > 0 {
+		s.wd = obs.NewWatchdog(time.Second, opts.OnSlowAlarm)
+		s.wd.Add(s.slowProbe(opts.SlowThreshold))
+		s.wd.Start()
+	}
 	s.batchWG.Add(1)
 	go s.batcher()
 	return s, nil
+}
+
+// SetTracer attaches (or, with nil, detaches) the tracer receiving the
+// server's request phase spans and request-to-transaction links. Safe
+// under load: emission sites load the pointer per event.
+func (s *Server) SetTracer(t *trace.Tracer) { s.tracer.Store(t) }
+
+// Slow returns the slow-request ring (serve it at /debug/requests via
+// SlowLog.Handler).
+func (s *Server) Slow() *SlowLog { return s.slow }
+
+// SlowAlarms returns slow-request watchdog alarms raised so far (empty
+// without a configured SlowThreshold).
+func (s *Server) SlowAlarms() []obs.Alarm {
+	if s.wd == nil {
+		return nil
+	}
+	return s.wd.Alarms()
+}
+
+// slowProbe adapts the slow ring to the watchdog Probe contract: it
+// fires (once, latched) when any request's wall time has exceeded the
+// threshold, carrying the worst record seen.
+func (s *Server) slowProbe(threshold time.Duration) obs.Probe {
+	return &slowRequestProbe{log: s.slow, thresholdNs: threshold.Nanoseconds()}
 }
 
 // initObs registers the server's counters and gauges.
@@ -193,6 +282,7 @@ func (s *Server) initObs() {
 	if reg == nil {
 		reg = obs.New("server")
 	}
+	s.reg = reg
 	for _, k := range []transport.KVKind{transport.KVPing, transport.KVGet, transport.KVPut,
 		transport.KVDelete, transport.KVScan, transport.KVCount} {
 		s.cOps[k] = reg.Counter("ops_" + k.String())
@@ -202,15 +292,58 @@ func (s *Server) initObs() {
 	s.cBatches = reg.Counter("batches")
 	s.cBatchOps = reg.Counter("batched_ops")
 	s.cSplits = reg.Counter("batch_splits")
+	s.cSlow = reg.Counter("slow_requests")
 	reg.Gauge("connections", func() uint64 { return uint64(s.nConns.Load()) })
 	reg.Gauge("admitted_inflight", func() uint64 { return uint64(len(s.admit)) })
 	reg.Gauge("write_queue_depth", func() uint64 { return uint64(len(s.writeCh)) })
+	reg.Gauge("order_queue_hw", func() uint64 { return uint64(s.orderHW.Load()) })
+	reg.Gauge("slow_ring_floor_ns", func() uint64 { return uint64(s.slow.Floor()) })
 	reg.Gauge("draining", func() uint64 {
 		if s.draining.Load() {
 			return 1
 		}
 		return 0
 	})
+	// Per-phase request timers (the six serve phases) and per-kind wall
+	// timers: fixed cardinality, so /metrics exposes quantiles for each.
+	for i := transport.KVPhase(0); i < transport.KVPhaseCount; i++ {
+		s.pPhase[i] = reg.Phase(obs.Phase(i.String()))
+	}
+	for _, k := range []transport.KVKind{transport.KVPing, transport.KVGet, transport.KVPut,
+		transport.KVDelete, transport.KVScan, transport.KVCount} {
+		s.pKindWall[k] = reg.Phase(obs.Phase("req_wall_" + k.String()))
+	}
+}
+
+// tenantTimer returns the per-tenant request wall timer, pooling tenants
+// beyond maxTenantTimers into "_other" to bound hub label cardinality.
+func (s *Server) tenantTimer(name string) *obs.PhaseStat {
+	s.tenantMu.RLock()
+	t, ok := s.pTenWall[name]
+	s.tenantMu.RUnlock()
+	if ok {
+		return t
+	}
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	if t, ok := s.pTenWall[name]; ok {
+		return t
+	}
+	if len(s.pTenWall) >= maxTenantTimers {
+		name = "_other"
+		if t, ok := s.pTenWall[name]; ok {
+			return t
+		}
+	}
+	t = s.reg.Phase(obs.Phase("req_wall_tenant_" + name))
+	s.pTenWall[name] = t
+	return t
+}
+
+// mintTrace issues a server-minted end-to-end trace id (top nibble 0x5
+// marks the server as the minting side; ids are unique per process).
+func (s *Server) mintTrace() uint64 {
+	return 0x5<<60 | s.traceSeq.Add(1)
 }
 
 // Addr returns the listener's address.
@@ -246,17 +379,38 @@ func (s *Server) Serve() error {
 
 // pending is one request's slot in its connection's in-order response
 // queue. finish completes it exactly once.
+//
+// The phase fields form the request's latency timeline. Each is written
+// by the single goroutine that owns the request at that stage (reader →
+// dispatcher → batcher/read goroutine → finish), and the response
+// writer reads them only after <-done; every handoff is a channel send
+// or close, so the fields need no locks.
 type pending struct {
 	resp  transport.KVResponse
 	done  chan struct{}
 	once  sync.Once
 	token bool // holds an admission token until finished
+
+	kind     transport.KVKind
+	tenant   string
+	key      uint64
+	bytes    int  // put payload size
+	trace    uint64
+	wantNs   bool      // client asked for PhaseNs in the response
+	start    time.Time // decode end: the request's server wall starts here
+	decodeNs int64     // KVPhaseDecode (includes wire wait; outside wall)
+	admitNs  int64     // KVPhaseAdmissionWait
+	batchNs  int64     // KVPhaseBatchWait
+	engineNs int64     // KVPhaseEngineTxn
+	batchLen int       // operations sharing the engine transaction
+	doneAt   time.Time // finish time: order_wait starts here
 }
 
 // finish fills in the response and releases the slot's resources.
 func (s *Server) finish(p *pending, fill func(*transport.KVResponse)) {
 	p.once.Do(func() {
 		fill(&p.resp)
+		p.doneAt = time.Now()
 		if p.token {
 			<-s.admit
 		}
@@ -294,13 +448,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		enc := transport.NewKVEncoder(bw)
 		for p := range order {
 			<-p.done
-			if err := enc.Response(&p.resp); err != nil {
-				break
+			orderNs := time.Since(p.doneAt).Nanoseconds()
+			s.fillBreakdown(p, orderNs)
+			w0 := time.Now()
+			err := enc.Response(&p.resp)
+			if err == nil && len(order) == 0 {
+				err = bw.Flush()
 			}
-			if len(order) == 0 {
-				if err := bw.Flush(); err != nil {
-					break
-				}
+			s.completeReq(p, orderNs, time.Since(w0).Nanoseconds())
+			if err != nil {
+				break
 			}
 		}
 		bw.Flush()
@@ -315,18 +472,106 @@ func (s *Server) serveConn(conn net.Conn) {
 	var lastWrite *pending // read-your-writes barrier, per connection
 	for {
 		var req transport.KVRequest
+		d0 := time.Now()
 		if err := dec.Request(&req); err != nil {
 			break
 		}
+		now := time.Now()
 		s.reqWG.Add(1)
-		p := &pending{done: make(chan struct{})}
+		p := &pending{
+			done:     make(chan struct{}),
+			kind:     req.Kind,
+			tenant:   req.Tenant,
+			key:      req.Key,
+			bytes:    len(req.Value),
+			trace:    req.Trace,
+			wantNs:   req.Breakdown,
+			start:    now,
+			decodeNs: now.Sub(d0).Nanoseconds(),
+		}
+		tr := s.tracer.Load()
+		if p.trace == 0 && tr != nil {
+			p.trace = s.mintTrace()
+		}
+		req.Trace = p.trace
+		tr.SpanTrace(string(obs.PhaseServeDecode), p.trace, time.Duration(p.decodeNs))
 		p.resp.ID = req.ID
 		order <- p // blocks when the window is full: TCP backpressure
+		if d := int64(len(order)); d > s.orderHW.Load() {
+			s.orderHW.Store(d) // monotonic high-water; lost races only under-report
+		}
 		lastWrite = s.dispatch(&req, p, lastWrite)
 	}
 	close(order)
 	wg.Wait()
 	conn.Close()
+}
+
+// fillBreakdown publishes the request's phase vector on the response
+// when the client asked for it. Called by the response writer before
+// encoding; resp_write is 0 on the wire (a response cannot carry its own
+// encode time — the server's metrics and spans record it).
+func (s *Server) fillBreakdown(p *pending, orderNs int64) {
+	if p.trace != 0 {
+		p.resp.Trace = p.trace
+	}
+	if !p.wantNs {
+		return
+	}
+	ns := make([]int64, transport.KVPhaseCount)
+	ns[transport.KVPhaseDecode] = p.decodeNs
+	ns[transport.KVPhaseAdmissionWait] = p.admitNs
+	ns[transport.KVPhaseBatchWait] = p.batchNs
+	ns[transport.KVPhaseEngineTxn] = p.engineNs
+	ns[transport.KVPhaseOrderWait] = orderNs
+	p.resp.PhaseNs = ns
+}
+
+// completeReq closes out a request's accounting after its response hit
+// the socket: phase and wall timers, the slow-request ring, and the
+// order_wait/resp_write trace spans.
+func (s *Server) completeReq(p *pending, orderNs, writeNs int64) {
+	wallNs := p.decodeNs + time.Since(p.start).Nanoseconds()
+	if th := s.opts.SlowThreshold; th > 0 && wallNs > th.Nanoseconds() {
+		s.cSlow.Inc()
+	}
+	s.pPhase[transport.KVPhaseDecode].Observe(time.Duration(p.decodeNs))
+	s.pPhase[transport.KVPhaseAdmissionWait].Observe(time.Duration(p.admitNs))
+	s.pPhase[transport.KVPhaseBatchWait].Observe(time.Duration(p.batchNs))
+	s.pPhase[transport.KVPhaseEngineTxn].Observe(time.Duration(p.engineNs))
+	s.pPhase[transport.KVPhaseOrderWait].Observe(time.Duration(orderNs))
+	s.pPhase[transport.KVPhaseRespWrite].Observe(time.Duration(writeNs))
+	if t, ok := s.pKindWall[p.kind]; ok {
+		t.Observe(time.Duration(wallNs))
+	}
+	tenant := p.tenant
+	if tenant == "" {
+		tenant = s.opts.DefaultTenant
+	}
+	s.tenantTimer(tenant).Observe(time.Duration(wallNs))
+	if tr := s.tracer.Load(); tr != nil && p.trace != 0 {
+		tr.SpanTrace(string(obs.PhaseServeOrderWait), p.trace, time.Duration(orderNs))
+		tr.SpanTrace(string(obs.PhaseServeRespWrite), p.trace, time.Duration(writeNs))
+	}
+	s.slow.Insert(SlowRecord{
+		Trace:  p.trace,
+		Tenant: tenant,
+		Kind:   p.kind.String(),
+		Key:    p.key,
+		Bytes:  p.bytes,
+		Batch:  p.batchLen,
+		Status: p.resp.Status.String(),
+		Start:  p.start,
+		WallNs: wallNs,
+		Phases: PhaseBreakdown{
+			DecodeNs:    p.decodeNs,
+			AdmissionNs: p.admitNs,
+			BatchWaitNs: p.batchNs,
+			EngineNs:    p.engineNs,
+			OrderNs:     orderNs,
+			WriteNs:     writeNs,
+		},
+	})
 }
 
 // dispatch routes one decoded request. It returns the connection's new
@@ -358,6 +603,10 @@ func (s *Server) dispatch(req *transport.KVRequest, p *pending, lastWrite *pendi
 		s.fail(p, transport.KVErrBusy, errors.New("admission queue full"))
 		return lastWrite
 	}
+	// admission_wait: decode end to token in hand (covers tenant
+	// resolution and any stall handing the slot to the order queue).
+	p.admitNs = time.Since(p.start).Nanoseconds()
+	s.tracer.Load().SpanTrace(string(obs.PhaseServeAdmission), p.trace, time.Duration(p.admitNs))
 	switch req.Kind {
 	case transport.KVPut, transport.KVDelete:
 		if req.Kind == transport.KVPut && len(req.Value) > s.opts.MaxValueBytes {
@@ -389,48 +638,61 @@ func (s *Server) runRead(req *transport.KVRequest, p *pending, ps *kvstore.Prefi
 	if barrier != nil {
 		<-barrier.done
 	}
+	// batch_wait for a read is its read-your-writes barrier wait.
+	p.batchNs = time.Since(p.start).Nanoseconds() - p.admitNs
+	tr := s.tracer.Load()
+	tr.SpanTrace(string(obs.PhaseServeBatchWait), p.trace, time.Duration(p.batchNs))
+	e0 := time.Now()
+	var fill func(*transport.KVResponse)
+	var err error
 	switch req.Kind {
 	case transport.KVGet:
-		v, ok, err := ps.Read(req.Key)
-		if err != nil {
-			s.readFail(p, err)
-			return
+		var v []byte
+		var ok bool
+		if v, ok, err = ps.Read(req.Key); err == nil {
+			fill = func(r *transport.KVResponse) {
+				r.Status = transport.KVOK
+				r.Found = ok
+				r.Value = v
+			}
 		}
-		s.finish(p, func(r *transport.KVResponse) {
-			r.Status = transport.KVOK
-			r.Found = ok
-			r.Value = v
-		})
 	case transport.KVScan:
 		max := req.Max
 		if max <= 0 || max > 10_000 {
 			max = 10_000
 		}
-		kvs, err := ps.Scan(req.Key, max)
-		if err != nil {
-			s.readFail(p, err)
-			return
-		}
-		s.finish(p, func(r *transport.KVResponse) {
-			r.Status = transport.KVOK
-			r.Keys = make([]uint64, len(kvs))
-			r.Values = make([][]byte, len(kvs))
-			for i, kv := range kvs {
-				r.Keys[i] = kv.Key
-				r.Values[i] = kv.Value
+		var kvs []kvstore.KV
+		if kvs, err = ps.Scan(req.Key, max); err == nil {
+			fill = func(r *transport.KVResponse) {
+				r.Status = transport.KVOK
+				r.Keys = make([]uint64, len(kvs))
+				r.Values = make([][]byte, len(kvs))
+				for i, kv := range kvs {
+					r.Keys[i] = kv.Key
+					r.Values[i] = kv.Value
+				}
 			}
-		})
-	case transport.KVCount:
-		n, err := ps.Count()
-		if err != nil {
-			s.readFail(p, err)
-			return
 		}
-		s.finish(p, func(r *transport.KVResponse) {
-			r.Status = transport.KVOK
-			r.N = n
-		})
+	case transport.KVCount:
+		var n int
+		if n, err = ps.Count(); err == nil {
+			fill = func(r *transport.KVResponse) {
+				r.Status = transport.KVOK
+				r.N = n
+			}
+		}
 	}
+	// engine_txn for a read is the store call itself (read-only engine
+	// transactions trace no TxID-keyed events, so there is no req_tx
+	// link; the span carries the duration). Set before finish: the
+	// response writer reads the phase fields once done closes.
+	p.engineNs = time.Since(e0).Nanoseconds()
+	tr.SpanTrace(string(obs.PhaseServeEngineTxn), p.trace, time.Duration(p.engineNs))
+	if err != nil {
+		s.readFail(p, err)
+		return
+	}
+	s.finish(p, fill)
 }
 
 // readFail maps a read error to its response status.
@@ -517,6 +779,10 @@ func (s *Server) Close() {
 	s.ln.Close()
 	close(s.stop)
 	s.batchWG.Wait()
+	if s.wd != nil {
+		s.wd.Tick() // capture a pending slow-request incident before stopping
+		s.wd.Stop()
+	}
 	s.connMu.Lock()
 	for conn := range s.conns {
 		conn.Close()

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"kaminotx/internal/kvstore"
+	"kaminotx/internal/trace"
 	"kaminotx/internal/transport"
 	"kaminotx/kamino"
 )
@@ -360,5 +361,117 @@ func TestDrainRejectsNewWork(t *testing.T) {
 	}
 	if _, err := Dial(addr); err == nil {
 		t.Error("listener still accepting after drain")
+	}
+}
+
+// TestTraceContinuity drives one traced put through a client, server and
+// engine sharing a single recorder, and checks the pieces join into one
+// timeline: the client span, all six server phases and the engine
+// transaction carry the same trace id, the req_tx event links the trace
+// to the engine txid, and the attributed phases cover at least 90% of
+// the server-measured wall time. The FlushLatency makes engine work
+// dominate so scheduling gaps cannot eat the 10% slack.
+func TestTraceContinuity(t *testing.T) {
+	rec := trace.NewRecorder(1 << 14)
+	p, err := kamino.Create(kamino.Options{
+		Mode: kamino.ModeSimple, HeapSize: 32 << 20, Strict: true,
+		FlushLatency: 200 * time.Microsecond, Trace: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	st, err := kvstore.Create(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, Options{Store: st, Trace: rec})
+	c := dial(t, addr)
+	c.EnableTracing(rec)
+
+	call, err := c.Send(&transport.KVRequest{
+		Kind: transport.KVPut, Key: 7, Value: []byte("traced"), Breakdown: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := call.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if call.Trace == 0 {
+		t.Fatal("client minted no trace id")
+	}
+	if resp.Trace != call.Trace {
+		t.Fatalf("response trace %#x, request trace %#x", resp.Trace, call.Trace)
+	}
+	if len(resp.PhaseNs) != int(transport.KVPhaseCount) {
+		t.Fatalf("PhaseNs has %d entries, want %d", len(resp.PhaseNs), transport.KVPhaseCount)
+	}
+
+	// The server's order_wait/resp_write spans and the slow-ring insert
+	// land after the response flushes, racing our read: poll briefly.
+	wantSpans := []string{"client_req", "decode", "admission_wait",
+		"batch_wait", "engine_txn", "order_wait"}
+	var linked uint64
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		spans := map[string]bool{}
+		linked = 0
+		for _, ev := range rec.Events() {
+			if ev.Trace == call.Trace {
+				if ev.Kind == trace.KindSpan {
+					spans[ev.Phase] = true
+				}
+				if ev.Kind == trace.KindReqTx {
+					linked = ev.TxID
+				}
+			}
+		}
+		ok := linked != 0
+		for _, ph := range wantSpans {
+			ok = ok && spans[ph]
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeline incomplete: spans %v, req_tx txid %d", spans, linked)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The linked txid must belong to a real engine transaction that the
+	// shared recorder saw commit.
+	var engine bool
+	for _, ev := range rec.Events() {
+		if ev.TxID == linked && ev.Kind == trace.KindCommitMarker {
+			engine = true
+		}
+	}
+	if !engine {
+		t.Fatalf("no engine commit_marker under linked txid %d", linked)
+	}
+
+	// Attribution must account for the server-measured wall time: the sum
+	// of the six phases covers >= 90% of WallNs for the slow-ring record
+	// (capacity 32, one request: it is in the ring).
+	var found bool
+	for _, r := range srv.Slow().Snapshot() {
+		if r.Trace != call.Trace {
+			continue
+		}
+		found = true
+		ph := r.Phases
+		sum := ph.DecodeNs + ph.AdmissionNs + ph.BatchWaitNs + ph.EngineNs + ph.OrderNs + ph.WriteNs
+		if sum < r.WallNs*9/10 {
+			t.Errorf("phases sum %dns < 90%% of wall %dns (%+v)", sum, r.WallNs, ph)
+		}
+		if r.Kind != "put" || r.Bytes != len("traced") {
+			t.Errorf("slow record misdescribes the request: %+v", r)
+		}
+	}
+	if !found {
+		t.Fatalf("no slow-ring record for trace %#x", call.Trace)
 	}
 }

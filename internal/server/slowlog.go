@@ -1,0 +1,200 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kaminotx/internal/obs"
+)
+
+// PhaseBreakdown is one request's server-side latency split in
+// nanoseconds. The fields tile the request's wall time (decode is the
+// wire read preceding it; see transport.KVPhase for the semantics).
+type PhaseBreakdown struct {
+	// DecodeNs is the gob decode of the request frame.
+	DecodeNs int64 `json:"decode_ns"`
+	// AdmissionNs is decode-end to admission-token acquired.
+	AdmissionNs int64 `json:"admission_wait_ns"`
+	// BatchWaitNs is token to engine-transaction start.
+	BatchWaitNs int64 `json:"batch_wait_ns"`
+	// EngineNs is the engine transaction (shared across a batch).
+	EngineNs int64 `json:"engine_txn_ns"`
+	// OrderNs is completion to response-writer dequeue.
+	OrderNs int64 `json:"order_wait_ns"`
+	// WriteNs is the response encode + flush.
+	WriteNs int64 `json:"resp_write_ns"`
+}
+
+// SlowRecord is one retained slow request: everything needed to go from
+// a tail-latency symptom to the phase that caused it and, when tracing
+// was on, to the exact timeline in the Chrome export (via Trace).
+type SlowRecord struct {
+	// Trace is the request's end-to-end trace id (0 when untraced).
+	Trace uint64 `json:"trace,omitempty"`
+	// Tenant is the keyspace the request addressed.
+	Tenant string `json:"tenant"`
+	// Kind is the operation name (get, put, ...).
+	Kind string `json:"kind"`
+	// Key is the tenant-local key.
+	Key uint64 `json:"key"`
+	// Bytes is the put payload size.
+	Bytes int `json:"bytes,omitempty"`
+	// Batch is how many writes shared the engine transaction.
+	Batch int `json:"batch,omitempty"`
+	// Status is the response status string.
+	Status string `json:"status"`
+	// Start is when the request's server wall clock started (decode end).
+	Start time.Time `json:"start"`
+	// WallNs is the server-measured wall time: decode plus decode-end to
+	// response-written.
+	WallNs int64 `json:"wall_ns"`
+	// Phases is the per-phase split of WallNs.
+	Phases PhaseBreakdown `json:"phase_ns"`
+}
+
+// SlowLog is a bounded ring of the N slowest recent requests, kept
+// sorted slowest-first. Insert is called for every completed request;
+// the fast path is one atomic load when the request is faster than the
+// slowest-N floor, so keeping it always-on costs nothing at steady
+// state. Records older than the window are evicted lazily so the ring
+// reflects recent tail behaviour rather than startup artifacts.
+type SlowLog struct {
+	capacity int
+	window   time.Duration
+	floor    atomic.Int64 // min WallNs that can enter a full ring
+
+	mu   sync.Mutex
+	recs []SlowRecord // sorted by WallNs descending
+}
+
+// NewSlowLog builds a ring keeping the capacity slowest requests seen in
+// the last window (capacity ≤ 0 defaults to 32, window ≤ 0 to 10m).
+func NewSlowLog(capacity int, window time.Duration) *SlowLog {
+	if capacity <= 0 {
+		capacity = 32
+	}
+	if window <= 0 {
+		window = 10 * time.Minute
+	}
+	return &SlowLog{capacity: capacity, window: window}
+}
+
+// Floor returns the wall time a request must exceed to enter the ring
+// right now (0 while the ring has room).
+func (l *SlowLog) Floor() int64 { return l.floor.Load() }
+
+// Insert offers one completed request to the ring.
+func (l *SlowLog) Insert(r SlowRecord) {
+	if r.WallNs <= l.floor.Load() {
+		return // faster than everything retained, and the ring is full
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.evictLocked(time.Now())
+	i := sort.Search(len(l.recs), func(i int) bool { return l.recs[i].WallNs < r.WallNs })
+	l.recs = append(l.recs, SlowRecord{})
+	copy(l.recs[i+1:], l.recs[i:])
+	l.recs[i] = r
+	if len(l.recs) > l.capacity {
+		l.recs = l.recs[:l.capacity]
+	}
+	l.setFloorLocked()
+}
+
+// evictLocked drops records that aged out of the window.
+func (l *SlowLog) evictLocked(now time.Time) {
+	cutoff := now.Add(-l.window)
+	kept := l.recs[:0]
+	for _, r := range l.recs {
+		if r.Start.After(cutoff) {
+			kept = append(kept, r)
+		}
+	}
+	l.recs = kept
+	l.setFloorLocked()
+}
+
+func (l *SlowLog) setFloorLocked() {
+	if len(l.recs) < l.capacity {
+		l.floor.Store(0)
+		return
+	}
+	l.floor.Store(l.recs[len(l.recs)-1].WallNs)
+}
+
+// Snapshot returns the current records, slowest first.
+func (l *SlowLog) Snapshot() []SlowRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.evictLocked(time.Now())
+	out := make([]SlowRecord, len(l.recs))
+	copy(out, l.recs)
+	return out
+}
+
+// slowDump is the /debug/requests JSON shape.
+type slowDump struct {
+	Capacity int          `json:"capacity"`
+	WindowMs int64        `json:"window_ms"`
+	FloorNs  int64        `json:"floor_ns"`
+	Records  []SlowRecord `json:"records"`
+}
+
+// Handler serves the ring as JSON (mount at /debug/requests).
+func (l *SlowLog) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(slowDump{
+			Capacity: l.capacity,
+			WindowMs: l.window.Milliseconds(),
+			FloorNs:  l.Floor(),
+			Records:  l.Snapshot(),
+		})
+	})
+}
+
+// Dump returns the same structure the HTTP handler serves, for embedding
+// in other debug surfaces (kaminobench's DebugHub).
+func (l *SlowLog) Dump() any {
+	return slowDump{
+		Capacity: l.capacity,
+		WindowMs: l.window.Milliseconds(),
+		FloorNs:  l.Floor(),
+		Records:  l.Snapshot(),
+	}
+}
+
+// slowRequestProbe is the watchdog probe behind Options.SlowThreshold:
+// it fires (once; watchdog alarms latch) when the ring's worst recent
+// record exceeds the threshold, and its detail is the record itself — a
+// flight-recorder-style incident capture.
+type slowRequestProbe struct {
+	log         *SlowLog
+	thresholdNs int64
+}
+
+// Name identifies the probe in alarms.
+func (p *slowRequestProbe) Name() string { return "slow_request" }
+
+// Check fires when the slowest retained request exceeds the threshold.
+func (p *slowRequestProbe) Check() (string, bool) {
+	recs := p.log.Snapshot()
+	if len(recs) == 0 || recs[0].WallNs <= p.thresholdNs {
+		return "", false
+	}
+	detail, err := json.Marshal(recs[0])
+	if err != nil {
+		return fmt.Sprintf("slow request: wall %dns (threshold %dns)", recs[0].WallNs, p.thresholdNs), true
+	}
+	return fmt.Sprintf("request exceeded %s: %s", time.Duration(p.thresholdNs), detail), true
+}
+
+// interface check
+var _ obs.Probe = (*slowRequestProbe)(nil)

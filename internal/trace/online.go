@@ -160,13 +160,13 @@ func AttachOnline(rec *Recorder, opts OnlineOptions) *OnlineAuditor {
 }
 
 // auditRelevant reports whether the persist-order rules can possibly
-// consume e (see auditState.step): spans and chain hops never, device
-// persistence only on log regions.
+// consume e (see auditState.step): spans, chain hops, and request-to-
+// transaction links never, device persistence only on log regions.
 func auditRelevant(e Event) bool {
 	switch e.Kind {
 	case KindWrite, KindFlush, KindFence:
 		return strings.HasSuffix(e.Actor, "/log")
-	case KindSpan, KindChainForward, KindChainApply, KindChainBatch, KindChainAck:
+	case KindSpan, KindChainForward, KindChainApply, KindChainBatch, KindChainAck, KindReqTx:
 		return false
 	}
 	return true
@@ -189,7 +189,7 @@ func (a *OnlineAuditor) processBatch(batch []Event) {
 			// Inline batches are unfiltered ring views; shed the event
 			// classes no rule consumes before touching the routing cache.
 			switch e.Kind {
-			case KindSpan, KindChainForward, KindChainApply, KindChainBatch, KindChainAck:
+			case KindSpan, KindChainForward, KindChainApply, KindChainBatch, KindChainAck, KindReqTx:
 				continue
 			}
 			var st *auditState

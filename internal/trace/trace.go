@@ -78,6 +78,11 @@ const (
 	// KindChainAck reports a tail acknowledgment (sent at the tail,
 	// received at the head).
 	KindChainAck
+
+	// KindReqTx links a service request's end-to-end trace id (Trace) to
+	// the engine transaction that executed it (TxID), joining the
+	// request timeline to the engine's TxID-keyed events.
+	KindReqTx
 )
 
 var kindNames = [...]string{
@@ -99,6 +104,7 @@ var kindNames = [...]string{
 	KindChainApply:   "chain_apply",
 	KindChainBatch:   "chain_batch",
 	KindChainAck:     "chain_ack",
+	KindReqTx:        "req_tx",
 }
 
 // String names the kind as it appears in exports.
@@ -623,6 +629,24 @@ func (t *Tracer) Span(phase string, txid uint64, d time.Duration) {
 		return
 	}
 	t.emit(&Event{Kind: KindSpan, TxID: txid, Phase: phase, Dur: d.Nanoseconds()})
+}
+
+// SpanTrace records a timed phase keyed by an end-to-end trace id
+// rather than an engine transaction id (service request phases: the
+// Chrome export lanes trace-keyed spans by trace id, so every phase of
+// one request lands on one timeline). Zero-length spans are dropped.
+func (t *Tracer) SpanTrace(phase string, traceID uint64, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.emit(&Event{Kind: KindSpan, Trace: traceID, Phase: phase, Dur: d.Nanoseconds()})
+}
+
+// ReqLink records that the request traced as traceID was executed by
+// engine transaction txid, joining the request timeline to the engine's
+// TxID-keyed events.
+func (t *Tracer) ReqLink(traceID, txid uint64) {
+	t.emit(&Event{Kind: KindReqTx, Trace: traceID, TxID: txid})
 }
 
 // --- chain protocol emissions (internal/chain) ---

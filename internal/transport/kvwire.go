@@ -92,6 +92,60 @@ func (s KVStatus) String() string {
 	}
 }
 
+// KVPhase indexes one slice of a request's server-side latency
+// breakdown. The phases tile the server's request wall time: decode off
+// the wire, wait for an admission token, wait in the write batcher (or
+// on the read-your-writes barrier), the engine transaction itself, wait
+// for in-order response delivery, and the response encode. KVPhaseCount
+// sizes KVResponse.PhaseNs; the indices are part of the wire contract.
+type KVPhase uint8
+
+// Server-side request phases, in critical-path order.
+const (
+	// KVPhaseDecode is the gob decode of the request frame (includes
+	// time the connection sat idle waiting for bytes, so it is reported
+	// for diagnosis but excluded from queueing analysis).
+	KVPhaseDecode KVPhase = iota
+	// KVPhaseAdmissionWait is decode-end to admission-token acquired.
+	KVPhaseAdmissionWait
+	// KVPhaseBatchWait is token-acquired to engine-transaction start:
+	// write-batcher queueing for writes, the read-your-writes barrier
+	// for reads.
+	KVPhaseBatchWait
+	// KVPhaseEngineTxn is the engine call (batched writes share one
+	// transaction; every member reports the full transaction duration).
+	KVPhaseEngineTxn
+	// KVPhaseOrderWait is completion to response-writer dequeue (head-of
+	// -line wait behind earlier responses on the same connection).
+	KVPhaseOrderWait
+	// KVPhaseRespWrite is the response encode + flush. A response cannot
+	// carry its own encode time, so PhaseNs reports 0 here; the server's
+	// metrics and trace spans record it.
+	KVPhaseRespWrite
+	// KVPhaseCount is the length of a full PhaseNs vector.
+	KVPhaseCount
+)
+
+// String names the phase; matches the obs phase vocabulary.
+func (p KVPhase) String() string {
+	switch p {
+	case KVPhaseDecode:
+		return "decode"
+	case KVPhaseAdmissionWait:
+		return "admission_wait"
+	case KVPhaseBatchWait:
+		return "batch_wait"
+	case KVPhaseEngineTxn:
+		return "engine_txn"
+	case KVPhaseOrderWait:
+		return "order_wait"
+	case KVPhaseRespWrite:
+		return "resp_write"
+	default:
+		return fmt.Sprintf("kvphase(%d)", uint8(p))
+	}
+}
+
 // KVRequest is one client request.
 type KVRequest struct {
 	// ID is a client-chosen correlation id echoed in the response.
@@ -106,6 +160,14 @@ type KVRequest struct {
 	Value []byte
 	// Max bounds a KVScan's result count.
 	Max int
+	// Trace is an optional end-to-end trace id. Zero means untraced; the
+	// server mints one when it is tracing and the client sent none. Gob
+	// omits zero fields, so old clients and servers interoperate: an old
+	// peer simply never sees or sends the field.
+	Trace uint64
+	// Breakdown asks the server to return its per-phase latency split in
+	// KVResponse.PhaseNs. Old servers ignore it.
+	Breakdown bool
 }
 
 // KVResponse is one server response.
@@ -126,6 +188,14 @@ type KVResponse struct {
 	Values [][]byte
 	// N is KVCount's result.
 	N int
+	// Trace echoes the request's trace id (server-minted if the request
+	// carried none and the server is tracing). Zero from old servers.
+	Trace uint64
+	// PhaseNs is the server-side latency breakdown in nanoseconds,
+	// indexed by KVPhase, present only when the request set Breakdown.
+	// PhaseNs[KVPhaseRespWrite] is always 0 (a response cannot time its
+	// own encode); old servers return nil.
+	PhaseNs []int64
 }
 
 // Error converts a response's status and detail to an error (nil for OK).

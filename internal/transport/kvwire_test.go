@@ -1,0 +1,155 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// oldKVRequest and oldKVResponse are the wire structs as they looked
+// before the Trace/Breakdown/PhaseNs fields: gob matches fields by name,
+// so these stand in for a peer built from the older protocol.
+type oldKVRequest struct {
+	ID     uint64
+	Kind   KVKind
+	Tenant string
+	Key    uint64
+	Value  []byte
+	Max    int
+}
+
+type oldKVResponse struct {
+	ID     uint64
+	Status KVStatus
+	Err    string
+	Found  bool
+	Value  []byte
+	Keys   []uint64
+	Values [][]byte
+	N      int
+}
+
+func TestKVWireRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewKVEncoder(&buf)
+	dec := NewKVDecoder(&buf)
+
+	want := &KVRequest{
+		ID: 7, Kind: KVPut, Tenant: "alpha", Key: 42,
+		Value: []byte("v"), Trace: 0xC<<60 | 3, Breakdown: true,
+	}
+	if err := enc.Request(want); err != nil {
+		t.Fatal(err)
+	}
+	var got KVRequest
+	if err := dec.Request(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != want.Trace || !got.Breakdown || got.Key != want.Key {
+		t.Fatalf("request round trip: got %+v want %+v", got, *want)
+	}
+
+	resp := &KVResponse{ID: 7, Status: KVOK, Trace: want.Trace,
+		PhaseNs: []int64{1, 2, 3, 4, 5, 0}}
+	if err := enc.Response(resp); err != nil {
+		t.Fatal(err)
+	}
+	var gotResp KVResponse
+	if err := dec.Response(&gotResp); err != nil {
+		t.Fatal(err)
+	}
+	if gotResp.Trace != resp.Trace || len(gotResp.PhaseNs) != int(KVPhaseCount) {
+		t.Fatalf("response round trip: got %+v", gotResp)
+	}
+}
+
+// TestKVWireUntracedStaysZero checks that an untraced round trip carries
+// no trace fields: gob omits zero fields, so the wire bytes are those of
+// the old protocol.
+func TestKVWireUntracedStaysZero(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewKVEncoder(&buf).Request(&KVRequest{ID: 1, Kind: KVGet, Key: 9}); err != nil {
+		t.Fatal(err)
+	}
+	var got KVRequest
+	if err := NewKVDecoder(&buf).Request(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != 0 || got.Breakdown {
+		t.Fatalf("untraced request grew trace fields: %+v", got)
+	}
+}
+
+// TestKVWireOldClientNewServer sends the pre-trace request shape into the
+// current decoder: the new fields must simply read as zero.
+func TestKVWireOldClientNewServer(t *testing.T) {
+	var buf bytes.Buffer
+	old := gob.NewEncoder(&buf)
+	if err := old.Encode(&oldKVRequest{ID: 3, Kind: KVPut, Tenant: "t", Key: 5, Value: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	var got KVRequest
+	if err := NewKVDecoder(&buf).Request(&got); err != nil {
+		t.Fatalf("new server rejected old request: %v", err)
+	}
+	if got.ID != 3 || got.Key != 5 || got.Trace != 0 || got.Breakdown {
+		t.Fatalf("old request decoded wrong: %+v", got)
+	}
+
+	// And the new server's traced response must decode on the old client,
+	// which skips the unknown Trace/PhaseNs fields.
+	buf.Reset()
+	if err := NewKVEncoder(&buf).Response(&KVResponse{
+		ID: 3, Status: KVOK, Found: true, Value: []byte("x"),
+		Trace: 0x5<<60 | 1, PhaseNs: []int64{1, 2, 3, 4, 5, 0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var oldResp oldKVResponse
+	if err := gob.NewDecoder(&buf).Decode(&oldResp); err != nil {
+		t.Fatalf("old client rejected new response: %v", err)
+	}
+	if oldResp.ID != 3 || !oldResp.Found || string(oldResp.Value) != "x" {
+		t.Fatalf("new response decoded wrong on old client: %+v", oldResp)
+	}
+}
+
+// TestKVWireNewClientOldServer runs the reverse direction: a traced
+// request decodes on the old server shape (unknown fields skipped), and
+// the old server's response reads back with zero trace fields.
+func TestKVWireNewClientOldServer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewKVEncoder(&buf).Request(&KVRequest{
+		ID: 4, Kind: KVGet, Key: 6, Trace: 0xC<<60 | 9, Breakdown: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var oldReq oldKVRequest
+	if err := gob.NewDecoder(&buf).Decode(&oldReq); err != nil {
+		t.Fatalf("old server rejected traced request: %v", err)
+	}
+	if oldReq.ID != 4 || oldReq.Key != 6 {
+		t.Fatalf("traced request decoded wrong on old server: %+v", oldReq)
+	}
+
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&oldKVResponse{ID: 4, Status: KVOK, Found: true}); err != nil {
+		t.Fatal(err)
+	}
+	var got KVResponse
+	if err := NewKVDecoder(&buf).Response(&got); err != nil {
+		t.Fatalf("new client rejected old response: %v", err)
+	}
+	if got.Trace != 0 || got.PhaseNs != nil {
+		t.Fatalf("old response grew trace fields: %+v", got)
+	}
+}
+
+func TestKVPhaseNames(t *testing.T) {
+	want := []string{"decode", "admission_wait", "batch_wait", "engine_txn", "order_wait", "resp_write"}
+	for ph := KVPhase(0); ph < KVPhaseCount; ph++ {
+		if ph.String() != want[ph] {
+			t.Errorf("KVPhase(%d).String() = %q, want %q", ph, ph.String(), want[ph])
+		}
+	}
+}

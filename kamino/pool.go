@@ -224,6 +224,18 @@ func (p *Pool) attachTrace() {
 	}
 }
 
+// SetTrace attaches rec to an already-open pool — Open reconstructs
+// options from pool.json, which carries no recorder — wiring the engine
+// and its NVM regions to fresh trace actors. Attach before the pool
+// takes traffic; a nil rec is ignored.
+func (p *Pool) SetTrace(rec *trace.Recorder) {
+	if rec == nil {
+		return
+	}
+	p.opts.Trace = rec
+	p.attachTrace()
+}
+
 // Root returns the pool's root object, the durable entry point applications
 // hang their data structures off.
 func (p *Pool) Root() ObjID { return p.root }
@@ -244,17 +256,27 @@ func (p *Pool) Begin() (*Tx, error) {
 // aborting otherwise. The returned error is fn's (or the commit/abort
 // error).
 func (p *Pool) Update(fn func(*Tx) error) error {
+	_, err := p.UpdateT(fn)
+	return err
+}
+
+// UpdateT is Update returning the engine transaction id alongside fn's
+// (or the commit/abort) error: callers correlating work with the trace
+// stream join on the id, which engine emissions key events by. The id is
+// valid even when the transaction aborts.
+func (p *Pool) UpdateT(fn func(*Tx) error) (uint64, error) {
 	tx, err := p.Begin()
 	if err != nil {
-		return err
+		return 0, err
 	}
+	txid := tx.ID()
 	if err := fn(tx); err != nil {
 		if aerr := tx.Abort(); aerr != nil && !errors.Is(aerr, engine.ErrTxDone) {
-			return fmt.Errorf("%w (abort also failed: %v)", err, aerr)
+			return txid, fmt.Errorf("%w (abort also failed: %v)", err, aerr)
 		}
-		return err
+		return txid, err
 	}
-	return tx.Commit()
+	return txid, tx.Commit()
 }
 
 // View runs fn inside a transaction that is always aborted; use it for

@@ -118,6 +118,17 @@ type cellDelta struct {
 	BaseMean   time.Duration
 	CurMean    time.Duration
 	MeanPct    float64
+	BaseP99    time.Duration
+	CurP99     time.Duration
+	P99Pct     float64
+	BaseP999   time.Duration
+	CurP999    time.Duration
+	P999Pct    float64
+	// ReportOnly marks latency-only cells (no throughput on either side,
+	// e.g. serve's per-phase attribution): their tails are tracked across
+	// runs but never gate, and they stay out of the aggregates — phase
+	// splits shift with queueing, not with code quality.
+	ReportOnly bool
 	Regressed  bool
 }
 
@@ -226,6 +237,17 @@ func diffArtifacts(base, cur map[string]*bench.Artifact, thresholdPct float64, g
 				BaseMean:   bc.Mean,
 				CurMean:    cc.Mean,
 				MeanPct:    pctChange(float64(bc.Mean), float64(cc.Mean)),
+				BaseP99:    bc.P99,
+				CurP99:     cc.P99,
+				P99Pct:     pctChange(float64(bc.P99), float64(cc.P99)),
+				BaseP999:   bc.P999,
+				CurP999:    cc.P999,
+				P999Pct:    pctChange(float64(bc.P999), float64(cc.P999)),
+				ReportOnly: bc.OpsPerSec == 0 && cc.OpsPerSec == 0,
+			}
+			if d.ReportOnly {
+				rep.deltas = append(rep.deltas, d)
+				continue
 			}
 			if bc.OpsPerSec > 0 && cc.OpsPerSec > 0 {
 				opsLogSum += math.Log(cc.OpsPerSec / bc.OpsPerSec)
@@ -289,16 +311,37 @@ func (r *report) write(w io.Writer) {
 		fmt.Fprintln(w, "no aligned cells to compare")
 		return
 	}
-	fmt.Fprintf(w, "%-12s %-44s %12s %12s %8s %10s %10s %8s\n",
-		"experiment", "cell", "base op/s", "new op/s", "Δ%", "base mean", "new mean", "Δ%")
+	var gated, reportOnly []cellDelta
 	for _, d := range r.deltas {
-		mark := ""
-		if d.Regressed {
-			mark = "  << REGRESSION"
+		if d.ReportOnly {
+			reportOnly = append(reportOnly, d)
+		} else {
+			gated = append(gated, d)
 		}
-		fmt.Fprintf(w, "%-12s %-44s %12.0f %12.0f %+7.1f%% %10s %10s %+7.1f%%%s\n",
-			d.Experiment, truncKey(d.Key, 44), d.BaseOps, d.CurOps, d.OpsPct,
-			fmtDur(d.BaseMean), fmtDur(d.CurMean), d.MeanPct, mark)
+	}
+	if len(gated) > 0 {
+		fmt.Fprintf(w, "%-12s %-44s %12s %12s %8s %10s %10s %8s\n",
+			"experiment", "cell", "base op/s", "new op/s", "Δ%", "base mean", "new mean", "Δ%")
+		for _, d := range gated {
+			mark := ""
+			if d.Regressed {
+				mark = "  << REGRESSION"
+			}
+			fmt.Fprintf(w, "%-12s %-44s %12.0f %12.0f %+7.1f%% %10s %10s %+7.1f%%%s\n",
+				d.Experiment, truncKey(d.Key, 44), d.BaseOps, d.CurOps, d.OpsPct,
+				fmtDur(d.BaseMean), fmtDur(d.CurMean), d.MeanPct, mark)
+		}
+	}
+	if len(reportOnly) > 0 {
+		fmt.Fprintf(w, "\nlatency-only cells (report-only, never gated):\n")
+		fmt.Fprintf(w, "%-12s %-44s %10s %10s %8s %10s %10s %8s\n",
+			"experiment", "cell", "base p99", "new p99", "Δ%", "base p999", "new p999", "Δ%")
+		for _, d := range reportOnly {
+			fmt.Fprintf(w, "%-12s %-44s %10s %10s %+7.1f%% %10s %10s %+7.1f%%\n",
+				d.Experiment, truncKey(d.Key, 44),
+				fmtDur(d.BaseP99), fmtDur(d.CurP99), d.P99Pct,
+				fmtDur(d.BaseP999), fmtDur(d.CurP999), d.P999Pct)
+		}
 	}
 	if len(r.aggregates) > 0 {
 		fmt.Fprintln(w)
@@ -321,9 +364,9 @@ func (r *report) write(w io.Writer) {
 				len(r.aggregates), r.threshold)
 		case len(r.regressions) > 0:
 			fmt.Fprintf(w, "\n%d of %d cells regressed beyond %.1f%%\n",
-				len(r.regressions), len(r.deltas), r.threshold)
+				len(r.regressions), len(gated), r.threshold)
 		default:
-			fmt.Fprintf(w, "\nall %d cells within %.1f%%\n", len(r.deltas), r.threshold)
+			fmt.Fprintf(w, "\nall %d cells within %.1f%%\n", len(gated), r.threshold)
 		}
 	}
 }
