@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race doccheck check bench bench-json benchdiff chaos-smoke audit-overhead serve-smoke
+.PHONY: build test vet race doccheck check bench bench-json benchdiff chaos-smoke audit-overhead serve-smoke recovery-smoke
 
 build:
 	$(GO) build ./...
@@ -45,7 +45,7 @@ bench: build
 # checked-in baselines.
 BENCH_JSON_FLAGS = -keys 2000 -ops 500 -threads 2 -bench-out out
 bench-json: build
-	$(GO) run ./cmd/kaminobench -experiment fig12,chainscale,threadscale,chaos,serve $(BENCH_JSON_FLAGS)
+	$(GO) run ./cmd/kaminobench -experiment fig12,chainscale,threadscale,chaos,serve,recovery $(BENCH_JSON_FLAGS)
 
 benchdiff: bench-json
 	$(GO) run ./tools/benchdiff . out
@@ -95,6 +95,55 @@ serve-smoke: build
 		{ echo "serve-smoke: Chrome trace export missing or empty"; exit 1; }
 	$(GO) run ./tools/benchdiff out/serve/BENCH_serve.json out/serve/BENCH_serve.json >/dev/null
 	@echo "serve-smoke: clean drain, slow-request ring served, trace exported, artifact well-formed"
+
+# recovery-smoke proves the restart path end to end with real processes
+# and a real kill -9: kaminod serves a file-backed store, kaminoload
+# preloads 2000 acked writes and reads them back, SIGUSR1 takes an online
+# checkpoint (quiesce, persist, resume — the durability point of the
+# simulated NVM, which is memory-held between checkpoints), then the
+# process dies with no shutdown path running. The second kaminod must
+# (a) run the staged recovery pipeline — its log carries the per-stage
+# report, (b) answer /readyz with only "recovering" before it answers
+# "ok", (c) reopen WARM (the checkpointed index restores; the /metrics
+# pbtree_attach_warm counter proves the pbtree walk was skipped), and
+# (d) serve every checkpointed acked write back byte-identical
+# (kaminoload -verify fails on the first lost or corrupt key). A final
+# SIGTERM must still drain cleanly (exit 0).
+recovery-smoke: build
+	rm -rf out/recovery && mkdir -p out/recovery
+	$(GO) build -o out/recovery/kaminod ./cmd/kaminod
+	$(GO) build -o out/recovery/kaminoload ./cmd/kaminoload
+	./out/recovery/kaminod -dir out/recovery/db -addr 127.0.0.1:17090 -metrics-addr 127.0.0.1:17091 \
+		> out/recovery/kaminod1.log 2>&1 & \
+	KPID=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:17091/readyz >/dev/null 2>&1 && break; sleep 0.2; done; \
+	./out/recovery/kaminoload -addr 127.0.0.1:17090 -preload -verify -keys 2000 -value 256 || { kill -9 $$KPID; exit 1; }; \
+	kill -s USR1 $$KPID; \
+	for i in $$(seq 1 50); do \
+		grep -q "online checkpoint written" out/recovery/kaminod1.log && break; sleep 0.2; done; \
+	grep -q "online checkpoint written" out/recovery/kaminod1.log || \
+		{ echo "recovery-smoke: SIGUSR1 checkpoint never completed"; kill -9 $$KPID; exit 1; }; \
+	kill -9 $$KPID; wait $$KPID 2>/dev/null; true
+	./out/recovery/kaminod -dir out/recovery/db -addr 127.0.0.1:17090 -metrics-addr 127.0.0.1:17091 \
+		> out/recovery/kaminod2.log 2>&1 & \
+	KPID=$$!; \
+	: > out/recovery/readyz.log; \
+	for i in $$(seq 1 100); do \
+		curl -sS http://127.0.0.1:17091/readyz 2>/dev/null | jq -r '.state' >> out/recovery/readyz.log; \
+		grep -qx ok out/recovery/readyz.log && break; sleep 0.1; done; \
+	grep -qx ok out/recovery/readyz.log || { echo "recovery-smoke: /readyz never reached ok"; kill $$KPID; exit 1; }; \
+	grep -vx -e ok -e recovering -e '' out/recovery/readyz.log && \
+		{ echo "recovery-smoke: unexpected /readyz state during restart"; kill $$KPID; exit 1; }; \
+	grep -q "recovery:" out/recovery/kaminod2.log || \
+		{ echo "recovery-smoke: no staged recovery report in kaminod log"; kill $$KPID; exit 1; }; \
+	curl -fsS http://127.0.0.1:17091/metrics | grep "pbtree_attach_warm_total{" | grep -qv " 0$$" || \
+		{ echo "recovery-smoke: restart was not warm (index checkpoint not consumed)"; kill $$KPID; exit 1; }; \
+	./out/recovery/kaminoload -addr 127.0.0.1:17090 -verify -keys 2000 -value 256 || \
+		{ echo "recovery-smoke: acked writes lost after kill -9"; kill $$KPID; exit 1; }; \
+	kill -TERM $$KPID; \
+	wait $$KPID || { echo "recovery-smoke: kaminod did not exit cleanly after recovery"; exit 1; }
+	@echo "recovery-smoke: kill -9 recovered, staged report logged, readyz recovering->ok, zero acked writes lost"
 
 audit-overhead: build
 	for i in 1 2 3; do \

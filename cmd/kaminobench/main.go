@@ -85,6 +85,7 @@ var experiments = []struct {
 	{"threadscale", "throughput vs threads and concurrency shard count", bench.ThreadScale},
 	{"chaos", "kill-rebuild-rejoin schedules under live chain load", bench.Chaos},
 	{"serve", "network service: pipelining, latency under load, drain audit", bench.Serve},
+	{"recovery", "restart cost: TTFT and time-to-full-throughput vs heap size and dirty fraction", bench.Recovery},
 }
 
 func main() {

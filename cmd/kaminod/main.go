@@ -6,10 +6,18 @@
 //	kaminod -dir /var/lib/kamino -addr :7070 -metrics-addr :8080
 //
 // The first start against an empty directory creates the store (pick the
-// engine with -mode); later starts reopen the checkpointed pool. SIGTERM
-// or SIGINT triggers a graceful drain: the listener closes, /readyz
-// flips to 503, in-flight requests finish, the pool checkpoints, and the
-// process exits 0. Operators: see OPERATIONS.md at the repo root.
+// engine with -mode); later starts reopen the checkpointed pool. The
+// metrics endpoint comes up before the pool opens, so a restarting
+// process is observable while it recovers: /readyz reports "recovering"
+// (503) until the pool has replayed its logs, rebuilt or restored its
+// indexes, and served a probe transaction, and the recovery_progress
+// gauge and rescan/log_replay/index_attach/warmup phase spans expose the
+// staged pipeline while it runs. SIGUSR1 takes an online checkpoint: the
+// request plane quiesces briefly (new requests shed with BUSY), the pool
+// checkpoints, service resumes. SIGTERM or SIGINT triggers a graceful
+// drain: the listener closes, /readyz flips to "draining", in-flight
+// requests finish, the pool checkpoints, and the process exits 0.
+// Operators: see OPERATIONS.md at the repo root.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -39,7 +48,8 @@ func main() {
 		mode        = flag.String("mode", string(kamino.ModeSimple), "engine for a new store: "+kamino.ModeNames())
 		heap        = flag.Int("heap", 64<<20, "heap size for a new store")
 		shards      = flag.Int("shards", 0, "engine concurrency shards (0 = auto)")
-		groupCommit = flag.Bool("group-commit", false, "enable intent-log group commit (new store)")
+		appliers    = flag.Int("appliers", 0, "backup-sync applier workers for kamino modes (0 = auto)")
+		groupCommit = flag.Bool("group-commit", false, "enable intent-log group commit")
 		tenantsFlag = flag.String("tenants", "", "comma-separated tenant names to register at startup")
 		autoTenant  = flag.Bool("auto-tenant", false, "register unknown tenant names on first use")
 		defTenant   = flag.String("default-tenant", "default", "tenant used by requests with no tenant name")
@@ -69,18 +79,80 @@ func main() {
 	if *traceOut != "" {
 		rec = trace.NewRecorder(*traceBuf)
 	}
+
+	// Readiness state machine, visible at /readyz before the pool even
+	// opens: recovering → ok, with draining/checkpointing overlaid from
+	// the live server once it exists.
+	var recovered atomic.Bool
+	var srvPtr atomic.Pointer[server.Server]
+	readyState := func() (bool, string) {
+		if s := srvPtr.Load(); s != nil {
+			if s.Draining() {
+				return false, "draining"
+			}
+			if s.Quiescing() {
+				return false, "checkpointing"
+			}
+		}
+		if !recovered.Load() {
+			return false, "recovering"
+		}
+		return true, "ok"
+	}
+
+	// Bring the metrics plane up first: a process restarting into a long
+	// recovery must be observable during it (recovery_progress, the
+	// rescan/log_replay/index_attach/warmup spans, /readyz=recovering).
+	hub := obs.NewHub()
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", hub)
+		mux.Handle("/metrics", hub.PromHandler())
+		mux.Handle("/healthz", obs.HealthHandler(time.Now()))
+		mux.Handle("/readyz", obs.ReadyStateHandler(readyState))
+		mux.Handle("/debug/requests", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if s := srvPtr.Load(); s != nil {
+				s.Slow().Handler().ServeHTTP(w, r)
+				return
+			}
+			http.Error(w, "server starting", http.StatusServiceUnavailable)
+		}))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(fmt.Errorf("metrics listener: %w", err))
+		}
+		metricsSrv = &http.Server{Handler: mux}
+		go func() {
+			if err := metricsSrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				logf("metrics server: %v", err)
+			}
+		}()
+		logf("metrics on http://%s/ (snapshots), /metrics, /healthz, /readyz, /debug/requests, /debug/pprof/", mln.Addr())
+	}
+
 	pool, store, err := open(*dir, kamino.Options{
-		Mode:        kamino.Mode(*mode),
-		HeapSize:    *heap,
-		Shards:      *shards,
-		GroupCommit: *groupCommit,
-		Dir:         *dir,
-		Trace:       rec,
+		Mode:           kamino.Mode(*mode),
+		HeapSize:       *heap,
+		Shards:         *shards,
+		ApplierWorkers: *appliers,
+		GroupCommit:    *groupCommit,
+		Dir:            *dir,
+		Trace:          rec,
 	})
 	if err != nil {
 		fatal(err)
 	}
+	hub.Set(pool.Obs().Name(), pool.Obs())
 	logf("pool open: dir=%s engine=%s", *dir, pool.Mode())
+	for _, st := range pool.RecoveryReport() {
+		logf("recovery: %-12s %s", st.Stage, st.Duration)
+	}
 
 	var tenantNames []string
 	if *tenantsFlag != "" {
@@ -91,6 +163,7 @@ func main() {
 		}
 	}
 	srvReg := obs.New("server")
+	hub.Set("server", srvReg)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		pool.Close()
@@ -119,7 +192,18 @@ func main() {
 		pool.Close()
 		fatal(err)
 	}
+	srvPtr.Store(srv)
 	logf("serving KV protocol on %s (tenants: %s)", ln.Addr(), strings.Join(srv.Tenants().Names(), ", "))
+
+	// Prove the recovered store serves transactions before reporting
+	// ready: a read probe exercises the full engine path (and, being the
+	// first transaction of this incarnation, durably bumps the image
+	// epoch, invalidating any pre-recovery index checkpoint for good).
+	if err := pool.View(func(tx *kamino.Tx) error { return nil }); err != nil {
+		srv.Close()
+		pool.Close()
+		fatal(fmt.Errorf("post-recovery probe transaction: %w", err))
+	}
 
 	// Checkpoint before taking traffic (no concurrent writers yet). The
 	// simulated NVM is memory-held and reaches disk only at checkpoints,
@@ -134,48 +218,37 @@ func main() {
 		fatal(fmt.Errorf("startup checkpoint: %w", err))
 	}
 	logf("startup checkpoint written: %s", *dir)
+	recovered.Store(true)
 
-	var metricsSrv *http.Server
-	if *metricsAddr != "" {
-		hub := obs.NewHub()
-		hub.Set("server", srvReg)
-		hub.Set(pool.Obs().Name(), pool.Obs())
-		mux := http.NewServeMux()
-		mux.Handle("/", hub)
-		mux.Handle("/metrics", hub.PromHandler())
-		mux.Handle("/healthz", obs.HealthHandler(time.Now()))
-		mux.Handle("/readyz", obs.ReadyHandler(func() bool { return !srv.Draining() }))
-		mux.Handle("/debug/requests", srv.Slow().Handler())
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		mln, err := net.Listen("tcp", *metricsAddr)
-		if err != nil {
-			fatal(fmt.Errorf("metrics listener: %w", err))
-		}
-		metricsSrv = &http.Server{Handler: mux}
-		go func() {
-			if err := metricsSrv.Serve(mln); err != nil && err != http.ErrServerClosed {
-				logf("metrics server: %v", err)
-			}
-		}()
-		logf("metrics on http://%s/ (snapshots), /metrics, /healthz, /readyz, /debug/requests, /debug/pprof/", mln.Addr())
-	}
-
-	// Serve until a signal starts the drain. SIGTERM and SIGINT both
-	// mean "finish what you took, persist, exit cleanly".
+	// Serve until a signal starts the drain. SIGTERM and SIGINT both mean
+	// "finish what you took, persist, exit cleanly"; SIGUSR1 takes an
+	// online checkpoint (quiesce, persist, resume) without restarting.
 	sigc := make(chan os.Signal, 2)
-	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT, syscall.SIGUSR1)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve() }()
-	select {
-	case sig := <-sigc:
-		logf("received %s: draining (timeout %s)", sig, *drainWait)
-	case err := <-serveErr:
-		pool.Close()
-		fatal(fmt.Errorf("accept loop: %w", err))
+serve:
+	for {
+		select {
+		case sig := <-sigc:
+			if sig == syscall.SIGUSR1 {
+				ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+				start := time.Now()
+				err := srv.Quiesce(ctx, pool.Checkpoint)
+				cancel()
+				if err != nil {
+					logf("online checkpoint failed: %v", err)
+				} else {
+					logf("online checkpoint written: %s (paused %s)", *dir, time.Since(start).Round(time.Millisecond))
+				}
+				continue
+			}
+			logf("received %s: draining (timeout %s)", sig, *drainWait)
+			break serve
+		case err := <-serveErr:
+			pool.Close()
+			fatal(fmt.Errorf("accept loop: %w", err))
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
@@ -215,16 +288,22 @@ func writeTrace(path string, rec *trace.Recorder) error {
 	return f.Close()
 }
 
-// open reopens an existing pool directory or creates a fresh store.
+// open reopens an existing pool directory or creates a fresh store. A
+// reopen passes the runtime tunables (shards, appliers, group commit,
+// tracing) as an Open override: they take effect for the recovery scans
+// themselves, and conflicts with the stored structural options fail fast
+// instead of being silently ignored.
 func open(dir string, opts kamino.Options) (*kamino.Pool, *kvstore.Store, error) {
 	if _, err := os.Stat(dir + "/pool.json"); err == nil {
-		pool, err := kamino.Open(dir)
+		pool, err := kamino.Open(dir, kamino.Options{
+			Shards:         opts.Shards,
+			ApplierWorkers: opts.ApplierWorkers,
+			GroupCommit:    opts.GroupCommit,
+			Trace:          opts.Trace,
+		})
 		if err != nil {
 			return nil, nil, err
 		}
-		// Open rebuilds options from pool.json, which carries no
-		// recorder; attach before the store sees traffic.
-		pool.SetTrace(opts.Trace)
 		store, err := kvstore.Open(pool)
 		if err != nil {
 			pool.Close()

@@ -9,6 +9,13 @@
 //
 //	kaminoload -addr localhost:7070 -preload -rates 5000,10000,20000
 //	kaminoload -addr localhost:7070 -rate 10000 -duration 10s -mix b
+//	kaminoload -addr localhost:7070 -verify -keys 2000 -value 256
+//
+// With -verify, keys 0..keys-1 are read back and checked against the
+// deterministic preload payload before any sweep; a missing key or a
+// mismatched value fails the run (the recovery smoke's
+// zero-lost-acked-writes gate after kill -9). A -verify invocation with
+// no explicit rates runs the gate alone and exits.
 //
 // With -bench-out DIR the sweep is also written as BENCH_serve.json
 // through the same artifact pipeline as kaminobench (cells keyed on the
@@ -43,6 +50,7 @@ func main() {
 		mixFlag   = flag.String("mix", "a", "YCSB mix letter (a, b, c, d, f)")
 		window    = flag.Int("window", 256, "max outstanding requests per connection")
 		preload   = flag.Bool("preload", false, "fill keys 0..keys-1 before measuring")
+		verify    = flag.Bool("verify", false, "read keys 0..keys-1 back and fail on any missing or mismatched payload (zero-lost-acked-writes gate)")
 		seed      = flag.Int64("seed", 1, "workload generator seed")
 		benchOut  = flag.String("bench-out", "", "directory for the BENCH_serve.json artifact ('' = off)")
 		breakdown = flag.Bool("breakdown", false, "request per-phase latency attribution from the server and print where tail time went")
@@ -63,6 +71,18 @@ func main() {
 			fatal(fmt.Errorf("preload: %w", err))
 		}
 		fmt.Printf("preload done in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *verify {
+		fmt.Printf("verifying %d keys of %dB over %d connections...\n", *keys, *valueSize, *conns)
+		start := time.Now()
+		n, err := loadgen.Verify(*addr, *tenant, *keys, *valueSize, *conns)
+		if err != nil {
+			fatal(fmt.Errorf("verify: %w", err))
+		}
+		fmt.Printf("verified %d keys in %s: no acked write lost\n", n, time.Since(start).Round(time.Millisecond))
+		if *rates == "" && *rate == 0 {
+			return // gate-only invocation (no explicit rates): skip the sweep
+		}
 	}
 
 	fmt.Printf("%-10s %10s %10s %9s %9s %9s %9s %7s %7s\n",

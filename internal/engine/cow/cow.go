@@ -8,6 +8,7 @@ package cow
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"kaminotx/internal/locktable"
 	"kaminotx/internal/nvm"
 	"kaminotx/internal/obs"
+	"kaminotx/internal/recovery"
 	"kaminotx/internal/trace"
 )
 
@@ -26,6 +28,8 @@ type Engine struct {
 	log   *intentlog.Log
 	locks *locktable.Table
 	obs   *obs.Registry
+
+	recov []recovery.StageReport // stage timings of the Open that built us
 	tr    atomic.Pointer[trace.Tracer]
 
 	commits  *obs.Counter
@@ -99,12 +103,14 @@ func OpenSharded(heapReg, logReg *nvm.Region, shards int) (*Engine, error) {
 		return nil, err
 	}
 	e := newEngine(h, l, heapReg, logReg)
-	if err := e.Recover(); err != nil {
+	pipe := recovery.New(e.obs, 2)
+	if err := pipe.Run(obs.PhaseRecoveryLogReplay, e.Recover); err != nil {
 		return nil, err
 	}
-	if err := h.Rescan(); err != nil {
+	if err := pipe.Run(obs.PhaseRecoveryRescan, h.Rescan); err != nil {
 		return nil, err
 	}
+	e.recov = pipe.Report()
 	e.reshard(shards)
 	return e, nil
 }
@@ -136,6 +142,10 @@ func (e *Engine) Close() error { return nil }
 // Obs implements engine.Engine.
 func (e *Engine) Obs() *obs.Registry { return e.obs }
 
+// RecoveryReport returns the stage timings of the Open that produced this
+// engine (nil for a freshly formatted engine).
+func (e *Engine) RecoveryReport() []recovery.StageReport { return e.recov }
+
 // SetTracer implements engine.Engine.
 func (e *Engine) SetTracer(t *trace.Tracer) {
 	if t != nil && !t.Enabled() {
@@ -161,7 +171,7 @@ func (e *Engine) Stats() engine.Stats {
 // Originals are untouched until commit, so incomplete transactions need no
 // data restoration.
 func (e *Engine) Recover() error {
-	return e.log.Recover(func(v intentlog.SlotView) error {
+	return e.log.RecoverParallel(runtime.GOMAXPROCS(0), func(v intentlog.SlotView) error {
 		switch v.State {
 		case intentlog.StateCommitted:
 			if err := e.applyShadows(v.Entries, func(dataOff uint32, n int) ([]byte, error) {
@@ -215,6 +225,9 @@ func (e *Engine) applyShadows(entries []intentlog.Entry, data func(uint32, int) 
 
 // Begin implements engine.Engine.
 func (e *Engine) Begin() (engine.Tx, error) {
+	if err := e.heap.TouchEpoch(); err != nil {
+		return nil, err
+	}
 	tl, err := e.log.Begin()
 	if err != nil {
 		return nil, err

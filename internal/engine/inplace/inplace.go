@@ -29,6 +29,7 @@ import (
 	"kaminotx/internal/locktable"
 	"kaminotx/internal/nvm"
 	"kaminotx/internal/obs"
+	"kaminotx/internal/recovery"
 	"kaminotx/internal/trace"
 )
 
@@ -41,6 +42,8 @@ type Engine struct {
 	log   *intentlog.Log
 	locks *locktable.Table
 	obs   *obs.Registry
+
+	recov []recovery.StageReport // stage timings of the Open that built us
 	tr    atomic.Pointer[trace.Tracer]
 
 	pending []PendingTx // incomplete transactions found at Open
@@ -129,12 +132,14 @@ func OpenSharded(heapReg, logReg *nvm.Region, shards int) (*Engine, error) {
 		return nil, err
 	}
 	e := newEngine(h, l, heapReg, logReg)
-	if err := e.Recover(); err != nil {
+	pipe := recovery.New(e.obs, 2)
+	if err := pipe.Run(obs.PhaseRecoveryLogReplay, e.Recover); err != nil {
 		return nil, err
 	}
-	if err := h.Rescan(); err != nil {
+	if err := pipe.Run(obs.PhaseRecoveryRescan, h.Rescan); err != nil {
 		return nil, err
 	}
+	e.recov = pipe.Report()
 	e.reshard(shards)
 	return e, nil
 }
@@ -165,6 +170,10 @@ func (e *Engine) Close() error { return nil }
 
 // Obs implements engine.Engine.
 func (e *Engine) Obs() *obs.Registry { return e.obs }
+
+// RecoveryReport returns the stage timings of the Open that produced this
+// engine (nil for a freshly formatted engine).
+func (e *Engine) RecoveryReport() []recovery.StageReport { return e.recov }
 
 // SetTracer implements engine.Engine.
 func (e *Engine) SetTracer(t *trace.Tracer) {
@@ -294,6 +303,9 @@ func (e *Engine) ReadBlock(obj heap.ObjID, class int) ([]byte, error) {
 func (e *Engine) Begin() (engine.Tx, error) {
 	if len(e.pending) > 0 {
 		return nil, errors.New("inplace: pending chain recovery not resolved")
+	}
+	if err := e.heap.TouchEpoch(); err != nil {
+		return nil, err
 	}
 	tl, err := e.log.Begin()
 	if err != nil {

@@ -29,6 +29,7 @@ import (
 	"kaminotx/internal/locktable"
 	"kaminotx/internal/nvm"
 	"kaminotx/internal/obs"
+	"kaminotx/internal/recovery"
 	"kaminotx/internal/trace"
 )
 
@@ -59,6 +60,22 @@ type Config struct {
 	// abort and crash-recovery semantics are unchanged (each slot's state
 	// word remains that transaction's independent commit point).
 	GroupCommit bool
+
+	// BackupIndex, when non-nil on Open, offers a checkpointed
+	// dynamic-backend lookup table (encoded by EncodeBackupIndex). It is
+	// used only if the engine is dynamic and the main heap's image epoch
+	// still equals Epoch — otherwise transactions ran after the snapshot
+	// and the full rebuild scan runs instead. A snapshot that fails
+	// validation also falls back; it can slow recovery down, never
+	// corrupt it.
+	BackupIndex *BackupIndexSnapshot
+}
+
+// BackupIndexSnapshot is a checkpointed dynamic-backend lookup table plus
+// the image epoch it was taken at.
+type BackupIndexSnapshot struct {
+	Epoch uint64
+	Data  []byte
 }
 
 func (c Config) withDefaults() Config {
@@ -90,9 +107,9 @@ type Engine struct {
 
 	applyChs []chan applyReq // one queue per applier worker
 	commitCh chan commitReq  // nil unless Config.GroupCommit
-	wg       sync.WaitGroup // applier + committer goroutines
-	inFlt    sync.WaitGroup // outstanding post-commit syncs
-	pending  atomic.Int64   // committed txs whose backup sync hasn't finished
+	wg       sync.WaitGroup  // applier + committer goroutines
+	inFlt    sync.WaitGroup  // outstanding post-commit syncs
+	pending  atomic.Int64    // committed txs whose backup sync hasn't finished
 	closed   atomic.Bool
 
 	applyErr atomic.Value // error
@@ -101,6 +118,8 @@ type Engine struct {
 	// Atomic because the applier goroutines read it concurrently with
 	// SetTracer; nil when tracing is off (one atomic load per event).
 	tr atomic.Pointer[trace.Tracer]
+
+	recov []recovery.StageReport // stage timings of the Open that built us
 
 	commits    *obs.Counter
 	aborts     *obs.Counter
@@ -177,6 +196,17 @@ func New(mainReg, backupReg, logReg *nvm.Region, cfg Config) (*Engine, error) {
 // Open attaches to existing regions, runs crash recovery (rolling committed
 // transactions forward into the backup and incomplete ones back from it),
 // and returns a running engine.
+//
+// Recovery runs as a staged pipeline (internal/recovery), surfaced in the
+// engine's registry as the index_attach / log_replay / rescan phase spans
+// and the recovery_progress gauge. Stage order is forced by data
+// dependencies — the backup's lookup state must exist before log replay
+// can roll transactions forward or back, and replay may rewrite block
+// headers the free-list rescan reads — so parallelism lives inside the
+// stages: the backup index restores from a checkpoint when Config's
+// snapshot is still epoch-valid, log replay reconciles slot groups
+// concurrently, and the heap rescans in parallel at the segment
+// directory's cut points.
 func Open(mainReg, backupReg, logReg *nvm.Region, cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	h, err := heap.Attach(mainReg)
@@ -192,35 +222,70 @@ func Open(mainReg, backupReg, logReg *nvm.Region, cfg Config) (*Engine, error) {
 	locks := locktable.NewSharded(cfg.Shards)
 	dynamic := backupReg.Size() < mainReg.Size()
 	o := newRegistry(dynamic, mainReg, backupReg, logReg)
+	pipe := recovery.New(o, 3)
+
 	var be backend
-	if dynamic {
+	err = pipe.Run(obs.PhaseRecoveryIndexAttach, func() error {
+		if !dynamic {
+			var err error
+			be, err = newSimpleBackend(mainReg, backupReg, o)
+			return err
+		}
 		bh, err := heap.Attach(backupReg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := bh.Rescan(); err != nil {
-			return nil, err
+			return err
 		}
 		db := newDynamicBackend(mainReg, bh, locks, o)
+		if snap := cfg.BackupIndex; snap != nil && snap.Epoch == h.Epoch() {
+			if err := db.restoreSnapshot(snap.Data); err == nil {
+				o.Counter("recovery_index_warm").Inc()
+				be = db
+				return nil
+			}
+			// An invalid snapshot downgrades to the scan, never fails
+			// the open.
+		}
+		o.Counter("recovery_index_cold").Inc()
 		if err := db.rebuild(); err != nil {
-			return nil, err
+			return err
 		}
 		be = db
-	} else {
-		be, err = newSimpleBackend(mainReg, backupReg, o)
-		if err != nil {
-			return nil, err
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+
 	e := newEngine(h, l, locks, be, dynamic, o)
-	if err := e.Recover(); err != nil {
+	if err := pipe.Run(obs.PhaseRecoveryLogReplay, e.Recover); err != nil {
 		return nil, err
 	}
-	if err := h.Rescan(); err != nil {
+	if err := pipe.Run(obs.PhaseRecoveryRescan, h.Rescan); err != nil {
 		return nil, err
 	}
+	e.recov = pipe.Report()
 	e.start(cfg)
 	return e, nil
+}
+
+// RecoveryReport returns the stage timings of the Open that produced this
+// engine (nil for a freshly formatted engine).
+func (e *Engine) RecoveryReport() []recovery.StageReport { return e.recov }
+
+// EncodeBackupIndex serializes the dynamic backend's lookup table for the
+// pool's index checkpoint; ok is false for the simple (full-mirror)
+// backend, which keeps no volatile lookup state. Callers must quiesce
+// transactions (Drain) first and stamp the result with the heap's current
+// epoch.
+func (e *Engine) EncodeBackupIndex() (data []byte, ok bool) {
+	db, isDyn := e.backend.(*dynamicBackend)
+	if !isDyn {
+		return nil, false
+	}
+	return db.encodeSnapshot(), true
 }
 
 // newRegistry builds the engine's observability registry with the NVM
@@ -536,8 +601,14 @@ func (e *Engine) Stats() engine.Stats {
 // are rolled forward into the backup (after re-applying their deferred
 // frees); running or aborted transactions are rolled back from the backup.
 // Incomplete transactions are treated the same as aborted ones.
+//
+// Slots are reconciled concurrently (one goroutine per slot group): the
+// engine's locking guarantees unreconciled transactions never overlap on
+// an object, the backends' copies take sharded or single mutexes, and the
+// strict NVM region stripes its line locks — so per-slot work is
+// independent.
 func (e *Engine) Recover() error {
-	return e.log.Recover(func(v intentlog.SlotView) error {
+	return e.log.RecoverParallel(runtime.GOMAXPROCS(0), func(v intentlog.SlotView) error {
 		switch v.State {
 		case intentlog.StateCommitted:
 			for _, ent := range v.Entries {
@@ -577,6 +648,9 @@ func (e *Engine) Recover() error {
 func (e *Engine) Begin() (engine.Tx, error) {
 	if err := e.err(); err != nil {
 		return nil, fmt.Errorf("kamino: engine failed: %w", err)
+	}
+	if err := e.heap.TouchEpoch(); err != nil {
+		return nil, err
 	}
 	tl, err := e.log.Begin()
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"kaminotx/internal/locktable"
 	"kaminotx/internal/nvm"
 	"kaminotx/internal/obs"
+	"kaminotx/internal/recovery"
 	"kaminotx/internal/trace"
 )
 
@@ -24,7 +25,9 @@ type Engine struct {
 	locks  *locktable.Table
 	nextID atomic.Uint64
 	obs    *obs.Registry
-	tr     atomic.Pointer[trace.Tracer]
+
+	recov []recovery.StageReport // stage timings of the Open that built us
+	tr    atomic.Pointer[trace.Tracer]
 
 	commits  *obs.Counter
 	aborts   *obs.Counter
@@ -74,11 +77,16 @@ func Open(reg *nvm.Region) (*Engine, error) {
 // OpenSharded is Open with an explicit concurrency shard count (see
 // NewSharded).
 func OpenSharded(reg *nvm.Region, shards int) (*Engine, error) {
-	h, err := heap.Open(reg)
+	h, err := heap.Attach(reg)
 	if err != nil {
 		return nil, err
 	}
 	e := newEngine(h, reg)
+	pipe := recovery.New(e.obs, 1)
+	if err := pipe.Run(obs.PhaseRecoveryRescan, h.Rescan); err != nil {
+		return nil, err
+	}
+	e.recov = pipe.Report()
 	e.reshard(shards)
 	return e, nil
 }
@@ -111,6 +119,10 @@ func (e *Engine) Close() error { return nil }
 // Obs implements engine.Engine.
 func (e *Engine) Obs() *obs.Registry { return e.obs }
 
+// RecoveryReport returns the stage timings of the Open that produced this
+// engine (nil for a freshly formatted engine).
+func (e *Engine) RecoveryReport() []recovery.StageReport { return e.recov }
+
 // SetTracer implements engine.Engine. The audit policy for "nolog"
 // checks nothing — this baseline is unsafe by design — but its events
 // still appear in exported traces.
@@ -134,6 +146,9 @@ func (e *Engine) Stats() engine.Stats {
 
 // Begin implements engine.Engine.
 func (e *Engine) Begin() (engine.Tx, error) {
+	if err := e.heap.TouchEpoch(); err != nil {
+		return nil, err
+	}
 	id := e.nextID.Add(1)
 	e.trc().TxBegin(id)
 	return &tx{e: e, id: id, writeSet: make(map[heap.ObjID]bool)}, nil

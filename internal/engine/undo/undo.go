@@ -8,6 +8,7 @@ package undo
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"kaminotx/internal/locktable"
 	"kaminotx/internal/nvm"
 	"kaminotx/internal/obs"
+	"kaminotx/internal/recovery"
 	"kaminotx/internal/trace"
 )
 
@@ -26,6 +28,8 @@ type Engine struct {
 	log   *intentlog.Log
 	locks *locktable.Table
 	obs   *obs.Registry
+
+	recov []recovery.StageReport // stage timings of the Open that built us
 	tr    atomic.Pointer[trace.Tracer]
 
 	commits  *obs.Counter
@@ -97,12 +101,14 @@ func OpenSharded(heapReg, logReg *nvm.Region, shards int) (*Engine, error) {
 		return nil, err
 	}
 	e := newEngine(h, l, heapReg, logReg)
-	if err := e.Recover(); err != nil {
+	pipe := recovery.New(e.obs, 2)
+	if err := pipe.Run(obs.PhaseRecoveryLogReplay, e.Recover); err != nil {
 		return nil, err
 	}
-	if err := h.Rescan(); err != nil {
+	if err := pipe.Run(obs.PhaseRecoveryRescan, h.Rescan); err != nil {
 		return nil, err
 	}
+	e.recov = pipe.Report()
 	e.reshard(shards)
 	return e, nil
 }
@@ -134,6 +140,10 @@ func (e *Engine) Close() error { return nil }
 // Obs implements engine.Engine.
 func (e *Engine) Obs() *obs.Registry { return e.obs }
 
+// RecoveryReport returns the stage timings of the Open that produced this
+// engine (nil for a freshly formatted engine).
+func (e *Engine) RecoveryReport() []recovery.StageReport { return e.recov }
+
 // SetTracer implements engine.Engine.
 func (e *Engine) SetTracer(t *trace.Tracer) {
 	if t != nil && !t.Enabled() {
@@ -157,7 +167,7 @@ func (e *Engine) Stats() engine.Stats {
 // Recover rolls incomplete and aborted transactions back from their undo
 // copies and completes the deferred frees of committed transactions.
 func (e *Engine) Recover() error {
-	return e.log.Recover(func(v intentlog.SlotView) error {
+	return e.log.RecoverParallel(runtime.GOMAXPROCS(0), func(v intentlog.SlotView) error {
 		switch v.State {
 		case intentlog.StateCommitted:
 			for _, ent := range v.Entries {
@@ -213,6 +223,9 @@ func (e *Engine) rollback(tr *trace.Tracer, txid uint64, entries []intentlog.Ent
 
 // Begin implements engine.Engine.
 func (e *Engine) Begin() (engine.Tx, error) {
+	if err := e.heap.TouchEpoch(); err != nil {
+		return nil, err
+	}
 	tl, err := e.log.Begin()
 	if err != nil {
 		return nil, err

@@ -787,6 +787,70 @@ func (l *Log) Recover(fn func(SlotView) error) error {
 	return nil
 }
 
+// RecoverParallel is Recover across `workers` goroutines, each owning a
+// contiguous slot range. Safe because slot ordering is already immaterial
+// (see Recover) and fn's reconciliation work touches disjoint objects: no
+// two unreconciled transactions overlap. fn must therefore be safe to call
+// concurrently with itself; SlotView.Free already is (the slot pool is
+// sharded). The first error wins and the remaining workers finish their
+// current slot and stop.
+func (l *Log) RecoverParallel(workers int, fn func(SlotView) error) error {
+	if workers > l.cfg.Slots {
+		workers = l.cfg.Slots
+	}
+	if workers <= 1 {
+		return l.Recover(fn)
+	}
+	var (
+		wg       sync.WaitGroup
+		stop     atomic.Bool
+		firstErr atomic.Pointer[error]
+	)
+	fail := func(err error) {
+		e := err
+		firstErr.CompareAndSwap(nil, &e)
+		stop.Store(true)
+	}
+	per := (l.cfg.Slots + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > l.cfg.Slots {
+			hi = l.cfg.Slots
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi && !stop.Load(); i++ {
+				st, txid, n, _, err := l.slotHeader(i)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if st == StateFree {
+					continue
+				}
+				entries, err := l.readEntries(i, txid, n)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if err := fn(SlotView{Slot: i, State: st, TxID: txid, Entries: entries, l: l}); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if p := firstErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // PendingSlots counts non-free slots (test hook).
 func (l *Log) PendingSlots() (int, error) {
 	n := 0

@@ -1,6 +1,7 @@
 package intentlog
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -485,5 +486,122 @@ func TestConcurrentBeginReleaseAcrossShards(t *testing.T) {
 	}
 	for _, tx := range txs {
 		tx.Release()
+	}
+}
+
+func TestRecoverParallelMatchesSerial(t *testing.T) {
+	cfg := Config{Slots: 32, EntriesPerSlot: 8, DataBytesPerSlot: 256}
+	l := newLog(t, cfg)
+	// Leave a mix of running and committed transactions in the log, with
+	// free slots interleaved, then crash.
+	for i := 0; i < cfg.Slots; i++ {
+		tx, err := l.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j <= i%3; j++ {
+			if err := tx.Append(Entry{Op: OpWrite, Class: 16, Obj: uint64(1000*i + j)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		switch i % 3 {
+		case 0:
+			if err := tx.SetState(StateCommitted); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			// stays running
+		case 2:
+			if err := tx.SetState(StateCommitted); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Release(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	collect := func(run func(*Log, func(SlotView) error) error) map[int]SlotView {
+		t.Helper()
+		l2, err := Attach(l.Region())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		seen := make(map[int]SlotView)
+		if err := run(l2, func(v SlotView) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if _, dup := seen[v.Slot]; dup {
+				t.Errorf("slot %d visited twice", v.Slot)
+			}
+			seen[v.Slot] = v
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return seen
+	}
+
+	serial := collect(func(l *Log, fn func(SlotView) error) error { return l.Recover(fn) })
+	for _, workers := range []int{2, 4, 64} {
+		par := collect(func(l *Log, fn func(SlotView) error) error { return l.RecoverParallel(workers, fn) })
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: visited %d slots, serial visited %d", workers, len(par), len(serial))
+		}
+		for slot, want := range serial {
+			got, ok := par[slot]
+			if !ok {
+				t.Fatalf("workers=%d: slot %d missing", workers, slot)
+			}
+			if got.State != want.State || got.TxID != want.TxID || len(got.Entries) != len(want.Entries) {
+				t.Fatalf("workers=%d slot %d: got %+v want %+v", workers, slot, got, want)
+			}
+			for i := range want.Entries {
+				if got.Entries[i] != want.Entries[i] {
+					t.Fatalf("workers=%d slot %d entry %d differs", workers, slot, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRecoverParallelFreesConcurrently(t *testing.T) {
+	cfg := Config{Slots: 16, EntriesPerSlot: 4, DataBytesPerSlot: 0}
+	l := newLog(t, cfg)
+	for i := 0; i < cfg.Slots; i++ {
+		tx, err := l.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Append(Entry{Op: OpWrite, Class: 16, Obj: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Attach(l.Region())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.RecoverParallel(8, func(v SlotView) error { return v.Free() }); err != nil {
+		t.Fatal(err)
+	}
+	n, err := l2.PendingSlots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("pending after parallel recovery = %d", n)
+	}
+	// All slots must be reusable again.
+	for i := 0; i < cfg.Slots; i++ {
+		if _, err := l2.TryBegin(); err != nil {
+			t.Fatalf("TryBegin %d after recovery: %v", i, err)
+		}
 	}
 }

@@ -6,6 +6,7 @@
 package kvstore
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -41,17 +42,20 @@ func Create(pool *kamino.Pool, order int) (*Store, error) {
 	return &Store{pool: pool, tree: tree}, nil
 }
 
-// Open reattaches to the store previously created in pool.
+// Open reattaches to the store previously created in pool. The root
+// pointer is read physically rather than through a transaction: Open runs
+// before the reopened pool takes traffic, and staying transaction-free
+// here keeps the heap's image epoch untouched so pbtree.Attach can still
+// consume a restored index checkpoint (warm attach).
 func Open(pool *kamino.Pool) (*Store, error) {
-	var meta kamino.ObjID
-	err := pool.View(func(tx *kamino.Tx) error {
-		var err error
-		meta, err = tx.Ptr(pool.Root(), 0)
-		return err
-	})
+	b, err := pool.Engine().Heap().Bytes(pool.Root())
 	if err != nil {
 		return nil, err
 	}
+	if len(b) < 8 {
+		return nil, fmt.Errorf("kvstore: pool root object too small (%d bytes)", len(b))
+	}
+	meta := kamino.ObjID(binary.LittleEndian.Uint64(b))
 	if meta == kamino.Nil {
 		return nil, fmt.Errorf("kvstore: pool has no store (root pointer is nil)")
 	}

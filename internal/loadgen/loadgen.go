@@ -18,6 +18,7 @@
 package loadgen
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"time"
@@ -352,4 +353,81 @@ func Preload(addr, tenant string, keys uint64, valueSize, conns int) error {
 	wg.Wait()
 	close(errs)
 	return <-errs
+}
+
+// Verify reads keys 0..keys-1 back with pipelined gets and checks each
+// against the deterministic preload payload (workload.Value at valueSize).
+// It returns the number of verified keys and fails on the first missing
+// key or payload mismatch — the zero-lost-acked-writes gate the recovery
+// smoke runs against a restarted kaminod.
+func Verify(addr, tenant string, keys uint64, valueSize, conns int) (uint64, error) {
+	if conns <= 0 {
+		conns = 4
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	per := (keys + uint64(conns) - 1) / uint64(conns)
+	for i := 0; i < conns; i++ {
+		lo, hi := uint64(i)*per, (uint64(i)+1)*per
+		if hi > keys {
+			hi = keys
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			c, err := server.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			want := make([]byte, valueSize)
+			type pending struct {
+				key  uint64
+				call *server.Call
+			}
+			check := func(p pending) error {
+				resp, err := p.call.Wait()
+				if err != nil {
+					return fmt.Errorf("get %d: %w", p.key, err)
+				}
+				if !resp.Found {
+					return fmt.Errorf("key %d: acked write lost (not found)", p.key)
+				}
+				workload.Value(p.key, want)
+				if !bytes.Equal(resp.Value, want) {
+					return fmt.Errorf("key %d: payload mismatch (%d bytes, want %d)", p.key, len(resp.Value), len(want))
+				}
+				return nil
+			}
+			calls := make([]pending, 0, 128)
+			for k := lo; k < hi; k++ {
+				call, err := c.Send(&transport.KVRequest{Kind: transport.KVGet, Tenant: tenant, Key: k})
+				if err != nil {
+					errs <- err
+					return
+				}
+				calls = append(calls, pending{key: k, call: call})
+				if len(calls) >= 128 { // bounded pipeline
+					if err := check(calls[0]); err != nil {
+						errs <- err
+						return
+					}
+					calls = calls[1:]
+				}
+			}
+			for _, p := range calls {
+				if err := check(p); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	close(errs)
+	return keys, <-errs
 }

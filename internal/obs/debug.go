@@ -115,6 +115,25 @@ func ReadyHandler(ready func() bool) http.Handler {
 	})
 }
 
+// ReadyStateHandler is ReadyHandler with a named state: state() returns
+// (ready, label) where the label explains a 503 — "recovering" while the
+// pool replays and rebuilds indexes, "draining" during shutdown, "ok" when
+// ready. Load balancers key on the status code; operators key on the
+// label.
+func ReadyStateHandler(state func() (bool, string)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		ok, label := true, "ok"
+		if state != nil {
+			ok, label = state()
+		}
+		code := http.StatusOK
+		if !ok {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, map[string]any{"ready": ok, "state": label})
+	})
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(code)

@@ -84,6 +84,24 @@ const (
 	PhaseServeOrderWait Phase = "order_wait"
 	// PhaseServeRespWrite is the response encode + flush.
 	PhaseServeRespWrite Phase = "resp_write"
+
+	// Recovery phases: the stages of the reopen pipeline
+	// (internal/recovery). They tile the time from pool open to the first
+	// accepted transaction.
+
+	// PhaseRecoveryRescan is the heap block-header walk rebuilding the
+	// volatile free lists (parallel across segment-directory cuts).
+	PhaseRecoveryRescan Phase = "rescan"
+	// PhaseRecoveryLogReplay is intent-log slot reconciliation: rolling
+	// interrupted transactions back or forward.
+	PhaseRecoveryLogReplay Phase = "log_replay"
+	// PhaseRecoveryIndexAttach is the rebuild (or checkpoint restore) of
+	// volatile index state: the pbtree node census and the
+	// dynamic-backend lookup table.
+	PhaseRecoveryIndexAttach Phase = "index_attach"
+	// PhaseRecoveryWarmup is post-attach cache priming (latch-map
+	// preseeding) before the pool takes traffic.
+	PhaseRecoveryWarmup Phase = "warmup"
 )
 
 // phaseOrder fixes breakdown-table display order to critical-path order.
@@ -103,6 +121,10 @@ var phaseOrder = []Phase{
 	PhaseServeEngineTxn,
 	PhaseServeOrderWait,
 	PhaseServeRespWrite,
+	PhaseRecoveryRescan,
+	PhaseRecoveryLogReplay,
+	PhaseRecoveryIndexAttach,
+	PhaseRecoveryWarmup,
 }
 
 // Counter is a monotonically increasing event counter.

@@ -1,0 +1,218 @@
+package pbtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"kaminotx/internal/obs"
+	"kaminotx/kamino"
+)
+
+// Tree census: the structural snapshot Attach builds (cold) or restores
+// from the pool's index checkpoint (warm).
+//
+// A cold Attach walks the whole tree: it verifies the structural
+// invariants (sorted keys, separator bounds, child counts) and collects
+// every node's id — the inputs for the pbtree_* gauges and for preseeding
+// the volatile latch map, so the first post-restart operations do not all
+// stampede sync.Map inserts. That walk is the dominant index_attach cost
+// for a large tree. A checkpoint taken via Pool.Checkpoint/SnapshotIndex
+// stores the census; a restart whose heap image epoch still matches the
+// snapshot restores it and skips the walk entirely. The epoch guard makes
+// this exact: the census describes the image byte-for-byte, because no
+// transaction ran between snapshot and crash.
+
+const (
+	censusMagic   = 0x53434250 // "PBCS"
+	censusVersion = 1
+	// censusMaxNodes bounds decode-side allocation from a corrupt count.
+	censusMaxNodes = 1 << 26
+	censusHdrSize  = 4 + 4 + 8 + 4 + 4 + 4 + 8
+	censusRecSize  = 8 + 2 + 1
+)
+
+type censusNode struct {
+	obj   kamino.ObjID
+	nkeys uint16
+	leaf  bool
+}
+
+type census struct {
+	meta  kamino.ObjID
+	order uint32
+	depth uint32
+	keys  uint64
+	nodes []censusNode
+}
+
+// censusSection names the tree's section in the pool's index checkpoint;
+// keying by meta id lets several trees in one pool checkpoint
+// independently.
+func censusSection(meta kamino.ObjID) string {
+	return fmt.Sprintf("pbtree.%d", meta)
+}
+
+// encodeCensus serializes c:
+//
+//	magic u32 | version u32 | meta u64 | order u32 | depth u32
+//	nnodes u32 | keys u64 | nnodes × (obj u64 | nkeys u16 | leaf u8)
+//
+// Integrity is the enclosing index blob's CRC; decode still validates
+// shape and counts.
+func encodeCensus(c *census) []byte {
+	buf := make([]byte, censusHdrSize+censusRecSize*len(c.nodes))
+	binary.LittleEndian.PutUint32(buf[0:], censusMagic)
+	binary.LittleEndian.PutUint32(buf[4:], censusVersion)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(c.meta))
+	binary.LittleEndian.PutUint32(buf[16:], c.order)
+	binary.LittleEndian.PutUint32(buf[20:], c.depth)
+	binary.LittleEndian.PutUint32(buf[24:], uint32(len(c.nodes)))
+	binary.LittleEndian.PutUint64(buf[28:], c.keys)
+	off := censusHdrSize
+	for _, n := range c.nodes {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(n.obj))
+		binary.LittleEndian.PutUint16(buf[off+8:], n.nkeys)
+		if n.leaf {
+			buf[off+10] = 1
+		}
+		off += censusRecSize
+	}
+	return buf
+}
+
+func decodeCensus(buf []byte) (*census, error) {
+	if len(buf) < censusHdrSize {
+		return nil, fmt.Errorf("pbtree: census truncated (%d bytes)", len(buf))
+	}
+	if m := binary.LittleEndian.Uint32(buf[0:]); m != censusMagic {
+		return nil, fmt.Errorf("pbtree: census bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != censusVersion {
+		return nil, fmt.Errorf("pbtree: census version %d (want %d)", v, censusVersion)
+	}
+	c := &census{
+		meta:  kamino.ObjID(binary.LittleEndian.Uint64(buf[8:])),
+		order: binary.LittleEndian.Uint32(buf[16:]),
+		depth: binary.LittleEndian.Uint32(buf[20:]),
+		keys:  binary.LittleEndian.Uint64(buf[28:]),
+	}
+	n := binary.LittleEndian.Uint32(buf[24:])
+	if n > censusMaxNodes {
+		return nil, fmt.Errorf("pbtree: census claims %d nodes", n)
+	}
+	if want := censusHdrSize + censusRecSize*int(n); len(buf) != want {
+		return nil, fmt.Errorf("pbtree: census size %d, want %d for %d nodes", len(buf), want, n)
+	}
+	c.nodes = make([]censusNode, n)
+	off := censusHdrSize
+	for i := range c.nodes {
+		c.nodes[i] = censusNode{
+			obj:   kamino.ObjID(binary.LittleEndian.Uint64(buf[off:])),
+			nkeys: binary.LittleEndian.Uint16(buf[off+8:]),
+			leaf:  buf[off+10] != 0,
+		}
+		off += censusRecSize
+	}
+	return c, nil
+}
+
+// censusWalk builds a fresh census by walking the tree physically,
+// verifying the same structural invariants as CheckInvariants along the
+// way. Not safe against concurrent writers — callers run it while the
+// pool is quiesced (Attach, index checkpoints).
+func (t *Tree) censusWalk() (*census, error) {
+	root, err := t.rootPtr()
+	if err != nil {
+		return nil, err
+	}
+	c := &census{meta: t.meta, order: uint32(t.order)}
+	if err := t.censusVisit(c, root, 1, 0, ^uint64(0), true); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (t *Tree) censusVisit(c *census, obj kamino.ObjID, depth uint32, lo, hi uint64, loOpen bool) error {
+	nd, err := t.readNode(obj)
+	if err != nil {
+		return err
+	}
+	for i := 1; i < len(nd.keys); i++ {
+		if nd.keys[i-1] >= nd.keys[i] {
+			return fmt.Errorf("pbtree: node %d keys not strictly sorted", obj)
+		}
+	}
+	for _, k := range nd.keys {
+		if (!loOpen && k < lo) || k > hi {
+			return fmt.Errorf("pbtree: node %d key %d outside [%d, %d]", obj, k, lo, hi)
+		}
+	}
+	if depth > c.depth {
+		c.depth = depth
+	}
+	c.nodes = append(c.nodes, censusNode{obj: obj, nkeys: uint16(len(nd.keys)), leaf: nd.leaf})
+	if nd.leaf {
+		c.keys += uint64(len(nd.keys))
+		return nil
+	}
+	if len(nd.ptrs) != len(nd.keys)+1 {
+		return fmt.Errorf("pbtree: internal node %d has %d keys, %d children", obj, len(nd.keys), len(nd.ptrs))
+	}
+	curLo, curOpen := lo, loOpen
+	for i, child := range nd.ptrs {
+		curHi := hi
+		if i < len(nd.keys) {
+			curHi = nd.keys[i] - 1
+		}
+		if err := t.censusVisit(c, child, depth+1, curLo, curHi, curOpen); err != nil {
+			return err
+		}
+		if i < len(nd.keys) {
+			curLo, curOpen = nd.keys[i], false
+		}
+	}
+	return nil
+}
+
+// installCensus publishes the census: latch-map preseeding (the warmup
+// recovery phase — one prebuilt RWMutex per known node, so post-restart
+// operations take the fast Load path instead of racing LoadOrStore
+// inserts) and the pbtree_{nodes,keys,depth} gauges. The gauges report
+// attach-or-checkpoint-time census values, refreshed whenever the index
+// source walks; they are structure telemetry, not live counters.
+func (t *Tree) installCensus(c *census, reg *obs.Registry) {
+	start := time.Now()
+	for _, n := range c.nodes {
+		t.latches.Store(n.obj, &sync.RWMutex{})
+	}
+	t.setStats(c)
+	if reg != nil {
+		reg.Gauge("pbtree_nodes", func() uint64 { return t.statNodes.Load() })
+		reg.Gauge("pbtree_keys", func() uint64 { return t.statKeys.Load() })
+		reg.Gauge("pbtree_depth", func() uint64 { return t.statDepth.Load() })
+		reg.Phase(obs.PhaseRecoveryWarmup).Observe(time.Since(start))
+	}
+}
+
+func (t *Tree) setStats(c *census) {
+	t.statNodes.Store(uint64(len(c.nodes)))
+	t.statKeys.Store(c.keys)
+	t.statDepth.Store(uint64(c.depth))
+}
+
+// registerSource publishes this tree's census into the pool's index
+// checkpoint: Checkpoint/SnapshotIndex call the walk (transactions
+// quiesced), so the expensive traversal runs at checkpoint time, not at
+// the next restart.
+func (t *Tree) registerSource() {
+	t.pool.RegisterIndexSource(censusSection(t.meta), func() ([]byte, error) {
+		c, err := t.censusWalk()
+		if err != nil {
+			return nil, err
+		}
+		t.setStats(c)
+		return encodeCensus(c), nil
+	})
+}

@@ -26,7 +26,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"kaminotx/internal/obs"
 	"kaminotx/kamino"
 )
 
@@ -51,8 +54,13 @@ type Tree struct {
 
 	// rootLatch guards the root pointer swap (root splits).
 	rootLatch sync.RWMutex
-	// latches holds one RWMutex per node, created on demand.
+	// latches holds one RWMutex per node, created on demand (preseeded
+	// from the census at Attach).
 	latches sync.Map // kamino.ObjID -> *sync.RWMutex
+
+	// Census-time structure stats behind the pbtree_* gauges (see
+	// census.go); refreshed by attach walks and index checkpoints.
+	statNodes, statKeys, statDepth atomic.Uint64
 }
 
 // Create allocates a new empty tree (meta object plus one empty leaf) and
@@ -87,26 +95,63 @@ func Create(pool *kamino.Pool, order int) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A fresh tree is one empty leaf; seed the stats and publish the
+	// census source so the next checkpoint captures it.
+	t.setStats(&census{meta: t.meta, order: uint32(order), depth: 1, nodes: make([]censusNode, 1)})
+	t.registerSource()
 	return t, nil
 }
 
 // Attach binds to an existing tree by its meta object.
+//
+// Attach is part of the recovery pipeline's index_attach stage: it either
+// restores the tree's census from the pool's index checkpoint (warm — the
+// snapshot's heap-image epoch still matches, so the structure is known
+// byte-for-byte without touching it) or walks the whole tree physically,
+// verifying structural invariants as it goes (cold). Either way the
+// census preseeds the latch map (the warmup phase) and feeds the
+// pbtree_{nodes,keys,depth} gauges; the outcome is counted by
+// pbtree_attach_warm / pbtree_attach_cold and the cost lands in the
+// index_attach and warmup phase spans.
+//
+// Attach reads the image physically and must therefore not race with
+// writers — bind to the tree before the pool takes traffic (also required
+// for the warm path, whose checkpoint section is only valid before the
+// incarnation's first transaction).
 func Attach(pool *kamino.Pool, meta kamino.ObjID) (*Tree, error) {
 	t := &Tree{pool: pool, meta: meta}
-	err := pool.View(func(tx *kamino.Tx) error {
-		order, err := tx.Uint32(meta, metaOffOrder)
-		if err != nil {
-			return err
+	reg := pool.Obs()
+	start := time.Now()
+	var c *census
+	if sec, ok := pool.IndexSection(censusSection(meta)); ok {
+		if dc, err := decodeCensus(sec); err == nil && dc.meta == meta && int(dc.order) >= MinOrder {
+			c = dc
+			t.order = int(dc.order)
 		}
+	}
+	if c != nil {
+		reg.Counter("pbtree_attach_warm").Inc()
+	} else {
+		reg.Counter("pbtree_attach_cold").Inc()
+		b, err := pool.Engine().Heap().Bytes(meta)
+		if err != nil {
+			return nil, err
+		}
+		if len(b) < metaSize {
+			return nil, fmt.Errorf("pbtree: meta object %d too small; not a tree?", meta)
+		}
+		order := binary.LittleEndian.Uint32(b[metaOffOrder:])
 		if order < MinOrder {
-			return fmt.Errorf("pbtree: meta object %d has order %d; not a tree?", meta, order)
+			return nil, fmt.Errorf("pbtree: meta object %d has order %d; not a tree?", meta, order)
 		}
 		t.order = int(order)
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		if c, err = t.censusWalk(); err != nil {
+			return nil, err
+		}
 	}
+	reg.Phase(obs.PhaseRecoveryIndexAttach).Observe(time.Since(start))
+	t.installCensus(c, reg)
+	t.registerSource()
 	return t, nil
 }
 

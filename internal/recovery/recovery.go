@@ -1,0 +1,83 @@
+// Package recovery turns the reopen path's implicit sequence of scans
+// into an explicit staged pipeline. Each stage is named by an obs.Phase
+// (rescan, log_replay, index_attach, warmup), timed into the engine's
+// registry, and reflected in a recovery_progress gauge, so a restarting
+// process can be watched stage by stage from /metrics while /readyz still
+// reports "recovering".
+//
+// The pipeline is deliberately thin — stages run in the order given, and
+// parallelism lives inside a stage (parallel heap rescan, concurrent
+// intent-log slot groups), not between stages: every stage depends on the
+// previous one's invariant (log replay may rewrite block headers the
+// rescan reads; the index walk needs reconciled objects).
+package recovery
+
+import (
+	"time"
+
+	"kaminotx/internal/obs"
+)
+
+// StageReport records one completed pipeline stage.
+type StageReport struct {
+	Stage    obs.Phase
+	Duration time.Duration
+}
+
+// Pipeline times and reports the stages of one recovery run.
+type Pipeline struct {
+	reg    *obs.Registry
+	total  int
+	done   int
+	stages []StageReport
+}
+
+// New returns a pipeline that will run `total` stages, reporting into reg
+// (nil disables instrumentation but keeps the reports). The
+// recovery_progress gauge reads 0..100 as stages complete and stays at its
+// last value after recovery — a restarted process that is fully up reads
+// 100.
+func New(reg *obs.Registry, total int) *Pipeline {
+	p := &Pipeline{reg: reg, total: total}
+	if reg != nil {
+		reg.Gauge("recovery_progress", func() uint64 { return p.progress() })
+	}
+	return p
+}
+
+// progress returns percent of stages complete. Reads race benignly with
+// Run's increment (the gauge is sampled, monotone, and single-writer).
+func (p *Pipeline) progress() uint64 {
+	if p.total <= 0 {
+		return 100
+	}
+	n := p.done
+	if n > p.total {
+		n = p.total
+	}
+	return uint64(n * 100 / p.total)
+}
+
+// Run executes one stage: fn is timed, the duration lands in the phase's
+// histogram and the stage report, and the progress gauge advances. The
+// first error stops the pipeline (callers return it without running later
+// stages).
+func (p *Pipeline) Run(stage obs.Phase, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	d := time.Since(start)
+	if p.reg != nil {
+		p.reg.Phase(stage).Observe(d)
+	}
+	p.stages = append(p.stages, StageReport{Stage: stage, Duration: d})
+	if err != nil {
+		return err
+	}
+	p.done++
+	return nil
+}
+
+// Report returns the completed stage timings in execution order.
+func (p *Pipeline) Report() []StageReport {
+	return append([]StageReport(nil), p.stages...)
+}

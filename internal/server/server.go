@@ -166,8 +166,12 @@ type Server struct {
 	writeCh chan *wreq    // admitted writes, in arrival order
 
 	draining atomic.Bool
-	stop     chan struct{} // closed by Close: stops batcher and accept loop
-	closed   atomic.Bool
+	// paused sheds new requests with KVErrBusy while a Quiesce runs its
+	// critical section (an online checkpoint). Unlike draining it is
+	// temporary and keeps connections open.
+	paused atomic.Bool
+	stop   chan struct{} // closed by Close: stops batcher and accept loop
+	closed atomic.Bool
 
 	reqWG  sync.WaitGroup // in-flight requests (accepted, not yet completed)
 	connWG sync.WaitGroup // live connection handlers
@@ -585,6 +589,13 @@ func (s *Server) dispatch(req *transport.KVRequest, p *pending, lastWrite *pendi
 		s.fail(p, transport.KVErrShutdown, errors.New("server draining"))
 		return lastWrite
 	}
+	if s.paused.Load() {
+		// Quiesce in progress: shed like overload — the client retries
+		// and finds the server back in a moment.
+		s.cShed.Inc()
+		s.fail(p, transport.KVErrBusy, errors.New("server quiescing"))
+		return lastWrite
+	}
 	if req.Kind == transport.KVPing {
 		s.finish(p, func(r *transport.KVResponse) { r.Status = transport.KVOK })
 		return lastWrite
@@ -766,6 +777,39 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	return nil
 }
+
+// Quiesce pauses the request plane, runs fn over the quiet store, and
+// resumes service. While paused, new requests are shed with KVErrBusy
+// (clients retry; connections stay open) and Quiesce waits for every
+// already-admitted request to complete before calling fn — so fn sees no
+// concurrent transactions. kaminod runs online checkpoints
+// (Pool.Checkpoint on SIGUSR1) through this. Returns ctx.Err() without
+// running fn if the in-flight work does not finish in time, and an error
+// if a drain or another quiesce is already in progress.
+func (s *Server) Quiesce(ctx context.Context, fn func() error) error {
+	if s.draining.Load() {
+		return errors.New("server: draining")
+	}
+	if !s.paused.CompareAndSwap(false, true) {
+		return errors.New("server: quiesce already in progress")
+	}
+	defer s.paused.Store(false)
+	done := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return fn()
+}
+
+// Quiescing reports whether a Quiesce pause is currently shedding
+// requests (the /readyz "checkpointing" state).
+func (s *Server) Quiescing() bool { return s.paused.Load() }
 
 // Close tears the server down without waiting for in-flight work:
 // listener and connections close, the batcher stops after answering

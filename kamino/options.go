@@ -151,6 +151,61 @@ type Options struct {
 	BlackboxBytes int
 }
 
+// applyOverrides merges an Open-time override into stored options. Runtime
+// tunables (Shards, ApplierWorkers, GroupCommit, latencies, Trace,
+// Blackbox, BlackboxBytes) replace the stored value when set. Structural
+// fields describe the checkpointed images and cannot be changed by
+// reopening: a non-zero structural field in the override must equal the
+// stored value or the open fails, instead of silently reinterpreting the
+// images under a different geometry.
+func (o Options) applyOverrides(ov Options) (Options, error) {
+	structural := []struct {
+		name           string
+		over, stored   any
+		zero, conflict bool
+	}{
+		{"Mode", ov.Mode, o.Mode, ov.Mode == "", ov.Mode != o.Mode},
+		{"HeapSize", ov.HeapSize, o.HeapSize, ov.HeapSize == 0, ov.HeapSize != o.HeapSize},
+		{"Alpha", ov.Alpha, o.Alpha, ov.Alpha == 0, ov.Alpha != o.Alpha},
+		{"RootSize", ov.RootSize, o.RootSize, ov.RootSize == 0, ov.RootSize != o.RootSize},
+		{"LogSlots", ov.LogSlots, o.LogSlots, ov.LogSlots == 0, ov.LogSlots != o.LogSlots},
+		{"LogEntriesPerSlot", ov.LogEntriesPerSlot, o.LogEntriesPerSlot, ov.LogEntriesPerSlot == 0, ov.LogEntriesPerSlot != o.LogEntriesPerSlot},
+		{"LogDataBytesPerSlot", ov.LogDataBytesPerSlot, o.LogDataBytesPerSlot, ov.LogDataBytesPerSlot == 0, ov.LogDataBytesPerSlot != o.LogDataBytesPerSlot},
+		{"Strict", ov.Strict, o.Strict, !ov.Strict, ov.Strict != o.Strict},
+		{"Dir", ov.Dir, o.Dir, ov.Dir == "", ov.Dir != o.Dir},
+	}
+	for _, f := range structural {
+		if !f.zero && f.conflict {
+			return o, fmt.Errorf("override %s=%v conflicts with stored pool (%v); structural options cannot change on reopen", f.name, f.over, f.stored)
+		}
+	}
+	if ov.Shards != 0 {
+		o.Shards = ov.Shards
+	}
+	if ov.ApplierWorkers != 0 {
+		o.ApplierWorkers = ov.ApplierWorkers
+	}
+	if ov.GroupCommit {
+		o.GroupCommit = true
+	}
+	if ov.FlushLatency != 0 {
+		o.FlushLatency = ov.FlushLatency
+	}
+	if ov.FenceLatency != 0 {
+		o.FenceLatency = ov.FenceLatency
+	}
+	if ov.Trace != nil {
+		o.Trace = ov.Trace
+	}
+	if ov.Blackbox {
+		o.Blackbox = true
+	}
+	if ov.BlackboxBytes != 0 {
+		o.BlackboxBytes = ov.BlackboxBytes
+	}
+	return o, nil
+}
+
 func (o Options) withDefaults() (Options, error) {
 	if o.Mode == "" {
 		o.Mode = ModeSimple

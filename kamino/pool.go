@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"kaminotx/internal/engine"
 	"kaminotx/internal/engine/cow"
@@ -69,6 +70,17 @@ type Pool struct {
 	crashCtx      func() []byte
 	lastFlight    *trace.FlightRecord
 	lastFlightRaw []byte
+
+	// Index checkpointing (see checkpoint.go). idxBB is the dedicated NVM
+	// region holding the latest index blob on strict pools; idxSources are
+	// the registered section producers; idxStash/idxStashEpoch hold the
+	// snapshot restored by the most recent reopen, consumed epoch-guarded
+	// through IndexSection.
+	idxMu         sync.Mutex
+	idxSources    map[string]func() ([]byte, error)
+	idxStash      map[string][]byte
+	idxStashEpoch uint64
+	idxBB         *nvm.Blackbox
 }
 
 // Create builds a fresh pool per opts and allocates its root object.
@@ -154,7 +166,22 @@ func (p *Pool) makeRegions() error {
 			return err
 		}
 	}
-	return nil
+	return p.makeIndexRegion()
+}
+
+// makeIndexRegion creates the index-checkpoint NVM region on strict
+// pools, so a snapshot survives Crash/CrashPartial the same way data
+// does. Checkpoint writes, like the flight recorder's, pay no injected
+// flush latency: they run off the transaction critical path.
+func (p *Pool) makeIndexRegion() error {
+	if !p.opts.Strict {
+		return nil
+	}
+	ropts := p.regionOptions()
+	ropts.Latency = nvm.LatencyModel{}
+	var err error
+	p.idxBB, err = nvm.NewBlackbox(indexRegionBytes(p.opts.HeapSize), ropts)
+	return err
 }
 
 func (p *Pool) makeEngine(fresh bool) error {
@@ -162,6 +189,13 @@ func (p *Pool) makeEngine(fresh bool) error {
 	switch p.opts.Mode {
 	case ModeSimple, ModeDynamic:
 		cfg := kamino.Config{Log: p.opts.logConfig(), ApplierWorkers: p.opts.ApplierWorkers, GroupCommit: p.opts.GroupCommit, Shards: p.opts.Shards}
+		if !fresh {
+			// Offer the restored lookup-table snapshot (if any); the
+			// engine uses it only when its epoch still matches the image.
+			if data, ok := p.idxStash[backupIndexSection]; ok {
+				cfg.BackupIndex = &kamino.BackupIndexSnapshot{Epoch: p.idxStashEpoch, Data: data}
+			}
+		}
 		if fresh {
 			p.eng, err = kamino.New(p.mainReg, p.backupReg, p.logReg, cfg)
 		} else {
@@ -222,18 +256,6 @@ func (p *Pool) attachTrace() {
 	if p.logReg != nil {
 		p.logReg.SetTracer(rec.Tracer(actor + "/log"))
 	}
-}
-
-// SetTrace attaches rec to an already-open pool — Open reconstructs
-// options from pool.json, which carries no recorder — wiring the engine
-// and its NVM regions to fresh trace actors. Attach before the pool
-// takes traffic; a nil rec is ignored.
-func (p *Pool) SetTrace(rec *trace.Recorder) {
-	if rec == nil {
-		return
-	}
-	p.opts.Trace = rec
-	p.attachTrace()
 }
 
 // Root returns the pool's root object, the durable entry point applications
@@ -366,6 +388,18 @@ func (p *Pool) crash(keep func(line int) bool) error {
 			return err
 		}
 	}
+	// Restore the index-checkpoint stash before the engine rebuilds: every
+	// byte Store put in the index region was fenced, so the blob survives
+	// both loss models. A missing or stale blob just means cold recovery.
+	p.idxStash, p.idxStashEpoch = nil, 0
+	if p.idxBB != nil {
+		if err := p.idxBB.Crash(keep); err != nil {
+			return err
+		}
+		if raw, ok := p.idxBB.Retrieve(); ok {
+			p.loadIndexStash(raw)
+		}
+	}
 	if err := p.makeEngine(false); err != nil {
 		return err
 	}
@@ -467,6 +501,9 @@ func (p *Pool) Reload() error {
 	if err := p.eng.Close(); err != nil {
 		return err
 	}
+	// The regions now hold a donor's image: any restored index snapshot
+	// describes the old one and must not be offered to the new engine.
+	p.idxStash, p.idxStashEpoch = nil, 0
 	if err := p.makeEngine(false); err != nil {
 		return err
 	}
@@ -523,6 +560,9 @@ func (p *Pool) Promote(alpha float64) error {
 			return err
 		}
 	}
+	// Promotion changes the engine family; any restored snapshot belonged
+	// to the in-place incarnation.
+	p.idxStash, p.idxStashEpoch = nil, 0
 	return p.makeEngine(false)
 }
 
@@ -549,7 +589,10 @@ func (p *Pool) Close() error {
 	return p.eng.Close()
 }
 
-// poolMeta is the JSON sidecar describing a file-backed pool.
+// poolMeta is the JSON sidecar describing a file-backed pool. The first
+// block is structural (it describes the images; Open overrides must
+// match); the omitempty tail records tunables so a plain reopen runs with
+// the same performance configuration it was checkpointed under.
 type poolMeta struct {
 	Mode                Mode    `json:"mode"`
 	HeapSize            int     `json:"heap_size"`
@@ -559,10 +602,21 @@ type poolMeta struct {
 	LogEntriesPerSlot   int     `json:"log_entries_per_slot"`
 	LogDataBytesPerSlot int     `json:"log_data_bytes_per_slot"`
 	Strict              bool    `json:"strict"`
+
+	Shards         int  `json:"shards,omitempty"`
+	ApplierWorkers int  `json:"applier_workers,omitempty"`
+	GroupCommit    bool `json:"group_commit,omitempty"`
 }
 
 // Checkpoint saves the pool's durable images to Options.Dir. Safe to call
 // repeatedly; each checkpoint is written atomically.
+//
+// Alongside the images it snapshots the pool's volatile index state
+// (SnapshotIndex): sections are collected synchronously under the drain,
+// then encoded and stored asynchronously while the images are being
+// saved, and the store is joined before Checkpoint returns. The next Open
+// restores the snapshot and skips the cold index rebuild if no
+// transaction ran after this checkpoint.
 func (p *Pool) Checkpoint() error {
 	dir := p.opts.Dir
 	if dir == "" {
@@ -572,6 +626,15 @@ func (p *Pool) Checkpoint() error {
 		return err
 	}
 	p.eng.Drain()
+	// Arm before collecting: a transaction that sneaks past the drain
+	// bumps the image epoch and invalidates the blob it raced with.
+	p.eng.Heap().ArmEpoch()
+	blob := p.collectIndex()
+	var idxErr chan error
+	if blob != nil {
+		idxErr = make(chan error, 1)
+		go func() { idxErr <- p.storeIndexBlob(blob) }()
+	}
 	meta := poolMeta{
 		Mode:                p.opts.Mode,
 		HeapSize:            p.opts.HeapSize,
@@ -581,6 +644,9 @@ func (p *Pool) Checkpoint() error {
 		LogEntriesPerSlot:   p.opts.LogEntriesPerSlot,
 		LogDataBytesPerSlot: p.opts.LogDataBytesPerSlot,
 		Strict:              p.opts.Strict,
+		Shards:              p.opts.Shards,
+		ApplierWorkers:      p.opts.ApplierWorkers,
+		GroupCommit:         p.opts.GroupCommit,
 	}
 	buf, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {
@@ -602,12 +668,26 @@ func (p *Pool) Checkpoint() error {
 			return err
 		}
 	}
+	if idxErr != nil {
+		if err := <-idxErr; err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // Open restores a file-backed pool from a directory written by Checkpoint
 // or Close, running crash recovery over the restored images.
-func Open(dir string) (*Pool, error) {
+//
+// An optional Options value overrides runtime tunables for this
+// incarnation — Shards, ApplierWorkers, GroupCommit, FlushLatency,
+// FenceLatency, Trace, Blackbox, BlackboxBytes. Structural fields (Mode,
+// HeapSize, log geometry, …) describe the stored images; setting one in
+// the override to anything but its zero value or the stored value is a
+// configuration error. This replaces the old post-hoc attach pattern
+// (Pool.SetTrace): every knob is in force before recovery runs, so even
+// the recovery scans are traced and sharded as configured.
+func Open(dir string, overrides ...Options) (*Pool, error) {
 	buf, err := os.ReadFile(filepath.Join(dir, "pool.json"))
 	if err != nil {
 		return nil, fmt.Errorf("kamino: open %s: %w", dir, err)
@@ -616,7 +696,7 @@ func Open(dir string) (*Pool, error) {
 	if err := json.Unmarshal(buf, &meta); err != nil {
 		return nil, fmt.Errorf("kamino: open %s: bad pool.json: %w", dir, err)
 	}
-	opts, err := Options{
+	stored := Options{
 		Mode:                meta.Mode,
 		HeapSize:            meta.HeapSize,
 		Alpha:               meta.Alpha,
@@ -625,8 +705,17 @@ func Open(dir string) (*Pool, error) {
 		LogEntriesPerSlot:   meta.LogEntriesPerSlot,
 		LogDataBytesPerSlot: meta.LogDataBytesPerSlot,
 		Strict:              meta.Strict,
+		Shards:              meta.Shards,
+		ApplierWorkers:      meta.ApplierWorkers,
+		GroupCommit:         meta.GroupCommit,
 		Dir:                 dir,
-	}.withDefaults()
+	}
+	for _, ov := range overrides {
+		if stored, err = stored.applyOverrides(ov); err != nil {
+			return nil, fmt.Errorf("kamino: open %s: %w", dir, err)
+		}
+	}
+	opts, err := stored.withDefaults()
 	if err != nil {
 		return nil, err
 	}
@@ -646,6 +735,29 @@ func Open(dir string) (*Pool, error) {
 		p.logReg, err = nvm.Load(filepath.Join(dir, "log.img"), ropts)
 		if err != nil {
 			return nil, err
+		}
+	}
+	if opts.Blackbox && opts.Strict {
+		bopts := ropts
+		bopts.Latency = nvm.LatencyModel{}
+		p.bb, err = nvm.NewBlackbox(opts.BlackboxBytes, bopts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.makeIndexRegion(); err != nil {
+		return nil, err
+	}
+	// Restore the index checkpoint before the engine rebuilds, so a warm
+	// snapshot short-circuits the cold scans. Seed the strict index region
+	// with it too: a Crash before the next checkpoint can then still
+	// reopen warm (valid only while the image epoch holds, as always).
+	if raw, err := os.ReadFile(filepath.Join(dir, indexCkptFile)); err == nil {
+		p.loadIndexStash(raw)
+		if p.idxBB != nil && p.idxStash != nil {
+			if len(raw) <= p.idxBB.Capacity() {
+				_ = p.idxBB.Store(raw)
+			}
 		}
 	}
 	if err := p.makeEngine(false); err != nil {
